@@ -1,0 +1,221 @@
+package netseer
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§5). Each benchmark regenerates its figure at a reduced but
+// representative scale and reports the figure's headline quantities as
+// custom benchmark metrics, so `go test -bench=.` reprints the paper's
+// series. Full-scale regeneration lives in cmd/repro.
+
+import (
+	"testing"
+	"time"
+
+	"netseer/internal/experiments"
+	"netseer/internal/fpelim"
+	"netseer/internal/resources"
+	"netseer/internal/sim"
+	"netseer/internal/workload"
+)
+
+func benchBase() experiments.RunConfig {
+	return experiments.RunConfig{
+		Window: 2 * sim.Millisecond,
+		Seed:   1,
+		Load:   0.70,
+		Dist:   workload.WEB,
+	}
+}
+
+// BenchmarkFig7Resources regenerates the PDP resource accounting.
+func BenchmarkFig7Resources(b *testing.B) {
+	var u resources.Usage
+	for i := 0; i < b.N; i++ {
+		u = resources.Estimate(resources.Defaults())
+	}
+	b.ReportMetric(u.Total(resources.StatefulALU)*100, "statefulALU_%")
+	b.ReportMetric(u.Total(resources.SRAM)*100, "SRAM_%")
+}
+
+// BenchmarkFig8aCaseStudies regenerates the five NPA case studies.
+func BenchmarkFig8aCaseStudies(b *testing.B) {
+	located := 0
+	var worst sim.Time
+	for i := 0; i < b.N; i++ {
+		located = 0
+		worst = 0
+		for _, r := range experiments.Fig8aCaseStudies(uint64(i + 1)) {
+			if r.Located {
+				located++
+			}
+			if r.DetectLatency > worst {
+				worst = r.DetectLatency
+			}
+		}
+	}
+	b.ReportMetric(float64(located), "cases_located")
+	b.ReportMetric(float64(worst)/1e6, "worst_detect_ms")
+}
+
+// BenchmarkFig8bSLAViolations regenerates the slow-RPC attribution study.
+func BenchmarkFig8bSLAViolations(b *testing.B) {
+	var res *experiments.SLAResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig8bSLA(experiments.SLAConfig{Seed: uint64(i + 3), Windows: 16})
+	}
+	b.ReportMetric(res.Explained["host"]*100, "host_explained_%")
+	b.ReportMetric(res.Explained["host+pingmesh"]*100, "pingmesh_explained_%")
+	b.ReportMetric(res.Explained["host+netseer"]*100, "netseer_explained_%")
+}
+
+// BenchmarkFig9EventCoverage regenerates per-event-type coverage.
+func BenchmarkFig9EventCoverage(b *testing.B) {
+	var r *experiments.CoverageResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9EventCoverage(benchBase())
+	}
+	b.ReportMetric(r.Ratio[experiments.ClassPipeline]["netseer"]*100, "netseer_pipeline_%")
+	b.ReportMetric(r.Ratio[experiments.ClassInterSwitch]["netseer"]*100, "netseer_interswitch_%")
+	b.ReportMetric(r.Ratio[experiments.ClassPipeline]["everflow"]*100, "everflow_pipeline_%")
+	b.ReportMetric(r.Ratio[experiments.ClassMMUDrop]["sampling-1:1000"]*100, "sampling1000_mmu_%")
+}
+
+// BenchmarkFig10CongestionCoverage regenerates congestion coverage across
+// the five traffic distributions.
+func BenchmarkFig10CongestionCoverage(b *testing.B) {
+	var results []*experiments.CoverageResult
+	for i := 0; i < b.N; i++ {
+		results = experiments.Fig10CongestionCoverage(benchBase(), workload.All)
+	}
+	var nsMin, sampMax float64 = 1, 0
+	for _, r := range results {
+		if r.TruthCount[experiments.ClassCongestion] == 0 {
+			continue // a short window may produce no congestion for a light workload
+		}
+		if v := r.Ratio[experiments.ClassCongestion]["netseer"]; v < nsMin {
+			nsMin = v
+		}
+		if v := r.Ratio[experiments.ClassCongestion]["sampling-1:10"]; v > sampMax {
+			sampMax = v
+		}
+	}
+	b.ReportMetric(nsMin*100, "netseer_min_%")
+	b.ReportMetric(sampMax*100, "sampling10_max_%")
+}
+
+// BenchmarkFig11BandwidthOverhead regenerates the monitoring-overhead
+// comparison.
+func BenchmarkFig11BandwidthOverhead(b *testing.B) {
+	var results []*experiments.OverheadResult
+	for i := 0; i < b.N; i++ {
+		results = experiments.Fig11BandwidthOverhead(benchBase(), []*workload.Distribution{workload.WEB, workload.CACHE})
+	}
+	r := results[0]
+	b.ReportMetric(r.Overhead["netseer"]*1e4, "netseer_bp") // basis points
+	b.ReportMetric(r.Overhead["netsight"]*100, "netsight_%")
+	b.ReportMetric(r.Overhead["netsight"]/r.Overhead["netseer"], "ratio_x")
+}
+
+// BenchmarkFig12BatchingCapacity regenerates the CEBP throughput sweep.
+func BenchmarkFig12BatchingCapacity(b *testing.B) {
+	var points []experiments.BatchingPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig12Batching([]int{1, 10, 50, 70})
+	}
+	b.ReportMetric(points[2].Meps, "batch50_Meps")
+	b.ReportMetric(points[2].Gbps, "batch50_Gbps")
+}
+
+// BenchmarkFig13aEventPacketRatio regenerates the event-packet-ratio
+// panel.
+func BenchmarkFig13aEventPacketRatio(b *testing.B) {
+	var r *experiments.StepResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13PerStep(benchBase())
+	}
+	b.ReportMetric(r.TotalEventRatio*100, "event_pkt_%")
+}
+
+// BenchmarkFig13bPerStepReduction regenerates the per-step reduction
+// panel.
+func BenchmarkFig13bPerStepReduction(b *testing.B) {
+	var r *experiments.StepResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13PerStep(benchBase())
+	}
+	b.ReportMetric(r.Step2Reduction*100, "dedup_reduction_%")
+	b.ReportMetric(r.Step3Reduction*100, "extract_reduction_%")
+	b.ReportMetric(r.OverallRatio*1e4, "overall_bp")
+}
+
+// BenchmarkFig14aPCIeCapacity measures the CPU/PCIe channel throughput at
+// 1 and 2 cores.
+func BenchmarkFig14aPCIeCapacity(b *testing.B) {
+	var points []experiments.PCIePoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig14aPCIe([]int{50}, []int{1, 2}, 30*time.Millisecond)
+	}
+	b.ReportMetric(points[0].Gbps, "core1_Gbps")
+	b.ReportMetric(points[1].Gbps, "core2_Gbps")
+}
+
+// BenchmarkFig14bCPUCapacity measures FP-elimination capacity vs flow
+// count and the pre-hash offload speedup.
+func BenchmarkFig14bCPUCapacity(b *testing.B) {
+	var pre, cpu []experiments.CPUPoint
+	for i := 0; i < b.N; i++ {
+		pre = experiments.Fig14bCPU([]int{1 << 10, 1 << 18}, 2, fpelim.PreHashed, 30*time.Millisecond)
+		cpu = experiments.Fig14bCPU([]int{1 << 10}, 2, fpelim.HashOnCPU, 30*time.Millisecond)
+	}
+	b.ReportMetric(pre[0].Meps, "flows1K_Meps")
+	b.ReportMetric(pre[1].Meps, "flows256K_Meps")
+	b.ReportMetric(pre[0].Meps/cpu[0].Meps, "prehash_speedup_x")
+}
+
+// BenchmarkFig15aRingSizing finds the minimal ring size for two packet
+// sizes by simulation.
+func BenchmarkFig15aRingSizing(b *testing.B) {
+	var points []experiments.RingSizingPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig15aRingSizing([]int{256, 1024})
+	}
+	b.ReportMetric(float64(points[1].MinSlots), "slots_1024B")
+	b.ReportMetric(float64(points[0].MinSlots), "slots_256B")
+}
+
+// BenchmarkFig15bSRAM computes the consecutive-drop SRAM budget.
+func BenchmarkFig15bSRAM(b *testing.B) {
+	var points []experiments.SRAMPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig15bSRAM([]int{1000}, []int{1024}, 64)
+	}
+	b.ReportMetric(float64(points[0].SRAMBytes)/1024, "SRAM_KB")
+}
+
+// BenchmarkAblationDedup compares group caching against the Bloom-filter
+// strawman (design-choice ablation from DESIGN.md).
+func BenchmarkAblationDedup(b *testing.B) {
+	// The functional comparison (zero FN vs FN-prone) is asserted in
+	// groupcache's tests; here we compare per-packet cost end to end.
+	b.Run("groupcache", func(b *testing.B) {
+		cfg := benchBase()
+		cfg.Window = sim.Millisecond
+		for i := 0; i < b.N; i++ {
+			experiments.Fig13PerStep(cfg)
+		}
+	})
+}
+
+// BenchmarkEndToEndTestbed measures raw simulation throughput of the full
+// monitored testbed (packets simulated per wall second).
+func BenchmarkEndToEndTestbed(b *testing.B) {
+	var packets uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		cfg := benchBase()
+		cfg.NetSeer = true
+		tb := experiments.NewTestbed(cfg)
+		tb.Run()
+		packets += tb.NetSeerStats().RawPackets
+	}
+	b.ReportMetric(float64(packets)/time.Since(start).Seconds(), "sim_pkts/s")
+}

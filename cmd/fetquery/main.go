@@ -1,0 +1,46 @@
+// Command fetquery is the operator CLI against a running netseerd: it
+// sends one query line and prints the response.
+//
+// Usage:
+//
+//	fetquery [-addr host:port] query type=drop code=no-route
+//	fetquery count switch=3
+//	fetquery flows
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9751", "netseerd query address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: fetquery [-addr host:port] <query|count|flows> [key=value ...]")
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+	req := strings.Join(flag.Args(), " ")
+	if _, err := fmt.Fprintln(conn, req); err != nil {
+		log.Fatalf("send: %v", err)
+	}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "." {
+			return
+		}
+		fmt.Println(line)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+}

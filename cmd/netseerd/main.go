@@ -1,0 +1,49 @@
+// Command netseerd is the NetSeer backend collector daemon: it ingests
+// event batches from switch CPUs over TCP (length-prefixed frames) and
+// answers operator queries on a second port using the line protocol of
+// internal/collector.
+//
+// Usage:
+//
+//	netseerd [-ingest addr] [-query addr]
+//
+// Query examples (e.g. via `nc` or cmd/fetquery):
+//
+//	count type=drop
+//	query flow=tcp:10.0.0.1:40000:10.1.0.1:80 code=no-route
+//	flows
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netseer/internal/collector"
+)
+
+func main() {
+	ingestAddr := flag.String("ingest", "127.0.0.1:9750", "event ingestion listen address")
+	queryAddr := flag.String("query", "127.0.0.1:9751", "query listen address")
+	flag.Parse()
+
+	store := collector.NewStore()
+	ingest, err := collector.NewServer(store, *ingestAddr)
+	if err != nil {
+		log.Fatalf("ingest listener: %v", err)
+	}
+	defer ingest.Close()
+	query, err := collector.NewQueryServer(store, *queryAddr)
+	if err != nil {
+		log.Fatalf("query listener: %v", err)
+	}
+	defer query.Close()
+	log.Printf("netseerd: ingesting on %s, queries on %s", ingest.Addr(), query.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("netseerd: %d events stored, shutting down", store.Len())
+}

@@ -1,0 +1,197 @@
+// Command netsim runs a monitored fat-tree simulation and streams the
+// produced flow events to a collector (a running netseerd, or stdout).
+//
+// Usage:
+//
+//	netsim [-dist WEB] [-load 0.7] [-window 10ms] [-seed 1]
+//	       [-collector host:port] [-fault none|blackhole|corrupt|incast|parity]
+//
+// With -collector, events ship over TCP exactly as a switch CPU would
+// send them; without it, a summary prints to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/dataplane"
+	"netseer/internal/experiments"
+	"netseer/internal/fevent"
+	"netseer/internal/link"
+	"netseer/internal/metrics"
+	"netseer/internal/pcap"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+	"netseer/internal/workload"
+)
+
+func main() {
+	distName := flag.String("dist", "WEB", "traffic distribution: DCTCP, VL2, CACHE, HADOOP, WEB")
+	load := flag.Float64("load", 0.7, "client uplink load fraction")
+	window := flag.Duration("window", 10*time.Millisecond, "simulated duration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	collectorAddr := flag.String("collector", "", "netseerd ingest address (empty: in-process summary)")
+	fault := flag.String("fault", "none", "fault to inject: none, blackhole, corrupt, incast, parity")
+	pcapPath := flag.String("pcap", "", "write traffic at the first core switch to this pcap file")
+	traceOut := flag.String("trace-out", "", "record flow arrivals to this trace file")
+	traceIn := flag.String("trace-in", "", "replay flow arrivals from this trace file instead of the generator")
+	flag.Parse()
+
+	dist, ok := workload.ByName(*distName)
+	if !ok {
+		log.Fatalf("unknown distribution %q", *distName)
+	}
+	cfg := experiments.RunConfig{
+		Dist: dist, Load: *load,
+		Window: sim.Time(window.Nanoseconds()),
+		Seed:   *seed, NetSeer: true,
+	}
+	tb := experiments.NewTestbed(cfg)
+
+	// Optional TCP export: interpose a client sink on every switch by
+	// re-attaching; simplest is to forward the in-process store at the
+	// end, which preserves batch framing.
+	var client *collector.Client
+	if *collectorAddr != "" {
+		client = collector.NewClient(*collectorAddr)
+		defer client.Close()
+	}
+
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			log.Fatalf("pcap: %v", err)
+		}
+		w, err := pcap.NewWriter(f)
+		if err != nil {
+			log.Fatalf("pcap: %v", err)
+		}
+		defer func() {
+			w.Close()
+			fmt.Printf("wrote %d frames to %s\n", w.Frames(), *pcapPath)
+		}()
+		tap := &pcap.Tap{W: w, Clock: tb.Sim.Now}
+		coreNode, _ := tb.Topo.NodeByName("core0")
+		tb.Fab.Switches[coreNode.ID].AddMonitor(&pcapMonitor{tap: tap})
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		tw, err := workload.NewTraceWriter(f)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		defer func() {
+			tw.Flush()
+			f.Close()
+			fmt.Printf("recorded %d flow arrivals to %s\n", tw.Records(), *traceOut)
+		}()
+		tb.Gen.Record(tw)
+	}
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatalf("trace-in: %v", err)
+		}
+		records, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("trace-in: %v", err)
+		}
+		scheduled, skipped := workload.Replay(tb.Sim, records, tb.Hosts, 1000, 0)
+		fmt.Printf("replaying %d flows from %s (%d skipped)\n", scheduled, *traceIn, skipped)
+		tb.Gen.Stop() // the trace replaces generated arrivals
+	}
+
+	injectFault(tb, *fault)
+	start := time.Now()
+	tb.Run()
+	elapsed := time.Since(start)
+
+	st := tb.NetSeerStats()
+	fmt.Printf("simulated %v of %s at %.0f%% load in %v wall time\n",
+		cfg.Window, dist.Name, *load*100, elapsed.Round(time.Millisecond))
+	fmt.Printf("raw packets observed:   %s\n", metrics.FormatCount(float64(st.RawPackets)))
+	fmt.Printf("event packets selected: %s (%.2f%%)\n",
+		metrics.FormatCount(float64(st.EventPackets)),
+		metrics.Ratio(float64(st.EventPackets), float64(st.RawPackets))*100)
+	fmt.Printf("flow events exported:   %s (%s)\n",
+		metrics.FormatCount(float64(st.ExportedEvents)),
+		metrics.FormatBps(float64(st.ExportedBytes*8)/cfg.Window.Seconds()))
+	counts := tb.Store.CountByType()
+	for _, typ := range fevent.Types {
+		fmt.Printf("  %-12s %d\n", typ.String()+":", counts[typ])
+	}
+
+	if client != nil {
+		// Ship everything the switches produced, batch-framed.
+		events := tb.Store.Query(collector.Filter{})
+		const chunk = 50
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			client.Deliver(&fevent.Batch{
+				SwitchID:  events[i].SwitchID,
+				Timestamp: events[i].Timestamp,
+				Events:    events[i:end],
+			})
+		}
+		if err := client.Flush(); err != nil {
+			log.Fatalf("export: %v", err)
+		}
+		fmt.Printf("exported %d events to %s\n", len(events), *collectorAddr)
+	}
+}
+
+func injectFault(tb *experiments.Testbed, fault string) {
+	w := tb.Cfg.Window
+	switch fault {
+	case "none":
+	case "blackhole":
+		victim := tb.Hosts[len(tb.Hosts)-1]
+		tor := tb.Fab.HostPorts[victim.Node.ID][0].Switch
+		tb.Sim.Schedule(w/4, func() { tor.SetRouteOverride(victim.Node.IP, []int{}) })
+	case "corrupt":
+		l := tb.Fab.LinkBetween("agg0-0", "core0")
+		tb.Sim.Schedule(w/4, func() {
+			l.SetFault(true, link.Fault{CorruptProb: 0.02})
+			l.SetFault(false, link.Fault{CorruptProb: 0.02})
+		})
+	case "incast":
+		tb.Sim.Schedule(w/4, func() {
+			workload.Incast(tb.Sim, tb.Hosts[16:28], tb.Hosts[0], 1<<20, 1000, 0)
+		})
+	case "parity":
+		victim := tb.Hosts[len(tb.Hosts)-1]
+		var agg *dataplane.Switch
+		tb.Fab.EachSwitch(func(sw *dataplane.Switch) {
+			if agg == nil && sw.Name == "agg1-0" {
+				agg = sw
+			}
+		})
+		tb.Sim.Schedule(w/4, func() { agg.InjectParityError(victim.Node.IP) })
+	default:
+		log.Fatalf("unknown fault %q", fault)
+	}
+}
+
+// pcapMonitor adapts a pcap tap to the dataplane monitor interface,
+// capturing every packet entering the tapped switch.
+type pcapMonitor struct {
+	dataplane.NopMonitor
+	tap *pcap.Tap
+}
+
+// OnIngress implements dataplane.Monitor.
+func (m *pcapMonitor) OnIngress(sw *dataplane.Switch, p *pkt.Packet, port int) {
+	m.tap.Capture(p)
+}

@@ -1,0 +1,133 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section (§5) at full scale and prints paper-style rows.
+//
+// Usage:
+//
+//	repro [-fig all|7|8a|8b|9|10|11|12|13|14a|14b|15] [-window 10ms] [-seed 1]
+//
+// Absolute numbers come from a software simulation, not the authors'
+// Tofino testbed; the shapes — who wins, by what order of magnitude,
+// where capacity saturates — are the reproduction target (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"netseer/internal/experiments"
+	"netseer/internal/fpelim"
+	"netseer/internal/incidents"
+	"netseer/internal/resources"
+	"netseer/internal/sim"
+	"netseer/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (all, 7, 8a, 8b, 9, 10, 11, 12, 13, 14a, 14b, 15, ext)")
+	window := flag.Duration("window", 10*time.Millisecond, "simulated window per run")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	base := experiments.RunConfig{
+		Window: sim.Time(window.Nanoseconds()),
+		Seed:   *seed,
+		Load:   0.70,
+	}
+	all := *fig == "all"
+	dists := workload.All
+
+	if all || *fig == "7" {
+		overall, detail := resources.Estimate(resources.Defaults()).Tables()
+		fmt.Println(overall)
+		fmt.Println(detail)
+	}
+	if all || *fig == "8a" {
+		fmt.Println(experiments.Fig8aTable(experiments.Fig8aCaseStudies(*seed)))
+	}
+	if all || *fig == "8b" {
+		res := experiments.Fig8bSLA(experiments.SLAConfig{Seed: *seed, Windows: 30})
+		fmt.Println(experiments.Fig8bTable(res))
+	}
+	if all || *fig == "9" {
+		cfg := base
+		cfg.Dist = workload.WEB
+		fmt.Println(experiments.Fig9Table(experiments.Fig9EventCoverage(cfg)))
+	}
+	if all || *fig == "10" {
+		results := experiments.Fig10CongestionCoverage(base, dists)
+		fmt.Println(experiments.CoverageTable("Fig 10: congestion event coverage", experiments.ClassCongestion, results))
+	}
+	if all || *fig == "11" {
+		results := experiments.Fig11BandwidthOverhead(base, dists)
+		fmt.Println(experiments.Fig11Table(results))
+		for _, r := range results {
+			fmt.Printf("  %s: NetSeer event rate %.2f Meps (paper bound: ~4 Meps max for 6.4 Tb/s)\n",
+				r.Workload, r.NetSeerEps/1e6)
+		}
+		fmt.Println()
+	}
+	if all || *fig == "12" {
+		sizes := []int{1, 5, 10, 20, 30, 40, 50, 60, 70}
+		fmt.Println(experiments.Fig12Table(experiments.Fig12Batching(sizes)))
+	}
+	if all || *fig == "13" {
+		results := experiments.Fig13AllWorkloads(base, dists)
+		a, b := experiments.Fig13Tables(results)
+		fmt.Println(a)
+		fmt.Println(b)
+	}
+	if all || *fig == "14a" {
+		points := experiments.Fig14aPCIe([]int{1, 5, 10, 20, 30, 50, 70}, []int{1, 2}, 200*time.Millisecond)
+		fmt.Println(experiments.Fig14aTable(points))
+	}
+	if all || *fig == "14b" {
+		flows := []int{1 << 10, 1 << 13, 1 << 16, 1 << 18, 1 << 20}
+		pre := experiments.Fig14bCPU(flows, 2, fpelim.PreHashed, 300*time.Millisecond)
+		cpu := experiments.Fig14bCPU(flows, 2, fpelim.HashOnCPU, 300*time.Millisecond)
+		fmt.Println(experiments.Fig14bTable(append(pre, cpu...)))
+	}
+	if all || *fig == "15" {
+		a := experiments.Fig15aRingSizing([]int{64, 128, 256, 512, 1024, 1500})
+		b := experiments.Fig15bSRAM([]int{100, 250, 500, 750, 1000}, []int{64, 256, 1024}, 64)
+		ta, tb := experiments.Fig15Tables(a, b)
+		fmt.Println(ta)
+		fmt.Println(tb)
+	}
+	if all || *fig == "ext" {
+		fmt.Println("== Extensions & ablations ==")
+		w10, w60, w720, loc := incidents.RecoveryCDF(100000, *seed)
+		fmt.Printf("Fig 1(a) model (production recovery w/o NetSeer): %.0f%% ≤10min, %.0f%% ≤1h, %.0f%% ≤12h; cause location = %.0f%% of time\n",
+			w10*100, w60*100, w720*100, loc*100)
+		pc := experiments.ExtPauseCoverage(*seed)
+		fmt.Printf("pause coverage (lossless incast): %.1f%% of %d pause flow events (PFC fired: %v)\n",
+			pc.Coverage*100, pc.TruthPauses, pc.PFCFramesSeen)
+		ic := experiments.ExtInterCardDetection(*seed)
+		fmt.Printf("inter-card detection: recovered %d/%d backplane drops, %d misattributed\n",
+			ic.Recovered, ic.Injected, ic.WrongFlow)
+		pd := experiments.ExtPartialDeployment(*seed)
+		fmt.Printf("partial deployment (edge-only %d/%d switches): coverage %.1f%% vs full %.1f%%\n",
+			pd.DeployedSwitches, pd.TotalSwitches, pd.PartialCoverage*100, pd.FullCoverage*100)
+		da := experiments.AblationDedup(*seed, 200000)
+		fmt.Printf("dedup ablation (200k event packets, %d distinct): group-cache missed %d, bloom missed %d; reports %d vs %d\n",
+			da.DistinctEvents, da.GroupCacheMissed, da.BloomMissed, da.GroupCacheReports, da.BloomReports)
+		ba := experiments.AblationBatching(10000)
+		fmt.Printf("batching ablation: %d events → %d B batched vs %d B per-packet (%.1f%% saved)\n",
+			ba.Events, ba.BatchedBytes, ba.PerPacketBytes, ba.Saving*100)
+		ta, tc := experiments.SweepTables(
+			experiments.SweepTableSize([]int{64, 256, 1024, 4096, 16384}, 2000, 200000, *seed),
+			experiments.SweepC([]uint16{16, 64, 128, 512, 1024}, 2000, 64, *seed))
+		fmt.Println(ta)
+		fmt.Println(tc)
+		hf := experiments.ExtHardwareFailure(*seed)
+		fmt.Printf("hardware-failure boundary: %d ASIC-failure drops, NetSeer saw %d (blind, as documented), syslog alerts %d\n",
+			hf.GroundTruthDrops, hf.NetSeerEvents, hf.SyslogAlerts)
+		mc := experiments.ExtIncidentMonteCarlo(30, *seed)
+		fmt.Println(experiments.MonteCarloTable(mc))
+		sa := experiments.AblationInterSwitch(*seed)
+		fmt.Printf("inter-switch ablation: coverage %.1f%% with seq/ring vs %.1f%% without\n",
+			sa.WithSeq*100, sa.WithoutSeq*100)
+		fmt.Println()
+	}
+}

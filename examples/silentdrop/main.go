@@ -1,0 +1,61 @@
+// Silentdrop: inter-switch drop detection and flow recovery (§3.3).
+//
+// A fibre between an aggregation and a core switch starts corrupting
+// frames — the hardest fault class in the paper (average 161 minutes to
+// locate in production, half of all >3-hour incidents). The upstream
+// switch sees nothing; the downstream MAC discards the damaged frames
+// silently. NetSeer's consecutive packet IDs + ring buffer recover the
+// victim flows' 5-tuples at the upstream switch.
+//
+//	go run ./examples/silentdrop
+package main
+
+import (
+	"fmt"
+
+	"netseer"
+	"netseer/internal/fevent"
+	"netseer/internal/link"
+)
+
+func main() {
+	net := netseer.NewNetwork(netseer.NetworkConfig{Seed: 3})
+	hosts := net.Hosts()
+
+	// Cross-pod traffic from several hosts — some of it will cross the
+	// soon-to-be-bad agg0-0 ↔ core0 fibre.
+	for i := 0; i < 8; i++ {
+		net.SendBurst(hosts[i], hosts[24+i], uint16(30000+i), 200, 724)
+	}
+	net.Run(2 * netseer.Millisecond)
+
+	// The fibre decays: 5% of frames are corrupted in both directions.
+	bad := net.Link("agg0-0", "core0")
+	bad.SetFault(true, link.Fault{CorruptProb: 0.05})
+	bad.SetFault(false, link.Fault{CorruptProb: 0.05})
+
+	for i := 0; i < 8; i++ {
+		net.SendBurst(hosts[i], hosts[24+i], uint16(30000+i), 400, 724)
+	}
+	net.Run(6 * netseer.Millisecond)
+	net.Close()
+
+	events := net.Events(netseer.Query{Type: netseer.EventDrop, DropCode: fevent.DropInterSwitch})
+	fmt.Printf("inter-switch drop events recovered: %d\n\n", len(events))
+	bySwitch := map[uint16]int{}
+	victims := map[netseer.FlowKey]bool{}
+	for _, e := range events {
+		bySwitch[e.SwitchID]++
+		victims[e.Flow] = true
+	}
+	fmt.Printf("distinct victim flows identified: %d\n", len(victims))
+	for sw, n := range bySwitch {
+		fmt.Printf("reporting switch %d: %d events (this is an endpoint of the bad fibre)\n", sw, n)
+	}
+
+	st := net.NetSeerStats()
+	fmt.Printf("\nseq gaps observed downstream: %d; victims recovered from rings: %d\n",
+		st.SeqGapsDetected, st.InterSwitchFound)
+	fmt.Println("\nwithout NetSeer: SNMP counters show nothing (silent), operators bisect for hours.")
+	fmt.Println("with NetSeer: the victim 5-tuples and the guilty link are one query away.")
+}

@@ -1,0 +1,3 @@
+module netseer
+
+go 1.22

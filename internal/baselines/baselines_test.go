@@ -1,0 +1,231 @@
+package baselines
+
+import (
+	"testing"
+
+	"netseer/internal/dataplane"
+	"netseer/internal/fevent"
+	"netseer/internal/host"
+	"netseer/internal/nic"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+	"netseer/internal/topo"
+	"netseer/internal/workload"
+)
+
+type blNet struct {
+	sim    *sim.Simulator
+	fab    *dataplane.Fabric
+	gt     *dataplane.GroundTruth
+	routes *topo.Routes
+	hosts  []*host.Host
+	pktID  uint64
+}
+
+func newBlNet(t *testing.T, swCfg dataplane.Config) *blNet {
+	t.Helper()
+	s := sim.New()
+	tp := topo.Testbed()
+	routes := topo.BuildRoutes(tp)
+	gt := dataplane.NewGroundTruth()
+	fab := dataplane.BuildFabric(s, tp, routes, swCfg, gt, 3)
+	n := &blNet{sim: s, fab: fab, gt: gt, routes: routes}
+	for _, hn := range tp.Hosts() {
+		h := host.Attach(s, fab, hn, nic.Config{DisableSeq: true}, &n.pktID)
+		h.Handle(workload.DataPort, func(*pkt.Packet) {})
+		n.hosts = append(n.hosts, h)
+	}
+	return n
+}
+
+func (n *blNet) addMonitor(m dataplane.Monitor) {
+	n.fab.EachSwitch(func(sw *dataplane.Switch) { sw.AddMonitor(m) })
+}
+
+func TestSamplerRatioAndOverhead(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{})
+	s := NewSampler(10, 10*sim.Microsecond)
+	n.addMonitor(s)
+	src, dst := n.hosts[0], n.hosts[31]
+	flow := pkt.FlowKey{SrcIP: src.Node.IP, DstIP: dst.Node.IP, SrcPort: 1, DstPort: workload.DataPort, Proto: pkt.ProtoUDP}
+	src.SendUDP(flow, 1000, 724, 0)
+	n.sim.RunAll()
+	// 1000 packets × 5 switch hops = 5000 ingress events; 1:10 → ~500
+	// samples × 64 B.
+	want := uint64(500 * 64)
+	if s.OverheadBytes() != want {
+		t.Errorf("overhead = %d, want %d", s.OverheadBytes(), want)
+	}
+	if len(s.Detected()) == 0 {
+		t.Error("sampled flow not detected at all")
+	}
+}
+
+func TestSamplerCannotSeeDrops(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{})
+	s := NewSampler(10, 10*sim.Microsecond)
+	n.addMonitor(s)
+	src := n.hosts[0]
+	dst := n.hosts[31]
+	tor := n.fab.HostPorts[src.Node.ID][0].Switch
+	tor.SetRouteOverride(dst.Node.IP, []int{})
+	flow := pkt.FlowKey{SrcIP: src.Node.IP, DstIP: dst.Node.IP, SrcPort: 1, DstPort: workload.DataPort, Proto: pkt.ProtoUDP}
+	src.SendUDP(flow, 100, 724, 0)
+	n.sim.RunAll()
+	for k := range s.Detected() {
+		if k.Type == fevent.TypeDrop {
+			t.Fatal("sampler detected a drop — impossible for sFlow")
+		}
+	}
+	if len(n.gt.Drops) != 100 {
+		t.Fatalf("ground truth drops = %d", len(n.gt.Drops))
+	}
+}
+
+func TestEverFlowWatchedFlowCoverage(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{})
+	e := NewEverFlow(n.sim, 10*sim.Microsecond, sim.Millisecond, 1)
+	n.addMonitor(e)
+	src, dst := n.hosts[0], n.hosts[31]
+	flow := pkt.FlowKey{SrcIP: src.Node.IP, DstIP: dst.Node.IP, SrcPort: 9, DstPort: workload.DataPort, Proto: pkt.ProtoUDP}
+	// First packets establish the flow as a candidate.
+	src.SendUDP(flow, 10, 724, 0)
+	n.sim.Run(3 * sim.Millisecond) // at least one rotation: flow watched
+	// Now drop its packets at the ToR.
+	tor := n.fab.HostPorts[src.Node.ID][0].Switch
+	tor.SetRouteOverride(dst.Node.IP, []int{})
+	src.SendUDP(flow, 10, 724, 0)
+	n.sim.Run(6 * sim.Millisecond)
+	e.Stop()
+	n.sim.RunAll()
+	var dropSeen bool
+	for k := range e.Detected() {
+		if k.Type == fevent.TypeDrop && k.Flow == flow {
+			dropSeen = true
+		}
+	}
+	if !dropSeen {
+		t.Error("watched flow's drop not detected")
+	}
+}
+
+func TestEverFlowUnwatchedFlowInvisible(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{})
+	e := NewEverFlow(n.sim, 10*sim.Microsecond, 0, 1)
+	n.addMonitor(e) // default rotation 60 s: nothing is ever watched here
+	src, dst := n.hosts[0], n.hosts[31]
+	tor := n.fab.HostPorts[src.Node.ID][0].Switch
+	tor.SetRouteOverride(dst.Node.IP, []int{})
+	flow := pkt.FlowKey{SrcIP: src.Node.IP, DstIP: dst.Node.IP, SrcPort: 9, DstPort: workload.DataPort, Proto: pkt.ProtoUDP}
+	src.SendUDP(flow, 100, 724, 0)
+	n.sim.Run(10 * sim.Millisecond)
+	e.Stop()
+	n.sim.RunAll()
+	for k := range e.Detected() {
+		if k.Type == fevent.TypeDrop {
+			t.Fatal("unwatched flow's drop detected")
+		}
+	}
+}
+
+func TestNetSightFullCoverage(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{QueueLimitBytes: 32 << 10})
+	ns := NewNetSight(10 * sim.Microsecond)
+	n.addMonitor(ns)
+	// Mixed events: a blackhole plus an incast.
+	src, dst := n.hosts[0], n.hosts[31]
+	tor := n.fab.HostPorts[src.Node.ID][0].Switch
+	tor.SetRouteOverride(dst.Node.IP, []int{})
+	flow := pkt.FlowKey{SrcIP: src.Node.IP, DstIP: dst.Node.IP, SrcPort: 9, DstPort: workload.DataPort, Proto: pkt.ProtoUDP}
+	src.SendUDP(flow, 50, 724, 0)
+	workload.Incast(n.sim, n.hosts[8:24], n.hosts[1], 1<<19, 1000, 0)
+	n.sim.RunAll()
+
+	// NetSight must cover every ground-truth drop flow event.
+	want := n.gt.DropFlowEvents(nil)
+	det := ns.Detected()
+	for k := range want {
+		if k.Code == fevent.DropCorruption {
+			continue // MAC discards have no postcard
+		}
+		if !det[k] {
+			t.Fatalf("NetSight missed drop event %+v", k)
+		}
+	}
+	// And every congestion flow event.
+	for k := range n.gt.CongestionFlowEvents() {
+		if !det[k] {
+			t.Fatalf("NetSight missed congestion event %+v", k)
+		}
+	}
+	if ns.OverheadBytes() == 0 || ns.Postcards() == 0 {
+		t.Error("no postcard overhead recorded")
+	}
+}
+
+func TestSNMPSeesVisibleMissesSilent(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{})
+	snmp := NewSNMP(n.sim, switchesOf(n.fab), sim.Millisecond)
+	src, dst := n.hosts[0], n.hosts[31]
+	tor := n.fab.HostPorts[src.Node.ID][0].Switch
+	flow := pkt.FlowKey{SrcIP: src.Node.IP, DstIP: dst.Node.IP, SrcPort: 9, DstPort: workload.DataPort, Proto: pkt.ProtoUDP}
+	// Visible drops: blackhole.
+	tor.SetRouteOverride(dst.Node.IP, []int{})
+	src.SendUDP(flow, 20, 724, 0)
+	n.sim.Run(2 * sim.Millisecond)
+	visible := snmp.DropsObserved()
+	if visible != 20 {
+		t.Errorf("SNMP saw %d visible drops, want 20", visible)
+	}
+	// Silent drops: parity error — invisible to counters.
+	tor.ClearRouteOverride(dst.Node.IP)
+	tor.InjectParityError(dst.Node.IP)
+	src.SendUDP(flow, 20, 724, 0)
+	n.sim.Run(4 * sim.Millisecond)
+	snmp.Stop()
+	n.sim.RunAll()
+	if snmp.DropsObserved() != visible {
+		t.Errorf("SNMP drop count moved on silent drops: %d → %d", visible, snmp.DropsObserved())
+	}
+	if len(snmp.Detected()) != 0 {
+		t.Error("SNMP claimed flow-level detections")
+	}
+	if snmp.OverheadBytes() == 0 {
+		t.Error("SNMP overhead not accounted")
+	}
+}
+
+func TestPingmeshProbesAndDetectsSlowPaths(t *testing.T) {
+	n := newBlNet(t, dataplane.Config{QueueLimitBytes: 1 << 20})
+	// Probe among 4 hosts only (full mesh of 32 is heavy for a unit
+	// test).
+	pm := NewPingmesh(n.sim, n.hosts[:4], n.routes, sim.Millisecond, 50*sim.Microsecond)
+	n.sim.Run(5*sim.Millisecond + 500*sim.Microsecond)
+	sent, echoed := pm.SentEchoed()
+	if sent == 0 || echoed == 0 {
+		t.Fatalf("probes sent=%d echoed=%d", sent, echoed)
+	}
+	if echoed != sent {
+		t.Errorf("idle fabric: %d of %d probes echoed", echoed, sent)
+	}
+	if len(pm.Slow) != 0 {
+		t.Errorf("slow probes on idle fabric: %d", len(pm.Slow))
+	}
+	// Congest host 0's ToR downlink with an incast while probing.
+	workload.Incast(n.sim, n.hosts[8:24], n.hosts[0], 1<<20, 1000, 0)
+	n.sim.Run(40 * sim.Millisecond)
+	pm.Stop()
+	n.sim.RunAll()
+	if len(pm.Slow)+len(pm.Lost) == 0 {
+		t.Error("pingmesh saw nothing during a heavy incast")
+	}
+	if len(pm.Detected()) != 0 {
+		t.Error("pingmesh claimed flow-level detections")
+	}
+}
+
+func switchesOf(fab *dataplane.Fabric) []*dataplane.Switch {
+	var out []*dataplane.Switch
+	fab.EachSwitch(func(sw *dataplane.Switch) { out = append(out, sw) })
+	return out
+}

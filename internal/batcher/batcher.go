@@ -1,0 +1,249 @@
+// Package batcher implements NetSeer's circulating event batching (§3.5).
+//
+// The data plane cannot hold a 1,200-byte batch in one stage (stage memory
+// is narrow), so NetSeer spreads a stack of pending 24-byte events across
+// stages and keeps a handful of circulating event batching packets (CEBPs)
+// recirculating through an internal port. Each time a CEBP passes the
+// stack it pops one event into its payload; when the payload reaches the
+// batch size (or the CEBP finds the stack empty after a deadline), the CEBP
+// is forwarded to the switch CPU and a fresh empty clone continues
+// circulating.
+//
+// The model reproduces the two throughput limits of Fig. 12: the pop rate
+// (one event per recirculation pass, passes bounded by pipeline latency and
+// the number of CEBPs in flight) and the internal port's serialization
+// bandwidth.
+package batcher
+
+import (
+	"netseer/internal/fevent"
+	"netseer/internal/sim"
+)
+
+// Config parameterizes a Batcher. Zero fields take defaults.
+type Config struct {
+	// BatchSize is the number of events per flushed batch (paper: 50).
+	BatchSize int
+	// StackDepth is the capacity of the cross-stage event stack.
+	StackDepth int
+	// CEBPs is the number of circulating packets kept in flight.
+	CEBPs int
+	// RecircLatency is the time for one pass through the pipeline via the
+	// internal port.
+	RecircLatency sim.Time
+	// FlushLatency is the extra time to hand a full CEBP to the CPU path
+	// and clone a fresh one.
+	FlushLatency sim.Time
+	// InternalPortBps is the internal port bandwidth in bits per second;
+	// a pass cannot finish faster than the CEBP's serialization time.
+	InternalPortBps float64
+	// IdleFlush forwards a partially filled CEBP whose payload has waited
+	// this long with an empty stack (0 disables idle flushing; Flush must
+	// then be called to drain the final partial batch).
+	IdleFlush sim.Time
+	// SwitchID stamps outgoing batches.
+	SwitchID uint16
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = fevent.DefaultBatchSize
+	}
+	if c.StackDepth <= 0 {
+		c.StackDepth = 512
+	}
+	if c.CEBPs <= 0 {
+		c.CEBPs = 9
+	}
+	if c.RecircLatency <= 0 {
+		c.RecircLatency = 100 * sim.Nanosecond
+	}
+	if c.FlushLatency <= 0 {
+		c.FlushLatency = 100 * sim.Nanosecond
+	}
+	if c.InternalPortBps <= 0 {
+		c.InternalPortBps = 100e9
+	}
+	return c
+}
+
+// BatchFunc receives flushed batches. The batch's Events slice is owned by
+// the callee.
+type BatchFunc func(b *fevent.Batch)
+
+// Batcher is the circulating-event-batching engine for one switch.
+type Batcher struct {
+	cfg     Config
+	sim     *sim.Simulator
+	out     BatchFunc
+	stack   []fevent.Event
+	cebps   []*cebp
+	stopped bool
+
+	// Stats.
+	pushed    uint64
+	overflow  uint64
+	flushed   uint64 // batches delivered
+	delivered uint64 // events delivered
+	portBytes uint64 // bytes serialized through the internal port
+}
+
+// cebp is one circulating packet's state.
+type cebp struct {
+	payload   []fevent.Event
+	idleSince sim.Time
+	// parked: the CEBP is empty with an empty stack; it stops
+	// recirculating until Push wakes it. Pure simulation optimization —
+	// hardware CEBPs circulate continuously, but an empty pass over an
+	// empty stack is unobservable, so parking preserves behaviour while
+	// removing idle simulator events.
+	parked bool
+}
+
+// New creates a batcher and starts its CEBPs circulating on s. Events are
+// delivered to out as they flush.
+func New(s *sim.Simulator, cfg Config, out BatchFunc) *Batcher {
+	if out == nil {
+		panic("batcher: out must not be nil")
+	}
+	cfg = cfg.withDefaults()
+	b := &Batcher{cfg: cfg, sim: s, out: out}
+	for i := 0; i < cfg.CEBPs; i++ {
+		c := &cebp{payload: make([]fevent.Event, 0, cfg.BatchSize)}
+		b.cebps = append(b.cebps, c)
+		// Stagger launches so CEBPs do not pass the stack in lockstep.
+		delay := cfg.RecircLatency * sim.Time(i) / sim.Time(cfg.CEBPs)
+		s.Schedule(delay, func() { b.pass(c) })
+	}
+	return b
+}
+
+// Push offers one extracted flow event to the stack. It reports false if
+// the stack is full and the event was lost (counted in Stats; within the
+// paper's measured event rates this does not happen).
+func (b *Batcher) Push(e *fevent.Event) bool {
+	if len(b.stack) >= b.cfg.StackDepth {
+		b.overflow++
+		return false
+	}
+	b.pushed++
+	b.stack = append(b.stack, *e)
+	b.wakeOne()
+	return true
+}
+
+// wakeOne restarts a parked CEBP, if any.
+func (b *Batcher) wakeOne() {
+	for _, c := range b.cebps {
+		if c.parked {
+			c.parked = false
+			c := c
+			b.sim.Schedule(b.cfg.RecircLatency, func() { b.pass(c) })
+			return
+		}
+	}
+}
+
+// Backlog returns the number of events waiting in the stack.
+func (b *Batcher) Backlog() int { return len(b.stack) }
+
+// pass is one CEBP transit of the pipeline: pop an event if available,
+// flush if full or idle, then recirculate.
+func (b *Batcher) pass(c *cebp) {
+	if b.stopped {
+		return
+	}
+	popped := false
+	if n := len(b.stack); n > 0 {
+		// The stack pops LIFO: the hardware stack's top lives in the last
+		// stage written.
+		e := b.stack[n-1]
+		b.stack = b.stack[:n-1]
+		c.payload = append(c.payload, e)
+		c.idleSince = b.sim.Now()
+		popped = true
+	}
+	next := b.cfg.RecircLatency
+	if ser := b.serialization(c); ser > next {
+		next = ser
+	}
+	b.portBytes += uint64(b.cebpWireLen(c))
+	switch {
+	case len(c.payload) >= b.cfg.BatchSize:
+		b.flush(c)
+		next += b.cfg.FlushLatency
+	case !popped && len(c.payload) > 0 && b.cfg.IdleFlush > 0 &&
+		b.sim.Now()-c.idleSince >= b.cfg.IdleFlush:
+		b.flush(c)
+		next += b.cfg.FlushLatency
+	}
+	if !popped && len(c.payload) == 0 && len(b.stack) == 0 {
+		// Nothing to do and nothing carried: park until work arrives.
+		c.parked = true
+		return
+	}
+	b.sim.Schedule(next, func() { b.pass(c) })
+}
+
+// cebpWireLen is the current on-wire size of a CEBP: Ethernet header +
+// batch header + payload records.
+func (b *Batcher) cebpWireLen(c *cebp) int {
+	return 14 + fevent.BatchHeaderLen + fevent.RecordLen*len(c.payload)
+}
+
+func (b *Batcher) serialization(c *cebp) sim.Time {
+	bits := float64(b.cebpWireLen(c) * 8)
+	return sim.Time(bits / b.cfg.InternalPortBps * 1e9)
+}
+
+func (b *Batcher) flush(c *cebp) {
+	batch := &fevent.Batch{
+		SwitchID:  b.cfg.SwitchID,
+		Timestamp: b.sim.Now(),
+		Events:    c.payload,
+	}
+	b.flushed++
+	b.delivered += uint64(len(c.payload))
+	b.out(batch)
+	// Clone: fresh payload, same circulating identity.
+	c.payload = make([]fevent.Event, 0, b.cfg.BatchSize)
+}
+
+// Flush synchronously drains the stack and all partial CEBP payloads into
+// one final batch. Used at the end of simulations; the hardware analogue is
+// the idle-flush path.
+func (b *Batcher) Flush() {
+	events := make([]fevent.Event, 0, len(b.stack)+b.cfg.BatchSize)
+	for _, c := range b.cebps {
+		events = append(events, c.payload...)
+		c.payload = c.payload[:0]
+	}
+	events = append(events, b.stack...)
+	b.stack = b.stack[:0]
+	if len(events) == 0 {
+		return
+	}
+	for len(events) > 0 {
+		n := len(events)
+		if n > b.cfg.BatchSize {
+			n = b.cfg.BatchSize
+		}
+		chunk := make([]fevent.Event, n)
+		copy(chunk, events[:n])
+		events = events[n:]
+		b.flushed++
+		b.delivered += uint64(n)
+		b.out(&fevent.Batch{SwitchID: b.cfg.SwitchID, Timestamp: b.sim.Now(), Events: chunk})
+	}
+}
+
+// Stop halts all CEBP circulation (the next pass of each CEBP becomes a
+// no-op), letting a simulation drain its event queue. Call Flush first to
+// recover partial payloads.
+func (b *Batcher) Stop() { b.stopped = true }
+
+// Stats reports pushed events, stack-overflow losses, flushed batches,
+// delivered events, and total bytes serialized through the internal port.
+func (b *Batcher) Stats() (pushed, overflow, batches, delivered, portBytes uint64) {
+	return b.pushed, b.overflow, b.flushed, b.delivered, b.portBytes
+}

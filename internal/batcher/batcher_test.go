@@ -1,0 +1,185 @@
+package batcher
+
+import (
+	"testing"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+func ev(n uint32) *fevent.Event {
+	f := pkt.FlowKey{SrcIP: n, DstIP: 1, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+	return &fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), Count: 1}
+}
+
+func TestBatchSizeRespected(t *testing.T) {
+	s := sim.New()
+	var batches []*fevent.Batch
+	b := New(s, Config{BatchSize: 10, SwitchID: 3, CEBPs: 1}, func(bt *fevent.Batch) {
+		batches = append(batches, bt)
+	})
+	for i := 0; i < 100; i++ {
+		if !b.Push(ev(uint32(i))) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	s.Run(sim.Millisecond)
+	b.Stop()
+	if len(batches) != 10 {
+		t.Fatalf("got %d batches, want 10", len(batches))
+	}
+	for i, bt := range batches {
+		if len(bt.Events) != 10 {
+			t.Errorf("batch %d has %d events", i, len(bt.Events))
+		}
+		if bt.SwitchID != 3 {
+			t.Errorf("batch %d switch ID %d", i, bt.SwitchID)
+		}
+	}
+}
+
+func TestAllEventsDeliveredNoDuplicates(t *testing.T) {
+	s := sim.New()
+	seen := make(map[uint32]int)
+	b := New(s, Config{BatchSize: 7, StackDepth: 1024}, func(bt *fevent.Batch) {
+		for i := range bt.Events {
+			seen[bt.Events[i].Flow.SrcIP]++
+		}
+	})
+	const n = 533
+	for i := 0; i < n; i++ {
+		b.Push(ev(uint32(i)))
+	}
+	s.Run(sim.Millisecond)
+	b.Flush()
+	b.Stop()
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct events, want %d", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("event %d delivered %d times", id, c)
+		}
+	}
+}
+
+func TestStackOverflowCounted(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{StackDepth: 4, BatchSize: 50}, func(*fevent.Batch) {})
+	okCount := 0
+	for i := 0; i < 10; i++ {
+		if b.Push(ev(uint32(i))) {
+			okCount++
+		}
+	}
+	if okCount != 4 {
+		t.Errorf("accepted %d, want 4", okCount)
+	}
+	_, overflow, _, _, _ := b.Stats()
+	if overflow != 6 {
+		t.Errorf("overflow = %d, want 6", overflow)
+	}
+	b.Stop()
+}
+
+func TestIdleFlushDeliversPartial(t *testing.T) {
+	s := sim.New()
+	var batches []*fevent.Batch
+	b := New(s, Config{BatchSize: 50, CEBPs: 1, IdleFlush: 10 * sim.Microsecond},
+		func(bt *fevent.Batch) { batches = append(batches, bt) })
+	for i := 0; i < 5; i++ {
+		b.Push(ev(uint32(i)))
+	}
+	s.Run(sim.Millisecond)
+	b.Stop()
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1 idle-flushed", len(batches))
+	}
+	if len(batches[0].Events) != 5 {
+		t.Errorf("idle batch has %d events, want 5", len(batches[0].Events))
+	}
+}
+
+func TestFlushDrainsPartialPayloads(t *testing.T) {
+	s := sim.New()
+	total := 0
+	b := New(s, Config{BatchSize: 50}, func(bt *fevent.Batch) { total += len(bt.Events) })
+	for i := 0; i < 23; i++ {
+		b.Push(ev(uint32(i)))
+	}
+	s.Run(50 * sim.Microsecond) // CEBPs pop some events into payloads
+	b.Flush()
+	b.Stop()
+	if total != 23 {
+		t.Errorf("delivered %d events, want 23", total)
+	}
+}
+
+func TestThroughputScalesWithBatchSize(t *testing.T) {
+	// Fig. 12's shape: larger batches amortize the flush trip, so events/s
+	// rises with batch size and saturates.
+	rate := func(batchSize int) float64 {
+		s := sim.New()
+		delivered := 0
+		b := New(s, Config{BatchSize: batchSize, StackDepth: 1 << 20},
+			func(bt *fevent.Batch) { delivered += len(bt.Events) })
+		// Saturate the stack.
+		for i := 0; i < 1<<18; i++ {
+			b.Push(ev(uint32(i)))
+		}
+		horizon := 2 * sim.Millisecond
+		s.Run(horizon)
+		b.Stop()
+		return float64(delivered) / horizon.Seconds()
+	}
+	r1, r10, r50 := rate(1), rate(10), rate(50)
+	if !(r1 < r10 && r10 < r50) {
+		t.Errorf("throughput not increasing with batch size: %g %g %g", r1, r10, r50)
+	}
+	// Saturation plateau: 50 → 70 should gain little.
+	r70 := rate(70)
+	if r70 < 0.90*r50 {
+		t.Errorf("throughput collapsed past saturation: %g → %g", r50, r70)
+	}
+	if (r70-r50)/r50 > 0.10 {
+		t.Errorf("no saturation: 50→70 gained %.1f%%", (r70-r50)/r50*100)
+	}
+	// The paper's magnitude: tens of Meps at batch 50.
+	if r50 < 20e6 || r50 > 500e6 {
+		t.Errorf("batch-50 rate %.1f Meps outside plausible window", r50/1e6)
+	}
+}
+
+func TestPortBytesAccounted(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{BatchSize: 10}, func(*fevent.Batch) {})
+	for i := 0; i < 10; i++ {
+		b.Push(ev(uint32(i)))
+	}
+	s.Run(100 * sim.Microsecond)
+	b.Stop()
+	_, _, _, _, portBytes := b.Stats()
+	if portBytes == 0 {
+		t.Error("no internal-port bytes accounted")
+	}
+}
+
+func TestNilOutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with nil out did not panic")
+		}
+	}()
+	New(sim.New(), Config{}, nil)
+}
+
+func TestStopHaltsCirculation(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{}, func(*fevent.Batch) {})
+	b.Stop()
+	s.RunAll() // must terminate: stopped CEBPs do not reschedule
+	if s.Pending() != 0 {
+		t.Error("events still pending after Stop + RunAll")
+	}
+}

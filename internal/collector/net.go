@@ -1,0 +1,229 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"netseer/internal/fevent"
+)
+
+// Wire framing for CPU→backend delivery (§3.6 "reliable TCP-based
+// report"): each frame is a 4-byte big-endian length followed by one
+// encoded fevent.Batch.
+
+// MaxFrame bounds a frame to keep a malformed peer from forcing huge
+// allocations.
+const MaxFrame = 1 << 20
+
+// WriteFrame writes one length-prefixed batch to w.
+func WriteFrame(w io.Writer, b *fevent.Batch) error {
+	body, err := b.AppendTo(make([]byte, 0, b.EncodedLen()))
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed batch from r into b.
+func ReadFrame(r io.Reader, b *fevent.Batch) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("collector: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	rest, err := fevent.DecodeBatch(body, b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("collector: %d trailing bytes in frame", len(rest))
+	}
+	return nil
+}
+
+// Server ingests event batches over TCP into a Store.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts an ingest server on addr (e.g. "127.0.0.1:0"). Use
+// Addr to learn the bound address.
+func NewServer(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		var b fevent.Batch
+		if err := ReadFrame(br, &b); err != nil {
+			return
+		}
+		s.store.Deliver(&b)
+	}
+}
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a core.EventSink that ships batches to a collector Server
+// over TCP, reconnecting on failure (events delivered while disconnected
+// are buffered up to a bound, then oldest-dropped — the switch CPU has
+// finite memory).
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	backlog []*fevent.Batch
+	// MaxBacklog bounds buffered batches while disconnected.
+	MaxBacklog int
+}
+
+// NewClient creates a client for the given collector address. The first
+// connection attempt happens on the first Deliver.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, MaxBacklog: 1024}
+}
+
+// Deliver implements core.EventSink.
+func (c *Client) Deliver(b *fevent.Batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backlog = append(c.backlog, b)
+	if len(c.backlog) > c.MaxBacklog {
+		c.backlog = c.backlog[1:]
+	}
+	c.drainLocked()
+}
+
+// Flush pushes any backlog and flushes the socket buffer.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drainLocked()
+	if len(c.backlog) > 0 {
+		return errors.New("collector: backlog remains (collector unreachable)")
+	}
+	if c.bw != nil {
+		return c.bw.Flush()
+	}
+	return nil
+}
+
+func (c *Client) drainLocked() {
+	if c.conn == nil && !c.connectLocked() {
+		return
+	}
+	for len(c.backlog) > 0 {
+		b := c.backlog[0]
+		if err := WriteFrame(c.bw, b); err != nil {
+			c.dropConnLocked()
+			return
+		}
+		c.backlog = c.backlog[1:]
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropConnLocked()
+	}
+}
+
+func (c *Client) connectLocked() bool {
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return false
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	return true
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.bw = nil
+	}
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	err := c.Flush()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConnLocked()
+	return err
+}

@@ -1,0 +1,261 @@
+package collector
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// QueryServer answers the operator queries of §3.2 over a line-oriented
+// TCP protocol:
+//
+//	query [flow=proto:src:sport:dst:dport] [switch=N] [type=NAME]
+//	      [code=NAME] [since=NANOS] [until=NANOS]
+//	count  (same arguments)
+//	flows
+//	summary
+//	latency [switch=N]
+//	path flow=proto:src:sport:dst:dport
+//
+// Responses are one event (or value) per line, terminated by a line
+// containing a single ".". Errors are "! message" lines.
+type QueryServer struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+}
+
+// NewQueryServer starts a query listener on addr.
+func NewQueryServer(store *Store, addr string) (*QueryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	q := &QueryServer{store: store, ln: ln}
+	q.wg.Add(1)
+	go q.acceptLoop()
+	return q, nil
+}
+
+// Addr returns the listening address.
+func (q *QueryServer) Addr() string { return q.ln.Addr().String() }
+
+// Close stops the listener.
+func (q *QueryServer) Close() error {
+	err := q.ln.Close()
+	q.wg.Wait()
+	return err
+}
+
+func (q *QueryServer) acceptLoop() {
+	defer q.wg.Done()
+	for {
+		conn, err := q.ln.Accept()
+		if err != nil {
+			return
+		}
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			defer conn.Close()
+			q.serve(conn)
+		}()
+	}
+}
+
+func (q *QueryServer) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	bw := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		q.handle(line, bw)
+		bw.Flush()
+	}
+}
+
+func (q *QueryServer) handle(line string, w *bufio.Writer) {
+	fields := strings.Fields(line)
+	cmd := strings.ToLower(fields[0])
+	switch cmd {
+	case "query", "count":
+		f, err := ParseFilter(fields[1:])
+		if err != nil {
+			fmt.Fprintf(w, "! %v\n.\n", err)
+			return
+		}
+		events := q.store.Query(f)
+		if cmd == "count" {
+			fmt.Fprintf(w, "%d\n.\n", len(events))
+			return
+		}
+		for i := range events {
+			fmt.Fprintf(w, "%v t=%v\n", &events[i], events[i].Timestamp)
+		}
+		fmt.Fprint(w, ".\n")
+	case "flows":
+		for _, fl := range q.store.Flows() {
+			fmt.Fprintf(w, "%v\n", fl)
+		}
+		fmt.Fprint(w, ".\n")
+	case "path":
+		if len(fields) != 2 {
+			fmt.Fprint(w, "! usage: path flow=proto:src:sport:dst:dport\n.\n")
+			return
+		}
+		f, err := ParseFilter(fields[1:])
+		if err != nil || f.Flow == nil {
+			fmt.Fprintf(w, "! %v\n.\n", err)
+			return
+		}
+		for _, h := range q.store.PathOf(*f.Flow) {
+			fmt.Fprintf(w, "switch=%d in=%d out=%d t=%v\n", h.SwitchID, h.In, h.Out, h.At)
+		}
+		fmt.Fprint(w, ".\n")
+	case "latency":
+		f, err := ParseFilter(fields[1:])
+		if err != nil {
+			fmt.Fprintf(w, "! %v\n.\n", err)
+			return
+		}
+		h := q.store.LatencyHistogram(f.SwitchID)
+		fmt.Fprintf(w, "%s us\n", h.String())
+		if spark := h.Sparkline(32); spark != "" {
+			fmt.Fprintf(w, "[%s]\n", spark)
+		}
+		fmt.Fprint(w, ".\n")
+	case "summary":
+		for _, row := range q.store.Summary() {
+			fmt.Fprintf(w, "switch=%d type=%s events=%d flows=%d\n",
+				row.SwitchID, row.Type, row.Events, row.Flows)
+		}
+		fmt.Fprint(w, ".\n")
+	default:
+		fmt.Fprintf(w, "! unknown command %q\n.\n", cmd)
+	}
+}
+
+// ParseFilter parses key=value query arguments into a Filter.
+func ParseFilter(args []string) (Filter, error) {
+	var f Filter
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return f, fmt.Errorf("malformed argument %q", a)
+		}
+		switch strings.ToLower(k) {
+		case "flow":
+			fl, err := ParseFlow(v)
+			if err != nil {
+				return f, err
+			}
+			f.Flow = &fl
+		case "switch":
+			n, err := strconv.ParseUint(v, 10, 16)
+			if err != nil {
+				return f, fmt.Errorf("bad switch id %q", v)
+			}
+			id := uint16(n)
+			f.SwitchID = &id
+		case "type":
+			t, err := parseType(v)
+			if err != nil {
+				return f, err
+			}
+			f.Type = t
+		case "code":
+			c, err := parseDropCode(v)
+			if err != nil {
+				return f, err
+			}
+			f.DropCode = c
+		case "since":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad since %q", v)
+			}
+			f.Since = sim.Time(n)
+		case "until":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad until %q", v)
+			}
+			f.Until = sim.Time(n)
+		default:
+			return f, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	return f, nil
+}
+
+// ParseFlow parses "proto:srcIP:srcPort:dstIP:dstPort", e.g.
+// "tcp:10.0.0.1:1000:10.0.1.2:80".
+func ParseFlow(s string) (pkt.FlowKey, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 5 {
+		return pkt.FlowKey{}, fmt.Errorf("flow %q: want proto:src:sport:dst:dport", s)
+	}
+	var k pkt.FlowKey
+	switch strings.ToLower(parts[0]) {
+	case "tcp":
+		k.Proto = pkt.ProtoTCP
+	case "udp":
+		k.Proto = pkt.ProtoUDP
+	default:
+		return k, fmt.Errorf("unknown protocol %q", parts[0])
+	}
+	src, err := parseIP(parts[1])
+	if err != nil {
+		return k, err
+	}
+	dst, err := parseIP(parts[3])
+	if err != nil {
+		return k, err
+	}
+	sp, err := strconv.ParseUint(parts[2], 10, 16)
+	if err != nil {
+		return k, fmt.Errorf("bad src port %q", parts[2])
+	}
+	dp, err := strconv.ParseUint(parts[4], 10, 16)
+	if err != nil {
+		return k, fmt.Errorf("bad dst port %q", parts[4])
+	}
+	k.SrcIP, k.DstIP = src, dst
+	k.SrcPort, k.DstPort = uint16(sp), uint16(dp)
+	return k, nil
+}
+
+func parseIP(s string) (uint32, error) {
+	var a, b, c, d byte
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad IP %q", s)
+	}
+	return pkt.IP(a, b, c, d), nil
+}
+
+func parseType(s string) (fevent.Type, error) {
+	for _, t := range fevent.Types {
+		if t.String() == strings.ToLower(s) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event type %q", s)
+}
+
+func parseDropCode(s string) (fevent.DropCode, error) {
+	for c := fevent.DropNone; c <= fevent.DropCorruption; c++ {
+		if c.String() == strings.ToLower(s) {
+			return c, nil
+		}
+	}
+	return fevent.DropNone, fmt.Errorf("unknown drop code %q", s)
+}

@@ -1,0 +1,6 @@
+package collector
+
+import "net"
+
+// newRawConn dials a plain TCP connection for protocol-abuse tests.
+func newRawConn(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

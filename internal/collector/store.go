@@ -1,0 +1,254 @@
+// Package collector implements NetSeer's backend: an event store that
+// ingests batches from switch CPUs (in-process or over TCP with
+// length-prefixed frames) and answers the queries of §3.2 — by flow, by
+// event type, by device, or by time window.
+package collector
+
+import (
+	"sort"
+	"sync"
+
+	"netseer/internal/metrics"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Store is an in-memory event store. It is safe for concurrent use (the
+// TCP server ingests from multiple switch connections).
+type Store struct {
+	mu     sync.RWMutex
+	events []fevent.Event
+
+	// Indexes: positions into events.
+	byFlow   map[pkt.FlowKey][]int
+	bySwitch map[uint16][]int
+	byType   map[fevent.Type][]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byFlow:   make(map[pkt.FlowKey][]int),
+		bySwitch: make(map[uint16][]int),
+		byType:   make(map[fevent.Type][]int),
+	}
+}
+
+// Deliver implements core.EventSink: ingest one batch.
+func (s *Store) Deliver(b *fevent.Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range b.Events {
+		idx := len(s.events)
+		s.events = append(s.events, e)
+		s.byFlow[e.Flow] = append(s.byFlow[e.Flow], idx)
+		s.bySwitch[e.SwitchID] = append(s.bySwitch[e.SwitchID], idx)
+		s.byType[e.Type] = append(s.byType[e.Type], idx)
+	}
+}
+
+// Len returns the number of stored events.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.events)
+}
+
+// Filter selects events. Zero/nil fields match everything.
+type Filter struct {
+	// Flow restricts to one 5-tuple when non-nil.
+	Flow *pkt.FlowKey
+	// SwitchID restricts to one device when non-nil.
+	SwitchID *uint16
+	// Type restricts to one event type (0 = all).
+	Type fevent.Type
+	// Since/Until bound the batch timestamp (inclusive); Until 0 = +inf.
+	Since sim.Time
+	Until sim.Time
+	// DropCode restricts drop events to one reason (DropNone = all).
+	DropCode fevent.DropCode
+}
+
+func (f *Filter) matches(e *fevent.Event) bool {
+	if f.Flow != nil && e.Flow != *f.Flow {
+		return false
+	}
+	if f.SwitchID != nil && e.SwitchID != *f.SwitchID {
+		return false
+	}
+	if f.Type != 0 && e.Type != f.Type {
+		return false
+	}
+	if e.Timestamp < f.Since {
+		return false
+	}
+	if f.Until != 0 && e.Timestamp > f.Until {
+		return false
+	}
+	if f.DropCode != fevent.DropNone && e.DropCode != f.DropCode {
+		return false
+	}
+	return true
+}
+
+// Query returns all events matching the filter in ingestion order. The
+// narrowest available index drives the scan.
+func (s *Store) Query(f Filter) []fevent.Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var candidates []int
+	switch {
+	case f.Flow != nil:
+		candidates = s.byFlow[*f.Flow]
+	case f.SwitchID != nil:
+		candidates = s.bySwitch[*f.SwitchID]
+	case f.Type != 0:
+		candidates = s.byType[f.Type]
+	}
+	var out []fevent.Event
+	if candidates != nil {
+		for _, i := range candidates {
+			if f.matches(&s.events[i]) {
+				out = append(out, s.events[i])
+			}
+		}
+		return out
+	}
+	for i := range s.events {
+		if f.matches(&s.events[i]) {
+			out = append(out, s.events[i])
+		}
+	}
+	return out
+}
+
+// Flows returns the distinct flows with stored events.
+func (s *Store) Flows() []pkt.FlowKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]pkt.FlowKey, 0, len(s.byFlow))
+	for f := range s.byFlow {
+		out = append(out, f)
+	}
+	return out
+}
+
+// CountByType returns event counts per type.
+func (s *Store) CountByType() map[fevent.Type]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[fevent.Type]int, len(s.byType))
+	for t, idx := range s.byType {
+		out[t] = len(idx)
+	}
+	return out
+}
+
+// SummaryRow is one (switch, type) aggregate.
+type SummaryRow struct {
+	SwitchID uint16
+	Type     fevent.Type
+	Events   int
+	Flows    int
+}
+
+// Summary aggregates stored events per (switch, type) — the operator's
+// first look at where the network is misbehaving.
+func (s *Store) Summary() []SummaryRow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type key struct {
+		sw uint16
+		t  fevent.Type
+	}
+	counts := make(map[key]int)
+	flowSets := make(map[key]map[pkt.FlowKey]struct{})
+	for i := range s.events {
+		e := &s.events[i]
+		k := key{e.SwitchID, e.Type}
+		counts[k]++
+		if flowSets[k] == nil {
+			flowSets[k] = make(map[pkt.FlowKey]struct{})
+		}
+		flowSets[k][e.Flow] = struct{}{}
+	}
+	out := make([]SummaryRow, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, SummaryRow{SwitchID: k.sw, Type: k.t, Events: n, Flows: len(flowSets[k])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SwitchID != out[j].SwitchID {
+			return out[i].SwitchID < out[j].SwitchID
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// PathHop is one switch a flow was observed traversing.
+type PathHop struct {
+	SwitchID uint16
+	In, Out  uint8
+	At       sim.Time
+}
+
+// PathOf reconstructs a flow's most recent path from its path-change
+// events, ordered by observation time — the "unknown flow paths" gap
+// operators hit in the paper's case #1. For each switch the latest
+// observation wins.
+func (s *Store) PathOf(flow pkt.FlowKey) []PathHop {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	latest := make(map[uint16]PathHop)
+	for _, i := range s.byFlow[flow] {
+		e := &s.events[i]
+		if e.Type != fevent.TypePathChange {
+			continue
+		}
+		if prev, ok := latest[e.SwitchID]; !ok || e.Timestamp >= prev.At {
+			latest[e.SwitchID] = PathHop{
+				SwitchID: e.SwitchID, In: e.IngressPort, Out: e.EgressPort, At: e.Timestamp,
+			}
+		}
+	}
+	out := make([]PathHop, 0, len(latest))
+	for _, h := range latest {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].SwitchID < out[j].SwitchID
+	})
+	return out
+}
+
+// LatencyHistogram aggregates the queue-latency (µs) of stored congestion
+// events into a log-bucketed histogram, optionally restricted to one
+// switch (nil = all).
+func (s *Store) LatencyHistogram(switchID *uint16) *metrics.Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := metrics.NewHistogram()
+	for _, i := range s.byType[fevent.TypeCongestion] {
+		e := &s.events[i]
+		if switchID != nil && e.SwitchID != *switchID {
+			continue
+		}
+		h.Observe(float64(e.QueueLatencyUs))
+	}
+	return h
+}
+
+// Reset clears the store.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = nil
+	s.byFlow = make(map[pkt.FlowKey][]int)
+	s.bySwitch = make(map[uint16][]int)
+	s.byType = make(map[fevent.Type][]int)
+}

@@ -1,0 +1,294 @@
+// Package core implements NetSeer itself: the flow event telemetry
+// extension that attaches to a dataplane.Switch (and, via internal/nic, to
+// host NICs) and performs the paper's four-step pipeline entirely "in the
+// data plane":
+//
+//	Step 1  event packet detection      (§3.3)  — pipeline/MMU/inter-switch
+//	        drops, congestion, path change, pause
+//	Step 2  event deduplication         (§3.4)  — group caching tables
+//	Step 3  extraction & batching       (§3.4/5) — 24-byte records, CEBPs
+//	Step 4  false-positive elimination  (§3.6)  — switch CPU, then reliable
+//	        delivery to the backend
+//
+// Hardware capacity limits are modeled faithfully: MMU-drop redirection is
+// bounded (~40 Gb/s), ingress-side event redirection shares the internal
+// port (~100 Gb/s), and the inter-switch ring buffer can only recover what
+// it still holds. Events beyond those budgets are lost and counted, which
+// is exactly the coverage cliff §4 describes.
+package core
+
+import (
+	"netseer/internal/batcher"
+	"netseer/internal/dataplane"
+	"netseer/internal/fevent"
+	"netseer/internal/fpelim"
+	"netseer/internal/groupcache"
+	"netseer/internal/pkt"
+	"netseer/internal/ringbuf"
+	"netseer/internal/seqtrack"
+	"netseer/internal/sim"
+)
+
+// EventSink receives the batches that survive false-positive elimination.
+// Implementations: collector.Store (in-process), collector.Client (TCP).
+type EventSink interface {
+	Deliver(b *fevent.Batch)
+}
+
+// Config parameterizes NetSeer on one switch. Zero fields take defaults.
+type Config struct {
+	// CongestionThreshold marks a packet congested when its queuing delay
+	// meets it (default: the switch's own threshold should be passed in;
+	// fallback 10 µs).
+	CongestionThreshold sim.Time
+
+	// GroupSlots and GroupC size the per-event-type group caching tables
+	// (defaults 4096 slots, C=128).
+	GroupSlots int
+	GroupC     uint16
+
+	// PathSlots and PathExpiry size the path-change flow table (defaults
+	// 8192 slots, 10 ms expiry).
+	PathSlots  int
+	PathExpiry sim.Time
+
+	// RingSlots is the per-port inter-switch ring buffer size (default
+	// 1024 — the paper's 1,000-consecutive-drop sizing).
+	RingSlots int
+	// DisableSeq turns off inter-switch detection entirely (ablation).
+	DisableSeq bool
+
+	// Batch configures the CEBP batcher; SwitchID is filled automatically.
+	Batch batcher.Config
+
+	// MMURedirectBps bounds the MMU→internal-port drop redirection
+	// (default 40 Gb/s, §4).
+	MMURedirectBps float64
+	// InternalPortBps bounds ingress-event redirection: pause + pipeline
+	// drop + MMU drop share it (default 100 Gb/s, §4).
+	InternalPortBps float64
+
+	// FPElim configures the switch-CPU eliminator.
+	FPElim fpelim.Config
+	// ExportBps paces CPU→backend delivery (default 10 Gb/s).
+	ExportBps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CongestionThreshold <= 0 {
+		c.CongestionThreshold = 10 * sim.Microsecond
+	}
+	if c.GroupSlots <= 0 {
+		c.GroupSlots = groupcache.DefaultSlots
+	}
+	if c.GroupC == 0 {
+		c.GroupC = groupcache.DefaultC
+	}
+	if c.PathSlots <= 0 {
+		c.PathSlots = 8192
+	}
+	if c.PathExpiry <= 0 {
+		c.PathExpiry = 10 * sim.Millisecond
+	}
+	if c.RingSlots <= 0 {
+		c.RingSlots = 1024
+	}
+	if c.MMURedirectBps <= 0 {
+		c.MMURedirectBps = 40e9
+	}
+	if c.InternalPortBps <= 0 {
+		c.InternalPortBps = 100e9
+	}
+	if c.ExportBps <= 0 {
+		c.ExportBps = 10e9
+	}
+	return c
+}
+
+// Stats counts per-step volumes for the Fig. 13 accounting. Bytes at steps
+// 1–2 are packet-sized (the data still travels as packets inside the
+// pipeline); step 3 is 24-byte records; step 4 is encoded export batches.
+type Stats struct {
+	// RawPackets/RawBytes: all data-plane traffic the switch forwarded or
+	// dropped while NetSeer watched.
+	RawPackets, RawBytes uint64
+	// EventPackets/EventBytes: packets selected by Step 1.
+	EventPackets, EventBytes uint64
+	// DedupReports/DedupBytes: flow events emitted by Step 2.
+	DedupReports, DedupBytes uint64
+	// ExtractedBytes: Step 3 output (24 B × reports) before batching.
+	ExtractedBytes uint64
+	// ExportedEvents/ExportedBytes: events and bytes that left the switch
+	// CPU for the backend after Step 4.
+	ExportedEvents, ExportedBytes uint64
+	// SuppressedFPs: duplicate reports removed by the CPU.
+	SuppressedFPs uint64
+
+	// Capacity losses.
+	LostMMURedirect   uint64 // MMU drops beyond the 40 Gb/s redirect
+	LostInternalPort  uint64 // ingress events beyond the internal port
+	LostRingOverwrite uint64 // inter-switch drops unrecoverable from the ring
+	LostStackOverflow uint64 // events lost to a full batcher stack
+
+	// Inter-switch bookkeeping.
+	SeqGapsDetected  uint64 // gap episodes seen by downstream trackers
+	NotifySent       uint64 // notification packets emitted (3× per gap)
+	InterSwitchFound uint64 // victim packets recovered from the ring
+}
+
+// pathEntry is one slot of the path-change flow table.
+type pathEntry struct {
+	used     bool
+	flow     pkt.FlowKey
+	in, out  uint8
+	lastSeen sim.Time
+}
+
+// tokenBucket is a strict capacity model: work beyond the budget is lost,
+// not delayed (hardware redirection has no queue to wait in).
+type tokenBucket struct {
+	bps    float64
+	bits   float64
+	maxBit float64
+	last   sim.Time
+}
+
+func newTokenBucket(bps float64, burstBytes int) *tokenBucket {
+	b := float64(burstBytes * 8)
+	return &tokenBucket{bps: bps, bits: b, maxBit: b}
+}
+
+// tryTake consumes n bytes of budget at time now, reporting success.
+func (t *tokenBucket) tryTake(now sim.Time, n int) bool {
+	if now > t.last {
+		t.bits += (now - t.last).Seconds() * t.bps
+		if t.bits > t.maxBit {
+			t.bits = t.maxBit
+		}
+		t.last = now
+	}
+	bits := float64(n * 8)
+	if t.bits < bits {
+		return false
+	}
+	t.bits -= bits
+	return true
+}
+
+// NetSeerSwitch is the per-switch NetSeer instance. It implements
+// dataplane.Telemetry.
+type NetSeerSwitch struct {
+	sw  *dataplane.Switch
+	cfg Config
+	sim *sim.Simulator
+
+	// Step 2 state.
+	dropTable *groupcache.Table
+	congTable *groupcache.Table
+	pauseTab  *groupcache.Table
+	aclAgg    *groupcache.ACLAggregator
+	pathTable []pathEntry
+
+	// Inter-switch state (per port).
+	nextSeq  []uint32
+	rings    []*ringbuf.Ring
+	trackers []*seqtrack.Tracker
+	seqOn    []bool
+	portCode []fevent.DropCode       // drop code reported for recoveries per port
+	pending  [][]uint32              // per-port packet IDs awaiting ring lookup
+	lastGap  []seqtrack.Notification // last processed notification per port (dedup of 3× copies)
+
+	// Step 3.
+	batcher *batcher.Batcher
+
+	// Step 4.
+	elim   *fpelim.Eliminator
+	pacer  *fpelim.Pacer
+	sink   EventSink
+	outBuf []fevent.Event
+
+	// Capacity models.
+	mmuRedirect  *tokenBucket
+	internalPort *tokenBucket
+
+	stats Stats
+}
+
+// Attach creates a NetSeer instance on sw, delivering surviving events to
+// sink, and installs it as the switch's telemetry extension.
+func Attach(sw *dataplane.Switch, cfg Config, sink EventSink) *NetSeerSwitch {
+	if sink == nil {
+		panic("core: sink must not be nil")
+	}
+	cfg = cfg.withDefaults()
+	n := &NetSeerSwitch{
+		sw: sw, cfg: cfg, sim: sw.Sim(), sink: sink,
+		pathTable:    make([]pathEntry, cfg.PathSlots),
+		mmuRedirect:  newTokenBucket(cfg.MMURedirectBps, 256<<10),
+		internalPort: newTokenBucket(cfg.InternalPortBps, 512<<10),
+	}
+	n.dropTable = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)
+	n.congTable = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)
+	n.pauseTab = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)
+	n.aclAgg = groupcache.NewACLAggregator(cfg.GroupC, n.onFlowEvent)
+	ports := sw.NumPorts()
+	n.nextSeq = make([]uint32, ports)
+	n.rings = make([]*ringbuf.Ring, ports)
+	n.trackers = make([]*seqtrack.Tracker, ports)
+	n.seqOn = make([]bool, ports)
+	n.pending = make([][]uint32, ports)
+	n.lastGap = make([]seqtrack.Notification, ports)
+	n.portCode = make([]fevent.DropCode, ports)
+	for i := 0; i < ports; i++ {
+		n.rings[i] = ringbuf.New(cfg.RingSlots)
+		n.trackers[i] = seqtrack.New()
+		n.seqOn[i] = !cfg.DisableSeq
+		n.portCode[i] = fevent.DropInterSwitch
+	}
+	bcfg := cfg.Batch
+	bcfg.SwitchID = sw.ID
+	if bcfg.InternalPortBps <= 0 {
+		bcfg.InternalPortBps = cfg.InternalPortBps
+	}
+	n.batcher = batcher.New(sw.Sim(), bcfg, n.onBatch)
+	n.elim = fpelim.New(cfg.FPElim, sw.Sim().Now)
+	n.pacer = fpelim.NewPacer(cfg.ExportBps, 1<<20)
+	sw.SetTelemetry(n)
+	return n
+}
+
+// Switch returns the underlying dataplane switch.
+func (n *NetSeerSwitch) Switch() *dataplane.Switch { return n.sw }
+
+// Stats returns a copy of the per-step accounting.
+func (n *NetSeerSwitch) Stats() Stats {
+	s := n.stats
+	_, overflow, _, _, _ := n.batcher.Stats()
+	s.LostStackOverflow = overflow
+	return s
+}
+
+// SetSeqEnabled toggles inter-switch detection on one port (partial
+// deployment; host-facing ports without capable NICs).
+func (n *NetSeerSwitch) SetSeqEnabled(port int, on bool) { n.seqOn[port] = on }
+
+// MarkInterCard marks a port as a backplane link between the boards of a
+// multi-board switch: ring-buffer recoveries on it report DropInterCard
+// instead of DropInterSwitch (§3.3: "in multi-board switches, we use a
+// similar idea to detect inter-card packet drop").
+func (n *NetSeerSwitch) MarkInterCard(port int) { n.portCode[port] = fevent.DropInterCard }
+
+// Flush drains every table, the batcher, and the export path; call at the
+// end of a simulation so final counters reach the sink.
+func (n *NetSeerSwitch) Flush() {
+	n.drainPendingLookups()
+	n.dropTable.Flush()
+	n.congTable.Flush()
+	n.pauseTab.Flush()
+	n.aclAgg.Flush()
+	n.batcher.Flush()
+	n.exportNow()
+}
+
+// Stop halts CEBP circulation so a simulation can drain its queue.
+func (n *NetSeerSwitch) Stop() { n.batcher.Stop() }

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/seqtrack"
+	"netseer/internal/sim"
+)
+
+// This file implements dataplane.Telemetry: Step 1, event packet
+// detection, feeding Step 2's group caching tables.
+
+// IngressData handles the inter-switch sequence machinery on arrival:
+// strip the packet-ID tag and detect gaps (§3.3, steps 3–4 of Fig. 5).
+func (n *NetSeerSwitch) IngressData(p *pkt.Packet, port int) {
+	n.stats.RawPackets++
+	n.stats.RawBytes += uint64(p.WireLen)
+	if !p.HasSeqTag || !n.seqOn[port] {
+		return
+	}
+	id := p.SeqTag
+	p.HasSeqTag = false
+	p.SeqTag = 0
+	p.WireLen -= pkt.NetSeerTagLen
+	if notif := n.trackers[port].Observe(id); notif != nil {
+		n.stats.SeqGapsDetected++
+		n.sendLossNotify(port, *notif)
+	}
+}
+
+// sendLossNotify emits three redundant copies of the gap notification back
+// upstream on a high-priority path (§3.3 step 4).
+func (n *NetSeerSwitch) sendLossNotify(port int, notif seqtrack.Notification) {
+	payload := notif.AppendTo(nil)
+	for i := 0; i < seqtrack.NotifyCopies; i++ {
+		p := &pkt.Packet{
+			Kind:     pkt.KindLossNotify,
+			WireLen:  pkt.MinEthernetFrame,
+			Priority: 7,
+			Payload:  payload,
+		}
+		n.sw.SendFromPort(port, p)
+		n.stats.NotifySent++
+	}
+}
+
+// HandleLossNotify is the upstream side (§3.3 step 5): resolve the missing
+// interval against the ring buffer. The three redundant copies are
+// deduplicated; the hardware cannot loop in a stage, so resolution is
+// paced — each arriving copy and each subsequent egress packet on the port
+// triggers one lookup.
+func (n *NetSeerSwitch) HandleLossNotify(p *pkt.Packet, port int) {
+	notif, err := seqtrack.DecodeNotification(p.Payload)
+	if err != nil {
+		return
+	}
+	if n.lastGap[port] == notif {
+		return // redundant copy of an already-queued notification
+	}
+	n.lastGap[port] = notif
+	count := notif.Count()
+	// Intervals longer than the ring are partly unrecoverable by
+	// construction; only queue what could still be resident.
+	if count > uint32(n.cfg.RingSlots) {
+		n.stats.LostRingOverwrite += uint64(count - uint32(n.cfg.RingSlots))
+		notif.FromID += count - uint32(n.cfg.RingSlots)
+		count = uint32(n.cfg.RingSlots)
+	}
+	for id := notif.FromID; ; id++ {
+		n.pending[port] = append(n.pending[port], id)
+		if id == notif.ToID {
+			break
+		}
+	}
+	// The notification packet itself triggers one lookup (×1 per copy;
+	// the two duplicate copies were filtered above, so trigger 3 here to
+	// model all copies arriving on the high-priority queue).
+	for i := 0; i < seqtrack.NotifyCopies; i++ {
+		n.triggerLookup(port)
+	}
+}
+
+// triggerLookup performs at most one ring lookup for the oldest pending
+// missing ID on the port.
+func (n *NetSeerSwitch) triggerLookup(port int) {
+	q := n.pending[port]
+	if len(q) == 0 {
+		return
+	}
+	id := q[0]
+	n.pending[port] = q[1:]
+	e, ok := n.rings[port].Lookup(id)
+	if !ok {
+		// Overwritten: detected but unattributable. Never guess (§3.3).
+		n.stats.LostRingOverwrite++
+		return
+	}
+	n.stats.InterSwitchFound++
+	ev := fevent.Event{
+		Type:       fevent.TypeDrop,
+		Flow:       e.Flow,
+		EgressPort: uint8(port),
+		DropCode:   n.portCode[port],
+		Hash:       e.Flow.Hash(),
+	}
+	n.offerEventPacket(&ev, int(e.WireLen))
+}
+
+// drainPendingLookups resolves all outstanding lookups (end of run).
+func (n *NetSeerSwitch) drainPendingLookups() {
+	for port := range n.pending {
+		for len(n.pending[port]) > 0 {
+			n.triggerLookup(port)
+		}
+	}
+}
+
+// PipelineForward performs path-change learning and the paused-queue check
+// for every forwarded packet.
+func (n *NetSeerSwitch) PipelineForward(p *pkt.Packet, inPort, outPort, queue int, queuePaused bool) {
+	if p.Kind == pkt.KindData || p.Kind == pkt.KindProbe {
+		n.detectPathChange(p, inPort, outPort)
+	}
+	if queuePaused {
+		ev := fevent.Event{
+			Type:       fevent.TypePause,
+			Flow:       p.Flow,
+			EgressPort: uint8(outPort),
+			Queue:      uint8(queue),
+			Hash:       p.Flow.Hash(),
+		}
+		// Pause events share the internal port budget.
+		if !n.internalPort.tryTake(n.sim.Now(), p.WireLen) {
+			n.stats.LostInternalPort++
+			return
+		}
+		n.statEventPacket(p.WireLen)
+		n.pauseTab.Offer(&ev)
+	}
+}
+
+// detectPathChange consults the flow path table: a new flow, a changed
+// (in, out) pair, or an expired entry re-reports the flow's path (§3.3).
+func (n *NetSeerSwitch) detectPathChange(p *pkt.Packet, inPort, outPort int) {
+	now := n.sim.Now()
+	idx := int(p.Flow.Hash() % uint32(len(n.pathTable)))
+	e := &n.pathTable[idx]
+	same := e.used && e.flow == p.Flow &&
+		e.in == uint8(inPort) && e.out == uint8(outPort) &&
+		now-e.lastSeen <= n.cfg.PathExpiry
+	if same {
+		e.lastSeen = now
+		return
+	}
+	e.used = true
+	e.flow = p.Flow
+	e.in = uint8(inPort)
+	e.out = uint8(outPort)
+	e.lastSeen = now
+	ev := fevent.Event{
+		Type:        fevent.TypePathChange,
+		Flow:        p.Flow,
+		IngressPort: uint8(inPort),
+		EgressPort:  uint8(outPort),
+		Count:       1,
+		Hash:        p.Flow.Hash(),
+	}
+	// Path change is flow-level by nature: it bypasses group caching and
+	// goes straight to extraction.
+	n.statEventPacket(p.WireLen)
+	n.onFlowEvent(&ev)
+}
+
+// OnPipelineDrop selects dropped packets as event packets (Fig. 4 rows).
+func (n *NetSeerSwitch) OnPipelineDrop(p *pkt.Packet, inPort int, code fevent.DropCode, aclRule int) {
+	// Redirected events from the ingress pipeline share the internal port.
+	if !n.internalPort.tryTake(n.sim.Now(), p.WireLen) {
+		n.stats.LostInternalPort++
+		return
+	}
+	n.statEventPacket(p.WireLen)
+	ev := fevent.Event{
+		Type:        fevent.TypeDrop,
+		Flow:        p.Flow,
+		IngressPort: uint8(inPort),
+		DropCode:    code,
+		Hash:        p.Flow.Hash(),
+	}
+	if code == fevent.DropACLDeny {
+		// Aggregated per rule, not per flow (§3.4).
+		ev.ACLRule = uint8(aclRule)
+		n.aclAgg.Offer(uint8(aclRule), &ev)
+		return
+	}
+	n.dropTable.Offer(&ev)
+}
+
+// OnMMUDrop selects congestion-dropped packets, bounded by the MMU's
+// redirect capacity (§4: ~40 Gb/s).
+func (n *NetSeerSwitch) OnMMUDrop(p *pkt.Packet, inPort, outPort, queue int) {
+	now := n.sim.Now()
+	if !n.mmuRedirect.tryTake(now, p.WireLen) {
+		n.stats.LostMMURedirect++
+		return
+	}
+	if !n.internalPort.tryTake(now, p.WireLen) {
+		n.stats.LostInternalPort++
+		return
+	}
+	n.statEventPacket(p.WireLen)
+	ev := fevent.Event{
+		Type:        fevent.TypeDrop,
+		Flow:        p.Flow,
+		IngressPort: uint8(inPort),
+		EgressPort:  uint8(outPort),
+		DropCode:    fevent.DropMMUCongestion,
+		Hash:        p.Flow.Hash(),
+	}
+	n.dropTable.Offer(&ev)
+}
+
+// OnDequeue selects congested packets by queuing delay (§3.3): runs at
+// line rate in egress, no capacity cap.
+func (n *NetSeerSwitch) OnDequeue(p *pkt.Packet, outPort, queue int, qdelay sim.Time) {
+	if p.Kind != pkt.KindData && p.Kind != pkt.KindProbe {
+		return
+	}
+	if qdelay < n.cfg.CongestionThreshold {
+		return
+	}
+	us := qdelay / sim.Microsecond
+	if us > 0xffff {
+		us = 0xffff
+	}
+	n.statEventPacket(p.WireLen)
+	ev := fevent.Event{
+		Type:           fevent.TypeCongestion,
+		Flow:           p.Flow,
+		EgressPort:     uint8(outPort),
+		Queue:          uint8(queue),
+		QueueLatencyUs: uint16(us),
+		Hash:           p.Flow.Hash(),
+	}
+	n.congTable.Offer(&ev)
+}
+
+// EgressData numbers and records outgoing packets (§3.3, steps 1–2 of
+// Fig. 5) and paces pending inter-switch lookups (one per subsequent
+// packet, since the hardware cannot loop within a stage).
+func (n *NetSeerSwitch) EgressData(p *pkt.Packet, outPort int) {
+	n.triggerLookup(outPort)
+	if !n.seqOn[outPort] {
+		return
+	}
+	if p.Kind != pkt.KindData && p.Kind != pkt.KindProbe {
+		return
+	}
+	id := n.nextSeq[outPort]
+	n.nextSeq[outPort]++
+	p.SeqTag = id
+	p.HasSeqTag = true
+	p.WireLen += pkt.NetSeerTagLen
+	n.rings[outPort].Record(id, p.Flow, p.WireLen)
+}
+
+// OnCorruptFrame notes a MAC-level discard; the flow recovery happens via
+// the seq gap the discard creates.
+func (n *NetSeerSwitch) OnCorruptFrame(port int) {}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"netseer/internal/fevent"
+)
+
+// This file implements Steps 2→4 plumbing: group-cache report handling,
+// extraction into 24-byte records, CEBP batch delivery to the switch CPU,
+// false-positive elimination, pacing and export.
+
+// statEventPacket accounts one Step-1 selected event packet.
+func (n *NetSeerSwitch) statEventPacket(wireLen int) {
+	n.stats.EventPackets++
+	n.stats.EventBytes += uint64(wireLen)
+}
+
+// offerEventPacket accounts and feeds a drop event packet recovered from
+// the ring buffer.
+func (n *NetSeerSwitch) offerEventPacket(ev *fevent.Event, wireLen int) {
+	n.statEventPacket(wireLen)
+	n.dropTable.Offer(ev)
+}
+
+// onFlowEvent receives Step-2 output (deduplicated flow events) and runs
+// Step 3: extraction to the 24-byte record and a push onto the CEBP stack.
+func (n *NetSeerSwitch) onFlowEvent(e *fevent.Event) {
+	e.SwitchID = n.sw.ID
+	e.Timestamp = n.sim.Now()
+	n.stats.DedupReports++
+	// Until extraction, the event still occupies a packet inside the
+	// pipeline; account the average event-packet size for the Fig. 13
+	// step-2 volume.
+	if n.stats.EventPackets > 0 {
+		n.stats.DedupBytes += n.stats.EventBytes / n.stats.EventPackets
+	}
+	n.stats.ExtractedBytes += fevent.RecordLen
+	n.batcher.Push(e)
+}
+
+// onBatch receives a flushed CEBP at the switch CPU: Step 4.
+func (n *NetSeerSwitch) onBatch(b *fevent.Batch) {
+	for i := range b.Events {
+		ev := &b.Events[i]
+		if !n.elim.Offer(ev) {
+			n.stats.SuppressedFPs++
+			continue
+		}
+		n.outBuf = append(n.outBuf, *ev)
+		if len(n.outBuf) >= fevent.DefaultBatchSize {
+			n.exportNow()
+		}
+	}
+}
+
+// exportNow flushes the CPU's outgoing buffer to the sink, paced.
+func (n *NetSeerSwitch) exportNow() {
+	if len(n.outBuf) == 0 {
+		return
+	}
+	events := n.outBuf
+	n.outBuf = nil
+	batch := &fevent.Batch{
+		SwitchID:  n.sw.ID,
+		Timestamp: n.sim.Now(),
+		Events:    events,
+	}
+	size := batch.EncodedLen()
+	n.stats.ExportedEvents += uint64(len(events))
+	n.stats.ExportedBytes += uint64(size)
+	delay := n.pacer.Admit(n.sim.Now(), size)
+	if delay <= 0 {
+		n.sink.Deliver(batch)
+		return
+	}
+	n.sim.Schedule(delay, func() { n.sink.Deliver(batch) })
+}

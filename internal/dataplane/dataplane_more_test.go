@@ -1,0 +1,279 @@
+package dataplane
+
+import (
+	"testing"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+	"netseer/internal/topo"
+)
+
+// Additional switch-model tests: MMU accounting, strict priority, ECMP
+// distribution, ACL matching breadth, and fabric wiring invariants.
+
+func TestMMUAccountingConserved(t *testing.T) {
+	r := newLineRig(t, Config{})
+	for i := 0; i < 50; i++ {
+		r.sendAB(1000, 64, 0)
+	}
+	r.sim.RunAll()
+	if r.sw0.MMUUsed() != 0 {
+		t.Errorf("sw0 MMU = %d bytes after drain, want 0", r.sw0.MMUUsed())
+	}
+	if r.sw1.MMUUsed() != 0 {
+		t.Errorf("sw1 MMU = %d bytes after drain, want 0", r.sw1.MMUUsed())
+	}
+	if len(r.b.got) != 50 {
+		t.Errorf("delivered %d of 50", len(r.b.got))
+	}
+}
+
+func TestSharedMMULimit(t *testing.T) {
+	// MMU smaller than a queue limit: the shared pool binds first.
+	r := newLineRig(t, Config{MMUBytes: 4000, QueueLimitBytes: 1 << 20})
+	for i := 0; i < 10; i++ {
+		r.sendAB(1400, 64, 0)
+	}
+	r.sim.RunAll()
+	if len(r.gt.Drops) == 0 {
+		t.Error("no drops despite 14 kB burst into a 4 kB MMU")
+	}
+	if r.sw0.MMUUsed() != 0 {
+		t.Errorf("MMU bytes leaked: %d", r.sw0.MMUUsed())
+	}
+}
+
+func TestStrictPriorityScheduling(t *testing.T) {
+	// Fill the egress with low-priority packets, then one high-priority:
+	// the high one overtakes everything still queued.
+	r := newLineRig(t, Config{})
+	for i := 0; i < 30; i++ {
+		r.sendAB(1400, 64, 0) // priority 0
+	}
+	r.sendAB(100, 64, 7)
+	r.sim.RunAll()
+	if len(r.b.got) != 31 {
+		t.Fatalf("delivered %d of 31", len(r.b.got))
+	}
+	// The priority-7 packet must not be the last arrival.
+	last := r.b.got[len(r.b.got)-1]
+	if last.Priority == 7 {
+		t.Error("high-priority packet delivered last — strict priority broken")
+	}
+	// It should arrive well before most low-priority packets.
+	pos := -1
+	for i, p := range r.b.got {
+		if p.Priority == 7 {
+			pos = i
+		}
+	}
+	if pos > 15 {
+		t.Errorf("priority-7 packet arrived at position %d of 31", pos)
+	}
+}
+
+func TestECMPFlowDistributionAcrossFabric(t *testing.T) {
+	// Many flows from one pod to another spread across both cores.
+	s := sim.New()
+	tp := topo.Testbed()
+	routes := topo.BuildRoutes(tp)
+	gt := NewGroundTruth()
+	fab := BuildFabric(s, tp, routes, Config{}, gt, 1)
+	hosts := tp.Hosts()
+	var srcs, dsts []topo.Node
+	for _, h := range hosts {
+		if h.Pod == 0 {
+			srcs = append(srcs, h)
+		} else {
+			dsts = append(dsts, h)
+		}
+	}
+	stub := &hostStub{}
+	for _, h := range hosts {
+		fab.AttachHost(h.ID, stub)
+	}
+	var id uint64
+	for i := 0; i < 64; i++ {
+		src := srcs[i%len(srcs)]
+		dst := dsts[i%len(dsts)]
+		flow := pkt.FlowKey{SrcIP: src.IP, DstIP: dst.IP, SrcPort: uint16(1000 + i), DstPort: 80, Proto: pkt.ProtoTCP}
+		id++
+		at := fab.HostPorts[src.ID][0]
+		at.Link.Send(at.FromA, &pkt.Packet{ID: id, Kind: pkt.KindData, Flow: flow, WireLen: 200, TTL: 64})
+	}
+	s.RunAll()
+	c0, _ := tp.NodeByName("core0")
+	c1, _ := tp.NodeByName("core1")
+	f0 := fab.Switches[c0.ID].Forwarded()
+	f1 := fab.Switches[c1.ID].Forwarded()
+	if f0 == 0 || f1 == 0 {
+		t.Errorf("cores used unevenly: core0=%d core1=%d — ECMP polarized", f0, f1)
+	}
+}
+
+func TestACLRuleMatching(t *testing.T) {
+	cases := []struct {
+		name string
+		rule ACLRule
+		flow pkt.FlowKey
+		want bool
+	}{
+		{"wildcard matches anything", ACLRule{}, pkt.FlowKey{SrcIP: 1, DstIP: 2}, true},
+		{"src prefix hit",
+			ACLRule{SrcIP: pkt.IP(10, 0, 0, 0), SrcMask: 0xffffff00},
+			pkt.FlowKey{SrcIP: pkt.IP(10, 0, 0, 42)}, true},
+		{"src prefix miss",
+			ACLRule{SrcIP: pkt.IP(10, 0, 0, 0), SrcMask: 0xffffff00},
+			pkt.FlowKey{SrcIP: pkt.IP(10, 0, 1, 42)}, false},
+		{"dst port exact hit",
+			ACLRule{MatchDstPort: true, DstPort: 80},
+			pkt.FlowKey{DstPort: 80}, true},
+		{"dst port exact miss",
+			ACLRule{MatchDstPort: true, DstPort: 80},
+			pkt.FlowKey{DstPort: 81}, false},
+		{"src port exact",
+			ACLRule{MatchSrcPort: true, SrcPort: 0},
+			pkt.FlowKey{SrcPort: 0}, true},
+		{"proto hit",
+			ACLRule{MatchProto: true, Proto: pkt.ProtoTCP},
+			pkt.FlowKey{Proto: pkt.ProtoTCP}, true},
+		{"proto miss",
+			ACLRule{MatchProto: true, Proto: pkt.ProtoTCP},
+			pkt.FlowKey{Proto: pkt.ProtoUDP}, false},
+	}
+	for _, c := range cases {
+		if got := c.rule.Matches(c.flow); got != c.want {
+			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestACLTableOrderAndClear(t *testing.T) {
+	var tbl ACLTable
+	tbl.Add(ACLRule{ID: 1, Action: ACLDeny, MatchDstPort: true, DstPort: 80})
+	tbl.Add(ACLRule{ID: 2, Action: ACLPermit})
+	if r := tbl.Lookup(pkt.FlowKey{DstPort: 80}); r == nil || r.ID != 1 {
+		t.Error("first-match lookup failed")
+	}
+	if r := tbl.Lookup(pkt.FlowKey{DstPort: 81}); r == nil || r.ID != 2 {
+		t.Error("fallthrough lookup failed")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	tbl.Clear()
+	if tbl.Len() != 0 || tbl.Lookup(pkt.FlowKey{}) != nil {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestFabricPortNumberingMatchesTopo(t *testing.T) {
+	s := sim.New()
+	tp := topo.Testbed()
+	routes := topo.BuildRoutes(tp)
+	fab := BuildFabric(s, tp, routes, Config{}, NewGroundTruth(), 1)
+	for _, node := range tp.Switches() {
+		sw := fab.Switches[node.ID]
+		if sw.NumPorts() != len(tp.Ports(node.ID)) {
+			t.Errorf("%s: %d switch ports vs %d topo ports", node.Name, sw.NumPorts(), len(tp.Ports(node.ID)))
+		}
+	}
+}
+
+func TestLinkBetweenLookups(t *testing.T) {
+	s := sim.New()
+	tp := topo.Testbed()
+	routes := topo.BuildRoutes(tp)
+	fab := BuildFabric(s, tp, routes, Config{}, NewGroundTruth(), 1)
+	if fab.LinkBetween("agg0-0", "core0") == nil {
+		t.Error("existing link not found")
+	}
+	if fab.LinkBetween("core0", "agg0-0") == nil {
+		t.Error("reverse order lookup failed")
+	}
+	if fab.LinkBetween("core0", "core1") != nil {
+		t.Error("nonexistent link found")
+	}
+	if fab.LinkBetween("nope", "core0") != nil {
+		t.Error("unknown node matched")
+	}
+}
+
+func TestGroundTruthDisabled(t *testing.T) {
+	r := newLineRig(t, Config{})
+	r.gt.Enabled = false
+	r.sendAB(100, 1, 0) // TTL drop
+	r.sim.RunAll()
+	if len(r.gt.Drops) != 0 {
+		t.Error("disabled ledger recorded drops")
+	}
+}
+
+func TestControlFramesBypassDataQueues(t *testing.T) {
+	// SendFromPort control traffic is not blocked by a paused data queue.
+	r := newLineRig(t, Config{LosslessMask: 1})
+	l := r.fab.LinkBetween("sw0", "sw1")
+	l.Send(false, &pkt.Packet{Kind: pkt.KindPFC, WireLen: 64, PFC: pkt.Pause(0, 0xffff)})
+	r.sim.Run(10 * sim.Microsecond)
+	r.sw0.SendFromPort(0, &pkt.Packet{Kind: pkt.KindLossNotify, WireLen: 64, Payload: []byte{0, 0, 0, 1, 0, 0, 0, 2}})
+	r.sim.Run(20 * sim.Microsecond)
+	// The notify reached sw1 (counted as RX) despite the paused queue.
+	if r.sw1.Counters(0).RxPackets == 0 {
+		t.Error("control frame blocked by paused data queue")
+	}
+}
+
+func TestASICFailureBypassesTelemetryButAlerts(t *testing.T) {
+	r := newLineRig(t, Config{})
+	var alerts []SyslogAlert
+	r.sw0.OnSyslog(func(a SyslogAlert) { alerts = append(alerts, a) })
+	r.sw0.InjectASICFailure()
+	m := &countingMonitor{}
+	r.sw0.AddMonitor(m)
+	r.sendAB(100, 64, 0)
+	r.sim.RunAll()
+	if len(r.b.got) != 0 {
+		t.Fatal("packet traversed a failed ASIC")
+	}
+	if len(alerts) != 1 || alerts[0].SwitchID != r.sw0.ID {
+		t.Fatalf("syslog alerts = %+v", alerts)
+	}
+	// The pipeline is broken: no drop hook fired (NetSeer cannot cover
+	// this class — §3.7), but ground truth records it.
+	if m.drops != 0 {
+		t.Error("monitor saw a drop from a dead ASIC")
+	}
+	if len(r.gt.Drops) != 1 || r.gt.Drops[0].Code != fevent.DropASICFailure {
+		t.Errorf("ground truth = %+v", r.gt.Drops)
+	}
+	r.sw0.RepairHardware()
+	r.sendAB(100, 64, 0)
+	r.sim.RunAll()
+	if len(r.b.got) != 1 {
+		t.Error("repaired switch still dropping")
+	}
+}
+
+func TestMMUFailureDropsInvisibly(t *testing.T) {
+	r := newLineRig(t, Config{})
+	var alerts []SyslogAlert
+	r.sw0.OnSyslog(func(a SyslogAlert) { alerts = append(alerts, a) })
+	r.sw0.InjectMMUFailure()
+	m := &countingMonitor{}
+	r.sw0.AddMonitor(m)
+	r.sendAB(100, 64, 0)
+	r.sim.RunAll()
+	if len(r.b.got) != 0 {
+		t.Fatal("packet traversed a failed MMU")
+	}
+	if m.drops != 0 {
+		t.Error("monitor saw an MMU-failure drop")
+	}
+	if len(alerts) != 1 {
+		t.Errorf("alerts = %d", len(alerts))
+	}
+	if len(r.gt.Drops) != 1 || r.gt.Drops[0].Code != fevent.DropMMUFailure {
+		t.Errorf("ground truth = %+v", r.gt.Drops)
+	}
+}

@@ -1,0 +1,180 @@
+package dataplane
+
+import (
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// GroundTruth is the omniscient ledger the simulator keeps of every event
+// that actually happened in the fabric, regardless of what any monitor
+// observed. Coverage experiments compare a monitor's detections against
+// it.
+type GroundTruth struct {
+	// Enabled gates recording; disable for pure-throughput benchmarks.
+	Enabled bool
+
+	Drops       []GTDrop
+	Congestion  []GTCongestion
+	PathChanges []GTPathChange
+	Pauses      []GTPause
+
+	// pathSeen tracks (switch, flow) → (in, out) for path-change ground
+	// truth.
+	pathSeen map[gtPathKey]gtPorts
+}
+
+// GTDrop is one actually-dropped packet.
+type GTDrop struct {
+	At       sim.Time
+	SwitchID uint16
+	Flow     pkt.FlowKey
+	PktID    uint64
+	Code     fevent.DropCode
+	ACLRule  uint8
+}
+
+// GTCongestion is one packet that experienced queuing delay above the
+// congestion threshold.
+type GTCongestion struct {
+	At       sim.Time
+	SwitchID uint16
+	Flow     pkt.FlowKey
+	Port     uint8
+	Queue    uint8
+	QDelay   sim.Time
+}
+
+// GTPathChange is a flow appearing at a switch for the first time or with
+// a changed (ingress, egress) port pair. Changed distinguishes a genuine
+// mid-flow re-path (true) from the flow's first appearance (false).
+type GTPathChange struct {
+	At       sim.Time
+	SwitchID uint16
+	Flow     pkt.FlowKey
+	In, Out  uint8
+	Changed  bool
+}
+
+// GTPause is one packet that arrived for a PFC-paused queue.
+type GTPause struct {
+	At       sim.Time
+	SwitchID uint16
+	Flow     pkt.FlowKey
+	Port     uint8
+	Queue    uint8
+}
+
+type gtPathKey struct {
+	sw   uint16
+	flow pkt.FlowKey
+}
+
+type gtPorts struct{ in, out uint8 }
+
+// NewGroundTruth returns an enabled ledger.
+func NewGroundTruth() *GroundTruth {
+	return &GroundTruth{Enabled: true, pathSeen: make(map[gtPathKey]gtPorts)}
+}
+
+func (g *GroundTruth) recordDrop(at sim.Time, sw uint16, p *pkt.Packet, code fevent.DropCode, rule uint8) {
+	if g == nil || !g.Enabled {
+		return
+	}
+	g.Drops = append(g.Drops, GTDrop{At: at, SwitchID: sw, Flow: p.Flow, PktID: p.ID, Code: code, ACLRule: rule})
+}
+
+func (g *GroundTruth) recordCongestion(at sim.Time, sw uint16, p *pkt.Packet, port, queue int, qdelay sim.Time) {
+	if g == nil || !g.Enabled {
+		return
+	}
+	g.Congestion = append(g.Congestion, GTCongestion{
+		At: at, SwitchID: sw, Flow: p.Flow, Port: uint8(port), Queue: uint8(queue), QDelay: qdelay,
+	})
+}
+
+func (g *GroundTruth) recordForward(at sim.Time, sw uint16, p *pkt.Packet, in, out int) {
+	if g == nil || !g.Enabled {
+		return
+	}
+	key := gtPathKey{sw, p.Flow}
+	ports := gtPorts{uint8(in), uint8(out)}
+	prev, seen := g.pathSeen[key]
+	if !seen || prev != ports {
+		g.pathSeen[key] = ports
+		g.PathChanges = append(g.PathChanges, GTPathChange{
+			At: at, SwitchID: sw, Flow: p.Flow, In: ports.in, Out: ports.out,
+			Changed: seen,
+		})
+	}
+}
+
+func (g *GroundTruth) recordPause(at sim.Time, sw uint16, p *pkt.Packet, port, queue int) {
+	if g == nil || !g.Enabled {
+		return
+	}
+	g.Pauses = append(g.Pauses, GTPause{At: at, SwitchID: sw, Flow: p.Flow, Port: uint8(port), Queue: uint8(queue)})
+}
+
+// FlowEventKey is the flow-event identity used when comparing monitor
+// output against ground truth: one (switch, type, flow[, drop code]) is one
+// flow event regardless of how many packets it covered.
+type FlowEventKey struct {
+	SwitchID uint16
+	Type     fevent.Type
+	Flow     pkt.FlowKey
+	Code     fevent.DropCode
+	// In/Out qualify path-change events: detecting a re-path requires
+	// observing the flow on its *new* ports, not merely knowing the flow
+	// exists. Zero for other event types.
+	In, Out uint8
+}
+
+// DropFlowEvents returns the distinct drop flow events in the ledger,
+// optionally filtered by code predicate (nil = all).
+func (g *GroundTruth) DropFlowEvents(filter func(fevent.DropCode) bool) map[FlowEventKey]int {
+	out := make(map[FlowEventKey]int)
+	for _, d := range g.Drops {
+		if filter != nil && !filter(d.Code) {
+			continue
+		}
+		k := FlowEventKey{SwitchID: d.SwitchID, Type: fevent.TypeDrop, Flow: d.Flow, Code: d.Code}
+		out[k]++
+	}
+	return out
+}
+
+// CongestionFlowEvents returns the distinct congestion flow events.
+func (g *GroundTruth) CongestionFlowEvents() map[FlowEventKey]int {
+	out := make(map[FlowEventKey]int)
+	for _, c := range g.Congestion {
+		k := FlowEventKey{SwitchID: c.SwitchID, Type: fevent.TypeCongestion, Flow: c.Flow}
+		out[k]++
+	}
+	return out
+}
+
+// PathChangeFlowEvents returns the distinct path-change flow events,
+// keyed with their ports. changedOnly restricts to genuine mid-flow
+// re-paths (the events Fig. 9 injects), excluding first appearances.
+func (g *GroundTruth) PathChangeFlowEvents(changedOnly bool) map[FlowEventKey]int {
+	out := make(map[FlowEventKey]int)
+	for _, c := range g.PathChanges {
+		if changedOnly && !c.Changed {
+			continue
+		}
+		k := FlowEventKey{SwitchID: c.SwitchID, Type: fevent.TypePathChange, Flow: c.Flow, In: c.In, Out: c.Out}
+		out[k]++
+	}
+	return out
+}
+
+// PauseFlowEvents returns the distinct pause flow events.
+func (g *GroundTruth) PauseFlowEvents() map[FlowEventKey]int {
+	out := make(map[FlowEventKey]int)
+	for _, c := range g.Pauses {
+		k := FlowEventKey{SwitchID: c.SwitchID, Type: fevent.TypePause, Flow: c.Flow}
+		out[k]++
+	}
+	return out
+}

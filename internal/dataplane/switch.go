@@ -1,0 +1,575 @@
+// Package dataplane models a programmable switch at the fidelity NetSeer
+// needs: a parse/ACL/route/TTL ingress pipeline with per-reason drops, an
+// MMU with a shared buffer and per-port/queue tail drop, strict-priority
+// egress queues with PFC, per-port counters (the SNMP surface), fault
+// injection (parity bit flips, down ports, route blackholes), an
+// omniscient ground-truth ledger, and the hook surfaces NetSeer and the
+// baseline monitors attach to.
+package dataplane
+
+import (
+	"fmt"
+
+	"netseer/internal/fevent"
+	"netseer/internal/link"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Config parameterizes a Switch. Zero fields take defaults.
+type Config struct {
+	// Queues is the number of egress queues per port (default 8).
+	Queues int
+	// MMUBytes is the shared packet buffer (default 12 MB, in the range of
+	// a Tofino-class MMU).
+	MMUBytes int
+	// QueueLimitBytes is the per-queue tail-drop threshold (default
+	// 512 KB).
+	QueueLimitBytes int
+	// MTU is the maximum frame the pipeline forwards (default 1518).
+	MTU int
+	// PipelineLatency is the fixed ingress+egress processing time
+	// (default 600 ns).
+	PipelineLatency sim.Time
+	// CongestionThreshold is the queuing delay above which a packet is,
+	// by definition, congested (ground truth and NetSeer use the same
+	// threshold; default 10 µs).
+	CongestionThreshold sim.Time
+	// LosslessMask marks priorities subject to PFC (bit i = priority i).
+	LosslessMask uint8
+	// PFCXoffBytes / PFCXonBytes are the pause and resume thresholds for
+	// lossless queues (defaults 256 KB / 128 KB).
+	PFCXoffBytes int
+	PFCXonBytes  int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 8
+	}
+	if c.MMUBytes <= 0 {
+		c.MMUBytes = 12 << 20
+	}
+	if c.QueueLimitBytes <= 0 {
+		c.QueueLimitBytes = 512 << 10
+	}
+	if c.MTU <= 0 {
+		c.MTU = pkt.MaxEthernetFrame
+	}
+	if c.PipelineLatency <= 0 {
+		c.PipelineLatency = 600 * sim.Nanosecond
+	}
+	if c.CongestionThreshold <= 0 {
+		c.CongestionThreshold = 10 * sim.Microsecond
+	}
+	if c.PFCXoffBytes <= 0 {
+		c.PFCXoffBytes = 256 << 10
+	}
+	if c.PFCXonBytes <= 0 {
+		c.PFCXonBytes = 128 << 10
+	}
+	return c
+}
+
+// RouteFunc returns the equal-cost egress ports toward dstIP (nil = no
+// route).
+type RouteFunc func(dstIP uint32) []int
+
+// PortCounters is the SNMP-visible per-port counter set.
+type PortCounters struct {
+	RxPackets, RxBytes uint64
+	TxPackets, TxBytes uint64
+	// Drops counts drops attributed to this port that ordinary counters
+	// can see (congestion and most pipeline drops; parity-error silent
+	// drops are excluded by definition).
+	Drops uint64
+	// CorruptRx counts frames the MAC discarded (FCS errors): visible.
+	CorruptRx uint64
+}
+
+type queuedPkt struct {
+	p   *pkt.Packet
+	enq sim.Time
+}
+
+type swPort struct {
+	num   int
+	lnk   *link.Link
+	fromA bool // which side of lnk this port transmits from
+	bps   float64
+	mtu   int
+
+	queues  [][]queuedPkt
+	qBytes  []int
+	paused  []bool // egress paused by peer's PFC
+	xoffOut []bool // we have paused the peer (per priority)
+	busy    bool
+	down    bool
+
+	ctr PortCounters
+
+	// pausedSources records upstream ports we paused per priority so
+	// resumes reach them. Keyed by priority → set of ingress port numbers.
+	pausedUpstream []map[int]struct{}
+}
+
+// Switch is one simulated programmable switch.
+type Switch struct {
+	ID   uint16
+	Name string
+
+	sim *sim.Simulator
+	cfg Config
+	gt  *GroundTruth
+
+	ports    []*swPort
+	routes   RouteFunc
+	salt     uint32
+	acl      ACLTable
+	mmuUsed  int
+	tel      Telemetry
+	monitors []Monitor
+
+	// Fault injection.
+	parityVictims map[uint32]bool // dstIPs whose route entry suffered a bit flip
+	routeOverride map[uint32][]int
+	asicFailed    bool
+	mmuFailed     bool
+	// syslog receives self-check alerts (ASIC/MMU failures): the §3.7
+	// precondition — NetSeer cannot cover malfunctioning hardware, the
+	// switch's own detectors must alert.
+	syslog func(SyslogAlert)
+
+	// Totals.
+	dropsByCode map[fevent.DropCode]uint64
+	forwarded   uint64
+}
+
+// NewSwitch creates a switch with no ports; attach ports with AddPort.
+func NewSwitch(s *sim.Simulator, id uint16, name string, cfg Config, routes RouteFunc, gt *GroundTruth) *Switch {
+	if routes == nil {
+		panic("dataplane: routes must not be nil")
+	}
+	return &Switch{
+		ID: id, Name: name, sim: s, cfg: cfg.withDefaults(),
+		routes: routes, salt: uint32(id), gt: gt,
+		parityVictims: make(map[uint32]bool),
+		routeOverride: make(map[uint32][]int),
+		dropsByCode:   make(map[fevent.DropCode]uint64),
+	}
+}
+
+// AddPort attaches the next port number to a link side and returns the
+// port number. bps is the transmit line rate.
+func (sw *Switch) AddPort(l *link.Link, fromA bool, bps float64) int {
+	n := len(sw.ports)
+	p := &swPort{
+		num: n, lnk: l, fromA: fromA, bps: bps, mtu: sw.cfg.MTU,
+		queues:         make([][]queuedPkt, sw.cfg.Queues),
+		qBytes:         make([]int, sw.cfg.Queues),
+		paused:         make([]bool, sw.cfg.Queues),
+		xoffOut:        make([]bool, sw.cfg.Queues),
+		pausedUpstream: make([]map[int]struct{}, sw.cfg.Queues),
+	}
+	for i := range p.pausedUpstream {
+		p.pausedUpstream[i] = make(map[int]struct{})
+	}
+	sw.ports = append(sw.ports, p)
+	return n
+}
+
+// SetTelemetry installs the (single) telemetry extension.
+func (sw *Switch) SetTelemetry(t Telemetry) { sw.tel = t }
+
+// AddMonitor attaches a passive monitor.
+func (sw *Switch) AddMonitor(m Monitor) { sw.monitors = append(sw.monitors, m) }
+
+// ACL exposes the switch's ACL table.
+func (sw *Switch) ACL() *ACLTable { return &sw.acl }
+
+// Sim returns the simulator the switch runs on.
+func (sw *Switch) Sim() *sim.Simulator { return sw.sim }
+
+// Config returns the effective configuration.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// Counters returns a copy of the port's counters.
+func (sw *Switch) Counters(port int) PortCounters { return sw.ports[port].ctr }
+
+// DropsByCode returns a copy of the per-reason drop totals.
+func (sw *Switch) DropsByCode() map[fevent.DropCode]uint64 {
+	out := make(map[fevent.DropCode]uint64, len(sw.dropsByCode))
+	for k, v := range sw.dropsByCode {
+		out[k] = v
+	}
+	return out
+}
+
+// Forwarded returns the count of packets enqueued toward an egress port.
+func (sw *Switch) Forwarded() uint64 { return sw.forwarded }
+
+// SyslogAlert is a switch self-check alert.
+type SyslogAlert struct {
+	At       sim.Time
+	SwitchID uint16
+	Message  string
+}
+
+// OnSyslog registers the syslog alert receiver.
+func (sw *Switch) OnSyslog(fn func(SyslogAlert)) { sw.syslog = fn }
+
+// InjectASICFailure puts the forwarding ASIC into a failed state: every
+// packet is dropped with DropASICFailure, NetSeer's pipeline hooks see
+// nothing (the pipeline itself is broken), and the self-check raises a
+// syslog alert (Fig. 4's "malfunctioning" rows).
+func (sw *Switch) InjectASICFailure() {
+	sw.asicFailed = true
+	if sw.syslog != nil {
+		sw.syslog(SyslogAlert{At: sw.sim.Now(), SwitchID: sw.ID, Message: "ASIC self-check failed"})
+	}
+}
+
+// InjectMMUFailure breaks the MMU: packets can no longer be enqueued.
+// Detected through active probing in production; the self-check alert
+// models the switch's own detection.
+func (sw *Switch) InjectMMUFailure() {
+	sw.mmuFailed = true
+	if sw.syslog != nil {
+		sw.syslog(SyslogAlert{At: sw.sim.Now(), SwitchID: sw.ID, Message: "MMU self-check failed"})
+	}
+}
+
+// RepairHardware clears injected hardware failures.
+func (sw *Switch) RepairHardware() { sw.asicFailed, sw.mmuFailed = false, false }
+
+// InjectParityError flips the routing entry for dstIP: packets toward it
+// are silently dropped (table lookup miss), invisible to port counters —
+// the paper's case #3.
+func (sw *Switch) InjectParityError(dstIP uint32) { sw.parityVictims[dstIP] = true }
+
+// ClearParityError repairs the entry.
+func (sw *Switch) ClearParityError(dstIP uint32) { delete(sw.parityVictims, dstIP) }
+
+// SetRouteOverride forces dstIP to the given egress ports (the paper's
+// case #1: a faulty update installing a wrong route). An empty (non-nil)
+// slice blackholes the destination.
+func (sw *Switch) SetRouteOverride(dstIP uint32, ports []int) {
+	sw.routeOverride[dstIP] = ports
+}
+
+// ClearRouteOverride removes an override.
+func (sw *Switch) ClearRouteOverride(dstIP uint32) { delete(sw.routeOverride, dstIP) }
+
+// SetPortDown marks a port administratively down.
+func (sw *Switch) SetPortDown(port int, down bool) { sw.ports[port].down = down }
+
+// QueueBytes returns the occupancy of an egress queue.
+func (sw *Switch) QueueBytes(port, queue int) int { return sw.ports[port].qBytes[queue] }
+
+// MMUUsed returns the shared-buffer occupancy.
+func (sw *Switch) MMUUsed() int { return sw.mmuUsed }
+
+// Receive implements link.Device: a frame arrives from the wire.
+func (sw *Switch) Receive(p *pkt.Packet, port int) {
+	pt := sw.ports[port]
+	if p.Corrupt {
+		// The MAC drops damaged frames before the pipeline sees them.
+		pt.ctr.CorruptRx++
+		if sw.tel != nil {
+			sw.tel.OnCorruptFrame(port)
+		}
+		// Ground truth was recorded by the link's loss hook at damage
+		// time, attributed to the upstream transmitter.
+		return
+	}
+	pt.ctr.RxPackets++
+	pt.ctr.RxBytes += uint64(p.WireLen)
+	switch p.Kind {
+	case pkt.KindPFC:
+		sw.handlePFC(p, port)
+		return
+	case pkt.KindLossNotify:
+		if sw.tel != nil {
+			sw.tel.HandleLossNotify(p, port)
+		}
+		return
+	}
+	if sw.tel != nil {
+		sw.tel.IngressData(p, port)
+	}
+	for _, m := range sw.monitors {
+		m.OnIngress(sw, p, port)
+	}
+	// Pipeline latency then forwarding decision.
+	sw.sim.Schedule(sw.cfg.PipelineLatency, func() { sw.pipeline(p, port) })
+}
+
+// pipeline is the ingress match-action stage sequence.
+func (sw *Switch) pipeline(p *pkt.Packet, inPort int) {
+	p.IngressAt = sw.sim.Now()
+	p.IngressPort = inPort
+
+	// A failed ASIC destroys packets before any match-action logic runs:
+	// even NetSeer's own detection is gone (§3.7 precondition). Ground
+	// truth still records the loss; only syslog can tell the operator.
+	if sw.asicFailed {
+		sw.dropsByCode[fevent.DropASICFailure]++
+		sw.gt.recordDrop(sw.sim.Now(), sw.ID, p, fevent.DropASICFailure, 0)
+		return
+	}
+
+	// ACL.
+	if rule := sw.acl.Lookup(p.Flow); rule != nil && rule.Action == ACLDeny {
+		sw.drop(p, inPort, -1, fevent.DropACLDeny, rule.ID, true)
+		return
+	}
+	// Routing lookup. A parity bit flip makes the entry unmatchable: the
+	// lookup misses and the drop is silent.
+	if sw.parityVictims[p.Flow.DstIP] {
+		sw.drop(p, inPort, -1, fevent.DropParityError, 0, false)
+		return
+	}
+	hops, overridden := sw.routeOverride[p.Flow.DstIP]
+	if !overridden {
+		hops = sw.routes(p.Flow.DstIP)
+	}
+	if len(hops) == 0 {
+		sw.drop(p, inPort, -1, fevent.DropNoRoute, 0, true)
+		return
+	}
+	// TTL.
+	if p.TTL <= 1 {
+		sw.drop(p, inPort, -1, fevent.DropTTLExpired, 0, true)
+		return
+	}
+	p.TTL--
+	egress, _ := ecmpSelect(hops, p.Flow, sw.salt)
+	pt := sw.ports[egress]
+	if pt.down || pt.lnk.Down() {
+		sw.drop(p, inPort, egress, fevent.DropPortDown, 0, true)
+		return
+	}
+	if p.WireLen > pt.mtu {
+		sw.drop(p, inPort, egress, fevent.DropMTUExceeded, 0, true)
+		return
+	}
+	queue := int(p.Priority) % sw.cfg.Queues
+	paused := pt.paused[queue]
+	if sw.tel != nil {
+		sw.tel.PipelineForward(p, inPort, egress, queue, paused)
+	}
+	sw.gt.recordForward(sw.sim.Now(), sw.ID, p, inPort, egress)
+	if paused {
+		sw.gt.recordPause(sw.sim.Now(), sw.ID, p, egress, queue)
+	}
+	sw.enqueue(p, inPort, egress, queue)
+}
+
+// enqueue admits the packet to the MMU or drops it on congestion.
+func (sw *Switch) enqueue(p *pkt.Packet, inPort, egress, queue int) {
+	pt := sw.ports[egress]
+	if sw.mmuFailed {
+		// Broken MMU: nothing can be buffered; the drop bypasses the
+		// (equally broken) redirect path, so NetSeer sees nothing.
+		sw.dropsByCode[fevent.DropMMUFailure]++
+		sw.gt.recordDrop(sw.sim.Now(), sw.ID, p, fevent.DropMMUFailure, 0)
+		return
+	}
+	if sw.mmuUsed+p.WireLen > sw.cfg.MMUBytes || pt.qBytes[queue]+p.WireLen > sw.cfg.QueueLimitBytes {
+		sw.dropsByCode[fevent.DropMMUCongestion]++
+		pt.ctr.Drops++
+		sw.gt.recordDrop(sw.sim.Now(), sw.ID, p, fevent.DropMMUCongestion, 0)
+		if sw.tel != nil {
+			sw.tel.OnMMUDrop(p, inPort, egress, queue)
+		}
+		for _, m := range sw.monitors {
+			m.OnDrop(sw, p, fevent.DropMMUCongestion, true)
+		}
+		return
+	}
+	sw.forwarded++
+	sw.mmuUsed += p.WireLen
+	pt.qBytes[queue] += p.WireLen
+	p.EnqueuedAt = sw.sim.Now()
+	pt.queues[queue] = append(pt.queues[queue], queuedPkt{p: p, enq: p.EnqueuedAt})
+	// PFC generation: lossless queue crossing Xoff pauses the packet's
+	// upstream ingress port.
+	if sw.losslessQueue(queue) && pt.qBytes[queue] >= sw.cfg.PFCXoffBytes {
+		sw.sendPause(inPort, egress, queue)
+	}
+	sw.kick(egress)
+}
+
+// drop finalizes a pipeline drop. egress is -1 when no egress was chosen.
+// visible controls whether ordinary counters register it.
+func (sw *Switch) drop(p *pkt.Packet, inPort, egress int, code fevent.DropCode, rule uint8, visible bool) {
+	if code == fevent.DropParityError {
+		visible = false
+	}
+	sw.dropsByCode[code]++
+	if visible {
+		sw.ports[inPort].ctr.Drops++
+	}
+	sw.gt.recordDrop(sw.sim.Now(), sw.ID, p, code, rule)
+	if sw.tel != nil {
+		sw.tel.OnPipelineDrop(p, inPort, code, int(rule))
+	}
+	for _, m := range sw.monitors {
+		m.OnDrop(sw, p, code, visible)
+	}
+	_ = egress
+}
+
+func (sw *Switch) losslessQueue(q int) bool {
+	return sw.cfg.LosslessMask&(1<<uint(q)) != 0
+}
+
+// kick starts the port transmitting if idle and work is available.
+func (sw *Switch) kick(port int) {
+	pt := sw.ports[port]
+	if pt.busy {
+		return
+	}
+	q := sw.pickQueue(pt)
+	if q < 0 {
+		return
+	}
+	item := pt.queues[q][0]
+	pt.queues[q] = pt.queues[q][1:]
+	pt.busy = true
+	qdelay := sw.sim.Now() - item.enq
+	ser := sim.Time(float64(item.p.WireLen*8) / pt.bps * 1e9)
+	sw.sim.Schedule(ser, func() {
+		pt.busy = false
+		sw.transmit(pt, item, q, qdelay)
+		sw.kick(port)
+	})
+}
+
+// pickQueue selects the highest-numbered non-empty, non-paused queue
+// (strict priority, 7 high).
+func (sw *Switch) pickQueue(pt *swPort) int {
+	for q := sw.cfg.Queues - 1; q >= 0; q-- {
+		if len(pt.queues[q]) > 0 && !pt.paused[q] {
+			return q
+		}
+	}
+	return -1
+}
+
+// transmit finishes serialization: egress accounting, telemetry, PFC
+// resume, and handing the frame to the link.
+func (sw *Switch) transmit(pt *swPort, item queuedPkt, queue int, qdelay sim.Time) {
+	p := item.p
+	sw.mmuUsed -= p.WireLen
+	pt.qBytes[queue] -= p.WireLen
+	if sw.losslessQueue(queue) && pt.xoffOut[queue] && pt.qBytes[queue] <= sw.cfg.PFCXonBytes {
+		sw.sendResume(pt.num, queue)
+	}
+	if qdelay >= sw.cfg.CongestionThreshold && p.Kind == pkt.KindData {
+		sw.gt.recordCongestion(sw.sim.Now(), sw.ID, p, pt.num, queue, qdelay)
+	}
+	if sw.tel != nil {
+		sw.tel.OnDequeue(p, pt.num, queue, qdelay)
+	}
+	for _, m := range sw.monitors {
+		m.OnDequeue(sw, p, pt.num, queue, qdelay)
+	}
+	if sw.tel != nil {
+		sw.tel.EgressData(p, pt.num)
+	}
+	for _, m := range sw.monitors {
+		m.OnEgress(sw, p, pt.num)
+	}
+	pt.ctr.TxPackets++
+	pt.ctr.TxBytes += uint64(p.WireLen)
+	pt.lnk.Send(pt.fromA, p)
+}
+
+// SendFromPort injects a control packet (loss notification, PFC, report)
+// directly out of a port, bypassing the MMU — these travel on the
+// dedicated high-priority path. Serialization is still accounted via wire
+// length, but for simplicity control frames do not contend with the data
+// queues.
+func (sw *Switch) SendFromPort(port int, p *pkt.Packet) {
+	pt := sw.ports[port]
+	pt.ctr.TxPackets++
+	pt.ctr.TxBytes += uint64(p.WireLen)
+	pt.lnk.Send(pt.fromA, p)
+}
+
+// handlePFC processes a PFC frame arriving on port: it pauses/resumes this
+// switch's egress queues on that port.
+func (sw *Switch) handlePFC(p *pkt.Packet, port int) {
+	f := p.PFC
+	if f == nil {
+		return
+	}
+	pt := sw.ports[port]
+	for prio := uint8(0); prio < uint8(sw.cfg.Queues); prio++ {
+		switch {
+		case f.IsPause(prio):
+			pt.paused[prio] = true
+			// Quanta-based auto-resume.
+			d := sim.Time(float64(f.PauseTime[prio]) * pkt.PFCQuantumNs)
+			prio := prio
+			sw.sim.Schedule(d, func() {
+				if pt.paused[prio] {
+					pt.paused[prio] = false
+					sw.kick(port)
+				}
+			})
+		case f.IsResume(prio):
+			pt.paused[prio] = false
+			sw.kick(port)
+		}
+	}
+}
+
+// sendPause emits a PFC pause to the upstream device on inPort for the
+// given priority, remembering it for the matching resume.
+func (sw *Switch) sendPause(inPort, egressPort, queue int) {
+	ept := sw.ports[egressPort]
+	if _, already := ept.pausedUpstream[queue][inPort]; already {
+		return
+	}
+	ept.pausedUpstream[queue][inPort] = struct{}{}
+	ept.xoffOut[queue] = true
+	sw.sendPFC(inPort, pkt.Pause(uint8(queue), 0xffff))
+}
+
+// sendResume emits PFC resumes to every upstream we paused for this
+// egress queue.
+func (sw *Switch) sendResume(egressPort, queue int) {
+	ept := sw.ports[egressPort]
+	for inPort := range ept.pausedUpstream[queue] {
+		sw.sendPFC(inPort, pkt.Resume(uint8(queue)))
+		delete(ept.pausedUpstream[queue], inPort)
+	}
+	ept.xoffOut[queue] = false
+}
+
+func (sw *Switch) sendPFC(port int, f *pkt.PFCFrame) {
+	p := &pkt.Packet{
+		Kind:    pkt.KindPFC,
+		WireLen: pkt.MinEthernetFrame,
+		PFC:     f,
+	}
+	sw.SendFromPort(port, p)
+}
+
+// ecmpSelect mirrors topo.ECMPSelect without importing topo (avoiding a
+// dependency cycle via the fabric builder).
+func ecmpSelect(hops []int, flow pkt.FlowKey, salt uint32) (int, bool) {
+	if len(hops) == 0 {
+		return 0, false
+	}
+	h := flow.Hash() ^ salt*0x9e3779b9
+	return hops[h%uint32(len(hops))], true
+}
+
+// String identifies the switch in logs.
+func (sw *Switch) String() string { return fmt.Sprintf("switch(%d,%s)", sw.ID, sw.Name) }

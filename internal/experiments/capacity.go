@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"netseer/internal/batcher"
+	"netseer/internal/fevent"
+	"netseer/internal/fpelim"
+	"netseer/internal/metrics"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// This file regenerates the capacity figures: Fig. 12 (CEBP batching
+// throughput vs batch size), Fig. 14(a) (PCIe channel capacity vs batch
+// size and cores) and Fig. 14(b) (switch-CPU capacity vs concurrent
+// flows, with and without the pre-computed-hash offload).
+
+// BatchingPoint is one Fig. 12 sample.
+type BatchingPoint struct {
+	BatchSize int
+	Meps      float64
+	Gbps      float64
+}
+
+// Fig12Batching sweeps the CEBP batch size and measures saturated event
+// throughput.
+func Fig12Batching(sizes []int) []BatchingPoint {
+	var out []BatchingPoint
+	for _, size := range sizes {
+		s := sim.New()
+		delivered := 0
+		b := batcher.New(s, batcher.Config{BatchSize: size, StackDepth: 1 << 20},
+			func(bt *fevent.Batch) { delivered += len(bt.Events) })
+		f := pkt.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoTCP}
+		ev := &fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), Count: 1}
+		for i := 0; i < 1<<18; i++ {
+			b.Push(ev)
+		}
+		horizon := 2 * sim.Millisecond
+		s.Run(horizon)
+		b.Stop()
+		eps := float64(delivered) / horizon.Seconds()
+		out = append(out, BatchingPoint{
+			BatchSize: size,
+			Meps:      eps / 1e6,
+			Gbps:      eps * fevent.RecordLen * 8 / 1e9,
+		})
+	}
+	return out
+}
+
+// Fig12Table renders the batching sweep.
+func Fig12Table(points []BatchingPoint) *metrics.Table {
+	t := metrics.NewTable("Fig 12: event batching capacity", "batch size", "Meps", "Gbps")
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.BatchSize),
+			fmt.Sprintf("%.1f", p.Meps), fmt.Sprintf("%.2f", p.Gbps))
+	}
+	return t
+}
+
+// PCIePoint is one Fig. 14(a) sample.
+type PCIePoint struct {
+	BatchSize int
+	Cores     int
+	Meps      float64
+	Gbps      float64
+}
+
+// PCIeBusBps is the modeled PCIe channel ceiling between pipeline and
+// CPU (§4: ~18 Gb/s).
+const PCIeBusBps = 18e9
+
+// Fig14aPCIe measures the CPU side of the PCIe channel: one worker
+// decoding length-prefixed batch frames — exactly what the DPDK path does
+// with descriptor rings — then scales the measured per-core rate to the
+// requested core count, capped by the PCIe bus ceiling. (Per-core rates
+// are measured for real; the core scaling is modeled so results do not
+// depend on how many host CPUs the reproduction machine happens to
+// have.) Small batches pay the per-frame overhead; capacity saturates
+// past batch ≈ 20 and doubles from 1 to 2 cores (paper: 9.5 → 18 Gb/s).
+func Fig14aPCIe(sizes []int, cores []int, duration time.Duration) []PCIePoint {
+	var out []PCIePoint
+	for _, size := range sizes {
+		// Pre-encode one frame of `size` events.
+		batch := fevent.Batch{SwitchID: 1}
+		f := pkt.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoTCP}
+		for i := 0; i < size; i++ {
+			batch.Events = append(batch.Events, fevent.Event{
+				Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), Count: 1,
+			})
+		}
+		frame, err := batch.AppendTo(nil)
+		if err != nil {
+			panic(err)
+		}
+		// Measure one core, for real.
+		var b fevent.Batch
+		var n uint64
+		stop := time.Now().Add(duration)
+		start := time.Now()
+		for time.Now().Before(stop) {
+			// One "DMA completion": decode a burst of frames.
+			for i := 0; i < 64; i++ {
+				if _, err := fevent.DecodeBatch(frame, &b); err != nil {
+					panic(err)
+				}
+				n += uint64(len(b.Events))
+			}
+		}
+		perCore := float64(n) / time.Since(start).Seconds()
+		for _, nc := range cores {
+			eps := perCore * float64(nc)
+			if cap := PCIeBusBps / (fevent.RecordLen * 8); eps > cap {
+				eps = cap
+			}
+			out = append(out, PCIePoint{
+				BatchSize: size, Cores: nc,
+				Meps: eps / 1e6,
+				Gbps: eps * fevent.RecordLen * 8 / 1e9,
+			})
+		}
+	}
+	return out
+}
+
+// Fig14aTable renders the PCIe sweep.
+func Fig14aTable(points []PCIePoint) *metrics.Table {
+	t := metrics.NewTable("Fig 14(a): PCIe/CPU channel capacity", "batch", "cores", "Meps", "Gbps")
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.BatchSize), fmt.Sprintf("%d", p.Cores),
+			fmt.Sprintf("%.1f", p.Meps), fmt.Sprintf("%.2f", p.Gbps))
+	}
+	return t
+}
+
+// CPUPoint is one Fig. 14(b) sample.
+type CPUPoint struct {
+	Flows     int
+	Mode      fpelim.HashMode
+	Meps      float64
+	CoreCount int
+}
+
+// Fig14bCPU measures false-positive-elimination throughput against the
+// number of concurrent flows, sharded across cores by the pre-computed
+// hash. mode selects the paper's design (PreHashed) or the
+// hash-on-CPU baseline it improves on by ~2.5×.
+func Fig14bCPU(flowCounts []int, coreCount int, mode fpelim.HashMode, duration time.Duration) []CPUPoint {
+	var out []CPUPoint
+	for _, flows := range flowCounts {
+		// Pre-build the event working set.
+		events := make([]*fevent.Event, flows)
+		for i := range events {
+			f := pkt.FlowKey{SrcIP: uint32(i), DstIP: 9, SrcPort: uint16(i), DstPort: 80, Proto: pkt.ProtoTCP}
+			events[i] = &fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), Count: 1}
+		}
+		var total uint64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		stop := time.Now().Add(duration)
+		for w := 0; w < coreCount; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				elim := fpelim.New(fpelim.Config{Mode: mode, MaxEntries: flows * 2}, func() sim.Time { return 0 })
+				var n uint64
+				idx := w
+				for time.Now().Before(stop) {
+					for i := 0; i < 4096; i++ {
+						ev := events[idx%len(events)]
+						idx += coreCount
+						if fpelim.Shard(ev, coreCount) != w {
+							continue // not this core's shard
+						}
+						elim.Offer(ev)
+						n++
+					}
+				}
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		out = append(out, CPUPoint{
+			Flows: flows, Mode: mode, CoreCount: coreCount,
+			Meps: float64(total) / duration.Seconds() / 1e6,
+		})
+	}
+	return out
+}
+
+// Fig14bTable renders the CPU capacity sweep.
+func Fig14bTable(points []CPUPoint) *metrics.Table {
+	t := metrics.NewTable("Fig 14(b): switch CPU capacity", "flows", "mode", "cores", "Meps")
+	for _, p := range points {
+		mode := "pre-hashed"
+		if p.Mode == fpelim.HashOnCPU {
+			mode = "hash-on-cpu"
+		}
+		t.AddRow(metrics.FormatCount(float64(p.Flows)), mode,
+			fmt.Sprintf("%d", p.CoreCount), fmt.Sprintf("%.1f", p.Meps))
+	}
+	return t
+}
+
+// GOMAXPROCSCores returns a sensible core count for capacity experiments.
+func GOMAXPROCSCores() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 2 {
+		n = 2 // the paper's switch CPU uses 2 cores
+	}
+	return n
+}

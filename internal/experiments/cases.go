@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netseer/internal/collector"
+	"netseer/internal/dataplane"
+	"netseer/internal/fevent"
+	"netseer/internal/metrics"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+	"netseer/internal/workload"
+)
+
+// This file regenerates Fig. 8(a): the five real NPA incidents reproduced
+// as fault-injection scenarios. The "without NetSeer" column is the
+// paper's reported human troubleshooting time (it cannot be simulated —
+// it is operators ping-ponging between teams); the reproduction measures
+// the time from fault injection until the decisive flow event is
+// queryable at the backend, which is the quantity NetSeer contributes.
+
+// CaseResult is one Fig. 8(a) row.
+type CaseResult struct {
+	ID   int
+	Name string
+	// PaperWithoutMin / PaperWithMin are the paper's reported location
+	// times in minutes.
+	PaperWithoutMin float64
+	PaperWithMin    float64
+	// DetectLatency is our measured injection→queryable-event latency.
+	DetectLatency sim.Time
+	// Located reports whether the decisive evidence was found.
+	Located bool
+	// Evidence describes what the query returned.
+	Evidence string
+}
+
+// caseEnv is the shared scenario environment.
+type caseEnv struct {
+	tb       *Testbed
+	injected sim.Time
+}
+
+func newCaseEnv(seed uint64) *caseEnv {
+	cfg := RunConfig{
+		Dist: workload.WEB, Load: 0.5, Window: 4 * sim.Millisecond,
+		Seed: seed, NetSeer: true,
+	}
+	return &caseEnv{tb: NewTestbed(cfg)}
+}
+
+// driveVictim schedules recurring bursts from the first four clients
+// toward the victim host for the whole window, spread over many source
+// ports so ECMP exercises every fabric path.
+func (ce *caseEnv) driveVictim(victimIP uint32) {
+	tb := ce.tb
+	for tick := sim.Time(0); tick < tb.Cfg.Window; tick += 100 * sim.Microsecond {
+		tick := tick
+		tb.Sim.At(tick, func() {
+			for ci := 0; ci < 4; ci++ {
+				client := tb.Hosts[ci]
+				for sp := 0; sp < 8; sp++ {
+					flow := pkt.FlowKey{
+						SrcIP: client.Node.IP, DstIP: victimIP,
+						SrcPort: uint16(50000 + sp + ci*16), DstPort: workload.DataPort,
+						Proto: pkt.ProtoTCP,
+					}
+					client.SendUDP(flow, 2, 724, 0)
+				}
+			}
+		})
+	}
+}
+
+// firstEvent polls the run's collector for the first event matching f
+// after the injection instant and returns its latency.
+func (ce *caseEnv) firstEvent(f func(*fevent.Event) bool) (sim.Time, *fevent.Event) {
+	var best sim.Time = -1
+	var bestEv *fevent.Event
+	for _, e := range ce.tb.Store.Query(collector.Filter{Since: ce.injected}) {
+		e := e
+		if !f(&e) {
+			continue
+		}
+		if best < 0 || e.Timestamp < best {
+			best = e.Timestamp
+			bestEv = &e
+		}
+	}
+	if best < 0 {
+		return 0, nil
+	}
+	return best - ce.injected, bestEv
+}
+
+// Case1RoutingError: a faulty update installs a wrong route on a core
+// switch; flows toward one prefix blackhole. NetSeer surfaces drop (and
+// path-change) events naming the victim flows and the guilty switch.
+func Case1RoutingError(seed uint64) CaseResult {
+	ce := newCaseEnv(seed)
+	tb := ce.tb
+	victim := tb.Hosts[len(tb.Hosts)-1]
+	coreNode, _ := tb.Topo.NodeByName("core0")
+	core := tb.Fab.Switches[coreNode.ID]
+	ce.injected = tb.Cfg.Window / 4
+	tb.Sim.Schedule(ce.injected, func() { core.SetRouteOverride(victim.Node.IP, []int{}) })
+	ce.driveVictim(victim.Node.IP)
+	tb.Gen.Start()
+	tb.Sim.Run(tb.Cfg.Window)
+	tb.Gen.Stop()
+	tb.StopAndDrain()
+	lat, ev := ce.firstEvent(func(e *fevent.Event) bool {
+		return e.Type == fevent.TypeDrop && e.DropCode == fevent.DropNoRoute &&
+			e.SwitchID == core.ID && e.Flow.DstIP == victim.Node.IP
+	})
+	return CaseResult{
+		ID: 1, Name: "routing error (network update)",
+		PaperWithoutMin: 162, PaperWithMin: 0.232,
+		DetectLatency: lat, Located: ev != nil,
+		Evidence: evidence(ev),
+	}
+}
+
+// Case2ACLError: a misconfigured ACL rule denies a new VM's traffic.
+func Case2ACLError(seed uint64) CaseResult {
+	ce := newCaseEnv(seed)
+	tb := ce.tb
+	victim := tb.Hosts[len(tb.Hosts)-1]
+	tor := tb.Fab.HostPorts[victim.Node.ID][0].Switch
+	ce.injected = tb.Cfg.Window / 4
+	tb.Sim.Schedule(ce.injected, func() {
+		tor.ACL().Add(dataplane.ACLRule{ID: 23, Action: dataplane.ACLDeny, DstIP: victim.Node.IP, DstMask: 0xffffffff})
+	})
+	ce.driveVictim(victim.Node.IP)
+	tb.Gen.Start()
+	tb.Sim.Run(tb.Cfg.Window)
+	tb.Gen.Stop()
+	tb.StopAndDrain()
+	lat, ev := ce.firstEvent(func(e *fevent.Event) bool {
+		return e.Type == fevent.TypeDrop && e.DropCode == fevent.DropACLDeny &&
+			e.ACLRule == 23 && e.SwitchID == tor.ID
+	})
+	return CaseResult{
+		ID: 2, Name: "ACL configuration error",
+		PaperWithoutMin: 29, PaperWithMin: 11.2,
+		DetectLatency: lat, Located: ev != nil,
+		Evidence: evidence(ev),
+	}
+}
+
+// Case3ParityError: a memory bit flip makes a routing entry unmatchable —
+// silent drops invisible to counters and Syslog; NetSeer's table-miss
+// reporting catches them.
+func Case3ParityError(seed uint64) CaseResult {
+	ce := newCaseEnv(seed)
+	tb := ce.tb
+	victim := tb.Hosts[len(tb.Hosts)-1]
+	aggNode, _ := tb.Topo.NodeByName("agg1-0")
+	agg := tb.Fab.Switches[aggNode.ID]
+	ce.injected = tb.Cfg.Window / 4
+	tb.Sim.Schedule(ce.injected, func() { agg.InjectParityError(victim.Node.IP) })
+	ce.driveVictim(victim.Node.IP)
+	tb.Gen.Start()
+	tb.Sim.Run(tb.Cfg.Window)
+	tb.Gen.Stop()
+	tb.StopAndDrain()
+	lat, ev := ce.firstEvent(func(e *fevent.Event) bool {
+		return e.Type == fevent.TypeDrop && e.DropCode == fevent.DropParityError &&
+			e.SwitchID == agg.ID
+	})
+	return CaseResult{
+		ID: 3, Name: "silent drop (parity error)",
+		PaperWithoutMin: 442, PaperWithMin: 0.474,
+		DetectLatency: lat, Located: ev != nil,
+		Evidence: evidence(ev),
+	}
+}
+
+// Case4UnexpectedVolume: another tenant's burst congests a switch;
+// operators must find which flows to reroute. NetSeer's MMU-drop events
+// name the heavy flows directly.
+func Case4UnexpectedVolume(seed uint64) CaseResult {
+	ce := newCaseEnv(seed)
+	tb := ce.tb
+	// The rogue tenant: an incast from 12 hosts onto one server.
+	rogueTarget := tb.Hosts[8]
+	ce.injected = tb.Cfg.Window / 4
+	tb.Sim.Schedule(ce.injected, func() {
+		workload.Incast(tb.Sim, tb.Hosts[16:28], rogueTarget, 1<<20, 1000, 0)
+	})
+	tb.Gen.Start()
+	tb.Sim.Run(tb.Cfg.Window)
+	tb.Gen.Stop()
+	tb.StopAndDrain()
+	lat, ev := ce.firstEvent(func(e *fevent.Event) bool {
+		return e.Type == fevent.TypeDrop && e.DropCode == fevent.DropMMUCongestion &&
+			e.Flow.DstIP == rogueTarget.Node.IP
+	})
+	// The decisive insight is the *heaviest* contributor; verify the top
+	// MMU-drop flow by count targets the rogue destination.
+	topOK := false
+	var topCount uint16
+	var topFlow pkt.FlowKey
+	for _, e := range tb.Store.Query(collector.Filter{Type: fevent.TypeDrop, DropCode: fevent.DropMMUCongestion}) {
+		if e.Count > topCount {
+			topCount = e.Count
+			topFlow = e.Flow
+		}
+	}
+	if topFlow.DstIP == rogueTarget.Node.IP {
+		topOK = true
+	}
+	return CaseResult{
+		ID: 4, Name: "congestion from unexpected volume",
+		PaperWithoutMin: 30, PaperWithMin: 0.258,
+		DetectLatency: lat, Located: ev != nil && topOK,
+		Evidence: evidence(ev),
+	}
+}
+
+// Case5SSDFirmwareBug: storage servers stall internally (driver bug); the
+// network is innocent. The decisive NetSeer evidence is *negative*: a
+// query for the victim flows returns no events, exonerating the network
+// the moment the first slow RPC is observed.
+func Case5SSDFirmwareBug(seed uint64) CaseResult {
+	ce := newCaseEnv(seed)
+	tb := ce.tb
+	storage := pkt.FlowKey{
+		SrcIP: tb.Hosts[0].Node.IP, DstIP: tb.Hosts[9].Node.IP,
+		SrcPort: 40001, DstPort: 5000, Proto: pkt.ProtoTCP,
+	}
+	ce.injected = tb.Cfg.Window / 4
+	tb.Gen.Start()
+	tb.Sim.Run(tb.Cfg.Window)
+	tb.Gen.Stop()
+	tb.StopAndDrain()
+	// Query both directions of the storage flow: nothing.
+	evs := tb.Store.Query(collector.Filter{Flow: &storage, Since: ce.injected})
+	rev := storage.Reverse()
+	evs = append(evs, tb.Store.Query(collector.Filter{Flow: &rev, Since: ce.injected})...)
+	exonerated := len(evs) == 0
+	return CaseResult{
+		ID: 5, Name: "SSD firmware bug (network innocent)",
+		PaperWithoutMin: 284, PaperWithMin: 0.7,
+		// Exoneration is available as soon as the query runs: the latency
+		// is one query round-trip, effectively zero in simulation.
+		DetectLatency: 0, Located: exonerated,
+		Evidence: fmt.Sprintf("0 events for storage flow (%d total in store)", tb.Store.Len()),
+	}
+}
+
+func evidence(ev *fevent.Event) string {
+	if ev == nil {
+		return "NOT FOUND"
+	}
+	return ev.String()
+}
+
+// Fig8aCaseStudies runs all five scenarios.
+func Fig8aCaseStudies(seed uint64) []CaseResult {
+	return []CaseResult{
+		Case1RoutingError(seed),
+		Case2ACLError(seed),
+		Case3ParityError(seed),
+		Case4UnexpectedVolume(seed),
+		Case5SSDFirmwareBug(seed),
+	}
+}
+
+// Fig8aTable renders the case-study comparison.
+func Fig8aTable(results []CaseResult) *metrics.Table {
+	t := metrics.NewTable("Fig 8(a): NPA cause location time",
+		"case", "paper w/o NetSeer", "paper w/ NetSeer", "measured detect latency", "located")
+	for _, r := range results {
+		t.AddRow(
+			fmt.Sprintf("#%d %s", r.ID, r.Name),
+			fmt.Sprintf("%.0f min", r.PaperWithoutMin),
+			fmt.Sprintf("%.2f min", r.PaperWithMin),
+			r.DetectLatency.String(),
+			fmt.Sprintf("%v", r.Located),
+		)
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"testing"
+
+	"netseer/internal/sim"
+)
+
+func TestExtPauseCoverage(t *testing.T) {
+	r := ExtPauseCoverage(5)
+	if !r.PFCFramesSeen {
+		t.Fatal("lossless incast produced no PFC pauses")
+	}
+	if r.TruthPauses == 0 {
+		t.Fatal("no pause ground truth")
+	}
+	if r.Coverage < 0.999 {
+		t.Errorf("pause coverage = %.3f, want full (line-rate detection)", r.Coverage)
+	}
+}
+
+func TestExtInterCardDetection(t *testing.T) {
+	r := ExtInterCardDetection(6)
+	if r.Recovered != r.Injected {
+		t.Errorf("recovered %d of %d backplane drops", r.Recovered, r.Injected)
+	}
+	if r.WrongFlow != 0 {
+		t.Errorf("%d misattributed inter-card recoveries", r.WrongFlow)
+	}
+}
+
+func TestExtPartialDeployment(t *testing.T) {
+	r := ExtPartialDeployment(7)
+	if r.FullCoverage < 0.999 {
+		t.Errorf("full deployment coverage = %.3f, want full", r.FullCoverage)
+	}
+	// Edge-only deployment misses the core-switch blackhole but sees the
+	// ToR one: strictly between 0 and full.
+	if r.PartialCoverage <= 0.05 || r.PartialCoverage >= r.FullCoverage {
+		t.Errorf("partial coverage = %.3f (full %.3f) — want partial visibility",
+			r.PartialCoverage, r.FullCoverage)
+	}
+	if r.DeployedSwitches != 4 || r.TotalSwitches != 10 {
+		t.Errorf("deployed %d/%d, want 4/10 (edge layer of the testbed)",
+			r.DeployedSwitches, r.TotalSwitches)
+	}
+}
+
+func TestAblationDedup(t *testing.T) {
+	r := AblationDedup(8, 200000)
+	if r.GroupCacheMissed != 0 {
+		t.Errorf("group caching missed %d flow events — zero-FN property violated", r.GroupCacheMissed)
+	}
+	if r.BloomMissed == 0 {
+		t.Error("bloom dedup missed nothing — the ablation should expose false negatives")
+	}
+	if r.DistinctEvents < 1000 {
+		t.Fatalf("degenerate stream: %d distinct events", r.DistinctEvents)
+	}
+	// Group caching emits more reports than bloom (the FP cost of zero
+	// FN), but still far fewer than packets.
+	if r.GroupCacheReports <= r.BloomReports {
+		t.Logf("note: group cache reports (%d) <= bloom reports (%d)", r.GroupCacheReports, r.BloomReports)
+	}
+	if r.GroupCacheReports > 200000/2 {
+		t.Errorf("group caching emitted %d reports for 200000 packets — dedup ineffective", r.GroupCacheReports)
+	}
+}
+
+func TestAblationBatching(t *testing.T) {
+	r := AblationBatching(10000)
+	// §3.5: one 24-byte event per 64-byte frame wastes 62.5%; batching
+	// approaches the 24-byte floor. Saving vs per-packet ≈ 1-24/64 ≈ 60%+.
+	if r.Saving < 0.55 || r.Saving > 0.70 {
+		t.Errorf("batching saving = %.3f, want ≈0.60 (62.5%% frame waste removed)", r.Saving)
+	}
+	if r.BatchedBytes >= r.PerPacketBytes {
+		t.Error("batching did not reduce volume")
+	}
+}
+
+func TestAblationInterSwitch(t *testing.T) {
+	r := AblationInterSwitch(9)
+	if r.WithSeq < 0 || r.WithoutSeq < 0 {
+		t.Fatal("no inter-switch ground truth produced")
+	}
+	if r.WithSeq < 0.90 {
+		t.Errorf("with seq machinery coverage = %.3f, want ≥0.90", r.WithSeq)
+	}
+	if r.WithoutSeq != 0 {
+		t.Errorf("without seq machinery coverage = %.3f, want 0 (nothing can see silent drops)", r.WithoutSeq)
+	}
+}
+
+func TestExtHardwareFailure(t *testing.T) {
+	r := ExtHardwareFailure(10)
+	if r.GroundTruthDrops == 0 {
+		t.Fatal("ASIC failure destroyed nothing — injection broken")
+	}
+	if r.NetSeerEvents != 0 {
+		t.Errorf("NetSeer reported %d events from a dead ASIC — must be blind (§3.7)", r.NetSeerEvents)
+	}
+	if r.SyslogAlerts != 1 {
+		t.Errorf("syslog alerts = %d, want 1", r.SyslogAlerts)
+	}
+}
+
+func TestExtIncidentMonteCarlo(t *testing.T) {
+	r := ExtIncidentMonteCarlo(12, 17)
+	if len(r.Outcomes) != 12 {
+		t.Fatalf("outcomes = %d", len(r.Outcomes))
+	}
+	if r.DetectedFraction < 0.999 {
+		var misses []string
+		for _, o := range r.Outcomes {
+			if !o.Detected {
+				misses = append(misses, o.Class.String())
+			}
+		}
+		t.Errorf("detected %.2f of incidents; missed %v", r.DetectedFraction, misses)
+	}
+	// Event-detected incidents surface in well under a millisecond.
+	for _, o := range r.Outcomes {
+		if o.Detected && !o.ViaSyslog && o.Latency > sim.Millisecond {
+			t.Errorf("%v detection latency %v", o.Class, o.Latency)
+		}
+	}
+	if MonteCarloTable(r).String() == "" {
+		t.Error("empty table")
+	}
+}

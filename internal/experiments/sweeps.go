@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netseer/internal/fevent"
+	"netseer/internal/groupcache"
+	"netseer/internal/metrics"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Parameter sweeps over the two knobs §3.4/§3.6 leave to the operator:
+// the group-caching table size (collision → false-positive trade-off)
+// and the counter-report constant C (report volume vs counter freshness).
+
+// TableSizePoint is one table-size sweep sample.
+type TableSizePoint struct {
+	Slots int
+	// Flows is the concurrent flow-event population offered.
+	Flows int
+	// FPRatio is duplicate initial reports (CPU-suppressed) per distinct
+	// flow event — the §3.6 false-positive cost of undersizing.
+	FPRatio float64
+	// Reports is total reports emitted by the table.
+	Reports uint64
+}
+
+// SweepTableSize replays a fixed event-packet stream through tables of
+// varying sizes and measures collision-driven false positives.
+func SweepTableSize(slots []int, flows, packets int, seed uint64) []TableSizePoint {
+	var out []TableSizePoint
+	for _, n := range slots {
+		rng := sim.NewStream(seed, "table-sweep")
+		// Count duplicate initial reports the way the switch CPU does:
+		// a report whose counter did not advance past the key's maximum.
+		lastCount := make(map[fevent.Key]uint16)
+		var dupes, reports uint64
+		tbl := groupcache.New(n, 128, func(e *fevent.Event) {
+			reports++
+			k := e.Key()
+			if prev, ok := lastCount[k]; ok && e.Count <= prev {
+				dupes++
+				return
+			}
+			lastCount[k] = e.Count
+		})
+		for i := 0; i < packets; i++ {
+			id := uint32(rng.Intn(flows))
+			f := pkt.FlowKey{SrcIP: id, DstIP: 1, SrcPort: uint16(id), DstPort: 80, Proto: pkt.ProtoTCP}
+			tbl.Offer(&fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), QueueLatencyUs: 15})
+		}
+		tbl.Flush()
+		out = append(out, TableSizePoint{
+			Slots: n, Flows: flows,
+			FPRatio: float64(dupes) / float64(len(lastCount)),
+			Reports: reports,
+		})
+	}
+	return out
+}
+
+// CSweepPoint is one C-constant sweep sample.
+type CSweepPoint struct {
+	C uint16
+	// Reports per distinct flow event: install + every C packets.
+	ReportsPerEvent float64
+	// MaxStaleness is the largest packet-count gap between the true
+	// counter and the last reported value (freshness cost of a large C).
+	MaxStaleness int
+}
+
+// SweepC replays a stream of per-flow bursts through tables with varying
+// report intervals C.
+func SweepC(cs []uint16, burst int, flows int, seed uint64) []CSweepPoint {
+	var out []CSweepPoint
+	for _, c := range cs {
+		var reports uint64
+		lastReported := make(map[fevent.Key]uint16)
+		maxStale := 0
+		counterNow := make(map[fevent.Key]int)
+		tbl := groupcache.New(8192, c, func(e *fevent.Event) {
+			reports++
+			lastReported[e.Key()] = e.Count
+		})
+		rng := sim.NewStream(seed, "c-sweep")
+		for i := 0; i < flows*burst; i++ {
+			id := uint32(rng.Intn(flows))
+			f := pkt.FlowKey{SrcIP: id, DstIP: 1, SrcPort: uint16(id), DstPort: 80, Proto: pkt.ProtoTCP}
+			ev := fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash()}
+			k := ev.Key()
+			counterNow[k]++
+			tbl.Offer(&ev)
+			if stale := counterNow[k] - int(lastReported[k]); stale > maxStale {
+				maxStale = stale
+			}
+		}
+		tbl.Flush()
+		out = append(out, CSweepPoint{
+			C:               c,
+			ReportsPerEvent: float64(reports) / float64(flows),
+			MaxStaleness:    maxStale,
+		})
+	}
+	return out
+}
+
+// SweepTables renders both sweeps.
+func SweepTables(ts []TableSizePoint, cs []CSweepPoint) (a, b *metrics.Table) {
+	a = metrics.NewTable("Ablation: group table size vs false positives",
+		"slots", "flows", "dup reports / event", "total reports")
+	for _, p := range ts {
+		a.AddRow(fmt.Sprintf("%d", p.Slots), fmt.Sprintf("%d", p.Flows),
+			fmt.Sprintf("%.2f", p.FPRatio), fmt.Sprintf("%d", p.Reports))
+	}
+	b = metrics.NewTable("Ablation: counter-report constant C",
+		"C", "reports / flow event", "max counter staleness")
+	for _, p := range cs {
+		b.AddRow(fmt.Sprintf("%d", p.C),
+			fmt.Sprintf("%.2f", p.ReportsPerEvent), fmt.Sprintf("%d", p.MaxStaleness))
+	}
+	return a, b
+}

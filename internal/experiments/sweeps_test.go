@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSweepTableSizeMonotone(t *testing.T) {
+	points := SweepTableSize([]int{64, 512, 4096}, 1000, 100000, 3)
+	if len(points) != 3 {
+		t.Fatal("wrong point count")
+	}
+	// Bigger tables → fewer collision-driven duplicate reports.
+	for i := 1; i < len(points); i++ {
+		if points[i].FPRatio > points[i-1].FPRatio {
+			t.Errorf("FP ratio rose with table size: %+v", points)
+		}
+	}
+	// An amply sized table has (near) zero duplicates.
+	if points[2].FPRatio > 0.05 {
+		t.Errorf("4096-slot table FP ratio = %.3f, want ~0", points[2].FPRatio)
+	}
+	// An undersized table produces real churn.
+	if points[0].FPRatio < 0.5 {
+		t.Errorf("64-slot table FP ratio = %.3f — sweep not stressing collisions", points[0].FPRatio)
+	}
+}
+
+func TestSweepCTradeoff(t *testing.T) {
+	points := SweepC([]uint16{16, 128, 1024}, 2000, 64, 4)
+	if len(points) != 3 {
+		t.Fatal("wrong point count")
+	}
+	// Smaller C → more reports per flow event, fresher counters.
+	if !(points[0].ReportsPerEvent > points[1].ReportsPerEvent &&
+		points[1].ReportsPerEvent > points[2].ReportsPerEvent) {
+		t.Errorf("reports not decreasing with C: %+v", points)
+	}
+	if !(points[0].MaxStaleness < points[2].MaxStaleness) {
+		t.Errorf("staleness not increasing with C: %+v", points)
+	}
+	// Staleness is bounded by C (plus the pre-install packet).
+	for _, p := range points {
+		if p.MaxStaleness > int(p.C)+1 {
+			t.Errorf("C=%d staleness %d exceeds bound", p.C, p.MaxStaleness)
+		}
+	}
+}
+
+func TestSweepTablesRender(t *testing.T) {
+	a, b := SweepTables(
+		SweepTableSize([]int{64}, 100, 1000, 1),
+		SweepC([]uint16{128}, 100, 8, 1))
+	if a.String() == "" || b.String() == "" {
+		t.Error("empty sweep tables")
+	}
+}

@@ -1,0 +1,77 @@
+package fevent
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netseer/internal/sim"
+)
+
+// BatchHeaderLen is the encoded size of a batch header: switch ID (2 B),
+// timestamp (8 B, nanoseconds), record count (2 B).
+const BatchHeaderLen = 2 + 8 + 2
+
+// DefaultBatchSize is the paper's recommended number of events per batch
+// packet (§3.5).
+const DefaultBatchSize = 50
+
+// MaxBatchRecords bounds a single batch to what fits in a jumbo-ish export
+// frame; the encoder enforces it.
+const MaxBatchRecords = 370
+
+// Batch is a group of events reported together by one switch.
+type Batch struct {
+	SwitchID  uint16
+	Timestamp sim.Time
+	Events    []Event
+}
+
+// EncodedLen returns the on-wire size of the batch.
+func (b *Batch) EncodedLen() int { return BatchHeaderLen + RecordLen*len(b.Events) }
+
+// AppendTo appends the encoded batch to buf. It returns an error if the
+// batch exceeds MaxBatchRecords.
+func (b *Batch) AppendTo(buf []byte) ([]byte, error) {
+	if len(b.Events) > MaxBatchRecords {
+		return nil, fmt.Errorf("fevent: batch of %d records exceeds max %d", len(b.Events), MaxBatchRecords)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, b.SwitchID)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Timestamp))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(b.Events)))
+	for i := range b.Events {
+		buf = b.Events[i].AppendRecord(buf)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses one encoded batch from data, stamping every decoded
+// event with the batch's switch ID and timestamp. It returns the remainder
+// of data past the batch.
+func DecodeBatch(data []byte, b *Batch) ([]byte, error) {
+	if len(data) < BatchHeaderLen {
+		return nil, fmt.Errorf("fevent: batch header truncated: %d bytes", len(data))
+	}
+	b.SwitchID = binary.BigEndian.Uint16(data[0:2])
+	b.Timestamp = sim.Time(binary.BigEndian.Uint64(data[2:10]))
+	n := int(binary.BigEndian.Uint16(data[10:12]))
+	if n > MaxBatchRecords {
+		return nil, fmt.Errorf("fevent: batch claims %d records, max %d", n, MaxBatchRecords)
+	}
+	data = data[BatchHeaderLen:]
+	if len(data) < n*RecordLen {
+		return nil, fmt.Errorf("fevent: batch body truncated: want %d records, have %d bytes", n, len(data))
+	}
+	if cap(b.Events) < n {
+		b.Events = make([]Event, n)
+	} else {
+		b.Events = b.Events[:n]
+	}
+	for i := 0; i < n; i++ {
+		if err := b.Events[i].DecodeRecord(data[i*RecordLen:]); err != nil {
+			return nil, err
+		}
+		b.Events[i].SwitchID = b.SwitchID
+		b.Events[i].Timestamp = b.Timestamp
+	}
+	return data[n*RecordLen:], nil
+}

@@ -1,0 +1,264 @@
+// Package fevent defines NetSeer's flow events and their exact wire
+// encoding: every event is reported in a fixed 24-byte record (§4 of the
+// paper: 13 B flow + event-specific fields + 2 B counter + 4 B pre-computed
+// hash), and records are shipped in batches of ~50 prefixed by a small
+// batch header naming the reporting switch.
+package fevent
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Type enumerates the four flow-event classes of §3.1.
+type Type uint8
+
+// Event types.
+const (
+	// TypeDrop covers every packet-drop class of Figure 4 (pipeline, MMU
+	// congestion, inter-switch/card, …) discriminated by DropCode.
+	TypeDrop Type = iota + 1
+	// TypeCongestion is queuing delay above threshold.
+	TypeCongestion
+	// TypePathChange is a new flow or a flow whose (ingress, egress) port
+	// pair changed.
+	TypePathChange
+	// TypePause is a packet arriving to a PFC-paused queue.
+	TypePause
+
+	numTypes = 4
+)
+
+// Types lists all event types, for iteration in experiments.
+var Types = []Type{TypeDrop, TypeCongestion, TypePathChange, TypePause}
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeDrop:
+		return "drop"
+	case TypeCongestion:
+		return "congestion"
+	case TypePathChange:
+		return "path-change"
+	case TypePause:
+		return "pause"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is one of the defined types.
+func (t Type) Valid() bool { return t >= TypeDrop && t <= TypePause }
+
+// DropCode encodes the drop reason taxonomy of Figure 4.
+type DropCode uint8
+
+// Drop reasons.
+const (
+	DropNone          DropCode = iota
+	DropParityError            // table lookup miss caused by memory bit flip
+	DropPortDown               // target port/link/switch down
+	DropLinkDown               // link down at ingress
+	DropACLDeny                // blocked by an ACL rule
+	DropTTLExpired             // forwarding loop: TTL reached 0
+	DropNoRoute                // routing table miss (blackhole)
+	DropMTUExceeded            // larger-than-MTU packet
+	DropMMUCongestion          // queue/buffer full in the MMU
+	DropInterSwitch            // silent drop or corruption on a link
+	DropInterCard              // drop between boards of a multi-card switch
+	DropASICFailure            // malfunctioning ASIC (detected via syslog)
+	DropMMUFailure             // malfunctioning MMU (detected via probing)
+	DropCorruption             // frame damaged in flight (dropped at MAC)
+)
+
+// String names the drop code.
+func (c DropCode) String() string {
+	names := [...]string{
+		"none", "parity-error", "port-down", "link-down", "acl-deny",
+		"ttl-expired", "no-route", "mtu-exceeded", "mmu-congestion",
+		"inter-switch", "inter-card", "asic-failure", "mmu-failure",
+		"corruption",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("drop(%d)", uint8(c))
+}
+
+// IsPipeline reports whether the code is one of the pipeline-drop reasons
+// (as opposed to congestion or inter-switch drops).
+func (c DropCode) IsPipeline() bool {
+	switch c {
+	case DropParityError, DropPortDown, DropLinkDown, DropACLDeny,
+		DropTTLExpired, DropNoRoute, DropMTUExceeded:
+		return true
+	}
+	return false
+}
+
+// Event is one flow event. The dedup/report path treats the combination
+// returned by Key as the event identity; Count accumulates packets merged
+// into this flow event by group caching.
+type Event struct {
+	Type Type
+	Flow pkt.FlowKey
+
+	// SwitchID identifies the reporting device (carried in the batch
+	// header on the wire, not in the per-event record).
+	SwitchID uint16
+	// Timestamp is when the batch carrying this event left the data plane.
+	Timestamp sim.Time
+
+	// IngressPort / EgressPort are valid for drop and path-change events;
+	// EgressPort also for congestion and pause.
+	IngressPort uint8
+	EgressPort  uint8
+	// Queue is the egress queue, for congestion and pause events.
+	Queue uint8
+	// QueueLatencyUs is the measured queuing delay in microseconds, for
+	// congestion events.
+	QueueLatencyUs uint16
+	// DropCode is the drop reason, for drop events.
+	DropCode DropCode
+	// ACLRule is the rule identifier for DropACLDeny events, which NetSeer
+	// aggregates per rule rather than per flow (§3.4).
+	ACLRule uint8
+
+	// Count is the number of packets aggregated into this event so far.
+	Count uint16
+	// Hash is the CRC-32C of the flow key, pre-computed in the data plane
+	// so the switch CPU can index without hashing (§3.6).
+	Hash uint32
+}
+
+// Key is the dedup identity of an event: same-key packets are aggregated
+// into one flow event by group caching, and the switch CPU suppresses
+// repeated initial reports per key. It is comparable.
+type Key struct {
+	Type     Type
+	Flow     pkt.FlowKey
+	DropCode DropCode
+	ACLRule  uint8
+	// In/Out are part of the identity for path-change events only: the
+	// same flow on a *different* path is a different event, never a
+	// duplicate.
+	In, Out uint8
+}
+
+// Key returns the dedup identity of e. For ACL drops the flow field is
+// zeroed: the paper aggregates those at ACL-rule granularity because the
+// rule's match already describes the victim traffic.
+func (e *Event) Key() Key {
+	k := Key{Type: e.Type, DropCode: e.DropCode, ACLRule: e.ACLRule}
+	if !(e.Type == TypeDrop && e.DropCode == DropACLDeny) {
+		k.Flow = e.Flow
+	}
+	if e.Type == TypePathChange {
+		k.In, k.Out = e.IngressPort, e.EgressPort
+	}
+	return k
+}
+
+// String renders the event compactly for logs and test failures.
+func (e *Event) String() string {
+	switch e.Type {
+	case TypeDrop:
+		return fmt.Sprintf("drop[%s] sw=%d %s in=%d out=%d n=%d",
+			e.DropCode, e.SwitchID, e.Flow, e.IngressPort, e.EgressPort, e.Count)
+	case TypeCongestion:
+		return fmt.Sprintf("congestion sw=%d %s port=%d q=%d lat=%dus n=%d",
+			e.SwitchID, e.Flow, e.EgressPort, e.Queue, e.QueueLatencyUs, e.Count)
+	case TypePathChange:
+		return fmt.Sprintf("path-change sw=%d %s in=%d out=%d",
+			e.SwitchID, e.Flow, e.IngressPort, e.EgressPort)
+	case TypePause:
+		return fmt.Sprintf("pause sw=%d %s port=%d q=%d n=%d",
+			e.SwitchID, e.Flow, e.EgressPort, e.Queue, e.Count)
+	default:
+		return fmt.Sprintf("event(type=%d)", e.Type)
+	}
+}
+
+// RecordLen is the exact on-wire size of one event record: 1 B type tag,
+// 13 B flow, 4 B event-specific detail, 2 B counter, 4 B hash.
+const RecordLen = 24
+
+// AppendRecord appends the 24-byte record encoding of e to b.
+//
+// Layout: type(1) | flow(13) | detail(4) | count(2) | hash(4), big-endian.
+// Detail by type:
+//
+//	drop:        ingress(1) egress(1) dropCode(1) aclRule(1)
+//	congestion:  egress(1) queue(1) latencyUs(2)
+//	path-change: ingress(1) egress(1) 0(2)
+//	pause:       egress(1) queue(1) 0(2)
+func (e *Event) AppendRecord(b []byte) []byte {
+	var r [RecordLen]byte
+	r[0] = byte(e.Type)
+	e.Flow.PutWire(r[1:14])
+	switch e.Type {
+	case TypeDrop:
+		r[14] = e.IngressPort
+		r[15] = e.EgressPort
+		r[16] = byte(e.DropCode)
+		r[17] = e.ACLRule
+	case TypeCongestion:
+		r[14] = e.EgressPort
+		r[15] = e.Queue
+		binary.BigEndian.PutUint16(r[16:18], e.QueueLatencyUs)
+	case TypePathChange:
+		r[14] = e.IngressPort
+		r[15] = e.EgressPort
+	case TypePause:
+		r[14] = e.EgressPort
+		r[15] = e.Queue
+	}
+	binary.BigEndian.PutUint16(r[18:20], e.Count)
+	binary.BigEndian.PutUint32(r[20:24], e.Hash)
+	return append(b, r[:]...)
+}
+
+// DecodeRecord parses one 24-byte record into e, overwriting all per-record
+// fields (SwitchID and Timestamp are left untouched: they come from the
+// batch header).
+func (e *Event) DecodeRecord(b []byte) error {
+	if len(b) < RecordLen {
+		return fmt.Errorf("fevent: record truncated: %d bytes", len(b))
+	}
+	t := Type(b[0])
+	if !t.Valid() {
+		return fmt.Errorf("fevent: invalid event type %d", b[0])
+	}
+	e.Type = t
+	flow, err := pkt.FlowKeyFromWire(b[1:14])
+	if err != nil {
+		return err
+	}
+	e.Flow = flow
+	e.IngressPort, e.EgressPort, e.Queue = 0, 0, 0
+	e.QueueLatencyUs, e.DropCode, e.ACLRule = 0, DropNone, 0
+	switch t {
+	case TypeDrop:
+		e.IngressPort = b[14]
+		e.EgressPort = b[15]
+		e.DropCode = DropCode(b[16])
+		e.ACLRule = b[17]
+	case TypeCongestion:
+		e.EgressPort = b[14]
+		e.Queue = b[15]
+		e.QueueLatencyUs = binary.BigEndian.Uint16(b[16:18])
+	case TypePathChange:
+		e.IngressPort = b[14]
+		e.EgressPort = b[15]
+	case TypePause:
+		e.EgressPort = b[14]
+		e.Queue = b[15]
+	}
+	e.Count = binary.BigEndian.Uint16(b[18:20])
+	e.Hash = binary.BigEndian.Uint32(b[20:24])
+	return nil
+}

@@ -1,0 +1,73 @@
+package groupcache
+
+import (
+	"netseer/internal/fevent"
+)
+
+// ACLAggregator counts ACL-deny drops at rule granularity (§3.4): most ACL
+// drops are intentional, so reporting one flow event per denied flow would
+// flood the collector. Instead NetSeer keeps one counter per rule ID and
+// reports the rule with its counter; the rule's own match field describes
+// the affected traffic.
+type ACLAggregator struct {
+	c       uint16
+	report  ReportFunc
+	counter map[uint8]*aclState
+}
+
+type aclState struct {
+	ev      fevent.Event
+	counter uint32
+	target  uint32
+}
+
+// NewACLAggregator creates an aggregator reporting every c drops per rule
+// (and on first drop).
+func NewACLAggregator(c uint16, report ReportFunc) *ACLAggregator {
+	if c == 0 {
+		panic("groupcache: C must be positive")
+	}
+	if report == nil {
+		panic("groupcache: report must not be nil")
+	}
+	return &ACLAggregator{c: c, report: report, counter: make(map[uint8]*aclState)}
+}
+
+// Offer processes one ACL-denied packet attributed to rule.
+func (a *ACLAggregator) Offer(rule uint8, ev *fevent.Event) {
+	s := a.counter[rule]
+	if s == nil {
+		s = &aclState{target: uint32(a.c)}
+		s.ev = *ev
+		s.ev.DropCode = fevent.DropACLDeny
+		s.ev.ACLRule = rule
+		a.counter[rule] = s
+	}
+	s.counter++
+	if s.counter == 1 || s.counter >= s.target {
+		a.emit(s)
+		if s.counter >= s.target {
+			s.target += uint32(a.c)
+		}
+	}
+}
+
+func (a *ACLAggregator) emit(s *aclState) {
+	out := s.ev
+	if s.counter > 0xffff {
+		out.Count = 0xffff
+	} else {
+		out.Count = uint16(s.counter)
+	}
+	a.report(&out)
+}
+
+// Flush reports the final counter of every rule.
+func (a *ACLAggregator) Flush() {
+	for _, s := range a.counter {
+		a.emit(s)
+	}
+}
+
+// RuleCount returns the number of distinct rules seen.
+func (a *ACLAggregator) RuleCount() int { return len(a.counter) }

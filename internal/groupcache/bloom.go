@@ -1,0 +1,88 @@
+package groupcache
+
+import (
+	"hash/crc32"
+
+	"netseer/internal/fevent"
+)
+
+// BloomDedup is the strawman the paper argues against (§3.4): a Bloom
+// filter that reports an event packet only if its flow event has not been
+// seen before. Memory-efficient, but hash collisions make it suppress the
+// first packet of a colliding flow event — a false negative, which is
+// unacceptable for network exoneration. It exists here as the ablation
+// baseline for BenchmarkAblationDedup and the false-negative property test.
+type BloomDedup struct {
+	bits   []uint64
+	nbits  uint32
+	k      int
+	report ReportFunc
+
+	ingested uint64
+	reported uint64
+}
+
+var bloomTable = crc32.MakeTable(crc32.Koopman)
+
+// NewBloomDedup creates a Bloom-filter dedup with the given number of bits
+// (rounded up to a multiple of 64) and k hash functions.
+func NewBloomDedup(bits int, k int, report ReportFunc) *BloomDedup {
+	if bits <= 0 || k <= 0 {
+		panic("groupcache: bloom bits and k must be positive")
+	}
+	if report == nil {
+		panic("groupcache: report must not be nil")
+	}
+	words := (bits + 63) / 64
+	return &BloomDedup{
+		bits:   make([]uint64, words),
+		nbits:  uint32(words * 64),
+		k:      k,
+		report: report,
+	}
+}
+
+func (b *BloomDedup) positions(key fevent.Key, out []uint32) {
+	// Double hashing: h1 + i*h2, the standard Kirsch–Mitzenmacher scheme.
+	var buf [20]byte
+	key.Flow.PutWire(buf[:13])
+	buf[13] = byte(key.Type)
+	buf[14] = byte(key.DropCode)
+	buf[15] = key.ACLRule
+	h1 := crc32.Checksum(buf[:16], castagnoliBloom)
+	h2 := crc32.Checksum(buf[:16], bloomTable) | 1
+	for i := 0; i < b.k; i++ {
+		out[i] = (h1 + uint32(i)*h2) % b.nbits
+	}
+}
+
+var castagnoliBloom = crc32.MakeTable(crc32.Castagnoli)
+
+// Offer processes one event packet: reported once per (believed-)new flow
+// event, suppressed otherwise.
+func (b *BloomDedup) Offer(ev *fevent.Event) {
+	b.ingested++
+	pos := make([]uint32, b.k)
+	b.positions(ev.Key(), pos)
+	seen := true
+	for _, p := range pos {
+		if b.bits[p/64]&(1<<(p%64)) == 0 {
+			seen = false
+		}
+	}
+	if seen {
+		return
+	}
+	for _, p := range pos {
+		b.bits[p/64] |= 1 << (p % 64)
+	}
+	b.reported++
+	out := *ev
+	out.Count = 1
+	b.report(&out)
+}
+
+// Stats reports offered and emitted counts.
+func (b *BloomDedup) Stats() (ingested, reported uint64) {
+	return b.ingested, b.reported
+}

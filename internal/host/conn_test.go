@@ -1,0 +1,185 @@
+package host
+
+import (
+	"testing"
+
+	"netseer/internal/dataplane"
+	"netseer/internal/link"
+	"netseer/internal/nic"
+	"netseer/internal/sim"
+)
+
+// Transport-focused tests beyond the fabric-level ones in host_test.go.
+
+func TestConnWindowLimitsInFlight(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[31]
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{Window: 4}, func(int, int) {})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{Window: 4})
+	c.Send(100 * 1400)
+	// Before anything is acked, in-flight is capped at the window.
+	if c.InFlight() > 4 {
+		t.Errorf("in-flight = %d, window 4", c.InFlight())
+	}
+	n.sim.RunAll()
+	if !c.Idle() {
+		t.Error("not idle after delivery")
+	}
+}
+
+func TestConnOutOfOrderDelivery(t *testing.T) {
+	// ECMP reorders nothing in this fabric, so emulate reordering by
+	// injecting segment loss and verifying in-order delivery at the
+	// receiver despite retransmission (Go-back-N refills the hole).
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[31]
+	var seqs []int
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{RTO: 100 * sim.Microsecond}, func(seq, size int) {
+		seqs = append(seqs, seq)
+	})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{RTO: 100 * sim.Microsecond})
+	at := n.fab.HostPorts[cli.Node.ID][0]
+	at.Link.SetFault(at.FromA, link.Fault{SilentLossProb: 0.2})
+	c.Send(50 * 1400)
+	n.sim.Run(sim.Second)
+	if len(seqs) != 50 {
+		t.Fatalf("delivered %d of 50 segments", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("out-of-order upcall: position %d got seq %d", i, s)
+		}
+	}
+}
+
+func TestConnDuplicateDataIgnored(t *testing.T) {
+	// Loss of ACKs forces retransmissions of already-delivered segments;
+	// the receiver must not double-deliver.
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[31]
+	delivered := 0
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{RTO: 100 * sim.Microsecond}, func(int, int) {
+		delivered++
+	})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{RTO: 100 * sim.Microsecond})
+	// Lose ACKs: fault on the server's outbound direction.
+	at := n.fab.HostPorts[srv.Node.ID][0]
+	at.Link.SetFault(at.FromA, link.Fault{SilentLossProb: 0.3})
+	c.Send(30 * 1400)
+	n.sim.Run(sim.Second)
+	if delivered != 30 {
+		t.Fatalf("delivered %d of 30 (duplicates or loss)", delivered)
+	}
+	if c.Retransmits == 0 {
+		t.Error("no retransmits despite ACK loss")
+	}
+}
+
+func TestConnSmallSend(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[1]
+	var sizes []int
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{}, func(seq, size int) {
+		sizes = append(sizes, size)
+	})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{})
+	c.Send(100) // less than one MSS
+	n.sim.RunAll()
+	if len(sizes) != 1 {
+		t.Fatalf("delivered %d segments, want 1", len(sizes))
+	}
+	if !c.Idle() {
+		t.Error("not idle")
+	}
+}
+
+func TestConnMultipleSends(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[31]
+	got := 0
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{}, func(int, int) { got++ })
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{})
+	c.Send(10 * 1400)
+	n.sim.RunAll()
+	c.Send(5 * 1400)
+	n.sim.RunAll()
+	if got != 15 {
+		t.Errorf("delivered %d of 15 across two sends", got)
+	}
+}
+
+func TestRPCStopEndsLoop(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	r := NewRPC(n.hosts[0], n.hosts[31], RPCConfig{RespBytes: 4 << 10})
+	r.Loop(10 * sim.Microsecond)
+	n.sim.Run(2 * sim.Millisecond)
+	r.Stop()
+	n.sim.RunAll() // must terminate
+	if len(r.Latencies) == 0 {
+		t.Fatal("loop completed no calls")
+	}
+	done := len(r.Latencies)
+	n.sim.RunAll()
+	if len(r.Latencies) != done {
+		t.Error("calls completed after Stop+drain")
+	}
+}
+
+func TestAIMDWindowGrowsOnCleanPath(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[31]
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{AIMD: true}, func(int, int) {})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{AIMD: true, Window: 64})
+	if c.Cwnd() != 2 {
+		t.Fatalf("initial cwnd = %d, want 2", c.Cwnd())
+	}
+	c.Send(200 * 1400)
+	n.sim.RunAll()
+	if c.Cwnd() <= 2 {
+		t.Errorf("cwnd did not grow on a clean path: %d", c.Cwnd())
+	}
+	if !c.Idle() {
+		t.Error("not idle after delivery")
+	}
+}
+
+func TestAIMDBacksOffOnLoss(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[31]
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{AIMD: true, RTO: 100 * sim.Microsecond}, func(int, int) {})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{AIMD: true, Window: 64, RTO: 100 * sim.Microsecond})
+	// Grow the window first.
+	c.Send(100 * 1400)
+	n.sim.RunAll()
+	grown := c.Cwnd()
+	// Sustained loss: the window must shrink below its grown value.
+	at := n.fab.HostPorts[cli.Node.ID][0]
+	at.Link.SetFault(at.FromA, link.Fault{SilentLossProb: 0.5})
+	c.Send(50 * 1400)
+	n.sim.Run(n.sim.Now() + 5*sim.Millisecond)
+	shrunk := c.Cwnd()
+	if shrunk >= grown {
+		t.Errorf("cwnd %d did not back off from %d under 50%% loss", shrunk, grown)
+	}
+	// Recovery: clear the fault and finish.
+	at.Link.SetFault(at.FromA, link.Fault{})
+	n.sim.Run(n.sim.Now() + 2*sim.Second)
+	if !c.Idle() {
+		t.Error("transfer did not complete after fault cleared")
+	}
+}
+
+func TestAIMDRespectsMaxWindow(t *testing.T) {
+	n := newTestNet(t, dataplane.Config{}, nic.Config{})
+	cli, srv := n.hosts[0], n.hosts[1]
+	srv.Accept(cli.Node.IP, 5000, 4000, ConnConfig{AIMD: true}, func(int, int) {})
+	c := cli.Dial(srv.Node.IP, 4000, 5000, ConnConfig{AIMD: true, Window: 4})
+	c.Send(500 * 1400)
+	n.sim.RunAll()
+	if c.Cwnd() > 4 {
+		t.Errorf("cwnd %d exceeded max window 4", c.Cwnd())
+	}
+	if !c.Idle() {
+		t.Error("not idle")
+	}
+}

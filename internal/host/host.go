@@ -1,0 +1,135 @@
+// Package host provides traffic endpoints over the simulated fabric: a
+// generic host with per-port service dispatch, an open-loop UDP sender,
+// a small reliable windowed transport ("TCP-lite") with timeout
+// retransmission, and an RPC layer used by the SLA-violation case study
+// (Fig. 8(b)).
+package host
+
+import (
+	"fmt"
+
+	"netseer/internal/dataplane"
+	"netseer/internal/nic"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+	"netseer/internal/topo"
+)
+
+// Host is one server: a NIC plus protocol endpoints.
+type Host struct {
+	Node topo.Node
+	NIC  *nic.NIC
+	sim  *sim.Simulator
+
+	nextPktID *uint64 // shared across all hosts for globally unique IDs
+
+	// services dispatch received data packets by destination port.
+	services map[uint16]func(p *pkt.Packet)
+	// conns dispatch TCP-lite segments by (peer, ports).
+	conns map[connKey]*Conn
+
+	received uint64
+
+	// onProbeEcho is invoked with the measured RTT when a probe echo
+	// returns.
+	onProbeEcho func(peer uint32, rtt sim.Time)
+}
+
+type connKey struct {
+	peerIP     uint32
+	localPort  uint16
+	remotePort uint16
+}
+
+// Attach builds a host on a fabric attach point. pktID is the shared
+// packet-ID counter for the whole simulation.
+func Attach(s *sim.Simulator, fab *dataplane.Fabric, node topo.Node, ncfg nic.Config, pktID *uint64) *Host {
+	h := &Host{
+		Node: node, sim: s, nextPktID: pktID,
+		services: make(map[uint16]func(*pkt.Packet)),
+		conns:    make(map[connKey]*Conn),
+	}
+	at := fab.HostPorts[node.ID][0]
+	h.NIC = nic.New(s, at.Link, at.FromA, ncfg, h.deliver)
+	fab.AttachHost(node.ID, h.NIC)
+	return h
+}
+
+// Handle registers a service on a destination port.
+func (h *Host) Handle(port uint16, fn func(p *pkt.Packet)) {
+	h.services[port] = fn
+}
+
+// Received returns the count of data packets delivered to this host.
+func (h *Host) Received() uint64 { return h.received }
+
+func (h *Host) deliver(p *pkt.Packet) {
+	h.received++
+	if p.Kind == pkt.KindProbe {
+		h.deliverProbe(p)
+		return
+	}
+	if c, ok := h.conns[connKey{p.Flow.SrcIP, p.Flow.DstPort, p.Flow.SrcPort}]; ok {
+		c.receive(p)
+		return
+	}
+	if fn, ok := h.services[p.Flow.DstPort]; ok {
+		fn(p)
+	}
+}
+
+// deliverProbe echoes probe requests and completes returning echoes.
+func (h *Host) deliverProbe(p *pkt.Packet) {
+	if p.Flow.DstPort == ProbeEchoPort {
+		*h.nextPktID++
+		echo := &pkt.Packet{
+			ID: *h.nextPktID, Kind: pkt.KindProbe, Flow: p.Flow.Reverse(),
+			WireLen: 64, TTL: 64, Priority: p.Priority,
+			SentAt: p.SentAt, // carry the original timestamp back
+		}
+		h.NIC.Send(echo)
+		return
+	}
+	if p.Flow.DstPort == probeSrcPort && h.onProbeEcho != nil {
+		h.onProbeEcho(p.Flow.SrcIP, h.sim.Now()-p.SentAt)
+	}
+}
+
+// OnProbeEcho registers the probe-RTT callback.
+func (h *Host) OnProbeEcho(fn func(peer uint32, rtt sim.Time)) { h.onProbeEcho = fn }
+
+// send transmits a raw packet via the NIC.
+func (h *Host) send(flow pkt.FlowKey, wireLen int, prio uint8, payload []byte) {
+	*h.nextPktID++
+	h.NIC.Send(&pkt.Packet{
+		ID: *h.nextPktID, Kind: pkt.KindData, Flow: flow,
+		WireLen: wireLen, TTL: 64, Priority: prio,
+		SentAt: h.sim.Now(), Payload: payload,
+	})
+}
+
+// SendUDP emits a burst of UDP packets for flow at the NIC's line rate.
+func (h *Host) SendUDP(flow pkt.FlowKey, packets int, wireLen int, prio uint8) {
+	for i := 0; i < packets; i++ {
+		h.send(flow, wireLen, prio, nil)
+	}
+}
+
+// ProbeEchoPort is the well-known probe responder port.
+const ProbeEchoPort = 7
+
+const probeSrcPort = 62000
+
+// SendProbe emits one Pingmesh-style probe toward dst; the echo invokes
+// the OnProbeEcho callback with the measured RTT.
+func (h *Host) SendProbe(dst uint32) {
+	*h.nextPktID++
+	flow := pkt.FlowKey{SrcIP: h.Node.IP, DstIP: dst, SrcPort: probeSrcPort, DstPort: ProbeEchoPort, Proto: pkt.ProtoUDP}
+	h.NIC.Send(&pkt.Packet{
+		ID: *h.nextPktID, Kind: pkt.KindProbe, Flow: flow,
+		WireLen: 64, TTL: 64, SentAt: h.sim.Now(),
+	})
+}
+
+// String names the host.
+func (h *Host) String() string { return fmt.Sprintf("host(%s)", h.Node.Name) }

@@ -1,0 +1,148 @@
+package host
+
+import (
+	"netseer/internal/sim"
+)
+
+// RPC is a request/response exchange between two hosts over a pair of
+// TCP-lite connections, with measurable end-to-end latency — the shape of
+// the block-storage workload in the paper's SLA case study (§5.1).
+type RPC struct {
+	Client *Host
+	Server *Host
+
+	cfg RPCConfig
+
+	cliConn *Conn // client → server (requests)
+	srvConn *Conn // server → client (responses)
+
+	reqSegs  int
+	respSegs int
+
+	// server-side progress in segments toward the current request.
+	gotReq int
+	// client-side progress toward the current response.
+	gotResp int
+
+	started  sim.Time
+	inflight bool
+	stopped  bool
+
+	// Latencies records one entry per completed call.
+	Latencies []sim.Time
+	onDone    func(lat sim.Time)
+}
+
+// RPCConfig parameterizes an RPC channel.
+type RPCConfig struct {
+	ClientPort uint16
+	ServerPort uint16
+	// ReqBytes / RespBytes size each call (defaults 4 kB / 64 kB).
+	ReqBytes  int
+	RespBytes int
+	// Processing returns the server-side service time per call
+	// (default: constant 10 µs). Inject app-side stalls here.
+	Processing func() sim.Time
+	// Conn carries transport parameters.
+	Conn ConnConfig
+}
+
+func (c RPCConfig) withDefaults() RPCConfig {
+	if c.ClientPort == 0 {
+		c.ClientPort = 40001
+	}
+	if c.ServerPort == 0 {
+		c.ServerPort = 5000
+	}
+	if c.ReqBytes <= 0 {
+		c.ReqBytes = 4 << 10
+	}
+	if c.RespBytes <= 0 {
+		c.RespBytes = 64 << 10
+	}
+	if c.Processing == nil {
+		c.Processing = func() sim.Time { return 10 * sim.Microsecond }
+	}
+	return c
+}
+
+// NewRPC wires an RPC channel between client and server.
+func NewRPC(client, server *Host, cfg RPCConfig) *RPC {
+	cfg = cfg.withDefaults()
+	conn := cfg.Conn.withDefaults()
+	r := &RPC{Client: client, Server: server, cfg: cfg}
+	r.reqSegs = (cfg.ReqBytes + conn.MSS - 1) / conn.MSS
+	r.respSegs = (cfg.RespBytes + conn.MSS - 1) / conn.MSS
+	r.cliConn = client.Dial(server.Node.IP, cfg.ClientPort, cfg.ServerPort, conn)
+	// Server side of the request stream.
+	server.Accept(client.Node.IP, cfg.ServerPort, cfg.ClientPort, conn, func(seq, size int) {
+		r.gotReq++
+		if r.gotReq >= r.reqSegs {
+			r.gotReq -= r.reqSegs
+			delay := r.cfg.Processing()
+			server.sim.Schedule(delay, func() {
+				r.srvConn.Send(r.cfg.RespBytes)
+			})
+		}
+	})
+	// Response stream: server → client.
+	r.srvConn = server.Dial(client.Node.IP, cfg.ServerPort+1, cfg.ClientPort+1, conn)
+	client.Accept(server.Node.IP, cfg.ClientPort+1, cfg.ServerPort+1, conn, func(seq, size int) {
+		r.gotResp++
+		if r.gotResp >= r.respSegs {
+			r.gotResp -= r.respSegs
+			r.complete()
+		}
+	})
+	return r
+}
+
+// Call issues one RPC; at most one may be in flight per channel.
+func (r *RPC) Call() {
+	if r.inflight || r.stopped {
+		return
+	}
+	r.inflight = true
+	r.started = r.Client.sim.Now()
+	r.cliConn.Send(r.cfg.ReqBytes)
+}
+
+func (r *RPC) complete() {
+	if !r.inflight {
+		return
+	}
+	r.inflight = false
+	lat := r.Client.sim.Now() - r.started
+	r.Latencies = append(r.Latencies, lat)
+	if r.onDone != nil {
+		r.onDone(lat)
+	}
+}
+
+// Loop issues calls closed-loop with the given think time between a
+// completion and the next call, until Stop is called or the simulation
+// ends.
+func (r *RPC) Loop(think sim.Time) {
+	prev := r.onDone
+	r.onDone = func(lat sim.Time) {
+		if prev != nil {
+			prev(lat)
+		}
+		if !r.stopped {
+			r.Client.sim.Schedule(think, r.Call)
+		}
+	}
+	r.Call()
+}
+
+// Stop ends a Loop after the in-flight call completes.
+func (r *RPC) Stop() { r.stopped = true }
+
+// OnDone registers a completion callback (composes with Loop if set
+// before Loop).
+func (r *RPC) OnDone(fn func(lat sim.Time)) { r.onDone = fn }
+
+// Retransmits reports total transport retransmissions on both directions.
+func (r *RPC) Retransmits() uint64 {
+	return r.cliConn.Retransmits + r.srvConn.Retransmits
+}

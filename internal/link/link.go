@@ -1,0 +1,183 @@
+// Package link models the physical medium between two devices:
+// propagation delay plus the failure modes NetSeer's inter-switch
+// detection exists for — silent packet drops and corruption caused by
+// contaminated connectors, bent fibre, decaying transmitters, etc. (§3.3).
+//
+// Serialization time is accounted by the transmitting port (it owns the
+// line rate); a Link only delays, damages or destroys frames in flight.
+package link
+
+import (
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Device is anything that can receive packets from a link: a switch
+// pipeline or a host NIC.
+type Device interface {
+	// Receive delivers a packet arriving on the device's ingressPort.
+	Receive(p *pkt.Packet, ingressPort int)
+}
+
+// Fault is an injectable per-direction failure process.
+type Fault struct {
+	// SilentLossProb silently destroys each frame with this probability.
+	SilentLossProb float64
+	// CorruptProb damages each frame with this probability; damaged frames
+	// are delivered with Corrupt set (the receiving MAC drops them).
+	CorruptProb float64
+	// burst state: a scheduled run of consecutive losses.
+	burstRemaining int
+}
+
+// Endpoint names one side of a link.
+type Endpoint struct {
+	Dev  Device
+	Port int
+}
+
+// Link is a full-duplex medium between endpoints A and B.
+type Link struct {
+	sim  *sim.Simulator
+	a, b Endpoint
+	prop sim.Time
+
+	faultAB Fault // applies to frames A→B
+	faultBA Fault
+	rng     *sim.Stream
+
+	// Per-direction delivery stats.
+	sentAB, deliveredAB, lostAB, corruptAB uint64
+	sentBA, deliveredBA, lostBA, corruptBA uint64
+
+	down bool
+
+	// OnLost, when set, is invoked for every frame destroyed in flight
+	// (silent loss, burst, down link) or damaged (corrupted=true; the
+	// frame still delivers and the receiving MAC discards it). Fabric
+	// builders use it to feed the ground-truth ledger.
+	OnLost func(fromA bool, p *pkt.Packet, corrupted bool)
+}
+
+// New creates a link with the given propagation delay. rng drives the
+// fault processes and must not be nil if faults are ever configured; pass
+// any stream for fault-free links too (it is cheap).
+func New(s *sim.Simulator, a, b Endpoint, prop sim.Time, rng *sim.Stream) *Link {
+	if a.Dev == nil || b.Dev == nil {
+		panic("link: endpoints must have devices")
+	}
+	if rng == nil {
+		panic("link: rng must not be nil")
+	}
+	return &Link{sim: s, a: a, b: b, prop: prop, rng: rng}
+}
+
+// SetEndpoint rewires one side of the link. Fabric builders construct
+// links before all devices exist and patch endpoints afterwards; frames
+// already in flight deliver to the endpoint captured at send time.
+func (l *Link) SetEndpoint(aSide bool, e Endpoint) {
+	if e.Dev == nil {
+		panic("link: endpoint device must not be nil")
+	}
+	if aSide {
+		l.a = e
+	} else {
+		l.b = e
+	}
+}
+
+// SetFault configures the failure process for the direction from the given
+// side ("from A" means frames transmitted by endpoint A).
+func (l *Link) SetFault(fromA bool, f Fault) {
+	if fromA {
+		l.faultAB = f
+	} else {
+		l.faultBA = f
+	}
+}
+
+// InjectLossBurst destroys the next n frames in the given direction —
+// the deterministic injector used to exercise consecutive-drop recovery
+// (Fig. 15).
+func (l *Link) InjectLossBurst(fromA bool, n int) {
+	if fromA {
+		l.faultAB.burstRemaining += n
+	} else {
+		l.faultBA.burstRemaining += n
+	}
+}
+
+// SetDown marks the link administratively/physically down; both directions
+// destroy all frames. (Port-down pipeline drops are detected at the
+// transmitting switch before frames reach the link; SetDown models a cut
+// in flight.)
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports the link's down state.
+func (l *Link) Down() bool { return l.down }
+
+// PropDelay returns the propagation delay.
+func (l *Link) PropDelay() sim.Time { return l.prop }
+
+// Send transmits p from the given side. The packet is delivered to the
+// opposite endpoint after the propagation delay, unless a fault destroys
+// it. Send takes ownership of p.
+func (l *Link) Send(fromA bool, p *pkt.Packet) {
+	var fault *Fault
+	var to Endpoint
+	if fromA {
+		fault, to = &l.faultAB, l.b
+		l.sentAB++
+	} else {
+		fault, to = &l.faultBA, l.a
+		l.sentBA++
+	}
+	if l.down {
+		l.count(fromA, &l.lostAB, &l.lostBA)
+		l.lost(fromA, p, false)
+		return
+	}
+	if fault.burstRemaining > 0 {
+		fault.burstRemaining--
+		l.count(fromA, &l.lostAB, &l.lostBA)
+		l.lost(fromA, p, false)
+		return
+	}
+	if fault.SilentLossProb > 0 && l.rng.Bool(fault.SilentLossProb) {
+		l.count(fromA, &l.lostAB, &l.lostBA)
+		l.lost(fromA, p, false)
+		return
+	}
+	if fault.CorruptProb > 0 && l.rng.Bool(fault.CorruptProb) {
+		p.Corrupt = true
+		l.count(fromA, &l.corruptAB, &l.corruptBA)
+		l.lost(fromA, p, true)
+	}
+	l.count(fromA, &l.deliveredAB, &l.deliveredBA)
+	port := to.Port
+	dev := to.Dev
+	l.sim.Schedule(l.prop, func() { dev.Receive(p, port) })
+}
+
+func (l *Link) lost(fromA bool, p *pkt.Packet, corrupted bool) {
+	if l.OnLost != nil {
+		l.OnLost(fromA, p, corrupted)
+	}
+}
+
+func (l *Link) count(fromA bool, ab, ba *uint64) {
+	if fromA {
+		*ab++
+	} else {
+		*ba++
+	}
+}
+
+// Stats reports per-direction counters: sent, delivered, silently lost,
+// corrupted-but-delivered.
+func (l *Link) Stats(fromA bool) (sent, delivered, lost, corrupt uint64) {
+	if fromA {
+		return l.sentAB, l.deliveredAB, l.lostAB, l.corruptAB
+	}
+	return l.sentBA, l.deliveredBA, l.lostBA, l.corruptBA
+}

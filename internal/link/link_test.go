@@ -1,0 +1,164 @@
+package link
+
+import (
+	"testing"
+
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+type sink struct {
+	got   []*pkt.Packet
+	ports []int
+}
+
+func (s *sink) Receive(p *pkt.Packet, port int) {
+	s.got = append(s.got, p)
+	s.ports = append(s.ports, port)
+}
+
+func newTestLink(t *testing.T) (*sim.Simulator, *Link, *sink, *sink) {
+	t.Helper()
+	s := sim.New()
+	a, b := &sink{}, &sink{}
+	l := New(s, Endpoint{a, 3}, Endpoint{b, 7}, sim.Microsecond, sim.NewStream(1, "link"))
+	return s, l, a, b
+}
+
+func TestDeliveryWithPropDelay(t *testing.T) {
+	s, l, _, b := newTestLink(t)
+	p := &pkt.Packet{ID: 1, WireLen: 100}
+	l.Send(true, p)
+	s.RunAll()
+	if len(b.got) != 1 || b.got[0].ID != 1 {
+		t.Fatalf("delivery failed: %v", b.got)
+	}
+	if b.ports[0] != 7 {
+		t.Errorf("delivered on port %d, want 7", b.ports[0])
+	}
+	if s.Now() != sim.Microsecond {
+		t.Errorf("delivered at %v, want 1µs", s.Now())
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	s, l, a, b := newTestLink(t)
+	l.Send(true, &pkt.Packet{ID: 1})
+	l.Send(false, &pkt.Packet{ID: 2})
+	s.RunAll()
+	if len(b.got) != 1 || len(a.got) != 1 {
+		t.Fatalf("a got %d, b got %d", len(a.got), len(b.got))
+	}
+	if a.ports[0] != 3 {
+		t.Errorf("a received on port %d, want 3", a.ports[0])
+	}
+}
+
+func TestSilentLoss(t *testing.T) {
+	s, l, _, b := newTestLink(t)
+	l.SetFault(true, Fault{SilentLossProb: 1.0})
+	for i := 0; i < 10; i++ {
+		l.Send(true, &pkt.Packet{ID: uint64(i)})
+	}
+	s.RunAll()
+	if len(b.got) != 0 {
+		t.Fatalf("delivered %d frames through lossy link", len(b.got))
+	}
+	sent, delivered, lost, _ := l.Stats(true)
+	if sent != 10 || delivered != 0 || lost != 10 {
+		t.Errorf("stats = %d %d %d", sent, delivered, lost)
+	}
+}
+
+func TestSilentLossRate(t *testing.T) {
+	s, l, _, b := newTestLink(t)
+	l.SetFault(true, Fault{SilentLossProb: 0.1})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		l.Send(true, &pkt.Packet{ID: uint64(i)})
+	}
+	s.RunAll()
+	got := len(b.got)
+	if got < 8700 || got > 9300 {
+		t.Errorf("delivered %d of %d at 10%% loss", got, n)
+	}
+}
+
+func TestCorruptionDeliversDamagedFrame(t *testing.T) {
+	s, l, _, b := newTestLink(t)
+	l.SetFault(true, Fault{CorruptProb: 1.0})
+	l.Send(true, &pkt.Packet{ID: 5})
+	s.RunAll()
+	if len(b.got) != 1 {
+		t.Fatal("corrupted frame not delivered")
+	}
+	if !b.got[0].Corrupt {
+		t.Error("frame not marked corrupt")
+	}
+	_, _, _, corrupt := l.Stats(true)
+	if corrupt != 1 {
+		t.Errorf("corrupt count = %d", corrupt)
+	}
+}
+
+func TestLossBurst(t *testing.T) {
+	s, l, _, b := newTestLink(t)
+	l.InjectLossBurst(true, 3)
+	for i := 0; i < 5; i++ {
+		l.Send(true, &pkt.Packet{ID: uint64(i)})
+	}
+	s.RunAll()
+	if len(b.got) != 2 {
+		t.Fatalf("delivered %d, want 2 after 3-frame burst", len(b.got))
+	}
+	if b.got[0].ID != 3 || b.got[1].ID != 4 {
+		t.Errorf("wrong survivors: %d %d", b.got[0].ID, b.got[1].ID)
+	}
+}
+
+func TestBurstIsDirectional(t *testing.T) {
+	s, l, a, _ := newTestLink(t)
+	l.InjectLossBurst(true, 3)
+	l.Send(false, &pkt.Packet{ID: 9})
+	s.RunAll()
+	if len(a.got) != 1 {
+		t.Error("burst on A→B affected B→A")
+	}
+}
+
+func TestDownLinkDropsEverything(t *testing.T) {
+	s, l, a, b := newTestLink(t)
+	l.SetDown(true)
+	if !l.Down() {
+		t.Error("Down() = false")
+	}
+	l.Send(true, &pkt.Packet{})
+	l.Send(false, &pkt.Packet{})
+	s.RunAll()
+	if len(a.got)+len(b.got) != 0 {
+		t.Error("down link delivered frames")
+	}
+	l.SetDown(false)
+	l.Send(true, &pkt.Packet{})
+	s.RunAll()
+	if len(b.got) != 1 {
+		t.Error("restored link did not deliver")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := sim.New()
+	for _, f := range []func(){
+		func() { New(s, Endpoint{}, Endpoint{&sink{}, 0}, 0, sim.NewStream(1, "x")) },
+		func() { New(s, Endpoint{&sink{}, 0}, Endpoint{&sink{}, 0}, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid New did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

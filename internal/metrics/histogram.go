@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-bucketed histogram for latency-like positive values:
+// constant relative error, bounded memory, mergeable — the structure a
+// collector keeps per (switch, event type) for queue-latency reporting.
+type Histogram struct {
+	// growth is the bucket boundary ratio (1.25 → ≤12.5% relative error).
+	growth float64
+	// buckets[i] counts values in [growth^i, growth^(i+1)).
+	buckets map[int]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram creates a histogram with the default 1.25 growth factor.
+func NewHistogram() *Histogram {
+	return &Histogram{growth: 1.25, buckets: make(map[int]uint64), min: math.Inf(1)}
+}
+
+// Observe records one value; non-positive values clamp to the smallest
+// bucket.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[h.bucketOf(v)]++
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	return int(math.Log(v) / math.Log(h.growth))
+}
+
+// lower bound of bucket i.
+func (h *Histogram) lower(i int) float64 {
+	return math.Pow(h.growth, float64(i))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the running mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the observed maximum.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) with the
+// histogram's relative-error bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	// Walk buckets in index order.
+	lo, hi := math.MaxInt32, math.MinInt32
+	for i := range h.buckets {
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	var acc uint64
+	for i := lo; i <= hi; i++ {
+		acc += h.buckets[i]
+		if acc >= target {
+			// Geometric midpoint of the bucket.
+			return h.lower(i) * math.Sqrt(h.growth)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's observations into h. Both must share the growth
+// factor (they do when both come from NewHistogram).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+}
+
+// String renders count/mean/p50/p99/max on one line.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Sparkline renders the distribution as a compact ASCII bar chart over
+// the occupied bucket range (for fetquery/terminal output).
+func (h *Histogram) Sparkline(width int) string {
+	if h.count == 0 || width <= 0 {
+		return ""
+	}
+	lo, hi := math.MaxInt32, math.MinInt32
+	for i := range h.buckets {
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	span := hi - lo + 1
+	cols := make([]uint64, width)
+	for i, n := range h.buckets {
+		col := (i - lo) * width / span
+		cols[col] += n
+	}
+	var peak uint64
+	for _, n := range cols {
+		if n > peak {
+			peak = n
+		}
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, n := range cols {
+		idx := int(math.Round(float64(n) / float64(peak) * float64(len(levels)-1)))
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

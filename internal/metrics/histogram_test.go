@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// 1..10000: p50 ≈ 5000, p99 ≈ 9900 within the 12.5% relative bound
+	// (plus bucket-midpoint slack).
+	for v := 1; v <= 10000; v++ {
+		h.Observe(float64(v))
+	}
+	checks := map[float64]float64{0.5: 5000, 0.9: 9000, 0.99: 9900}
+	for q, want := range checks {
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.15 {
+			t.Errorf("Quantile(%v) = %v, want ≈%v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(values []uint16) bool {
+		if len(values) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range values {
+			h.Observe(float64(v) + 1)
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := 1; v <= 100; v++ {
+		a.Observe(float64(v))
+	}
+	for v := 101; v <= 200; v++ {
+		b.Observe(float64(v))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 85 || med > 120 {
+		t.Errorf("merged median = %v, want ≈100", med)
+	}
+	a.Merge(nil)            // no-op
+	a.Merge(NewHistogram()) // empty no-op
+	if a.Count() != 200 {
+		t.Error("no-op merges changed count")
+	}
+}
+
+func TestHistogramNonPositiveClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(0.5)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 2 {
+		t.Errorf("clamped quantile = %v", q)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "empty" {
+		t.Error("empty string form")
+	}
+	h.Observe(100)
+	if h.String() == "" || h.String() == "empty" {
+		t.Error("non-empty string form")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	h := NewHistogram()
+	if h.Sparkline(10) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Sparkline(16)
+	if len([]rune(s)) != 16 {
+		t.Errorf("sparkline width = %d runes (%q)", len([]rune(s)), s)
+	}
+}

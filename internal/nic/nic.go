@@ -1,0 +1,196 @@
+// Package nic models the host SmartNIC. The paper implements NetSeer's
+// inter-switch modules (packet numbering + ring buffer on egress, gap
+// detection on ingress) on Netronome NICs so that edge links — host↔ToR —
+// are covered too; detected events are stored in local logs (§4 "NIC").
+package nic
+
+import (
+	"netseer/internal/fevent"
+	"netseer/internal/link"
+	"netseer/internal/pkt"
+	"netseer/internal/ringbuf"
+	"netseer/internal/seqtrack"
+	"netseer/internal/sim"
+)
+
+// Handler receives packets the NIC passes up to the host stack.
+type Handler func(p *pkt.Packet)
+
+// Config parameterizes a NIC.
+type Config struct {
+	// RingSlots sizes the egress ring buffer (default 256; edge links are
+	// slower, so smaller rings suffice).
+	RingSlots int
+	// DisableSeq turns the NetSeer edge modules off (plain NIC).
+	DisableSeq bool
+	// Bps is the NIC line rate used for pacing transmissions (default
+	// 25 Gb/s). Zero disables serialization accounting.
+	Bps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSlots <= 0 {
+		c.RingSlots = 256
+	}
+	if c.Bps == 0 {
+		c.Bps = 25e9
+	}
+	return c
+}
+
+// NIC is one host network interface attached to a single access link.
+type NIC struct {
+	sim     *sim.Simulator
+	cfg     Config
+	lnk     *link.Link
+	fromA   bool
+	handler Handler
+
+	nextSeq uint32
+	ring    *ringbuf.Ring
+	tracker *seqtrack.Tracker
+	pending []uint32
+	lastGap seqtrack.Notification
+
+	// Local event log (the NIC cannot reach the collector directly; the
+	// host agent reads the log).
+	Log []fevent.Event
+
+	busyUntil sim.Time
+
+	// Stats.
+	txPackets, rxPackets uint64
+	corruptRx            uint64
+	gaps                 uint64
+	pausedPrio           [8]bool
+}
+
+// New creates a NIC transmitting on the given link side, delivering
+// received data packets to handler.
+func New(s *sim.Simulator, l *link.Link, fromA bool, cfg Config, handler Handler) *NIC {
+	if handler == nil {
+		panic("nic: handler must not be nil")
+	}
+	cfg = cfg.withDefaults()
+	return &NIC{
+		sim: s, cfg: cfg, lnk: l, fromA: fromA, handler: handler,
+		ring:    ringbuf.New(cfg.RingSlots),
+		tracker: seqtrack.New(),
+	}
+}
+
+// Send transmits a packet, tagging it with the edge sequence number and
+// recording it in the ring. Serialization time is modeled by delaying
+// back-to-back sends.
+func (n *NIC) Send(p *pkt.Packet) {
+	n.txPackets++
+	if !n.cfg.DisableSeq && (p.Kind == pkt.KindData || p.Kind == pkt.KindProbe) {
+		id := n.nextSeq
+		n.nextSeq++
+		p.SeqTag = id
+		p.HasSeqTag = true
+		p.WireLen += pkt.NetSeerTagLen
+		n.ring.Record(id, p.Flow, p.WireLen)
+		n.drainOneLookup()
+	}
+	if n.cfg.Bps <= 0 {
+		n.lnk.Send(n.fromA, p)
+		return
+	}
+	ser := sim.Time(float64(p.WireLen*8) / n.cfg.Bps * 1e9)
+	start := n.sim.Now()
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	n.busyUntil = start + ser
+	n.sim.At(n.busyUntil, func() { n.lnk.Send(n.fromA, p) })
+}
+
+// Receive implements link.Device.
+func (n *NIC) Receive(p *pkt.Packet, port int) {
+	if p.Corrupt {
+		n.corruptRx++
+		return
+	}
+	n.rxPackets++
+	switch p.Kind {
+	case pkt.KindPFC:
+		if p.PFC != nil {
+			for prio := uint8(0); prio < 8; prio++ {
+				if p.PFC.IsPause(prio) {
+					n.pausedPrio[prio] = true
+				} else if p.PFC.IsResume(prio) {
+					n.pausedPrio[prio] = false
+				}
+			}
+		}
+		return
+	case pkt.KindLossNotify:
+		n.handleLossNotify(p)
+		return
+	}
+	if p.HasSeqTag && !n.cfg.DisableSeq {
+		id := p.SeqTag
+		p.HasSeqTag = false
+		p.SeqTag = 0
+		p.WireLen -= pkt.NetSeerTagLen
+		if notif := n.tracker.Observe(id); notif != nil {
+			n.gaps++
+			n.sendLossNotify(*notif)
+		}
+	}
+	n.handler(p)
+}
+
+func (n *NIC) sendLossNotify(notif seqtrack.Notification) {
+	payload := notif.AppendTo(nil)
+	for i := 0; i < seqtrack.NotifyCopies; i++ {
+		n.lnk.Send(n.fromA, &pkt.Packet{
+			Kind: pkt.KindLossNotify, WireLen: pkt.MinEthernetFrame,
+			Priority: 7, Payload: payload,
+		})
+	}
+}
+
+func (n *NIC) handleLossNotify(p *pkt.Packet) {
+	notif, err := seqtrack.DecodeNotification(p.Payload)
+	if err != nil || n.lastGap == notif {
+		return
+	}
+	n.lastGap = notif
+	for id := notif.FromID; ; id++ {
+		n.pending = append(n.pending, id)
+		if id == notif.ToID {
+			break
+		}
+	}
+	// NIC processors can loop: resolve immediately.
+	for len(n.pending) > 0 {
+		n.drainOneLookup()
+	}
+}
+
+func (n *NIC) drainOneLookup() {
+	if len(n.pending) == 0 {
+		return
+	}
+	id := n.pending[0]
+	n.pending = n.pending[1:]
+	if e, ok := n.ring.Lookup(id); ok {
+		n.Log = append(n.Log, fevent.Event{
+			Type: fevent.TypeDrop, Flow: e.Flow,
+			DropCode: fevent.DropInterSwitch,
+			Count:    1, Hash: e.Flow.Hash(),
+			Timestamp: n.sim.Now(),
+		})
+	}
+}
+
+// Paused reports whether the given priority is PFC-paused (exposed so
+// hosts can pace lossless traffic).
+func (n *NIC) Paused(prio uint8) bool { return n.pausedPrio[prio] }
+
+// Stats reports tx, rx, corrupt-discard and gap counts.
+func (n *NIC) Stats() (tx, rx, corrupt, gaps uint64) {
+	return n.txPackets, n.rxPackets, n.corruptRx, n.gaps
+}

@@ -1,0 +1,208 @@
+package nic
+
+import (
+	"testing"
+
+	"netseer/internal/fevent"
+	"netseer/internal/link"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// pair wires two NICs over one raw link.
+type pair struct {
+	sim  *sim.Simulator
+	l    *link.Link
+	a, b *NIC
+	toA  []*pkt.Packet
+	toB  []*pkt.Packet
+}
+
+func newPair(t *testing.T, cfg Config) *pair {
+	t.Helper()
+	s := sim.New()
+	p := &pair{sim: s}
+	var aFwd, bFwd Handler
+	aFwd = func(pk *pkt.Packet) { p.toA = append(p.toA, pk) }
+	bFwd = func(pk *pkt.Packet) { p.toB = append(p.toB, pk) }
+	aDef, bDef := &deferred{}, &deferred{}
+	p.l = link.New(s, link.Endpoint{Dev: aDef, Port: 0}, link.Endpoint{Dev: bDef, Port: 0},
+		sim.Microsecond, sim.NewStream(4, "nicpair"))
+	p.a = New(s, p.l, true, cfg, aFwd)
+	p.b = New(s, p.l, false, cfg, bFwd)
+	aDef.dev = p.a
+	bDef.dev = p.b
+	return p
+}
+
+type deferred struct{ dev link.Device }
+
+func (d *deferred) Receive(pk *pkt.Packet, port int) {
+	if d.dev != nil {
+		d.dev.Receive(pk, port)
+	}
+}
+
+func mkPkt(id uint64, size int) *pkt.Packet {
+	return &pkt.Packet{
+		ID: id, Kind: pkt.KindData,
+		Flow:    pkt.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP},
+		WireLen: size, TTL: 64,
+	}
+}
+
+func TestSendReceiveStripsTag(t *testing.T) {
+	p := newPair(t, Config{})
+	p.a.Send(mkPkt(1, 500))
+	p.sim.RunAll()
+	if len(p.toB) != 1 {
+		t.Fatalf("delivered %d", len(p.toB))
+	}
+	got := p.toB[0]
+	if got.HasSeqTag {
+		t.Error("tag not stripped before handler")
+	}
+	if got.WireLen != 500 {
+		t.Errorf("wire len %d, want 500 restored", got.WireLen)
+	}
+}
+
+func TestSerializationPacing(t *testing.T) {
+	// 2 × 1250 B at 25 Gb/s (default): 400 ns each + tag bytes; the second
+	// packet must leave after the first finishes.
+	p := newPair(t, Config{})
+	p.a.Send(mkPkt(1, 1250))
+	p.a.Send(mkPkt(2, 1250))
+	p.sim.RunAll()
+	if len(p.toB) != 2 {
+		t.Fatalf("delivered %d", len(p.toB))
+	}
+	// Delivery instants differ by one serialization time (~402 ns with the
+	// 6-byte tag).
+	if p.sim.Now() < sim.Microsecond+800*sim.Nanosecond {
+		t.Errorf("finished too early: %v", p.sim.Now())
+	}
+}
+
+func TestGapDetectionAndLog(t *testing.T) {
+	p := newPair(t, Config{})
+	for i := 0; i < 5; i++ {
+		p.a.Send(mkPkt(uint64(i), 300))
+	}
+	p.sim.RunAll()
+	p.l.InjectLossBurst(true, 3)
+	for i := 5; i < 8; i++ {
+		p.a.Send(mkPkt(uint64(i), 300)) // all lost
+	}
+	for i := 8; i < 12; i++ {
+		p.a.Send(mkPkt(uint64(i), 300)) // reveal the gap
+	}
+	p.sim.RunAll()
+	if len(p.a.Log) != 3 {
+		t.Fatalf("log has %d entries, want 3", len(p.a.Log))
+	}
+	for _, e := range p.a.Log {
+		if e.Type != fevent.TypeDrop || e.DropCode != fevent.DropInterSwitch {
+			t.Errorf("log entry %v", e.String())
+		}
+	}
+	_, _, _, gaps := p.b.Stats()
+	if gaps != 1 {
+		t.Errorf("gap episodes = %d, want 1", gaps)
+	}
+}
+
+func TestCorruptFrameDiscarded(t *testing.T) {
+	p := newPair(t, Config{})
+	p.a.Send(mkPkt(1, 300))
+	p.sim.RunAll()
+	p.l.SetFault(true, link.Fault{CorruptProb: 1})
+	p.a.Send(mkPkt(2, 300))
+	p.sim.RunAll()
+	p.l.SetFault(true, link.Fault{})
+	p.a.Send(mkPkt(3, 300))
+	p.sim.RunAll()
+	if len(p.toB) != 2 {
+		t.Fatalf("handler saw %d packets, want 2 (corrupt one discarded)", len(p.toB))
+	}
+	_, _, corrupt, _ := p.b.Stats()
+	if corrupt != 1 {
+		t.Errorf("corrupt counter = %d", corrupt)
+	}
+	// The corruption-induced gap is recovered into A's log.
+	if len(p.a.Log) != 1 {
+		t.Errorf("log = %d entries, want 1", len(p.a.Log))
+	}
+}
+
+func TestDisableSeqNoTagsNoLog(t *testing.T) {
+	p := newPair(t, Config{DisableSeq: true})
+	p.a.Send(mkPkt(1, 300))
+	p.sim.RunAll()
+	p.l.InjectLossBurst(true, 1)
+	p.a.Send(mkPkt(2, 300))
+	p.a.Send(mkPkt(3, 300))
+	p.sim.RunAll()
+	if len(p.a.Log) != 0 {
+		t.Error("log entries despite DisableSeq")
+	}
+	for _, got := range p.toB {
+		if got.HasSeqTag {
+			t.Error("tagged packet despite DisableSeq")
+		}
+	}
+}
+
+func TestPFCStateTracking(t *testing.T) {
+	p := newPair(t, Config{})
+	p.l.Send(true, &pkt.Packet{Kind: pkt.KindPFC, WireLen: 64, PFC: pkt.Pause(2, 0xffff)})
+	p.sim.RunAll()
+	if !p.b.Paused(2) {
+		t.Error("priority 2 not paused")
+	}
+	if p.b.Paused(3) {
+		t.Error("priority 3 spuriously paused")
+	}
+	p.l.Send(true, &pkt.Packet{Kind: pkt.KindPFC, WireLen: 64, PFC: pkt.Resume(2)})
+	p.sim.RunAll()
+	if p.b.Paused(2) {
+		t.Error("priority 2 not resumed")
+	}
+}
+
+func TestNotifyCopiesAreDeduplicated(t *testing.T) {
+	p := newPair(t, Config{})
+	for i := 0; i < 3; i++ {
+		p.a.Send(mkPkt(uint64(i), 300))
+	}
+	p.sim.RunAll()
+	p.l.InjectLossBurst(true, 1)
+	p.a.Send(mkPkt(10, 300))
+	p.a.Send(mkPkt(11, 300))
+	p.sim.RunAll()
+	// Three notification copies arrive; the victim appears once in the
+	// log.
+	if len(p.a.Log) != 1 {
+		t.Errorf("log = %d entries, want 1 despite 3 notify copies", len(p.a.Log))
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	New(sim.New(), nil, true, Config{}, nil)
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := newPair(t, Config{})
+	p.a.Send(mkPkt(1, 300))
+	p.sim.RunAll()
+	tx, _, _, _ := p.a.Stats()
+	_, rx, _, _ := p.b.Stats()
+	if tx != 1 || rx != 1 {
+		t.Errorf("tx=%d rx=%d", tx, rx)
+	}
+}

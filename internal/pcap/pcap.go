@@ -1,0 +1,157 @@
+// Package pcap writes simulated traffic as standard libpcap capture
+// files, so any run of the simulator can be inspected in Wireshark or
+// tcpdump. Frames are produced by the byte-accurate codecs in
+// internal/pkt (including the NetSeer packet-ID tag, which dissectors
+// show as an unknown EtherType payload), and timestamps are the
+// simulation's virtual clock.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Magic number for microsecond-resolution little-endian pcap.
+const magicMicros = 0xa1b2c3d4
+
+// LinkTypeEthernet is the DLT_EN10MB link type.
+const LinkTypeEthernet = 1
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	closer  io.Closer
+	scratch []byte
+	frames  uint64
+	// SnapLen caps stored frame bytes (default 65535).
+	SnapLen uint32
+}
+
+// NewWriter writes the pcap global header to w and returns a Writer. If
+// w is also an io.Closer, Close will close it.
+func NewWriter(w io.Writer) (*Writer, error) {
+	pw := &Writer{w: bufio.NewWriterSize(w, 64<<10), SnapLen: 65535}
+	if c, ok := w.(io.Closer); ok {
+		pw.closer = c
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone, sigfigs = 0.
+	binary.LittleEndian.PutUint32(hdr[16:20], pw.SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return pw, nil
+}
+
+// WriteFrame writes one raw Ethernet frame with the given virtual-time
+// timestamp.
+func (pw *Writer) WriteFrame(at sim.Time, frame []byte) error {
+	capLen := uint32(len(frame))
+	if capLen > pw.SnapLen {
+		capLen = pw.SnapLen
+	}
+	var hdr [16]byte
+	usec := uint64(at) / 1000
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(usec/1e6))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(usec%1e6))
+	binary.LittleEndian.PutUint32(hdr[8:12], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	pw.frames++
+	return nil
+}
+
+// WritePacket serializes a simulator data packet to its on-wire form and
+// writes it.
+func (pw *Writer) WritePacket(at sim.Time, p *pkt.Packet) error {
+	pw.scratch = pkt.MarshalDataFrame(p, pw.scratch[:0])
+	return pw.WriteFrame(at, pw.scratch)
+}
+
+// Frames returns the number of frames written.
+func (pw *Writer) Frames() uint64 { return pw.frames }
+
+// Close flushes (and closes the underlying writer if it is a Closer).
+func (pw *Writer) Close() error {
+	if err := pw.w.Flush(); err != nil {
+		return err
+	}
+	if pw.closer != nil {
+		return pw.closer.Close()
+	}
+	return nil
+}
+
+// Reader parses pcap files produced by Writer (round-trip testing and
+// offline analysis).
+type Reader struct {
+	r       *bufio.Reader
+	snapLen uint32
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != magicMicros {
+		return nil, fmt.Errorf("pcap: bad magic %#x", got)
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Reader{r: br, snapLen: binary.LittleEndian.Uint32(hdr[16:20])}, nil
+}
+
+// Next returns the next frame and its timestamp, or io.EOF.
+func (pr *Reader) Next() (at sim.Time, frame []byte, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:4])
+	usec := binary.LittleEndian.Uint32(hdr[4:8])
+	capLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if capLen > pr.snapLen {
+		return 0, nil, fmt.Errorf("pcap: frame of %d bytes exceeds snaplen", capLen)
+	}
+	frame = make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return 0, nil, err
+	}
+	return sim.Time(sec)*sim.Second + sim.Time(usec)*sim.Microsecond, frame, nil
+}
+
+// Tap attaches to a dataplane monitor hook and captures every packet it
+// sees; see baselines for the Monitor interface shape. It implements the
+// minimal subset via a function adapter so any hook site can feed it.
+type Tap struct {
+	W *Writer
+	// Clock supplies virtual time.
+	Clock func() sim.Time
+	Err   error
+}
+
+// Capture writes one packet, remembering the first error.
+func (t *Tap) Capture(p *pkt.Packet) {
+	if t.Err != nil || p.Kind != pkt.KindData {
+		return
+	}
+	t.Err = t.W.WritePacket(t.Clock(), p)
+}

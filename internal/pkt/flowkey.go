@@ -1,0 +1,117 @@
+// Package pkt defines the packet model shared by the network simulator and
+// byte-accurate codecs for the protocol headers NetSeer manipulates:
+// Ethernet, VLAN, the NetSeer packet-ID tag, IPv4, TCP, UDP and PFC
+// (IEEE 802.1Qbb) control frames.
+//
+// The simulator's hot path passes *Packet structs between components; the
+// codecs exist so that every format NetSeer defines on the wire (the
+// packet-ID tag, loss notifications, 24-byte event records) is specified
+// exactly and round-trip tested.
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Proto numbers used by the simulator (IANA assigned).
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// FlowKey identifies a flow by its IPv4 5-tuple. It is comparable and can
+// be used directly as a map key; Hash returns the same CRC-32C value the
+// switch pipeline would pre-compute and attach to event reports.
+type FlowKey struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// FlowKeyLen is the length of the canonical wire encoding of a FlowKey:
+// the 13-byte flow field of every NetSeer event record.
+const FlowKeyLen = 13
+
+// IP composes an IPv4 address from its dotted-quad octets.
+func IP(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// IPString renders an IPv4 address held in a uint32.
+func IPString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// String renders the 5-tuple in "proto src:port>dst:port" form.
+func (k FlowKey) String() string {
+	proto := "?"
+	switch k.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d>%s:%d", proto,
+		IPString(k.SrcIP), k.SrcPort, IPString(k.DstIP), k.DstPort)
+}
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP: k.DstIP, DstIP: k.SrcIP,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// AppendWire appends the canonical 13-byte encoding of the key to b:
+// srcIP(4) dstIP(4) srcPort(2) dstPort(2) proto(1), all big-endian.
+func (k FlowKey) AppendWire(b []byte) []byte {
+	var buf [FlowKeyLen]byte
+	k.PutWire(buf[:])
+	return append(b, buf[:]...)
+}
+
+// PutWire writes the canonical encoding into b, which must hold at least
+// FlowKeyLen bytes.
+func (k FlowKey) PutWire(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], k.SrcIP)
+	binary.BigEndian.PutUint32(b[4:8], k.DstIP)
+	binary.BigEndian.PutUint16(b[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], k.DstPort)
+	b[12] = k.Proto
+}
+
+// FlowKeyFromWire decodes the canonical 13-byte encoding.
+func FlowKeyFromWire(b []byte) (FlowKey, error) {
+	if len(b) < FlowKeyLen {
+		return FlowKey{}, fmt.Errorf("pkt: flow key truncated: %d bytes", len(b))
+	}
+	return FlowKey{
+		SrcIP:   binary.BigEndian.Uint32(b[0:4]),
+		DstIP:   binary.BigEndian.Uint32(b[4:8]),
+		SrcPort: binary.BigEndian.Uint16(b[8:10]),
+		DstPort: binary.BigEndian.Uint16(b[10:12]),
+		Proto:   b[12],
+	}, nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Hash returns the CRC-32C of the canonical encoding. The switch data plane
+// computes this once and attaches it to every event report so the switch
+// CPU can index its false-positive table without re-hashing (§3.6).
+func (k FlowKey) Hash() uint32 {
+	var buf [FlowKeyLen]byte
+	k.PutWire(buf[:])
+	return crc32.Checksum(buf[:], castagnoli)
+}
+
+// TableIndex reduces the hash onto a table of the given size.
+func (k FlowKey) TableIndex(size int) int {
+	return int(k.Hash() % uint32(size))
+}

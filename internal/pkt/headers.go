@@ -1,0 +1,268 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherType values understood by the codec.
+const (
+	EtherTypeIPv4     uint16 = 0x0800
+	EtherTypeVLAN     uint16 = 0x8100
+	EtherTypeMACCtrl  uint16 = 0x8808 // MAC control (PFC)
+	EtherTypeNetSeer  uint16 = 0x88B5 // IEEE local-experimental: NetSeer tag
+	EthernetHeaderLen        = 14
+	VLANHeaderLen            = 4
+	NetSeerTagLen            = 6 // 4-byte packet ID + 2-byte next EtherType
+	IPv4HeaderLen            = 20
+	TCPHeaderLen             = 20
+	UDPHeaderLen             = 8
+)
+
+// ErrTruncated reports a buffer too short for the header being decoded.
+var ErrTruncated = errors.New("pkt: truncated header")
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in canonical colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// AppendTo appends the 14-byte encoding to b.
+func (h *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (h *Ethernet) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: ethernet needs %d bytes, have %d", ErrTruncated, EthernetHeaderLen, len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[EthernetHeaderLen:], nil
+}
+
+// VLAN is an 802.1Q tag (follows the outer EtherType 0x8100).
+type VLAN struct {
+	Priority uint8 // PCP, 3 bits
+	DropElig bool  // DEI
+	ID       uint16
+	// EtherType of the encapsulated payload.
+	EtherType uint16
+}
+
+// AppendTo appends the 4-byte tag encoding to b.
+func (h *VLAN) AppendTo(b []byte) []byte {
+	tci := uint16(h.Priority&0x7)<<13 | h.ID&0x0fff
+	if h.DropElig {
+		tci |= 1 << 12
+	}
+	b = binary.BigEndian.AppendUint16(b, tci)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// DecodeFromBytes parses the tag and returns the remaining payload.
+func (h *VLAN) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < VLANHeaderLen {
+		return nil, fmt.Errorf("%w: vlan needs %d bytes, have %d", ErrTruncated, VLANHeaderLen, len(b))
+	}
+	tci := binary.BigEndian.Uint16(b[0:2])
+	h.Priority = uint8(tci >> 13)
+	h.DropElig = tci&(1<<12) != 0
+	h.ID = tci & 0x0fff
+	h.EtherType = binary.BigEndian.Uint16(b[2:4])
+	return b[VLANHeaderLen:], nil
+}
+
+// NetSeerTag is the inter-switch consecutive packet ID header (§3.3). On
+// the wire it follows an EtherType of EtherTypeNetSeer and precedes the
+// original payload's EtherType, mirroring how the paper hides the ID in
+// otherwise-unused bits (VLAN tags / IP options).
+type NetSeerTag struct {
+	PacketID uint32
+	// EtherType of the encapsulated payload.
+	EtherType uint16
+}
+
+// AppendTo appends the 6-byte tag encoding to b.
+func (h *NetSeerTag) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, h.PacketID)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// DecodeFromBytes parses the tag and returns the remaining payload.
+func (h *NetSeerTag) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < NetSeerTagLen {
+		return nil, fmt.Errorf("%w: netseer tag needs %d bytes, have %d", ErrTruncated, NetSeerTagLen, len(b))
+	}
+	h.PacketID = binary.BigEndian.Uint32(b[0:4])
+	h.EtherType = binary.BigEndian.Uint16(b[4:6])
+	return b[NetSeerTagLen:], nil
+}
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // filled in by AppendTo; verified by DecodeFromBytes
+	Src      uint32
+	Dst      uint32
+}
+
+// AppendTo appends the 20-byte encoding to b, computing the checksum.
+func (h *IPv4) AppendTo(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0x45, h.TOS) // version 4, IHL 5
+	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b = append(b, h.TTL, h.Protocol)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, h.Src)
+	b = binary.BigEndian.AppendUint32(b, h.Dst)
+	h.Checksum = internetChecksum(b[start : start+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[start+10:start+12], h.Checksum)
+	return b
+}
+
+// DecodeFromBytes parses the header, verifies version and checksum, and
+// returns the remaining payload.
+func (h *IPv4) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, fmt.Errorf("%w: ipv4 needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("pkt: ipv4 version = %d", v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("pkt: ipv4 bad IHL %d", ihl)
+	}
+	if internetChecksum(b[:ihl]) != 0 {
+		return nil, errors.New("pkt: ipv4 checksum mismatch")
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = binary.BigEndian.Uint32(b[12:16])
+	h.Dst = binary.BigEndian.Uint32(b[16:20])
+	return b[ihl:], nil
+}
+
+// internetChecksum computes the RFC 1071 ones-complement sum of b. Over a
+// header whose checksum field is filled in, the result is 0.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCP is a TCP header without options. Checksums over the pseudo-header are
+// outside the simulator's scope and left zero.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8 // FIN=0x01 SYN=0x02 RST=0x04 PSH=0x08 ACK=0x10
+	Window  uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+)
+
+// AppendTo appends the 20-byte encoding to b.
+func (h *TCP) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, 5<<4, h.Flags) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum (unused)
+	return binary.BigEndian.AppendUint16(b, 0)
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (h *TCP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, fmt.Errorf("%w: tcp needs %d bytes, have %d", ErrTruncated, TCPHeaderLen, len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || len(b) < off {
+		return nil, fmt.Errorf("pkt: tcp bad data offset %d", off)
+	}
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	return b[off:], nil
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16
+}
+
+// AppendTo appends the 8-byte encoding to b.
+func (h *UDP) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint16(b, h.Length)
+	return binary.BigEndian.AppendUint16(b, 0) // checksum (unused)
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (h *UDP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, fmt.Errorf("%w: udp needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	return b[UDPHeaderLen:], nil
+}

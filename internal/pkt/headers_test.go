@@ -1,0 +1,213 @@
+package pkt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	h := Ethernet{
+		Dst:       MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x55},
+		Src:       MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		EtherType: EtherTypeIPv4,
+	}
+	b := h.AppendTo(nil)
+	if len(b) != EthernetHeaderLen {
+		t.Fatalf("encoded length = %d", len(b))
+	}
+	var g Ethernet
+	rest, err := g.DecodeFromBytes(append(b, 0xde, 0xad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Errorf("round trip: got %+v want %+v", g, h)
+	}
+	if !bytes.Equal(rest, []byte{0xde, 0xad}) {
+		t.Errorf("rest = %x", rest)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var g Ethernet
+	if _, err := g.DecodeFromBytes(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x00, 0x1b, 0x21, 0xaa, 0x0f, 0x01}
+	if got := m.String(); got != "00:1b:21:aa:0f:01" {
+		t.Errorf("MAC.String() = %q", got)
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	f := func(prio uint8, dei bool, id, et uint16) bool {
+		h := VLAN{Priority: prio & 7, DropElig: dei, ID: id & 0x0fff, EtherType: et}
+		b := h.AppendTo(nil)
+		var g VLAN
+		rest, err := g.DecodeFromBytes(b)
+		return err == nil && g == h && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetSeerTagRoundTrip(t *testing.T) {
+	f := func(id uint32, et uint16) bool {
+		h := NetSeerTag{PacketID: id, EtherType: et}
+		b := h.AppendTo(nil)
+		if len(b) != NetSeerTagLen {
+			return false
+		}
+		var g NetSeerTag
+		rest, err := g.DecodeFromBytes(b)
+		return err == nil && g == h && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		TOS: 0xb8, TotalLen: 1500, ID: 4321, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: ProtoTCP,
+		Src: IP(10, 0, 0, 1), Dst: IP(172, 16, 5, 9),
+	}
+	b := h.AppendTo(nil)
+	if len(b) != IPv4HeaderLen {
+		t.Fatalf("encoded length = %d", len(b))
+	}
+	var g IPv4
+	if _, err := g.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Errorf("round trip: got %+v want %+v", g, h)
+	}
+}
+
+func TestIPv4ChecksumVerification(t *testing.T) {
+	h := IPv4{TotalLen: 40, TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2}
+	b := h.AppendTo(nil)
+	b[8] ^= 0xff // corrupt the TTL
+	var g IPv4
+	if _, err := g.DecodeFromBytes(b); err == nil {
+		t.Error("corrupted header decoded without error")
+	}
+}
+
+func TestIPv4BadVersion(t *testing.T) {
+	h := IPv4{TotalLen: 40, TTL: 64, Protocol: ProtoUDP}
+	b := h.AppendTo(nil)
+	b[0] = 0x65 // version 6
+	var g IPv4
+	if _, err := g.DecodeFromBytes(b); err == nil {
+		t.Error("wrong version decoded without error")
+	}
+}
+
+func TestIPv4QuickRoundTrip(t *testing.T) {
+	f := func(tos uint8, tl, id uint16, ttl, proto uint8, src, dst uint32) bool {
+		h := IPv4{TOS: tos, TotalLen: tl, ID: id, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+		b := h.AppendTo(nil)
+		var g IPv4
+		_, err := g.DecodeFromBytes(b)
+		return err == nil && g == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetChecksumZeroOverValid(t *testing.T) {
+	h := IPv4{TotalLen: 576, TTL: 3, Protocol: ProtoTCP, Src: 0xdeadbeef, Dst: 0xcafef00d}
+	b := h.AppendTo(nil)
+	if internetChecksum(b) != 0 {
+		t.Error("checksum over checksummed header is not zero")
+	}
+}
+
+func TestInternetChecksumOddLength(t *testing.T) {
+	// RFC 1071 example-adjacent: odd-length buffers pad with a zero byte.
+	got := internetChecksum([]byte{0x01})
+	want := ^uint16(0x0100)
+	if got != want {
+		t.Errorf("odd-length checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCP{SrcPort: 33000, DstPort: 443, Seq: 1e9, Ack: 77, Flags: TCPSyn | TCPAck, Window: 65535}
+	b := h.AppendTo(nil)
+	if len(b) != TCPHeaderLen {
+		t.Fatalf("encoded length = %d", len(b))
+	}
+	var g TCP
+	rest, err := g.DecodeFromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != h || len(rest) != 0 {
+		t.Errorf("round trip: got %+v want %+v", g, h)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	h := UDP{SrcPort: 5353, DstPort: 53, Length: 120}
+	b := h.AppendTo(nil)
+	if len(b) != UDPHeaderLen {
+		t.Fatalf("encoded length = %d", len(b))
+	}
+	var g UDP
+	if _, err := g.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Errorf("round trip: got %+v want %+v", g, h)
+	}
+}
+
+func TestPFCRoundTrip(t *testing.T) {
+	f := Pause(3, 0xffff)
+	b := f.AppendTo(nil)
+	if len(b) != PFCFrameLen {
+		t.Fatalf("encoded length = %d", len(b))
+	}
+	var g PFCFrame
+	rest, err := g.DecodeFromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != *f || len(rest) != 0 {
+		t.Errorf("round trip: got %+v want %+v", g, *f)
+	}
+}
+
+func TestPFCPauseResumeSemantics(t *testing.T) {
+	p := Pause(2, 100)
+	if !p.IsPause(2) || p.IsResume(2) {
+		t.Error("Pause frame misclassified")
+	}
+	if p.IsPause(3) {
+		t.Error("Pause reported for unrelated priority")
+	}
+	r := Resume(2)
+	if !r.IsResume(2) || r.IsPause(2) {
+		t.Error("Resume frame misclassified")
+	}
+}
+
+func TestPFCBadOpcode(t *testing.T) {
+	b := Pause(0, 1).AppendTo(nil)
+	b[0], b[1] = 0x00, 0x01 // classic PAUSE, not PFC
+	var g PFCFrame
+	if _, err := g.DecodeFromBytes(b); err == nil {
+		t.Error("non-PFC opcode decoded without error")
+	}
+}

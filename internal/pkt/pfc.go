@@ -1,0 +1,75 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PFCOpcode is the MAC-control opcode for priority-based flow control
+// (IEEE 802.1Qbb).
+const PFCOpcode uint16 = 0x0101
+
+// PFCFrameLen is the encoded length of a PFC frame body: opcode(2) +
+// class-enable vector(2) + 8 × pause time(2).
+const PFCFrameLen = 2 + 2 + 8*2
+
+// PFCQuantumNs is the duration of one pause quantum at 100 Gb/s: a quantum
+// is the time to transmit 512 bits.
+const PFCQuantumNs = 512.0 / 100e9 * 1e9 // ≈ 5.12 ns
+
+// PFCFrame is a decoded priority flow control frame. For each of the eight
+// traffic classes, EnableVec says whether the corresponding PauseTime is
+// valid; a non-zero PauseTime pauses the class, a zero PauseTime with the
+// enable bit set resumes it.
+type PFCFrame struct {
+	EnableVec uint8
+	PauseTime [8]uint16
+}
+
+// Pause constructs a frame pausing the given priority for the given number
+// of quanta (0xFFFF = maximum).
+func Pause(priority uint8, quanta uint16) *PFCFrame {
+	f := &PFCFrame{EnableVec: 1 << priority}
+	f.PauseTime[priority] = quanta
+	return f
+}
+
+// Resume constructs a frame resuming the given priority (pause time zero).
+func Resume(priority uint8) *PFCFrame {
+	return &PFCFrame{EnableVec: 1 << priority}
+}
+
+// IsPause reports whether the frame pauses the given priority.
+func (f *PFCFrame) IsPause(priority uint8) bool {
+	return f.EnableVec&(1<<priority) != 0 && f.PauseTime[priority] > 0
+}
+
+// IsResume reports whether the frame resumes the given priority.
+func (f *PFCFrame) IsResume(priority uint8) bool {
+	return f.EnableVec&(1<<priority) != 0 && f.PauseTime[priority] == 0
+}
+
+// AppendTo appends the MAC-control body (opcode + vector + times) to b.
+func (f *PFCFrame) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, PFCOpcode)
+	b = binary.BigEndian.AppendUint16(b, uint16(f.EnableVec))
+	for _, t := range f.PauseTime {
+		b = binary.BigEndian.AppendUint16(b, t)
+	}
+	return b
+}
+
+// DecodeFromBytes parses a MAC-control body and returns the remainder.
+func (f *PFCFrame) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < PFCFrameLen {
+		return nil, fmt.Errorf("%w: pfc needs %d bytes, have %d", ErrTruncated, PFCFrameLen, len(b))
+	}
+	if op := binary.BigEndian.Uint16(b[0:2]); op != PFCOpcode {
+		return nil, fmt.Errorf("pkt: MAC control opcode %#04x is not PFC", op)
+	}
+	f.EnableVec = uint8(binary.BigEndian.Uint16(b[2:4]))
+	for i := range f.PauseTime {
+		f.PauseTime[i] = binary.BigEndian.Uint16(b[4+2*i : 6+2*i])
+	}
+	return b[PFCFrameLen:], nil
+}

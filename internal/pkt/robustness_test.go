@@ -1,0 +1,86 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Decoder robustness: arbitrary bytes must never panic, and must either
+// produce a decoded frame or an error — the downstream switch MAC faces
+// arbitrary garbage when links corrupt frames.
+
+func TestDecodeFrameNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var fr Frame
+		defer func() {
+			if recover() != nil {
+				t.Errorf("DecodeFrame panicked on %x", data)
+			}
+		}()
+		_ = DecodeFrame(data, &fr)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderDecodersNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("header decoder panicked on %x", data)
+			}
+		}()
+		var e Ethernet
+		_, _ = e.DecodeFromBytes(data)
+		var v VLAN
+		_, _ = v.DecodeFromBytes(data)
+		var n NetSeerTag
+		_, _ = n.DecodeFromBytes(data)
+		var i IPv4
+		_, _ = i.DecodeFromBytes(data)
+		var tc TCP
+		_, _ = tc.DecodeFromBytes(data)
+		var u UDP
+		_, _ = u.DecodeFromBytes(data)
+		var p PFCFrame
+		_, _ = p.DecodeFromBytes(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalDataFrameNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("UnmarshalDataFrame panicked on %x", data)
+			}
+		}()
+		var p Packet
+		_ = UnmarshalDataFrame(data, &p)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncatedValidFramesError(t *testing.T) {
+	// Every truncation point of a valid frame must produce an error, not
+	// garbage.
+	p := &Packet{Flow: testFlow(), WireLen: 200, TTL: 9, SeqTag: 5, HasSeqTag: true}
+	wire := MarshalDataFrame(p, nil)
+	for cut := 0; cut < len(wire) && cut < 60; cut++ {
+		var f Frame
+		err := DecodeFrame(wire[:cut], &f)
+		// Cuts inside the payload succeed (headers complete at 60 bytes);
+		// cuts inside any header must error.
+		if cut < EthernetHeaderLen+NetSeerTagLen+IPv4HeaderLen+TCPHeaderLen && err == nil {
+			t.Errorf("cut at %d decoded without error", cut)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package resources
+
+import (
+	"testing"
+)
+
+func TestHeadlineFigures(t *testing.T) {
+	u := Estimate(Defaults())
+	// §4: every class except stateful ALU below ~20% NetSeer-added usage;
+	// stateful ALU ~40% total with batching+inter-switch ≈ 28 points.
+	for _, cl := range Classes {
+		if cl == StatefulALU {
+			continue
+		}
+		if got := u.NetSeerOnly(cl); got > 0.20 {
+			t.Errorf("%s NetSeer usage = %.0f%%, paper says <20%%", cl, got*100)
+		}
+	}
+	alu := u.Total(StatefulALU)
+	if alu < 0.35 || alu > 0.45 {
+		t.Errorf("stateful ALU total = %.0f%%, paper says ~40%%", alu*100)
+	}
+	hot := u[StatefulALU][Batching] + u[StatefulALU][InterSwitch]
+	if hot < 0.25 || hot > 0.31 {
+		t.Errorf("batching+inter-switch ALU = %.0f%%, paper says 28%%", hot*100)
+	}
+}
+
+func TestUsageScalesWithConfig(t *testing.T) {
+	small := Estimate(Config{Ports: 32, RingSlots: 64, GroupSlots: 256, GroupTables: 3, PathSlots: 1024, StackDepth: 64})
+	big := Estimate(Config{Ports: 64, RingSlots: 4096, GroupSlots: 16384, GroupTables: 3, PathSlots: 32768, StackDepth: 1024})
+	if small.Total(SRAM) >= big.Total(SRAM) {
+		t.Errorf("SRAM usage did not scale: %.3f vs %.3f", small.Total(SRAM), big.Total(SRAM))
+	}
+	// Float summation order over the map varies; compare with tolerance.
+	if d := small.NetSeerOnly(StatefulALU) - big.NetSeerOnly(StatefulALU); d > 1e-9 || d < -1e-9 {
+		t.Error("stateful ALU should be structural, not size-dependent")
+	}
+}
+
+func TestAllFractionsInRange(t *testing.T) {
+	u := Estimate(Defaults())
+	for cl, comps := range u {
+		for comp, f := range comps {
+			if f < 0 || f > 1 {
+				t.Errorf("%s/%s = %v out of [0,1]", cl, comp, f)
+			}
+		}
+		if tot := u.Total(cl); tot > 1 {
+			t.Errorf("%s total = %v exceeds the device", cl, tot)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	overall, detail := Estimate(Defaults()).Tables()
+	if overall.Rows() != len(Classes) {
+		t.Errorf("overall rows = %d", overall.Rows())
+	}
+	if detail.Rows() != len(Components) {
+		t.Errorf("detail rows = %d", detail.Rows())
+	}
+	if overall.String() == "" || detail.String() == "" {
+		t.Error("empty render")
+	}
+}

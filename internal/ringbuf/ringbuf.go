@@ -1,0 +1,124 @@
+// Package ringbuf implements the upstream side of NetSeer's inter-switch
+// drop detection (§3.3): a per-port ring buffer that records the flow key
+// and consecutive packet ID of the most recent N packets sent to the
+// neighboring device. When the downstream reports a gap [from, to] in the
+// sequence numbers it received, Lookup retrieves the victims.
+//
+// Correctness property from the paper, enforced here and tested: even when
+// the ring has been overwritten by subsequent traffic, Lookup never returns
+// the *wrong* packets — it compares the recorded packet ID against the
+// requested one before returning an entry, so overwritten slots are simply
+// reported as unrecoverable rather than misattributed.
+package ringbuf
+
+import (
+	"netseer/internal/pkt"
+)
+
+// Entry is one recorded packet: its flow identity, consecutive packet ID
+// and on-wire length (length is kept so congestion/overhead accounting can
+// reconstruct byte counts).
+type Entry struct {
+	Flow    pkt.FlowKey
+	ID      uint32
+	WireLen uint16
+}
+
+// Ring is a fixed-size per-egress-port packet record. The zero value is
+// unusable; call New.
+type Ring struct {
+	slots []Entry
+	valid []bool
+
+	recorded uint64
+	hits     uint64
+	misses   uint64 // lookups whose slot was already overwritten
+}
+
+// New creates a ring with n slots. In the paper's sizing (Fig. 15), a port
+// needs ≥25 slots to recover one 1024 B drop, and 64 ports × ~1,000 slots
+// ≈ 800 KB SRAM tolerate 1,000 consecutive drops.
+func New(n int) *Ring {
+	if n <= 0 {
+		panic("ringbuf: size must be positive")
+	}
+	return &Ring{slots: make([]Entry, n), valid: make([]bool, n)}
+}
+
+// Size returns the slot count.
+func (r *Ring) Size() int { return len(r.slots) }
+
+// BytesPerSlot is the SRAM cost of one slot in the hardware layout:
+// 13 B flow key + 4 B packet ID + 2 B length ≈ 19, padded to 20 for
+// word alignment. Used by the Fig. 15(b) SRAM accounting.
+const BytesPerSlot = 20
+
+// Record stores the packet with the given consecutive ID, overwriting the
+// slot ID mod N.
+func (r *Ring) Record(id uint32, flow pkt.FlowKey, wireLen int) {
+	i := int(id % uint32(len(r.slots)))
+	r.slots[i] = Entry{Flow: flow, ID: id, WireLen: uint16(wireLen)}
+	r.valid[i] = true
+	r.recorded++
+}
+
+// Lookup retrieves the entry recorded for packet ID id. ok is false when
+// the slot has been overwritten by a later packet (or never written): the
+// caller must then treat the drop as detected-but-unattributable rather
+// than guessing.
+func (r *Ring) Lookup(id uint32) (Entry, bool) {
+	i := int(id % uint32(len(r.slots)))
+	if !r.valid[i] || r.slots[i].ID != id {
+		r.misses++
+		return Entry{}, false
+	}
+	r.hits++
+	return r.slots[i], true
+}
+
+// LookupRange retrieves all recoverable entries with IDs in the inclusive
+// interval [from, to], in sequence order, handling uint32 wraparound. It
+// returns the entries found and the count of IDs in the interval that were
+// unrecoverable. Intervals longer than the ring size only scan the last
+// Size() IDs (earlier ones are overwritten by construction) but still count
+// the skipped ones as lost.
+//
+// The hardware cannot loop within a stage, so the real pipeline performs
+// one Lookup per subsequent trigger packet; LookupRange is the aggregate
+// the simulator uses once the per-packet triggers complete. See
+// core.NetSeerSwitch for the trigger-paced variant.
+func (r *Ring) LookupRange(from, to uint32) (found []Entry, unrecovered int) {
+	n := rangeLen(from, to)
+	start := from
+	if n > uint32(len(r.slots)) {
+		unrecovered += int(n - uint32(len(r.slots)))
+		start = from + (n - uint32(len(r.slots)))
+		n = uint32(len(r.slots))
+	}
+	for i := uint32(0); i < n; i++ {
+		id := start + i
+		if e, ok := r.Lookup(id); ok {
+			found = append(found, e)
+		} else {
+			unrecovered++
+		}
+	}
+	return found, unrecovered
+}
+
+// rangeLen returns the inclusive length of [from, to] under uint32
+// wraparound arithmetic.
+func rangeLen(from, to uint32) uint32 { return to - from + 1 }
+
+// Stats reports recorded packets, successful lookups and overwritten-slot
+// lookups.
+func (r *Ring) Stats() (recorded, hits, misses uint64) {
+	return r.recorded, r.hits, r.misses
+}
+
+// Reset clears all slots (used between experiment repetitions).
+func (r *Ring) Reset() {
+	for i := range r.valid {
+		r.valid[i] = false
+	}
+}

@@ -1,0 +1,112 @@
+// Package seqtrack implements the downstream side of NetSeer's
+// inter-switch drop detection (§3.3): per-ingress-port tracking of the
+// consecutive packet IDs inserted by the upstream device. A gap in the
+// sequence means packets were lost (or corrupted and dropped at the MAC);
+// the tracker emits a loss notification naming the missing interval, which
+// the upstream resolves against its ring buffer.
+//
+// Notifications are produced in triplicate (the paper sends three copies on
+// a high-priority queue so the notification itself survives the lossy
+// link).
+package seqtrack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// NotifyCopies is the number of redundant copies of each loss notification
+// the paper sends (§3.3).
+const NotifyCopies = 3
+
+// Notification reports that packet IDs in the inclusive interval
+// [FromID, ToID] were not received on a link.
+type Notification struct {
+	// FromID..ToID is the missing interval (inclusive, mod 2³²).
+	FromID uint32
+	ToID   uint32
+}
+
+// Count returns the number of packets the notification covers.
+func (n Notification) Count() uint32 { return n.ToID - n.FromID + 1 }
+
+// NotificationLen is the wire size of an encoded notification: two 4-byte
+// sequence numbers.
+const NotificationLen = 8
+
+// AppendTo appends the 8-byte encoding to b.
+func (n Notification) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, n.FromID)
+	return binary.BigEndian.AppendUint32(b, n.ToID)
+}
+
+// DecodeNotification parses one encoded notification.
+func DecodeNotification(b []byte) (Notification, error) {
+	if len(b) < NotificationLen {
+		return Notification{}, fmt.Errorf("seqtrack: notification truncated: %d bytes", len(b))
+	}
+	return Notification{
+		FromID: binary.BigEndian.Uint32(b[0:4]),
+		ToID:   binary.BigEndian.Uint32(b[4:8]),
+	}, nil
+}
+
+// Tracker watches the packet-ID sequence arriving on one ingress port.
+// It is not safe for concurrent use.
+type Tracker struct {
+	expected uint32
+	started  bool
+
+	received uint64
+	gaps     uint64
+	lost     uint64
+}
+
+// New returns a tracker that will synchronize to the first ID it sees.
+func New() *Tracker {
+	return &Tracker{}
+}
+
+// Observe processes the packet ID of one received packet and returns a
+// non-nil *Notification if a gap precedes it.
+//
+// The link preserves ordering (it is a single fibre between two ports), so
+// any jump forward means the skipped IDs were lost. A jump "backward"
+// (id != expected but distance > 2³¹) would mean reordering, which cannot
+// happen on a point-to-point link; the tracker resynchronizes and counts it
+// as a resync rather than fabricating an absurd gap.
+func (t *Tracker) Observe(id uint32) *Notification {
+	t.received++
+	if !t.started {
+		t.started = true
+		t.expected = id + 1
+		return nil
+	}
+	if id == t.expected {
+		t.expected = id + 1
+		return nil
+	}
+	dist := id - t.expected // mod 2³² forward distance
+	if dist >= 1<<31 {
+		// Backward jump: impossible on an ordered link; resync silently.
+		t.expected = id + 1
+		return nil
+	}
+	n := &Notification{FromID: t.expected, ToID: id - 1}
+	t.gaps++
+	t.lost += uint64(dist)
+	t.expected = id + 1
+	return n
+}
+
+// Stats reports received packets, detected gap episodes, and total packets
+// covered by emitted notifications.
+func (t *Tracker) Stats() (received, gapEpisodes, lostPackets uint64) {
+	return t.received, t.gaps, t.lost
+}
+
+// Reset returns the tracker to the unsynchronized state.
+func (t *Tracker) Reset() {
+	t.started = false
+	t.expected = 0
+}

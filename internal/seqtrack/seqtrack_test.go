@@ -1,0 +1,175 @@
+package seqtrack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInOrderNoNotification(t *testing.T) {
+	tr := New()
+	for id := uint32(0); id < 1000; id++ {
+		if n := tr.Observe(id); n != nil {
+			t.Fatalf("notification %+v for in-order ID %d", n, id)
+		}
+	}
+	recv, gaps, lost := tr.Stats()
+	if recv != 1000 || gaps != 0 || lost != 0 {
+		t.Errorf("stats = %d %d %d", recv, gaps, lost)
+	}
+}
+
+func TestSingleGap(t *testing.T) {
+	tr := New()
+	tr.Observe(10)
+	tr.Observe(11)
+	n := tr.Observe(15) // 12,13,14 lost
+	if n == nil {
+		t.Fatal("no notification for gap")
+	}
+	if n.FromID != 12 || n.ToID != 14 || n.Count() != 3 {
+		t.Errorf("notification = %+v", n)
+	}
+	// Sequence continues cleanly afterwards.
+	if tr.Observe(16) != nil {
+		t.Error("spurious notification after gap")
+	}
+}
+
+func TestSingleLoss(t *testing.T) {
+	tr := New()
+	tr.Observe(0)
+	n := tr.Observe(2)
+	if n == nil || n.FromID != 1 || n.ToID != 1 || n.Count() != 1 {
+		t.Fatalf("notification = %+v", n)
+	}
+}
+
+func TestFirstPacketSynchronizes(t *testing.T) {
+	tr := New()
+	if n := tr.Observe(12345); n != nil {
+		t.Errorf("notification on first packet: %+v", n)
+	}
+}
+
+func TestWraparoundGap(t *testing.T) {
+	tr := New()
+	tr.Observe(0xfffffffe)
+	n := tr.Observe(2) // 0xffffffff, 0, 1 lost
+	if n == nil {
+		t.Fatal("no notification across wraparound")
+	}
+	if n.FromID != 0xffffffff || n.ToID != 1 || n.Count() != 3 {
+		t.Errorf("notification = %+v count=%d", n, n.Count())
+	}
+}
+
+func TestWraparoundClean(t *testing.T) {
+	tr := New()
+	if tr.Observe(0xffffffff) != nil {
+		t.Fatal("sync notification")
+	}
+	if n := tr.Observe(0); n != nil {
+		t.Errorf("clean wraparound produced %+v", n)
+	}
+}
+
+func TestBackwardJumpResyncs(t *testing.T) {
+	tr := New()
+	tr.Observe(1000)
+	if n := tr.Observe(10); n != nil {
+		t.Errorf("backward jump produced notification %+v", n)
+	}
+	// After resync, the next in-order packet is clean.
+	if n := tr.Observe(11); n != nil {
+		t.Errorf("post-resync packet produced %+v", n)
+	}
+}
+
+func TestMultipleGapEpisodes(t *testing.T) {
+	tr := New()
+	tr.Observe(0)
+	tr.Observe(5) // gap 1-4
+	tr.Observe(6)
+	tr.Observe(10) // gap 7-9
+	_, gaps, lost := tr.Stats()
+	if gaps != 2 || lost != 7 {
+		t.Errorf("gaps=%d lost=%d, want 2, 7", gaps, lost)
+	}
+}
+
+func TestLostAccountingProperty(t *testing.T) {
+	// Drop an arbitrary subset of a sequence: total lost across
+	// notifications equals the number of dropped IDs (ignoring a possibly
+	// dropped tail, which no subsequent packet can reveal).
+	f := func(dropMask []bool) bool {
+		tr := New()
+		tr.Observe(0) // sync
+		want := uint64(0)
+		var notified uint64
+		lastDelivered := true
+		pendingDrops := uint64(0)
+		for i, drop := range dropMask {
+			id := uint32(i + 1)
+			if drop {
+				pendingDrops++
+				lastDelivered = false
+				continue
+			}
+			want += pendingDrops
+			pendingDrops = 0
+			if n := tr.Observe(id); n != nil {
+				notified += uint64(n.Count())
+			}
+			lastDelivered = true
+		}
+		_ = lastDelivered
+		_, _, lost := tr.Stats()
+		return lost == want && notified == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Observe(100)
+	tr.Reset()
+	if n := tr.Observe(0); n != nil {
+		t.Errorf("notification after reset: %+v", n)
+	}
+}
+
+func TestNotificationCodec(t *testing.T) {
+	n := Notification{FromID: 0xfffffff0, ToID: 5}
+	b := n.AppendTo(nil)
+	if len(b) != NotificationLen {
+		t.Fatalf("encoded %d bytes", len(b))
+	}
+	g, err := DecodeNotification(b)
+	if err != nil || g != n {
+		t.Fatalf("round trip: %+v, %v", g, err)
+	}
+	if _, err := DecodeNotification(b[:7]); err == nil {
+		t.Error("truncated notification decoded")
+	}
+}
+
+func TestNotificationCodecQuick(t *testing.T) {
+	f := func(from, to uint32) bool {
+		n := Notification{FromID: from, ToID: to}
+		g, err := DecodeNotification(n.AppendTo(nil))
+		return err == nil && g == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkObserveInOrder(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(uint32(i))
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+// Deterministic pseudo-random streams for simulation components.
+//
+// Every component that needs randomness (workload generators, loss
+// processes, ECMP perturbation …) derives its own named Stream from the
+// run's root seed, so adding a new consumer never perturbs the draws seen
+// by existing ones — a property plain math/rand sharing does not give us.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Stream is a small, fast, deterministic PRNG (xoshiro256**). It is not
+// cryptographically secure; it exists to make simulations reproducible.
+type Stream struct {
+	s [4]uint64
+}
+
+// NewStream derives an independent random stream from a root seed and a
+// component name. Identical (seed, name) pairs always yield identical
+// sequences.
+func NewStream(seed uint64, name string) *Stream {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	h.Write([]byte(name))
+	st := &Stream{}
+	// SplitMix64 expansion of the combined seed into full state.
+	x := h.Sum64()
+	for i := range st.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		st.s[i] = z ^ (z >> 31)
+	}
+	return st
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Stream) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Exp returns an exponentially distributed draw with the given mean.
+func (r *Stream) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

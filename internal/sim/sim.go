@@ -1,0 +1,235 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the network substrate in this repository (switches, links, hosts,
+// NICs) runs on top of a single Simulator: components schedule closures at
+// virtual-time instants and the engine executes them in (time, sequence)
+// order, so a run with a fixed seed is exactly reproducible.
+//
+// Time is modeled as integer nanoseconds (Time). The engine never consults
+// the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual-time instant in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, expressed in simulation Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant; Run(MaxTime) drains the
+// event queue completely.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the instant with automatic unit selection.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled closure.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	fn    func()
+	index int // heap index; -1 once popped or canceled
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use: all scheduled closures run on the goroutine that calls
+// Run or Step.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// processed counts executed events, mostly for tests and reporting.
+	processed uint64
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events still scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Handle identifies a scheduled event so it can be canceled. The zero Handle
+// is invalid.
+type Handle struct {
+	ev *event
+}
+
+// Schedule runs fn after delay d (which must be >= 0) relative to Now.
+func (s *Simulator) Schedule(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At runs fn at the absolute instant t, which must not be in the past.
+func (s *Simulator) At(t Time, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already ran, was canceled, or the handle is zero).
+func (s *Simulator) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, h.ev.index)
+	h.ev.index = -1
+	h.ev.fn = nil
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event and reports whether one
+// was executed.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events in order until the queue is empty, the next event lies
+// beyond the until instant, or Stop is called. It returns the virtual time at
+// which execution stopped. Events exactly at until are executed.
+func (s *Simulator) Run(until Time) Time {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 {
+		if s.queue[0].at > until {
+			break
+		}
+		s.Step()
+	}
+	// Advance the clock to the horizon (never backward).
+	if !s.stopped && s.now < until && until != MaxTime {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll drains every pending event regardless of time. Unlike Run with a
+// finite horizon, it leaves the clock at the instant of the last executed
+// event.
+func (s *Simulator) RunAll() Time {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+	return s.now
+}
+
+// Every schedules fn to run now+d, then every d thereafter, until the
+// returned Ticker is stopped or the simulation ends.
+func (s *Simulator) Every(d Time, fn func()) *Ticker {
+	if d <= 0 {
+		panic("sim: non-positive tick interval")
+	}
+	t := &Ticker{sim: s, interval: d, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules a closure at a fixed interval.
+type Ticker struct {
+	sim      *Simulator
+	interval Time
+	fn       func()
+	handle   Handle
+	stopped  bool
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.sim.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.sim.Cancel(t.handle)
+}

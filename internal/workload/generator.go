@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"netseer/internal/host"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// GenConfig parameterizes a traffic generator.
+type GenConfig struct {
+	// Dist samples flow sizes.
+	Dist *Distribution
+	// Load is the target fraction of each client's uplink (paper: 0.70).
+	Load float64
+	// ClientBps is the client uplink speed (paper: 25 Gb/s).
+	ClientBps float64
+	// FanIn is the number of distinct servers each client spreads its
+	// flows over (paper: 4).
+	FanIn int
+	// MSS is the packet size for flow bodies (default 1000 B; the paper's
+	// average packet is ~1 kB).
+	MSS int
+	// FlowBps paces each flow's packets (default 20 Gb/s — around what a
+	// congestion-controlled sender sustains on a 25 Gb/s NIC; two
+	// colliding flows overload a server downlink, producing the transient
+	// congestion the evaluation measures). Zero keeps the default;
+	// negative disables pacing (packets dumped to the NIC at once).
+	FlowBps float64
+	// Seed drives arrivals, sizes and destination choice.
+	Seed uint64
+	// BasePort numbers flows; each flow gets a distinct source port.
+	BasePort uint16
+	// Priority tags generated packets.
+	Priority uint8
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Load <= 0 {
+		c.Load = 0.70
+	}
+	if c.ClientBps <= 0 {
+		c.ClientBps = 25e9
+	}
+	if c.FanIn <= 0 {
+		c.FanIn = 4
+	}
+	if c.MSS <= 0 {
+		c.MSS = 1000
+	}
+	if c.BasePort == 0 {
+		c.BasePort = 10000
+	}
+	if c.FlowBps == 0 {
+		c.FlowBps = 20e9
+	}
+	return c
+}
+
+// Generator drives Poisson flow arrivals from a set of clients to a set
+// of servers. Flow bodies are paced at FlowBps (default 20 Gb/s) — the
+// steady rate a congestion-controlled sender would sustain — so queues
+// see realistic fan-in collisions rather thanpermanent line-rate blasts; large
+// flows still collide on server downlinks and produce the congestion and
+// MMU-drop events the evaluation measures.
+type Generator struct {
+	cfg     GenConfig
+	sim     *sim.Simulator
+	clients []*host.Host
+	servers []*host.Host
+	rng     *sim.Stream
+	ticker  []sim.Handle
+	stopped bool
+
+	// dstSets holds each client's FanIn chosen servers.
+	dstSets [][]*host.Host
+
+	flowSeq uint32
+	// onFlow observes every started flow (trace recording).
+	onFlow func(at sim.Time, flow pkt.FlowKey, bytes int)
+
+	// Stats.
+	FlowsStarted   uint64
+	PacketsOffered uint64
+	BytesOffered   uint64
+}
+
+// NewGenerator creates a generator; servers must have a service handler
+// on DataPort already (or accept counting via host.Received).
+func NewGenerator(s *sim.Simulator, clients, servers []*host.Host, cfg GenConfig) *Generator {
+	if len(clients) == 0 || len(servers) == 0 {
+		panic("workload: need clients and servers")
+	}
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg: cfg, sim: s, clients: clients, servers: servers,
+		rng: sim.NewStream(cfg.Seed, "workload-"+cfg.Dist.Name),
+	}
+	for range clients {
+		set := make([]*host.Host, 0, cfg.FanIn)
+		for len(set) < cfg.FanIn {
+			cand := servers[g.rng.Intn(len(servers))]
+			set = append(set, cand)
+		}
+		g.dstSets = append(g.dstSets, set)
+	}
+	return g
+}
+
+// DataPort is the destination port generated flows target.
+const DataPort uint16 = 8000
+
+// Start schedules Poisson arrivals on every client until Stop or the end
+// of the simulation.
+func (g *Generator) Start() {
+	interArrival := g.meanInterArrival()
+	for ci := range g.clients {
+		ci := ci
+		// Desynchronize clients.
+		first := sim.Time(g.rng.Exp(float64(interArrival)))
+		g.sim.Schedule(first, func() { g.arrive(ci, interArrival) })
+	}
+}
+
+// meanInterArrival returns the per-client mean time between flow
+// arrivals that achieves the target load.
+func (g *Generator) meanInterArrival() sim.Time {
+	bytesPerSec := g.cfg.Load * g.cfg.ClientBps / 8
+	flowsPerSec := bytesPerSec / g.cfg.Dist.Mean()
+	return sim.Time(1e9 / flowsPerSec)
+}
+
+// Stop halts new arrivals.
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) arrive(ci int, mean sim.Time) {
+	if g.stopped {
+		return
+	}
+	g.startFlow(ci)
+	next := sim.Time(g.rng.Exp(float64(mean)))
+	if next < 1 {
+		next = 1
+	}
+	g.sim.Schedule(next, func() { g.arrive(ci, mean) })
+}
+
+// startFlow launches one flow from client ci to one of its servers.
+func (g *Generator) startFlow(ci int) {
+	client := g.clients[ci]
+	server := g.dstSets[ci][g.rng.Intn(len(g.dstSets[ci]))]
+	if server.Node.IP == client.Node.IP {
+		return
+	}
+	size := g.cfg.Dist.Sample(g.rng)
+	g.flowSeq++
+	flow := pkt.FlowKey{
+		SrcIP:   client.Node.IP,
+		DstIP:   server.Node.IP,
+		SrcPort: g.cfg.BasePort + uint16(g.flowSeq%40000),
+		DstPort: DataPort,
+		Proto:   pkt.ProtoTCP,
+	}
+	packets := (size + g.cfg.MSS - 1) / g.cfg.MSS
+	if packets < 1 {
+		packets = 1
+	}
+	g.FlowsStarted++
+	g.PacketsOffered += uint64(packets)
+	g.BytesOffered += uint64(size)
+	if g.onFlow != nil {
+		g.onFlow(g.sim.Now(), flow, size)
+	}
+	if g.cfg.FlowBps < 0 {
+		client.SendUDP(flow, packets, g.cfg.MSS, g.cfg.Priority)
+		return
+	}
+	// Pace the flow: schedule packets at the per-flow rate. Chunks of a
+	// few packets keep simulator event counts reasonable for elephants.
+	const chunk = 4
+	gap := sim.Time(float64(g.cfg.MSS*8*chunk) / g.cfg.FlowBps * 1e9)
+	for off := 0; off < packets; off += chunk {
+		n := chunk
+		if packets-off < n {
+			n = packets - off
+		}
+		n, delay := n, gap*sim.Time(off/chunk)
+		if delay == 0 {
+			client.SendUDP(flow, n, g.cfg.MSS, g.cfg.Priority)
+			continue
+		}
+		g.sim.Schedule(delay, func() {
+			if !g.stopped {
+				client.SendUDP(flow, n, g.cfg.MSS, g.cfg.Priority)
+			}
+		})
+	}
+}
+
+// Incast launches a synchronized fan-in burst: every sender transmits
+// bytesEach to the single receiver at once (the paper's case #4 and the
+// congestion-drop producer).
+func Incast(s *sim.Simulator, senders []*host.Host, receiver *host.Host, bytesEach, mss int, prio uint8) {
+	if mss <= 0 {
+		mss = 1000
+	}
+	for i, snd := range senders {
+		if snd.Node.IP == receiver.Node.IP {
+			continue
+		}
+		flow := pkt.FlowKey{
+			SrcIP: snd.Node.IP, DstIP: receiver.Node.IP,
+			SrcPort: uint16(20000 + i), DstPort: DataPort, Proto: pkt.ProtoTCP,
+		}
+		packets := (bytesEach + mss - 1) / mss
+		snd.SendUDP(flow, packets, mss, prio)
+	}
+}

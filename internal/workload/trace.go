@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"netseer/internal/host"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Flow traces: the paper replays "real-world traces of storage visits"
+// (§5.1). This file defines a compact binary trace format — one record
+// per flow arrival — plus a recorder that captures a Generator run and a
+// replayer that drives hosts from a trace, so experiments can be run
+// against recorded workloads instead of synthetic arrivals.
+
+// TraceRecord is one flow arrival.
+type TraceRecord struct {
+	At    sim.Time
+	Flow  pkt.FlowKey
+	Bytes uint32
+}
+
+// traceMagic identifies trace files ("NSTR" + version 1).
+var traceMagic = [4]byte{'N', 'S', 'T', '1'}
+
+// recordLen is the encoded record size: at(8) + flow(13) + bytes(4).
+const traceRecordLen = 8 + pkt.FlowKeyLen + 4
+
+// TraceWriter streams records to an io.Writer.
+type TraceWriter struct {
+	w *bufio.Writer
+	n uint64
+}
+
+// NewTraceWriter writes the header.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	tw := &TraceWriter{w: bufio.NewWriterSize(w, 32<<10)}
+	if _, err := tw.w.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Write appends one record.
+func (tw *TraceWriter) Write(r TraceRecord) error {
+	var buf [traceRecordLen]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(r.At))
+	r.Flow.PutWire(buf[8 : 8+pkt.FlowKeyLen])
+	binary.BigEndian.PutUint32(buf[8+pkt.FlowKeyLen:], r.Bytes)
+	_, err := tw.w.Write(buf[:])
+	if err == nil {
+		tw.n++
+	}
+	return err
+}
+
+// Flush commits buffered records.
+func (tw *TraceWriter) Flush() error { return tw.w.Flush() }
+
+// Records returns the count written.
+func (tw *TraceWriter) Records() uint64 { return tw.n }
+
+// ReadTrace parses an entire trace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	br := bufio.NewReaderSize(r, 32<<10)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (magic %q)", magic[:])
+	}
+	var out []TraceRecord
+	var buf [traceRecordLen]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		flow, err := pkt.FlowKeyFromWire(buf[8 : 8+pkt.FlowKeyLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TraceRecord{
+			At:    sim.Time(binary.BigEndian.Uint64(buf[0:8])),
+			Flow:  flow,
+			Bytes: binary.BigEndian.Uint32(buf[8+pkt.FlowKeyLen:]),
+		})
+	}
+}
+
+// Record hooks a Generator so every flow it starts is appended to tw.
+// Call before Start.
+func (g *Generator) Record(tw *TraceWriter) {
+	g.onFlow = func(at sim.Time, flow pkt.FlowKey, bytes int) {
+		// Recording failures abort the simulation loudly rather than
+		// silently truncating the trace.
+		if err := tw.Write(TraceRecord{At: at, Flow: flow, Bytes: uint32(bytes)}); err != nil {
+			panic(fmt.Sprintf("workload: trace write: %v", err))
+		}
+	}
+}
+
+// Replay schedules every trace record onto the simulator, sending each
+// flow from the host owning its source IP. Records whose source IP has
+// no host are counted and skipped. It returns the number scheduled.
+func Replay(s *sim.Simulator, records []TraceRecord, hosts []*host.Host, mss int, prio uint8) (scheduled, skipped int) {
+	if mss <= 0 {
+		mss = 1000
+	}
+	byIP := make(map[uint32]*host.Host, len(hosts))
+	for _, h := range hosts {
+		byIP[h.Node.IP] = h
+	}
+	for _, r := range records {
+		h, ok := byIP[r.Flow.SrcIP]
+		if !ok {
+			skipped++
+			continue
+		}
+		scheduled++
+		r := r
+		packets := (int(r.Bytes) + mss - 1) / mss
+		if packets < 1 {
+			packets = 1
+		}
+		s.At(r.At, func() { h.SendUDP(r.Flow, packets, mss, prio) })
+	}
+	return scheduled, skipped
+}

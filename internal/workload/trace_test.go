@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceRecord{
+		{At: 0, Flow: pkt.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}, Bytes: 1500},
+		{At: 5 * sim.Millisecond, Flow: pkt.FlowKey{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6, Proto: 17}, Bytes: 1 << 30},
+	}
+	for _, r := range want {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Records() != 2 {
+		t.Errorf("Records = %d", tw.Records())
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("garbage here..."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated record after a valid header.
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf)
+	tw.Write(TraceRecord{Bytes: 1})
+	tw.Flush()
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestRecordAndReplayEquivalence(t *testing.T) {
+	// Record a generated run, replay it into a fresh fabric, and verify
+	// the same offered volume arrives.
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := newWlNet(t)
+	g := NewGenerator(n1.sim, n1.hosts[:8], n1.hosts[8:], GenConfig{Dist: WEB, Seed: 3})
+	g.Record(tw)
+	g.Start()
+	n1.sim.Run(2 * sim.Millisecond)
+	g.Stop()
+	n1.sim.Run(20 * sim.Millisecond)
+	tw.Flush()
+
+	records, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(records)) != g.FlowsStarted {
+		t.Fatalf("trace has %d records, generator started %d flows", len(records), g.FlowsStarted)
+	}
+
+	n2 := newWlNet(t)
+	scheduled, skipped := Replay(n2.sim, records, n2.hosts, 1000, 0)
+	if skipped != 0 || scheduled != len(records) {
+		t.Fatalf("scheduled %d skipped %d of %d", scheduled, skipped, len(records))
+	}
+	n2.sim.Run(sim.Second)
+	var recv2 uint64
+	for _, h := range n2.hosts {
+		recv2 += h.Received()
+	}
+	if recv2 == 0 {
+		t.Fatal("replay delivered nothing")
+	}
+	// The trace carries full flow sizes; replay must deliver (nearly) all
+	// of those packets. (The recorded run itself truncates flows still
+	// pacing when the generator stops, so compare against the trace, not
+	// the recorded run's deliveries.)
+	var tracePkts uint64
+	for _, r := range records {
+		tracePkts += uint64((r.Bytes + 999) / 1000)
+	}
+	ratio := float64(recv2) / float64(tracePkts)
+	if ratio < 0.90 || ratio > 1.0 {
+		t.Errorf("replay delivered %d of %d trace packets (ratio %.2f)", recv2, tracePkts, ratio)
+	}
+}
+
+func TestReplaySkipsUnknownHosts(t *testing.T) {
+	n := newWlNet(t)
+	records := []TraceRecord{
+		{At: 0, Flow: pkt.FlowKey{SrcIP: 0xdeadbeef, DstIP: n.hosts[1].Node.IP, SrcPort: 1, DstPort: DataPort, Proto: 6}, Bytes: 1000},
+		{At: 0, Flow: pkt.FlowKey{SrcIP: n.hosts[0].Node.IP, DstIP: n.hosts[1].Node.IP, SrcPort: 1, DstPort: DataPort, Proto: 6}, Bytes: 1000},
+	}
+	scheduled, skipped := Replay(n.sim, records, n.hosts, 1000, 0)
+	if scheduled != 1 || skipped != 1 {
+		t.Errorf("scheduled %d skipped %d", scheduled, skipped)
+	}
+}
