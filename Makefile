@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all check vet build test race fuzz bench clean
+
+# check is the CI gate: vet, build everything, and run the full suite
+# under the race detector (the concurrent collector sender must be
+# race-clean).
+all: check
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz runs the framing fuzz target beyond its checked-in seed corpus.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 20s ./internal/collector/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

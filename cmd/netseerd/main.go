@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"netseer/internal/collector"
 )
@@ -27,10 +28,15 @@ import (
 func main() {
 	ingestAddr := flag.String("ingest", "127.0.0.1:9750", "event ingestion listen address")
 	queryAddr := flag.String("query", "127.0.0.1:9751", "query listen address")
+	maxConns := flag.Int("max-conns", 128, "max concurrent ingest connections")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame ingest read deadline")
 	flag.Parse()
 
 	store := collector.NewStore()
-	ingest, err := collector.NewServer(store, *ingestAddr)
+	ingest, err := collector.NewServerConfig(store, *ingestAddr, collector.ServerConfig{
+		MaxConns:    *maxConns,
+		ReadTimeout: *readTimeout,
+	})
 	if err != nil {
 		log.Fatalf("ingest listener: %v", err)
 	}
@@ -45,5 +51,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("netseerd: %d events stored, shutting down", store.Len())
+	st := ingest.Stats()
+	log.Printf("netseerd: %d events stored (%d replayed batches deduplicated), shutting down", store.Len(), store.DupBatches())
+	log.Printf("netseerd: ingest health: conns=%d rejected=%d accept-retries=%d frames=%d frame-errors=%d ack-errors=%d",
+		st.ConnsAccepted, st.ConnsRejected, st.AcceptRetries, st.Frames, st.FrameErrors, st.AckWriteErrors)
 }

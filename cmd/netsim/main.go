@@ -145,10 +145,26 @@ func main() {
 				Events:    events[i:end],
 			})
 		}
-		if err := client.Flush(); err != nil {
-			log.Fatalf("export: %v", err)
+		// Flush fails fast while the collector is unreachable so callers
+		// can tell; here we ride through a transient outage or restart —
+		// the client retransmits unacked batches and the store
+		// deduplicates — and only give up after a deadline.
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			err := client.Flush()
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("export: %v", err)
+			}
+			time.Sleep(500 * time.Millisecond)
 		}
 		fmt.Printf("exported %d events to %s\n", len(events), *collectorAddr)
+		// RESULTS: report the reliable channel's health alongside the
+		// event counts — reconnects, retransmits, backlog and ack
+		// latency tell the operator whether delivery itself struggled.
+		fmt.Print(client.Stats().Format())
 	}
 }
 

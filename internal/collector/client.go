@@ -1,0 +1,448 @@
+package collector
+
+import (
+	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"netseer/internal/fevent"
+	"netseer/internal/metrics"
+)
+
+// ClientConfig tunes the asynchronous reliable sender. Zero fields take
+// defaults.
+type ClientConfig struct {
+	// MaxQueue bounds batches accepted by Deliver but not yet handed to
+	// the wire (default 1024). Overflow drops the oldest batch — the
+	// switch CPU has finite memory — and is counted in DroppedBatches.
+	MaxQueue int
+	// MaxInflight bounds batches written but not yet acked; they are
+	// retained for retransmission after a connection drop (default 256).
+	MaxInflight int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 5s).
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 50ms / 2s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// FlushTimeout bounds how long Flush waits for the channel to drain
+	// (default 10s).
+	FlushTimeout time.Duration
+	// CloseTimeout bounds the graceful drain in Close before the
+	// connection is torn down (default 2s).
+	CloseTimeout time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = 10 * time.Second
+	}
+	if c.CloseTimeout <= 0 {
+		c.CloseTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// pendingBatch is one batch the client still owes the collector.
+type pendingBatch struct {
+	b      *fevent.Batch
+	sentAt time.Time // last write, for ack-latency accounting
+	writes int       // >1 ⇒ retransmitted
+}
+
+// Client is a core.EventSink that ships batches to a collector Server
+// over TCP with at-least-once semantics: Deliver enqueues without
+// touching the network, a dedicated sender goroutine dials, writes and
+// reconnects with jittered exponential backoff, and every batch is kept
+// in an in-flight window until the server's cumulative ack covers its
+// sequence number. A connection drop therefore retransmits instead of
+// losing data; the Store deduplicates replays by (switch, sequence).
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*fevent.Batch // sequenced, not yet written
+	inflight  []pendingBatch  // written (or awaiting rewrite), not yet acked
+	sent      int             // prefix of inflight already written on the current conn
+	nextSeq   uint64
+	conn      net.Conn
+	connErr   error // terminal error of the current conn
+	connected bool
+	dialFails int // consecutive failures since the last successful dial
+	closed    bool
+	forced    bool // Close gave up on graceful drain
+
+	// Channel-health counters (guarded by mu).
+	connects, reconnects, dialFailures  uint64
+	sentBatches, ackedBatches           uint64
+	retransmits, droppedBatches         uint64
+	highWater                           int
+	ackLat                              *metrics.Histogram
+
+	closeOnce  sync.Once
+	closeCh    chan struct{}
+	senderDone chan struct{}
+}
+
+// NewClient creates a client with default configuration for the given
+// collector address. The first connection attempt happens asynchronously
+// once the first batch is delivered.
+func NewClient(addr string) *Client { return NewClientConfig(addr, ClientConfig{}) }
+
+// NewClientConfig creates a client with explicit tuning.
+func NewClientConfig(addr string, cfg ClientConfig) *Client {
+	c := &Client{
+		addr:       addr,
+		cfg:        cfg.withDefaults(),
+		ackLat:     metrics.NewHistogram(),
+		closeCh:    make(chan struct{}),
+		senderDone: make(chan struct{}),
+	}
+	// Distinct client lifetimes must not reuse (switch, seq) dedup keys:
+	// a restarted exporter counting again from 1 would have its first
+	// batches silently discarded as replays of the previous process. Each
+	// client therefore counts from a random 62-bit starting sequence.
+	var r [8]byte
+	if _, err := crand.Read(r[:]); err == nil {
+		c.nextSeq = binary.BigEndian.Uint64(r[:]) >> 2
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.senderLoop()
+	return c
+}
+
+// Deliver implements core.EventSink. It assigns the batch its delivery
+// sequence number and enqueues it; no network I/O happens on the
+// caller's path.
+func (c *Client) Deliver(b *fevent.Batch) {
+	c.mu.Lock()
+	if c.closed {
+		c.droppedBatches++
+		c.mu.Unlock()
+		return
+	}
+	c.nextSeq++
+	b.Seq = c.nextSeq
+	c.queue = append(c.queue, b)
+	if len(c.queue) > c.cfg.MaxQueue {
+		c.queue = c.queue[1:]
+		c.droppedBatches++
+	}
+	if d := len(c.queue) + len(c.inflight); d > c.highWater {
+		c.highWater = d
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Flush blocks until every delivered batch has been acked by the
+// collector, the collector proves unreachable, or FlushTimeout passes.
+func (c *Client) Flush() error {
+	timer := time.AfterFunc(c.cfg.FlushTimeout, c.cond.Broadcast)
+	defer timer.Stop()
+	deadline := time.Now().Add(c.cfg.FlushTimeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		pending := len(c.queue) + len(c.inflight)
+		if pending == 0 {
+			return nil
+		}
+		if !c.connected && c.dialFails > 0 {
+			return fmt.Errorf("collector: %d batches undelivered (collector unreachable)", pending)
+		}
+		if c.closed {
+			return errors.New("collector: client closed")
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("collector: flush timed out with %d batches unacked", pending)
+		}
+		c.cond.Wait()
+	}
+}
+
+// Close drains the queue gracefully for up to CloseTimeout, then tears
+// the connection down. It returns an error if batches were abandoned.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	c.cond.Broadcast()
+	select {
+	case <-c.senderDone:
+	case <-time.After(c.cfg.CloseTimeout):
+		c.mu.Lock()
+		c.forced = true
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		select {
+		case <-c.senderDone:
+		case <-time.After(c.cfg.CloseTimeout):
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.queue) + len(c.inflight); n > 0 {
+		return fmt.Errorf("collector: closed with %d undelivered batches", n)
+	}
+	return nil
+}
+
+// Stats snapshots the channel-health counters.
+func (c *Client) Stats() metrics.ChannelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := metrics.NewHistogram()
+	h.Merge(c.ackLat)
+	return metrics.ChannelStats{
+		Connects:       c.connects,
+		Reconnects:     c.reconnects,
+		DialFailures:   c.dialFailures,
+		BatchesSent:    c.sentBatches,
+		BatchesAcked:   c.ackedBatches,
+		Retransmits:    c.retransmits,
+		DroppedBatches: c.droppedBatches,
+		QueueDepth:     len(c.queue),
+		InflightDepth:  len(c.inflight),
+		HighWater:      c.highWater,
+		AckLatencyUs:   h,
+	}
+}
+
+// senderLoop owns all network I/O: it dials (with backoff), hands the
+// connection to writeLoop/ackReader, and retries until closed.
+func (c *Client) senderLoop() {
+	defer close(c.senderDone)
+	backoff := c.cfg.BackoffMin
+	for {
+		c.mu.Lock()
+		for !c.closed && len(c.queue) == 0 && len(c.inflight) == 0 {
+			c.cond.Wait()
+		}
+		if c.forced || (c.closed && len(c.queue) == 0 && len(c.inflight) == 0) {
+			c.mu.Unlock()
+			return
+		}
+		closing := c.closed
+		c.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+		if err != nil {
+			c.mu.Lock()
+			c.dialFailures++
+			c.dialFails++
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			if closing {
+				return // closing and unreachable: abandon the backlog
+			}
+			c.sleepBackoff(&backoff)
+			continue
+		}
+		backoff = c.cfg.BackoffMin
+		c.runConn(conn)
+	}
+}
+
+// sleepBackoff sleeps the jittered backoff (interruptible by Close) and
+// doubles it up to the cap.
+func (c *Client) sleepBackoff(backoff *time.Duration) {
+	d := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closeCh:
+	}
+	*backoff *= 2
+	if *backoff > c.cfg.BackoffMax {
+		*backoff = c.cfg.BackoffMax
+	}
+}
+
+// runConn drives one connection until it fails or the client drains.
+func (c *Client) runConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.connected = true
+	c.connErr = nil
+	c.dialFails = 0
+	c.connects++
+	if c.connects > 1 {
+		c.reconnects++
+	}
+	c.sent = 0 // every in-flight batch must be rewritten on this conn
+	c.mu.Unlock()
+	c.cond.Broadcast()
+
+	readerDone := make(chan struct{})
+	go c.ackReader(conn, readerDone)
+	err := c.writeLoop(conn)
+	c.failConn(conn, err)
+	<-readerDone
+
+	c.mu.Lock()
+	c.connected = false
+	c.conn = nil
+	c.sent = 0
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// failConn records the terminal error of conn (once) and closes it,
+// waking both the writer and any Flush/Close waiters.
+func (c *Client) failConn(conn net.Conn, err error) {
+	c.mu.Lock()
+	if c.conn == conn && c.connErr == nil {
+		if err == nil {
+			err = net.ErrClosed
+		}
+		c.connErr = err
+	}
+	c.mu.Unlock()
+	conn.Close()
+	c.cond.Broadcast()
+}
+
+// writableLocked reports whether a frame can be written right now:
+// either an in-flight batch awaits (re)transmission on this conn, or the
+// queue has work and the window has room.
+func (c *Client) writableLocked() bool {
+	return c.sent < len(c.inflight) ||
+		(len(c.queue) > 0 && len(c.inflight) < c.cfg.MaxInflight)
+}
+
+// writeLoop writes frames until the connection fails or (when closing)
+// the channel drains. Network writes happen outside the mutex.
+func (c *Client) writeLoop(conn net.Conn) error {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		c.mu.Lock()
+		if c.connErr != nil {
+			err := c.connErr
+			c.mu.Unlock()
+			return err
+		}
+		var batch *fevent.Batch
+		drained := c.closed && len(c.queue) == 0 && len(c.inflight) == 0
+		if !drained && c.writableLocked() {
+			if c.sent < len(c.inflight) {
+				p := &c.inflight[c.sent]
+				p.writes++
+				if p.writes > 1 {
+					c.retransmits++
+				}
+				p.sentAt = time.Now()
+				batch = p.b
+			} else {
+				b := c.queue[0]
+				c.queue = c.queue[1:]
+				c.inflight = append(c.inflight, pendingBatch{b: b, sentAt: time.Now(), writes: 1})
+				batch = b
+			}
+			c.sent++
+			c.sentBatches++
+		}
+		c.mu.Unlock()
+
+		if batch != nil {
+			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+			if err := WriteFrame(bw, batch); err != nil {
+				return err
+			}
+			continue
+		}
+		// Nothing writable right now: push buffered frames to the wire
+		// before idling so the server can ack them.
+		if bw.Buffered() > 0 {
+			conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+		if drained {
+			return nil
+		}
+		c.mu.Lock()
+		for c.connErr == nil && !c.writableLocked() &&
+			!(c.closed && len(c.queue) == 0 && len(c.inflight) == 0) {
+			c.cond.Wait()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// ackReader consumes cumulative acks on conn, releasing acked batches
+// from the in-flight window.
+func (c *Client) ackReader(conn net.Conn, done chan struct{}) {
+	defer close(done)
+	br := bufio.NewReaderSize(conn, 512)
+	for {
+		seq, err := readAck(br)
+		if err != nil {
+			c.failConn(conn, err)
+			return
+		}
+		now := time.Now()
+		c.mu.Lock()
+		if seq > c.nextSeq {
+			c.mu.Unlock()
+			c.failConn(conn, fmt.Errorf("collector: ack for seq %d never sent", seq))
+			return
+		}
+		n := 0
+		for n < len(c.inflight) && c.inflight[n].b.Seq <= seq {
+			c.ackLat.Observe(float64(now.Sub(c.inflight[n].sentAt).Microseconds()))
+			n++
+		}
+		if n > 0 {
+			c.inflight = c.inflight[n:]
+			c.sent -= n
+			if c.sent < 0 {
+				c.sent = 0
+			}
+			c.ackedBatches += uint64(n)
+		}
+		c.mu.Unlock()
+		if n > 0 {
+			c.cond.Broadcast()
+		}
+	}
+}

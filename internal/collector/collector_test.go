@@ -142,6 +142,7 @@ func TestTCPIngestEndToEnd(t *testing.T) {
 
 func TestClientBuffersWhileDisconnected(t *testing.T) {
 	cl := NewClient("127.0.0.1:1") // nothing listens there
+	defer cl.Close()
 	cl.Deliver(batchOf(1, 1, fevent.Event{Type: fevent.TypePause, Flow: flowN(1)}))
 	if err := cl.Flush(); err == nil {
 		t.Error("Flush succeeded with unreachable collector")

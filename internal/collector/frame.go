@@ -1,0 +1,120 @@
+package collector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"netseer/internal/fevent"
+)
+
+// Wire framing for CPU→backend delivery (§3.6 "reliable TCP-based
+// report"), v2: the channel is at-least-once. Every data frame carries a
+// client-lifetime sequence number and a CRC so the receiver can detect
+// corruption and deduplicate replays; the server answers with cumulative
+// acknowledgements.
+//
+//	data frame (client→server): [4 B length][4 B CRC-32][8 B seq][body]
+//	ack frame  (server→client): [8 B cumulative seq][4 B CRC-32]
+//
+// length counts seq+body. The data-frame CRC covers seq+body; the ack
+// CRC covers the 8 sequence bytes. body is one encoded fevent.Batch.
+// Sequence numbers count up from a random per-Client starting point and
+// never reset for the life of the Client, so a batch replayed over a
+// fresh connection keeps its identity (and a restarted exporter cannot
+// collide with its previous life) — the Store drops duplicates by
+// (switch ID, sequence).
+
+// MaxFrame bounds a frame to keep a malformed peer from forcing huge
+// allocations.
+const MaxFrame = 1 << 20
+
+const (
+	// frameHdrLen is the fixed prefix outside the CRC: length + CRC.
+	frameHdrLen = 8
+	// frameSeqLen is the sequence-number prefix of the frame payload.
+	frameSeqLen = 8
+	// ackLen is the fixed size of a server→client ack frame.
+	ackLen = 12
+)
+
+var (
+	// ErrFrameTooShort reports a frame whose declared length cannot even
+	// hold the sequence number.
+	ErrFrameTooShort = errors.New("collector: frame shorter than its sequence header")
+	// ErrFrameCRC reports a data frame whose checksum does not match.
+	ErrFrameCRC = errors.New("collector: frame CRC mismatch")
+
+	errAckCRC = errors.New("collector: ack CRC mismatch")
+)
+
+// WriteFrame writes one length-prefixed, checksummed batch (including
+// its delivery sequence number) to w.
+func WriteFrame(w io.Writer, b *fevent.Batch) error {
+	buf := make([]byte, frameHdrLen+frameSeqLen, frameHdrLen+frameSeqLen+b.EncodedLen())
+	binary.BigEndian.PutUint64(buf[frameHdrLen:], b.Seq)
+	buf, err := b.AppendTo(buf)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(buf)-frameHdrLen))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[frameHdrLen:]))
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed batch from r into b, verifying the
+// checksum and populating b.Seq.
+func ReadFrame(r io.Reader, b *fevent.Batch) error {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < frameSeqLen {
+		return ErrFrameTooShort
+	}
+	if n > MaxFrame {
+		return fmt.Errorf("collector: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return ErrFrameCRC
+	}
+	b.Seq = binary.BigEndian.Uint64(payload[:frameSeqLen])
+	rest, err := fevent.DecodeBatch(payload[frameSeqLen:], b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("collector: %d trailing bytes in frame", len(rest))
+	}
+	return nil
+}
+
+// writeAck writes one cumulative-ack frame: every data frame with
+// sequence ≤ seq has been durably delivered to the Store.
+func writeAck(w io.Writer, seq uint64) error {
+	var buf [ackLen]byte
+	binary.BigEndian.PutUint64(buf[0:8], seq)
+	binary.BigEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(buf[0:8]))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readAck reads and verifies one ack frame.
+func readAck(r io.Reader) (uint64, error) {
+	var buf [ackLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	if crc32.ChecksumIEEE(buf[0:8]) != binary.BigEndian.Uint32(buf[8:12]) {
+		return 0, errAckCRC
+	}
+	return binary.BigEndian.Uint64(buf[0:8]), nil
+}

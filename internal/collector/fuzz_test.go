@@ -1,0 +1,50 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+
+	"netseer/internal/fevent"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the length-prefixed framing:
+// it must never panic, and any frame it accepts must survive a
+// re-encode/re-decode round trip.
+func FuzzReadFrame(f *testing.F) {
+	valid := func(seq uint64, events ...fevent.Event) []byte {
+		b := &fevent.Batch{SwitchID: 5, Timestamp: 77, Events: events, Seq: seq}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, b); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	whole := valid(9, fevent.Event{Type: fevent.TypeCongestion, Flow: flowN(3), SwitchID: 5, Timestamp: 77})
+	f.Add(whole)
+	f.Add(valid(0))
+	f.Add(whole[:3])                                       // truncated length header
+	f.Add(whole[:len(whole)-2])                            // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})      // oversized length
+	f.Add(append(append([]byte(nil), whole...), 0x01))     // trailing byte
+	f.Add(bytes.Repeat([]byte{0}, 64))                     // zero noise
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b fevent.Batch
+		if err := ReadFrame(bytes.NewReader(data), &b); err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted frames must round-trip.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &b); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		var b2 fevent.Batch
+		if err := ReadFrame(&buf, &b2); err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if b2.Seq != b.Seq || b2.SwitchID != b.SwitchID ||
+			b2.Timestamp != b.Timestamp || len(b2.Events) != len(b.Events) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", b, b2)
+		}
+	})
+}

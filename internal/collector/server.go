@@ -1,0 +1,200 @@
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"netseer/internal/fevent"
+	"netseer/internal/metrics"
+)
+
+// ServerConfig tunes the ingest server. Zero fields take defaults.
+type ServerConfig struct {
+	// ReadTimeout is the per-frame read deadline: a connection that goes
+	// silent longer than this is dropped (default 2m; the client
+	// reconnects and retransmits).
+	ReadTimeout time.Duration
+	// AckTimeout is the write deadline for one ack frame (default 5s).
+	AckTimeout time.Duration
+	// MaxConns caps concurrent ingest connections; extra connections are
+	// closed immediately (default 128).
+	MaxConns int
+	// KeepAlivePeriod configures TCP keepalives on accepted connections
+	// (default 30s).
+	KeepAlivePeriod time.Duration
+	// AcceptRetryDelay is the pause after a transient Accept error
+	// (default 50ms).
+	AcceptRetryDelay time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 128
+	}
+	if c.KeepAlivePeriod <= 0 {
+		c.KeepAlivePeriod = 30 * time.Second
+	}
+	if c.AcceptRetryDelay <= 0 {
+		c.AcceptRetryDelay = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Server ingests event batches over TCP into a Store and acknowledges
+// each delivered frame with a cumulative ack, making the channel
+// at-least-once end to end. It survives transient accept errors, applies
+// per-connection read deadlines and TCP keepalives, and caps concurrent
+// connections.
+type Server struct {
+	store *Store
+	ln    net.Listener
+	cfg   ServerConfig
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	stats  metrics.IngestStats
+	wg     sync.WaitGroup
+}
+
+// NewServer starts an ingest server on addr (e.g. "127.0.0.1:0") with
+// default configuration. Use Addr to learn the bound address.
+func NewServer(store *Store, addr string) (*Server, error) {
+	return NewServerConfig(store, addr, ServerConfig{})
+}
+
+// NewServerConfig starts an ingest server on addr with explicit tuning.
+func NewServerConfig(store *Store, addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerOn(store, ln, cfg), nil
+}
+
+// NewServerOn serves on an existing listener — the hook fault-injection
+// harnesses use to interpose a flaky wire (see internal/faultconn).
+func NewServerOn(store *Store, ln net.Listener, cfg ServerConfig) *Server {
+	s := &Server{store: store, ln: ln, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the ingest-side counters.
+func (s *Server) Stats() metrics.IngestStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			if !closed {
+				s.stats.AcceptRetries++
+			}
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient (EMFILE, ECONNABORTED, …): back off briefly and
+			// keep accepting instead of silently stopping ingestion.
+			time.Sleep(s.cfg.AcceptRetryDelay)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.stats.ConnsRejected++
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.ConnsAccepted++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(s.cfg.KeepAlivePeriod)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		var b fevent.Batch
+		if err := ReadFrame(br, &b); err != nil {
+			// A clean close lands exactly on a frame boundary (io.EOF);
+			// anything else — truncation, bad CRC, oversized length — is
+			// a frame error worth counting.
+			if !errors.Is(err, io.EOF) {
+				s.mu.Lock()
+				s.stats.FrameErrors++
+				s.mu.Unlock()
+			}
+			return
+		}
+		// Deliver before acking: an ack promises the batch is in the
+		// Store (replays of already-stored batches are deduplicated
+		// there and still acked — the client must stop resending them).
+		s.store.Deliver(&b)
+		s.mu.Lock()
+		s.stats.Frames++
+		s.mu.Unlock()
+		if b.Seq != 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
+			if err := writeAck(conn, b.Seq); err != nil {
+				s.mu.Lock()
+				s.stats.AckWriteErrors++
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

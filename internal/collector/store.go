@@ -15,11 +15,25 @@ import (
 	"netseer/internal/sim"
 )
 
+// batchKey identifies a sequenced batch for replay deduplication: the
+// reliable client assigns lifetime-monotonic sequence numbers, so one
+// (switch, sequence) pair names exactly one batch even across
+// reconnects. One producer per switch ID is assumed (it is the switch's
+// own CPU).
+type batchKey struct {
+	sw  uint16
+	seq uint64
+}
+
 // Store is an in-memory event store. It is safe for concurrent use (the
 // TCP server ingests from multiple switch connections).
 type Store struct {
 	mu     sync.RWMutex
 	events []fevent.Event
+
+	// Replay dedup for the at-least-once delivery channel.
+	seen       map[batchKey]struct{}
+	dupBatches uint64
 
 	// Indexes: positions into events.
 	byFlow   map[pkt.FlowKey][]int
@@ -30,16 +44,28 @@ type Store struct {
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
+		seen:     make(map[batchKey]struct{}),
 		byFlow:   make(map[pkt.FlowKey][]int),
 		bySwitch: make(map[uint16][]int),
 		byType:   make(map[fevent.Type][]int),
 	}
 }
 
-// Deliver implements core.EventSink: ingest one batch.
+// Deliver implements core.EventSink: ingest one batch. Sequenced batches
+// (Seq != 0 — the reliable TCP channel) are deduplicated by (switch,
+// sequence): a retransmission of an already-stored batch is dropped, so
+// at-least-once delivery becomes exactly-once storage.
 func (s *Store) Deliver(b *fevent.Batch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if b.Seq != 0 {
+		k := batchKey{sw: b.SwitchID, seq: b.Seq}
+		if _, dup := s.seen[k]; dup {
+			s.dupBatches++
+			return
+		}
+		s.seen[k] = struct{}{}
+	}
 	for _, e := range b.Events {
 		idx := len(s.events)
 		s.events = append(s.events, e)
@@ -47,6 +73,14 @@ func (s *Store) Deliver(b *fevent.Batch) {
 		s.bySwitch[e.SwitchID] = append(s.bySwitch[e.SwitchID], idx)
 		s.byType[e.Type] = append(s.byType[e.Type], idx)
 	}
+}
+
+// DupBatches returns how many replayed batches dedup has dropped — the
+// duplicate side of the at-least-once channel's accounting.
+func (s *Store) DupBatches() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dupBatches
 }
 
 // Len returns the number of stored events.
@@ -248,6 +282,8 @@ func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.events = nil
+	s.seen = make(map[batchKey]struct{})
+	s.dupBatches = 0
 	s.byFlow = make(map[pkt.FlowKey][]int)
 	s.bySwitch = make(map[uint16][]int)
 	s.byType = make(map[fevent.Type][]int)

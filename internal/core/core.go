@@ -119,8 +119,10 @@ type Stats struct {
 	// ExtractedBytes: Step 3 output (24 B × reports) before batching.
 	ExtractedBytes uint64
 	// ExportedEvents/ExportedBytes: events and bytes that left the switch
-	// CPU for the backend after Step 4.
-	ExportedEvents, ExportedBytes uint64
+	// CPU for the backend after Step 4. ExportedBatches counts the
+	// delivery units handed to the sink — the denominator for the
+	// reliable channel's retransmit/duplicate accounting.
+	ExportedEvents, ExportedBytes, ExportedBatches uint64
 	// SuppressedFPs: duplicate reports removed by the CPU.
 	SuppressedFPs uint64
 

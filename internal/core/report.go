@@ -67,6 +67,7 @@ func (n *NetSeerSwitch) exportNow() {
 	size := batch.EncodedLen()
 	n.stats.ExportedEvents += uint64(len(events))
 	n.stats.ExportedBytes += uint64(size)
+	n.stats.ExportedBatches++
 	delay := n.pacer.Admit(n.sim.Now(), size)
 	if delay <= 0 {
 		n.sink.Deliver(batch)

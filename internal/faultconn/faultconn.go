@@ -1,0 +1,166 @@
+// Package faultconn wraps net.Conn/net.Listener with deterministic
+// fault injection — connection resets, partial writes, added latency,
+// and byte corruption — for chaos-testing the switch-CPU→collector
+// channel. All fault decisions are drawn from a seeded PRNG (one
+// sub-stream per accepted connection), so a failing run reproduces from
+// its seed.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is returned by Read/Write when the configured byte
+// budget runs out and the connection is forcibly closed.
+var ErrInjectedReset = errors.New("faultconn: injected connection reset")
+
+// Config selects which faults to inject. Zero values disable each fault.
+type Config struct {
+	// Seed drives every fault decision deterministically.
+	Seed int64
+	// ResetAfter forcibly closes the connection after roughly this many
+	// bytes have crossed it in one direction (each direction draws its
+	// own budget uniformly from [ResetAfter/2, ResetAfter], so a reset
+	// can land mid-read or mid-write independently).
+	ResetAfter int
+	// MaxChunk splits writes into chunks of at most this many bytes,
+	// exercising short-write handling.
+	MaxChunk int
+	// CorruptProb flips one byte per Read/Write call with this
+	// probability, exercising checksum validation.
+	CorruptProb float64
+	// Latency sleeps this long before every write.
+	Latency time.Duration
+}
+
+// Listener wraps a net.Listener so every accepted connection injects the
+// configured faults.
+type Listener struct {
+	net.Listener
+	cfg Config
+
+	mu     sync.Mutex
+	nconns int64
+}
+
+// Wrap returns a fault-injecting view of ln.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Listen opens a TCP listener on addr with fault injection.
+func Listen(addr string, cfg Config) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(ln, cfg), nil
+}
+
+// Accept wraps the next connection with its own deterministic fault
+// stream.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.nconns++
+	n := l.nconns
+	l.mu.Unlock()
+	// Derive a distinct, reproducible sub-seed per connection.
+	return WrapConn(c, l.cfg, l.cfg.Seed^(n*0x9e3779b97f4a7c)), nil
+}
+
+// Conn injects faults on one connection.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	budgetR int // inbound bytes until injected reset; -1 = unlimited
+	budgetW int // outbound bytes until injected reset; -1 = unlimited
+}
+
+// WrapConn wraps one connection with the given fault config and seed.
+func WrapConn(c net.Conn, cfg Config, seed int64) *Conn {
+	rng := rand.New(rand.NewSource(seed))
+	drawBudget := func() int {
+		if cfg.ResetAfter <= 0 {
+			return -1
+		}
+		return cfg.ResetAfter/2 + rng.Intn(cfg.ResetAfter/2+1)
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: rng, budgetR: drawBudget(), budgetW: drawBudget()}
+}
+
+// Write injects latency, chunking, corruption and resets, then forwards
+// to the wrapped connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.cfg.Latency > 0 {
+		time.Sleep(c.cfg.Latency)
+	}
+	written := 0
+	for written < len(p) {
+		chunk := p[written:]
+		c.mu.Lock()
+		if c.budgetW == 0 {
+			c.mu.Unlock()
+			c.Conn.Close()
+			return written, ErrInjectedReset
+		}
+		if c.cfg.MaxChunk > 0 && len(chunk) > c.cfg.MaxChunk {
+			chunk = chunk[:c.cfg.MaxChunk]
+		}
+		if c.budgetW > 0 && len(chunk) > c.budgetW {
+			chunk = chunk[:c.budgetW]
+		}
+		if c.cfg.CorruptProb > 0 && c.rng.Float64() < c.cfg.CorruptProb {
+			flipped := append([]byte(nil), chunk...)
+			flipped[c.rng.Intn(len(flipped))] ^= 0xff
+			chunk = flipped
+		}
+		if c.budgetW > 0 {
+			c.budgetW -= len(chunk)
+		}
+		c.mu.Unlock()
+		n, err := c.Conn.Write(chunk)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Read injects corruption and resets on the inbound direction.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.budgetR == 0 {
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	limit := len(p)
+	if c.budgetR > 0 && limit > c.budgetR {
+		limit = c.budgetR
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p[:limit])
+	if n > 0 {
+		c.mu.Lock()
+		if c.cfg.CorruptProb > 0 && c.rng.Float64() < c.cfg.CorruptProb {
+			p[c.rng.Intn(n)] ^= 0xff
+		}
+		if c.budgetR > 0 {
+			c.budgetR -= n
+		}
+		c.mu.Unlock()
+	}
+	return n, err
+}

@@ -1,0 +1,145 @@
+package faultconn
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConn returns a wrapped server-side conn and the raw client side.
+func pipeConn(t *testing.T, cfg Config) (wrapped net.Conn, raw net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wrapped = WrapConn(c, cfg, cfg.Seed)
+	}()
+	raw, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	t.Cleanup(func() { raw.Close(); wrapped.Close() })
+	return wrapped, raw
+}
+
+func TestPassThroughWhenNoFaults(t *testing.T) {
+	w, raw := pipeConn(t, Config{Seed: 1})
+	msg := []byte("hello telemetry")
+	if _, err := w.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(raw, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+}
+
+func TestResetAfterBudget(t *testing.T) {
+	w, _ := pipeConn(t, Config{Seed: 3, ResetAfter: 64})
+	buf := make([]byte, 16)
+	var wrote int
+	var err error
+	for i := 0; i < 100; i++ {
+		var n int
+		n, err = w.Write(buf)
+		wrote += n
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrInjectedReset {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if wrote < 32 || wrote > 64 {
+		t.Errorf("reset after %d bytes, want within [32, 64]", wrote)
+	}
+	// The connection is genuinely dead afterwards.
+	if _, err := w.Write(buf); err == nil {
+		t.Error("write after injected reset succeeded")
+	}
+}
+
+func TestPartialWritesStillDeliverEverything(t *testing.T) {
+	w, raw := pipeConn(t, Config{Seed: 5, MaxChunk: 3})
+	msg := bytes.Repeat([]byte{0xAB, 0xCD}, 100)
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(raw, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("chunked write corrupted the payload")
+	}
+}
+
+func TestCorruptionIsDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		w, raw := pipeConn(t, Config{Seed: seed, CorruptProb: 1})
+		msg := bytes.Repeat([]byte{0x11}, 32)
+		if _, err := w.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := io.ReadFull(raw, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, bytes.Repeat([]byte{0x11}, 32)) {
+		t.Error("CorruptProb=1 corrupted nothing")
+	}
+}
+
+func TestListenerDerivesPerConnSeeds(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0", Config{Seed: 9, ResetAfter: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+	}
+	b1 := (<-accepted).(*Conn).budgetW
+	b2 := (<-accepted).(*Conn).budgetW
+	if b1 == b2 {
+		t.Errorf("both conns drew identical reset budgets (%d) — sub-seeding broken", b1)
+	}
+}

@@ -24,6 +24,13 @@ type Batch struct {
 	SwitchID  uint16
 	Timestamp sim.Time
 	Events    []Event
+
+	// Seq is the delivery-layer sequence number stamped by the reliable
+	// collector client (1-based, lifetime-monotonic per client; 0 =
+	// unsequenced in-process delivery). It travels in the frame header
+	// of the CPU→collector channel, not in the batch body, so the CEBP
+	// encoding below (AppendTo/DecodeBatch) deliberately ignores it.
+	Seq uint64
 }
 
 // EncodedLen returns the on-wire size of the batch.

@@ -1,0 +1,40 @@
+package fevent
+
+import (
+	"testing"
+)
+
+// TestBatchSeqOutsideEncoding pins the layering contract: Seq belongs to
+// the delivery channel's frame header, so the CEBP batch encoding must
+// neither grow with it nor carry it.
+func TestBatchSeqOutsideEncoding(t *testing.T) {
+	b := &Batch{SwitchID: 3, Timestamp: 99, Seq: 12345,
+		Events: []Event{{Type: TypeCongestion, SwitchID: 3, Timestamp: 99}}}
+	plain := &Batch{SwitchID: 3, Timestamp: 99,
+		Events: []Event{{Type: TypeCongestion, SwitchID: 3, Timestamp: 99}}}
+	if b.EncodedLen() != plain.EncodedLen() {
+		t.Fatalf("Seq changed EncodedLen: %d vs %d", b.EncodedLen(), plain.EncodedLen())
+	}
+	enc, err := b.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encPlain, err := plain.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(encPlain) {
+		t.Error("Seq leaked into the batch body encoding")
+	}
+	var dec Batch
+	dec.Seq = 777 // DecodeBatch must not invent or clear delivery state itself
+	if _, err := DecodeBatch(enc, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.SwitchID != 3 || len(dec.Events) != 1 {
+		t.Fatalf("decode = %+v", dec)
+	}
+	if dec.Seq != 777 {
+		t.Errorf("DecodeBatch touched Seq: %d", dec.Seq)
+	}
+}

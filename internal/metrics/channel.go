@@ -1,0 +1,66 @@
+package metrics
+
+import "fmt"
+
+// ChannelStats is a point-in-time snapshot of the client side of the
+// reliable switch-CPU→collector channel (collector.Client.Stats).
+type ChannelStats struct {
+	// Connects counts successful dials; Reconnects is the subset after
+	// the first; DialFailures counts failed attempts.
+	Connects, Reconnects, DialFailures uint64
+	// BatchesSent counts frames written (including retransmits);
+	// BatchesAcked counts batches covered by cumulative acks;
+	// Retransmits counts frames rewritten after a connection drop.
+	BatchesSent, BatchesAcked, Retransmits uint64
+	// DroppedBatches counts overflow drops at the bounded queue — the
+	// only place the channel is allowed to lose data, and it is counted.
+	DroppedBatches uint64
+	// QueueDepth/InflightDepth are the current backlog; HighWater is the
+	// maximum queue+inflight ever observed.
+	QueueDepth, InflightDepth, HighWater int
+	// AckLatencyUs aggregates microseconds from a batch's last write to
+	// the ack that covered it.
+	AckLatencyUs *Histogram
+}
+
+// Format renders the snapshot as an aligned two-column table.
+func (s ChannelStats) Format() string {
+	t := NewTable("delivery channel health", "metric", "value")
+	t.AddRow("connects", fmt.Sprint(s.Connects))
+	t.AddRow("reconnects", fmt.Sprint(s.Reconnects))
+	t.AddRow("dial failures", fmt.Sprint(s.DialFailures))
+	t.AddRow("batches sent", fmt.Sprint(s.BatchesSent))
+	t.AddRow("batches acked", fmt.Sprint(s.BatchesAcked))
+	t.AddRow("retransmits", fmt.Sprint(s.Retransmits))
+	t.AddRow("dropped (overflow)", fmt.Sprint(s.DroppedBatches))
+	t.AddRow("backlog depth", fmt.Sprintf("%d queued + %d inflight", s.QueueDepth, s.InflightDepth))
+	t.AddRow("backlog high-water", fmt.Sprint(s.HighWater))
+	if s.AckLatencyUs != nil {
+		t.AddRow("ack latency (µs)", s.AckLatencyUs.String())
+	}
+	return t.String()
+}
+
+// IngestStats is the server side of the channel (collector.Server.Stats).
+type IngestStats struct {
+	// ConnsAccepted/ConnsRejected count accepted connections and ones
+	// closed for exceeding the concurrent-connection cap; AcceptRetries
+	// counts transient Accept errors survived.
+	ConnsAccepted, ConnsRejected, AcceptRetries uint64
+	// Frames counts batches delivered to the store; FrameErrors counts
+	// connections dropped on a malformed/corrupt/timed-out frame;
+	// AckWriteErrors counts connections dropped writing an ack.
+	Frames, FrameErrors, AckWriteErrors uint64
+}
+
+// Format renders the snapshot as an aligned two-column table.
+func (s IngestStats) Format() string {
+	t := NewTable("ingest channel health", "metric", "value")
+	t.AddRow("conns accepted", fmt.Sprint(s.ConnsAccepted))
+	t.AddRow("conns rejected", fmt.Sprint(s.ConnsRejected))
+	t.AddRow("accept retries", fmt.Sprint(s.AcceptRetries))
+	t.AddRow("frames ingested", fmt.Sprint(s.Frames))
+	t.AddRow("frame errors", fmt.Sprint(s.FrameErrors))
+	t.AddRow("ack write errors", fmt.Sprint(s.AckWriteErrors))
+	return t.String()
+}
