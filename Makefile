@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race fuzz bench clean
+.PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -25,8 +25,29 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 20s ./internal/collector/
 
+# fuzz-smoke is the CI variant: ~10s per fuzz target, starting from the
+# seed corpus under internal/collector/testdata/fuzz/ (regenerate it with
+# `go run ./scripts/genfuzzcorpus`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/collector/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json regenerates the BENCH_*.json perf artifacts in the repo root.
+bench-json:
+	$(GO) run ./cmd/repro -bench-json -bench-out . -parallel 4
+
+# bench-guard regenerates the artifacts and fails on a regression against
+# the checked-in baseline (any allocs/op increase; >25% events/sec drop;
+# parallel output not bit-identical to sequential).
+bench-guard: bench-json
+	$(GO) run ./scripts/benchdiff -baseline bench/baseline -current .
+
+# fmt-check fails if any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 clean:
 	$(GO) clean ./...

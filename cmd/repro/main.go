@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro [-fig all|7|8a|8b|9|10|11|12|13|14a|14b|15] [-window 10ms] [-seed 1]
+//	      [-parallel N] [-bench-json] [-bench-out DIR]
 //
 // Absolute numbers come from a software simulation, not the authors'
 // Tofino testbed; the shapes — who wins, by what order of magnitude,
@@ -14,8 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
+	"netseer/internal/benchjson"
 	"netseer/internal/experiments"
 	"netseer/internal/fpelim"
 	"netseer/internal/incidents"
@@ -28,7 +33,19 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (all, 7, 8a, 8b, 9, 10, 11, 12, 13, 14a, 14b, 15, ext)")
 	window := flag.Duration("window", 10*time.Millisecond, "simulated window per run")
 	seed := flag.Uint64("seed", 1, "random seed")
+	par := flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool width (1 = fully sequential)")
+	benchJSON := flag.Bool("bench-json", false, "emit BENCH_hotpath.json and BENCH_parallel.json instead of figures")
+	benchOut := flag.String("bench-out", ".", "directory for -bench-json artifacts")
 	flag.Parse()
+
+	experiments.SetParallelism(*par)
+	if *benchJSON {
+		if err := emitBenchJSON(*benchOut, *seed, *par); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	base := experiments.RunConfig{
 		Window: sim.Time(window.Nanoseconds()),
@@ -130,4 +147,37 @@ func main() {
 			sa.WithSeq*100, sa.WithoutSeq*100)
 		fmt.Println()
 	}
+}
+
+// emitBenchJSON runs the hot-path microbenchmarks and the parallel-engine
+// harness and writes BENCH_hotpath.json / BENCH_parallel.json into dir.
+// CI regenerates these on every run and scripts/benchdiff gates merges on
+// them (see bench/baseline/).
+func emitBenchJSON(dir string, seed uint64, workers int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bench-json: running hot-path microbenchmarks...")
+	hot := benchjson.Hotpath()
+	hotPath := filepath.Join(dir, "BENCH_hotpath.json")
+	if err := hot.WriteFile(hotPath); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bench-json: wrote", hotPath)
+
+	fmt.Fprintf(os.Stderr, "bench-json: running parallel suite (1 vs %d workers)...\n", workers)
+	par, err := benchjson.Parallel(workers, seed)
+	if err != nil {
+		return err
+	}
+	parPath := filepath.Join(dir, "BENCH_parallel.json")
+	if err := par.WriteFile(parPath); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bench-json: wrote", parPath)
+	if m, ok := par.Metric("parallel/speedup"); ok {
+		fmt.Fprintf(os.Stderr, "bench-json: speedup %.2fx at %d workers over %.0f points\n",
+			m.Extra["speedup"], workers, m.Extra["points"])
+	}
+	return nil
 }

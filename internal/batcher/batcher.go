@@ -92,6 +92,9 @@ type Batcher struct {
 type cebp struct {
 	payload   []fevent.Event
 	idleSince sim.Time
+	// passFn is the pre-bound pass closure for this CEBP, created once at
+	// construction so per-pass rescheduling never allocates.
+	passFn func()
 	// parked: the CEBP is empty with an empty stack; it stops
 	// recirculating until Push wakes it. Pure simulation optimization —
 	// hardware CEBPs circulate continuously, but an empty pass over an
@@ -107,13 +110,16 @@ func New(s *sim.Simulator, cfg Config, out BatchFunc) *Batcher {
 		panic("batcher: out must not be nil")
 	}
 	cfg = cfg.withDefaults()
-	b := &Batcher{cfg: cfg, sim: s, out: out}
+	b := &Batcher{cfg: cfg, sim: s, out: out,
+		// The stack is pre-sized to its depth bound so Push never grows it.
+		stack: make([]fevent.Event, 0, cfg.StackDepth)}
 	for i := 0; i < cfg.CEBPs; i++ {
 		c := &cebp{payload: make([]fevent.Event, 0, cfg.BatchSize)}
+		c.passFn = func() { b.pass(c) }
 		b.cebps = append(b.cebps, c)
 		// Stagger launches so CEBPs do not pass the stack in lockstep.
 		delay := cfg.RecircLatency * sim.Time(i) / sim.Time(cfg.CEBPs)
-		s.Schedule(delay, func() { b.pass(c) })
+		s.Schedule(delay, c.passFn)
 	}
 	return b
 }
@@ -137,8 +143,7 @@ func (b *Batcher) wakeOne() {
 	for _, c := range b.cebps {
 		if c.parked {
 			c.parked = false
-			c := c
-			b.sim.Schedule(b.cfg.RecircLatency, func() { b.pass(c) })
+			b.sim.Schedule(b.cfg.RecircLatency, c.passFn)
 			return
 		}
 	}
@@ -182,7 +187,7 @@ func (b *Batcher) pass(c *cebp) {
 		c.parked = true
 		return
 	}
-	b.sim.Schedule(next, func() { b.pass(c) })
+	b.sim.Schedule(next, c.passFn)
 }
 
 // cebpWireLen is the current on-wire size of a CEBP: Ethernet header +

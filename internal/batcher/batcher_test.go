@@ -183,3 +183,31 @@ func TestStopHaltsCirculation(t *testing.T) {
 		t.Error("events still pending after Stop + RunAll")
 	}
 }
+
+// TestPushPassZeroAllocSteadyState pins the CEBP push/pop cycle (§3.5) at
+// zero allocations per event. BatchSize exceeds the events pushed so the
+// amortized per-batch flush (which hands off a freshly allocated payload
+// by design) stays out of the measured window.
+func TestPushPassZeroAllocSteadyState(t *testing.T) {
+	s := sim.New()
+	var delivered int
+	b := New(s, Config{CEBPs: 1, StackDepth: 1 << 10, BatchSize: 4096},
+		func(batch *fevent.Batch) { delivered += len(batch.Events) })
+	s.RunAll() // park the initial pass
+	e := ev(1)
+	// Warm the sim free list and the CEBP payload.
+	for i := 0; i < 8; i++ {
+		b.Push(e)
+		s.Step()
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		b.Push(e)
+		s.Step()
+	}); n != 0 {
+		t.Errorf("Push+pass allocates %v times per event; budget is 0", n)
+	}
+	pushed, overflow, _, _, _ := b.Stats()
+	if overflow != 0 || pushed < 500 {
+		t.Fatalf("measured path lost events: pushed=%d overflow=%d", pushed, overflow)
+	}
+}

@@ -1,0 +1,101 @@
+// Package benchjson renders performance measurements as machine-readable
+// JSON artifacts (BENCH_*.json). The artifacts make the repo's perf
+// trajectory comparable across commits: CI regenerates them on every run
+// and scripts/benchdiff fails the build on hot-path regressions
+// (any allocs/op increase, or an events/sec drop beyond the tolerance).
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Metric is one measured series: a microbenchmark or a derived figure.
+type Metric struct {
+	Name string `json:"name"`
+	// NsPerOp / AllocsPerOp / BytesPerOp come from testing.BenchmarkResult
+	// for microbenchmarks; zero for derived metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// EventsPerSec is the throughput the metric's op count translates to
+	// (events processed per wall second); the regression guard's primary
+	// speed series.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Extra carries metric-specific values (speedup, wall seconds, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is one BENCH_*.json document.
+type Report struct {
+	Suite     string   `json:"suite"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// NewReport creates an empty report stamped with the build environment.
+func NewReport(suite string) *Report {
+	return &Report{
+		Suite:     suite,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// AddResult appends a microbenchmark result. eventsPerOp is how many
+// events one benchmark op processes (used to derive EventsPerSec).
+func (r *Report) AddResult(name string, res testing.BenchmarkResult, eventsPerOp float64) {
+	m := Metric{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+	}
+	if m.NsPerOp > 0 && eventsPerOp > 0 {
+		m.EventsPerSec = eventsPerOp * 1e9 / m.NsPerOp
+	}
+	r.Metrics = append(r.Metrics, m)
+}
+
+// Add appends an arbitrary metric.
+func (r *Report) Add(m Metric) { r.Metrics = append(r.Metrics, m) }
+
+// Metric finds a metric by name.
+func (r *Report) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,156 @@
+package benchjson
+
+import (
+	"testing"
+
+	"netseer/internal/batcher"
+	"netseer/internal/fevent"
+	"netseer/internal/fpelim"
+	"netseer/internal/groupcache"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// The per-packet hot path, as microbenchmarks: flow-key hashing (Step 1),
+// group-cache ingest incl. the eviction path (Step 2, Algorithm 1),
+// record extraction (Step 3), CEBP push/pop (Step 3.5) and FP-elimination
+// offer (Step 4). Every benchmark reports allocations; the steady-state
+// budget is zero allocs/op, enforced by scripts/benchdiff against the
+// checked-in baseline and pinned exactly by AllocsPerRun tests in the
+// respective packages.
+
+// HotpathBenchmark is one named hot-path microbenchmark.
+type HotpathBenchmark struct {
+	Name string
+	// EventsPerOp is how many events a single benchmark op processes.
+	EventsPerOp float64
+	Fn          func(b *testing.B)
+}
+
+// HotpathBenchmarks returns the suite. The names are stable: benchdiff
+// matches baseline and current metrics by them.
+func HotpathBenchmarks() []HotpathBenchmark {
+	return []HotpathBenchmark{
+		{Name: "hotpath/flowkey_hash", EventsPerOp: 1, Fn: benchFlowKeyHash},
+		{Name: "hotpath/groupcache_ingest", EventsPerOp: 1, Fn: benchGroupcacheIngest},
+		{Name: "hotpath/groupcache_evict", EventsPerOp: 1, Fn: benchGroupcacheEvict},
+		{Name: "hotpath/batcher_pushpop", EventsPerOp: 1, Fn: benchBatcherPushPop},
+		{Name: "hotpath/record_encode", EventsPerOp: 1, Fn: benchRecordEncode},
+		{Name: "hotpath/fpelim_offer", EventsPerOp: 1, Fn: benchFPElimOffer},
+		{Name: "hotpath/sim_schedule", EventsPerOp: 1, Fn: benchSimSchedule},
+	}
+}
+
+// Hotpath runs the suite via testing.Benchmark and collects the results.
+func Hotpath() *Report {
+	r := NewReport("hotpath")
+	for _, bm := range HotpathBenchmarks() {
+		r.AddResult(bm.Name, testing.Benchmark(bm.Fn), bm.EventsPerOp)
+	}
+	return r
+}
+
+// hotFlows builds n distinct flows with pre-computed hashes.
+func hotFlows(n int) []fevent.Event {
+	evs := make([]fevent.Event, n)
+	for i := range evs {
+		f := pkt.FlowKey{SrcIP: uint32(i) + 1, DstIP: 9, SrcPort: uint16(i), DstPort: 80, Proto: pkt.ProtoTCP}
+		evs[i] = fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), QueueLatencyUs: 15}
+	}
+	return evs
+}
+
+func benchFlowKeyHash(b *testing.B) {
+	f := pkt.FlowKey{SrcIP: pkt.IP(10, 0, 1, 2), DstIP: pkt.IP(10, 0, 2, 3), SrcPort: 33000, DstPort: 80, Proto: pkt.ProtoTCP}
+	var sink uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += f.Hash()
+	}
+	_ = sink
+}
+
+func benchGroupcacheIngest(b *testing.B) {
+	// Working set smaller than the table: the aggregate/report path of
+	// Algorithm 1 without collision evictions.
+	evs := hotFlows(256)
+	var reports uint64
+	tbl := groupcache.New(groupcache.DefaultSlots, groupcache.DefaultC, func(e *fevent.Event) { reports++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Offer(&evs[i%len(evs)])
+	}
+	_ = reports
+}
+
+func benchGroupcacheEvict(b *testing.B) {
+	// A one-slot table makes every distinct flow a collision: the
+	// install + evict-report path, the most expensive Offer outcome.
+	evs := hotFlows(2)
+	var reports uint64
+	tbl := groupcache.New(1, groupcache.DefaultC, func(e *fevent.Event) { reports++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Offer(&evs[i%2])
+	}
+	_ = reports
+}
+
+func benchBatcherPushPop(b *testing.B) {
+	s := sim.New()
+	var delivered int
+	bt := batcher.New(s, batcher.Config{CEBPs: 1, StackDepth: 1 << 10},
+		func(batch *fevent.Batch) { delivered += len(batch.Events) })
+	ev := hotFlows(1)[0]
+	// Drain the initial parked pass.
+	s.RunAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Push(&ev)
+		s.Step() // one CEBP pass: pops the event into the payload
+	}
+}
+
+func benchRecordEncode(b *testing.B) {
+	ev := hotFlows(1)[0]
+	buf := make([]byte, 0, fevent.RecordLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ev.AppendRecord(buf[:0])
+	}
+	_ = buf
+}
+
+func benchFPElimOffer(b *testing.B) {
+	evs := hotFlows(1024)
+	elim := fpelim.New(fpelim.Config{MaxEntries: 4096}, func() sim.Time { return 0 })
+	// Install every identity once so the measured path is the steady-state
+	// duplicate/progress check, not map growth.
+	for i := range evs {
+		elim.Offer(&evs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		elim.Offer(&evs[i%len(evs)])
+	}
+}
+
+func benchSimSchedule(b *testing.B) {
+	s := sim.New()
+	fn := func() {}
+	// Prime the event free list.
+	s.Schedule(0, fn)
+	s.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(1, fn)
+		s.Step()
+	}
+}

@@ -1,0 +1,51 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkHotpath exposes the shared suite to `go test -bench`; the same
+// functions back cmd/repro -bench-json.
+func BenchmarkHotpath(b *testing.B) {
+	for _, bm := range HotpathBenchmarks() {
+		b.Run(bm.Name, bm.Fn)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport("test")
+	r.Add(Metric{Name: "a", NsPerOp: 12.5, EventsPerSec: 8e7, Extra: map[string]float64{"k": 2}})
+	r.Add(Metric{Name: "b", AllocsPerOp: 3})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != "test" || len(got.Metrics) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	m, ok := got.Metric("a")
+	if !ok || m.NsPerOp != 12.5 || m.Extra["k"] != 2 {
+		t.Fatalf("metric a mangled: %+v", m)
+	}
+	if _, ok := got.Metric("missing"); ok {
+		t.Fatal("found a metric that was never added")
+	}
+}
+
+func TestHotpathSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bm := range HotpathBenchmarks() {
+		if seen[bm.Name] {
+			t.Fatalf("duplicate benchmark name %q", bm.Name)
+		}
+		seen[bm.Name] = true
+		if bm.EventsPerOp <= 0 {
+			t.Fatalf("%s: EventsPerOp must be positive", bm.Name)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package benchjson
+
+import (
+	"fmt"
+	"time"
+
+	"netseer/internal/experiments"
+	"netseer/internal/sim"
+	"netseer/internal/workload"
+)
+
+// ParallelSuitePoints is the fixed workload the BENCH_parallel.json
+// harness measures: every traffic distribution at two seeds, with the
+// Fig. 9 fault set enabled so the runs exercise all event types. Each
+// point is an independent deterministic simulation — exactly the shape
+// the engine fans out for the figure sweeps.
+func ParallelSuitePoints(seed uint64) []experiments.RunConfig {
+	var cfgs []experiments.RunConfig
+	for _, dist := range workload.All {
+		for s := uint64(0); s < 2; s++ {
+			cfgs = append(cfgs, experiments.RunConfig{
+				Dist:              dist,
+				Load:              0.70,
+				Window:            2 * sim.Millisecond,
+				Seed:              seed + s,
+				NetSeer:           true,
+				InjectLinkLoss:    true,
+				InjectPipelineBug: true,
+			})
+		}
+	}
+	return cfgs
+}
+
+// Parallel runs the suite sequentially (one worker) and with the given
+// pool width, verifies the exported event streams are identical, and
+// reports throughput plus speedup. It returns an error if any point's
+// digest differs between the two runs — parallelism must never change
+// results.
+func Parallel(workers int, seed uint64) (*Report, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	pts := ParallelSuitePoints(seed)
+
+	run := func(w int) ([]experiments.PointResult, time.Duration) {
+		prev := experiments.Parallelism()
+		experiments.SetParallelism(w)
+		defer experiments.SetParallelism(prev)
+		start := time.Now()
+		res := experiments.RunPoints(pts)
+		return res, time.Since(start)
+	}
+
+	seqRes, seqDur := run(1)
+	parRes, parDur := run(workers)
+
+	for i := range seqRes {
+		if seqRes[i].Digest != parRes[i].Digest {
+			return nil, fmt.Errorf("point %d (%s): parallel digest %016x != sequential %016x",
+				i, pts[i], parRes[i].Digest, seqRes[i].Digest)
+		}
+	}
+
+	var events, packets uint64
+	for _, r := range seqRes {
+		events += r.ExportedEvents
+		packets += r.RawPackets
+	}
+
+	r := NewReport("parallel")
+	r.Add(pointMetric("parallel/sequential", 1, events, packets, seqDur))
+	r.Add(pointMetric(fmt.Sprintf("parallel/workers_%d", workers), workers, events, packets, parDur))
+	speedup := seqDur.Seconds() / parDur.Seconds()
+	r.Add(Metric{
+		Name: "parallel/speedup",
+		Extra: map[string]float64{
+			"speedup":        speedup,
+			"workers":        float64(workers),
+			"points":         float64(len(pts)),
+			"digests_match":  1,
+			"seq_wall_sec":   seqDur.Seconds(),
+			"par_wall_sec":   parDur.Seconds(),
+			"exported_total": float64(events),
+		},
+	})
+	return r, nil
+}
+
+func pointMetric(name string, workers int, events, packets uint64, wall time.Duration) Metric {
+	return Metric{
+		Name:         name,
+		EventsPerSec: float64(events) / wall.Seconds(),
+		Extra: map[string]float64{
+			"workers":          float64(workers),
+			"wall_sec":         wall.Seconds(),
+			"raw_pkts_per_sec": float64(packets) / wall.Seconds(),
+		},
+	}
+}

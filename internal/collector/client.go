@@ -101,11 +101,11 @@ type Client struct {
 	forced    bool // Close gave up on graceful drain
 
 	// Channel-health counters (guarded by mu).
-	connects, reconnects, dialFailures  uint64
-	sentBatches, ackedBatches           uint64
-	retransmits, droppedBatches         uint64
-	highWater                           int
-	ackLat                              *metrics.Histogram
+	connects, reconnects, dialFailures uint64
+	sentBatches, ackedBatches          uint64
+	retransmits, droppedBatches        uint64
+	highWater                          int
+	ackLat                             *metrics.Histogram
 
 	closeOnce  sync.Once
 	closeCh    chan struct{}

@@ -22,11 +22,11 @@ func FuzzReadFrame(f *testing.F) {
 	whole := valid(9, fevent.Event{Type: fevent.TypeCongestion, Flow: flowN(3), SwitchID: 5, Timestamp: 77})
 	f.Add(whole)
 	f.Add(valid(0))
-	f.Add(whole[:3])                                       // truncated length header
-	f.Add(whole[:len(whole)-2])                            // truncated body
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})      // oversized length
-	f.Add(append(append([]byte(nil), whole...), 0x01))     // trailing byte
-	f.Add(bytes.Repeat([]byte{0}, 64))                     // zero noise
+	f.Add(whole[:3])                                   // truncated length header
+	f.Add(whole[:len(whole)-2])                        // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})  // oversized length
+	f.Add(append(append([]byte(nil), whole...), 0x01)) // trailing byte
+	f.Add(bytes.Repeat([]byte{0}, 64))                 // zero noise
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var b fevent.Batch

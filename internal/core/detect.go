@@ -122,17 +122,18 @@ func (n *NetSeerSwitch) PipelineForward(p *pkt.Packet, inPort, outPort, queue in
 		n.detectPathChange(p, inPort, outPort)
 	}
 	if queuePaused {
+		// Pause events share the internal port budget; check it before
+		// spending the hash computation on a packet that will be dropped.
+		if !n.internalPort.tryTake(n.sim.Now(), p.WireLen) {
+			n.stats.LostInternalPort++
+			return
+		}
 		ev := fevent.Event{
 			Type:       fevent.TypePause,
 			Flow:       p.Flow,
 			EgressPort: uint8(outPort),
 			Queue:      uint8(queue),
 			Hash:       p.Flow.Hash(),
-		}
-		// Pause events share the internal port budget.
-		if !n.internalPort.tryTake(n.sim.Now(), p.WireLen) {
-			n.stats.LostInternalPort++
-			return
 		}
 		n.statEventPacket(p.WireLen)
 		n.pauseTab.Offer(&ev)
@@ -143,7 +144,10 @@ func (n *NetSeerSwitch) PipelineForward(p *pkt.Packet, inPort, outPort, queue in
 // (in, out) pair, or an expired entry re-reports the flow's path (§3.3).
 func (n *NetSeerSwitch) detectPathChange(p *pkt.Packet, inPort, outPort int) {
 	now := n.sim.Now()
-	idx := int(p.Flow.Hash() % uint32(len(n.pathTable)))
+	// The ASIC computes the CRC once per packet; do the same — the hash
+	// indexes the path table and rides along on any emitted event.
+	hash := p.Flow.Hash()
+	idx := int(hash % uint32(len(n.pathTable)))
 	e := &n.pathTable[idx]
 	same := e.used && e.flow == p.Flow &&
 		e.in == uint8(inPort) && e.out == uint8(outPort) &&
@@ -163,7 +167,7 @@ func (n *NetSeerSwitch) detectPathChange(p *pkt.Packet, inPort, outPort int) {
 		IngressPort: uint8(inPort),
 		EgressPort:  uint8(outPort),
 		Count:       1,
-		Hash:        p.Flow.Hash(),
+		Hash:        hash,
 	}
 	// Path change is flow-level by nature: it bypasses group caching and
 	// goes straight to extraction.

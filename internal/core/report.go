@@ -45,6 +45,11 @@ func (n *NetSeerSwitch) onBatch(b *fevent.Batch) {
 			n.stats.SuppressedFPs++
 			continue
 		}
+		if n.outBuf == nil {
+			// One pre-sized allocation per export batch (the batch hands
+			// the slice to the sink) instead of append-doubling toward it.
+			n.outBuf = make([]fevent.Event, 0, fevent.DefaultBatchSize)
+		}
 		n.outBuf = append(n.outBuf, *ev)
 		if len(n.outBuf) >= fevent.DefaultBatchSize {
 			n.exportNow()

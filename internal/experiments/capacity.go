@@ -27,10 +27,11 @@ type BatchingPoint struct {
 }
 
 // Fig12Batching sweeps the CEBP batch size and measures saturated event
-// throughput.
+// throughput. Throughput here is virtual-time events per simulated
+// second, so the points parallelize without distorting each other.
 func Fig12Batching(sizes []int) []BatchingPoint {
-	var out []BatchingPoint
-	for _, size := range sizes {
+	return parallelMap(len(sizes), func(i int) BatchingPoint {
+		size := sizes[i]
 		s := sim.New()
 		delivered := 0
 		b := batcher.New(s, batcher.Config{BatchSize: size, StackDepth: 1 << 20},
@@ -44,13 +45,12 @@ func Fig12Batching(sizes []int) []BatchingPoint {
 		s.Run(horizon)
 		b.Stop()
 		eps := float64(delivered) / horizon.Seconds()
-		out = append(out, BatchingPoint{
+		return BatchingPoint{
 			BatchSize: size,
 			Meps:      eps / 1e6,
 			Gbps:      eps * fevent.RecordLen * 8 / 1e9,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // Fig12Table renders the batching sweep.
@@ -83,6 +83,9 @@ const PCIeBusBps = 18e9
 // depend on how many host CPUs the reproduction machine happens to
 // have.) Small batches pay the per-frame overhead; capacity saturates
 // past batch ≈ 20 and doubles from 1 to 2 cores (paper: 9.5 → 18 Gb/s).
+//
+// Deliberately sequential: this measures wall-clock decode throughput, so
+// sharing cores with other experiment points would corrupt the numbers.
 func Fig14aPCIe(sizes []int, cores []int, duration time.Duration) []PCIePoint {
 	var out []PCIePoint
 	for _, size := range sizes {
@@ -150,6 +153,8 @@ type CPUPoint struct {
 // number of concurrent flows, sharded across cores by the pre-computed
 // hash. mode selects the paper's design (PreHashed) or the
 // hash-on-CPU baseline it improves on by ~2.5×.
+//
+// Deliberately sequential, like Fig14aPCIe: it times real CPU work.
 func Fig14bCPU(flowCounts []int, coreCount int, mode fpelim.HashMode, duration time.Duration) []CPUPoint {
 	var out []CPUPoint
 	for _, flows := range flowCounts {

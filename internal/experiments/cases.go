@@ -256,15 +256,19 @@ func evidence(ev *fevent.Event) string {
 	return ev.String()
 }
 
-// Fig8aCaseStudies runs all five scenarios.
+// Fig8aCaseStudies runs all five scenarios, fanned out over the worker
+// pool (each case builds its own testbed).
 func Fig8aCaseStudies(seed uint64) []CaseResult {
-	return []CaseResult{
-		Case1RoutingError(seed),
-		Case2ACLError(seed),
-		Case3ParityError(seed),
-		Case4UnexpectedVolume(seed),
-		Case5SSDFirmwareBug(seed),
+	cases := []func(uint64) CaseResult{
+		Case1RoutingError,
+		Case2ACLError,
+		Case3ParityError,
+		Case4UnexpectedVolume,
+		Case5SSDFirmwareBug,
 	}
+	return parallelMap(len(cases), func(i int) CaseResult {
+		return cases[i](seed)
+	})
 }
 
 // Fig8aTable renders the case-study comparison.

@@ -107,8 +107,8 @@ func Fig9EventCoverage(cfg RunConfig) *CoverageResult {
 // Fig10CongestionCoverage measures congestion-event coverage per traffic
 // distribution (Fig. 10), including Pingmesh's existence-only credit.
 func Fig10CongestionCoverage(base RunConfig, dists []*workload.Distribution) []*CoverageResult {
-	var out []*CoverageResult
-	for _, d := range dists {
+	return parallelMap(len(dists), func(i int) *CoverageResult {
+		d := dists[i]
 		cfg := base
 		cfg.Dist = d
 		cfg.NetSeer = true
@@ -141,9 +141,8 @@ func Fig10CongestionCoverage(base RunConfig, dists []*workload.Distribution) []*
 		// anomalous probe crossed the congested switch near its time.
 		res.Systems = append(res.Systems, "pingmesh")
 		res.Ratio[ClassCongestion]["pingmesh"] = pingmeshCongestionCredit(tb, truth)
-		out = append(out, res)
-	}
-	return out
+		return res
+	})
 }
 
 func pingmeshCongestionCredit(tb *Testbed, truth map[dataplane.FlowEventKey]int) float64 {
@@ -193,8 +192,8 @@ type OverheadResult struct {
 // Fig11BandwidthOverhead measures monitoring-traffic overhead per
 // workload (Fig. 11).
 func Fig11BandwidthOverhead(base RunConfig, dists []*workload.Distribution) []*OverheadResult {
-	var out []*OverheadResult
-	for _, d := range dists {
+	return parallelMap(len(dists), func(i int) *OverheadResult {
+		d := dists[i]
 		cfg := base
 		cfg.Dist = d
 		cfg.NetSeer = true
@@ -223,9 +222,8 @@ func Fig11BandwidthOverhead(base RunConfig, dists []*workload.Distribution) []*O
 		for _, sp := range tb.Samplers {
 			add(sp.Name(), sp.OverheadBytes())
 		}
-		out = append(out, res)
-	}
-	return out
+		return res
+	})
 }
 
 // CoverageTable renders one or more coverage results as a paper-style

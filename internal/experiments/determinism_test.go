@@ -43,6 +43,56 @@ func TestEndToEndDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequential: the worker pool must never change
+// results. For two seeds and two figures, the rendered tables produced
+// with SetParallelism(4) must be byte-identical to SetParallelism(1),
+// and RunPoints digests must match point-for-point.
+func TestParallelMatchesSequential(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	dists := []*workload.Distribution{workload.WEB, workload.CACHE}
+	for _, seed := range []uint64{42, 99} {
+		base := RunConfig{Load: 0.6, Window: 2 * sim.Millisecond, Seed: seed}
+
+		render := func() (fig10, fig11 string) {
+			fig10 = CoverageTable("Fig 10", ClassCongestion, Fig10CongestionCoverage(base, dists)).String()
+			fig11 = Fig11Table(Fig11BandwidthOverhead(base, dists)).String()
+			return
+		}
+		SetParallelism(1)
+		seq10, seq11 := render()
+		SetParallelism(4)
+		par10, par11 := render()
+		if par10 != seq10 {
+			t.Errorf("seed %d: Fig 10 table differs under parallelism:\n--- sequential ---\n%s\n--- parallel ---\n%s", seed, seq10, par10)
+		}
+		if par11 != seq11 {
+			t.Errorf("seed %d: Fig 11 table differs under parallelism:\n--- sequential ---\n%s\n--- parallel ---\n%s", seed, seq11, par11)
+		}
+
+		pts := []RunConfig{
+			{Dist: workload.WEB, Load: 0.6, Window: 2 * sim.Millisecond, Seed: seed,
+				NetSeer: true, InjectLinkLoss: true},
+			{Dist: workload.CACHE, Load: 0.6, Window: 2 * sim.Millisecond, Seed: seed,
+				NetSeer: true, InjectPipelineBug: true},
+		}
+		SetParallelism(1)
+		seqPts := RunPoints(pts)
+		SetParallelism(4)
+		parPts := RunPoints(pts)
+		for i := range seqPts {
+			if seqPts[i].ExportedEvents == 0 {
+				t.Errorf("seed %d point %d: no events exported — digest check is vacuous", seed, i)
+			}
+			if seqPts[i].Digest != parPts[i].Digest {
+				t.Errorf("seed %d point %d (%s): digest %016x (parallel) != %016x (sequential)",
+					seed, i, pts[i], parPts[i].Digest, seqPts[i].Digest)
+			}
+		}
+	}
+}
+
 // TestSeedSensitivity: different seeds must actually change the run
 // (guards against a seed being silently ignored somewhere).
 func TestSeedSensitivity(t *testing.T) {

@@ -51,16 +51,24 @@ type MonteCarloResult struct {
 }
 
 // ExtIncidentMonteCarlo replays n incidents sampled from the Fig. 3 mix.
+// The class sequence is drawn sequentially from one seeded stream (so it
+// never depends on scheduling), then the independent replays — each with
+// its own derived seed — fan out over the worker pool.
 func ExtIncidentMonteCarlo(n int, seed uint64) *MonteCarloResult {
 	rng := sim.NewStream(seed, "montecarlo")
-	res := &MonteCarloResult{}
+	classes := make([]incidents.DropClass, n)
+	for i := range classes {
+		classes[i] = incidents.SampleDropClass(rng)
+	}
+	outcomes := parallelMap(n, func(i int) IncidentOutcome {
+		out := replayIncident(classes[i], seed+uint64(i)*7919)
+		out.PaperLocationMin = incidents.MeanLocationMinutes(classes[i])
+		return out
+	})
+	res := &MonteCarloResult{Outcomes: outcomes}
 	var detected, viaEvents int
 	var eventLatencies []float64
-	for i := 0; i < n; i++ {
-		class := incidents.SampleDropClass(rng)
-		out := replayIncident(class, seed+uint64(i)*7919)
-		out.PaperLocationMin = incidents.MeanLocationMinutes(class)
-		res.Outcomes = append(res.Outcomes, out)
+	for _, out := range outcomes {
 		if out.Detected {
 			detected++
 			if !out.ViaSyslog {

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"netseer/internal/collector"
+)
+
+// The parallel experiment engine. Every figure of the evaluation fans out
+// over independent, deterministic simulation runs: each RunConfig point
+// owns its own seeded sim.Simulator, topology and monitors, so runs share
+// no mutable state. parallelMap distributes those points over a bounded
+// worker pool and collects results by input index — never by completion
+// order — which keeps every table byte-identical to a sequential run
+// (asserted by TestParallelMatchesSequential).
+//
+// Wall-clock measurements are the one exception: Fig. 14(a)/(b) time real
+// CPU work, so running them concurrently with other runs would distort
+// the numbers they exist to report. Those stay sequential.
+
+// parallelism is the worker-pool width consulted by every figure fan-out.
+var parallelism int32 = int32(runtime.NumCPU())
+
+// SetParallelism sets the number of workers used for independent
+// experiment points. n <= 0 restores the default, runtime.NumCPU().
+// 1 runs every point inline on the calling goroutine.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	atomic.StoreInt32(&parallelism, int32(n))
+}
+
+// Parallelism returns the current worker-pool width.
+func Parallelism() int { return int(atomic.LoadInt32(&parallelism)) }
+
+// parallelMap evaluates fn(0..n-1) across min(Parallelism(), n) workers
+// and returns the results indexed by input position. With one worker it
+// degenerates to a plain ordered loop — no goroutines, exactly the
+// sequential semantics.
+func parallelMap[T any](n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// PointResult summarizes one engine run: throughput counters for the
+// benchmark harness and a digest of the exported event stream for
+// determinism checks.
+type PointResult struct {
+	Config         RunConfig
+	RawPackets     uint64
+	ExportedEvents uint64
+	// Digest is an FNV-64a hash over the run's full exported event stream
+	// (string rendering + timestamp, in store order). Two runs of the same
+	// config are byte-identical iff their digests match.
+	Digest uint64
+}
+
+// RunPoints drives one full testbed run per config through the worker
+// pool. It is the generic entry point of the parallel engine: cmd/repro's
+// figure fan-outs and the BENCH_parallel.json harness both reduce to it.
+func RunPoints(cfgs []RunConfig) []PointResult {
+	return parallelMap(len(cfgs), func(i int) PointResult {
+		tb := NewTestbed(cfgs[i])
+		tb.Run()
+		st := tb.NetSeerStats()
+		h := fnv.New64a()
+		for _, e := range tb.Store.Query(collector.Filter{}) {
+			fmt.Fprintf(h, "%s@%d\n", e.String(), e.Timestamp)
+		}
+		return PointResult{
+			Config:         cfgs[i],
+			RawPackets:     st.RawPackets,
+			ExportedEvents: st.ExportedEvents,
+			Digest:         h.Sum64(),
+		}
+	})
+}

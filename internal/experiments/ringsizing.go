@@ -93,10 +93,12 @@ func ringScenario(slots, pktSize int) bool {
 }
 
 // Fig15aRingSizing finds the minimal ring size per packet size, by
-// doubling then binary search, and pairs it with the analytic bound.
+// doubling then binary search, and pairs it with the analytic bound. Each
+// packet size's search is an independent chain of deterministic sims, so
+// the sizes fan out over the worker pool.
 func Fig15aRingSizing(pktSizes []int) []RingSizingPoint {
-	var out []RingSizingPoint
-	for _, size := range pktSizes {
+	return parallelMap(len(pktSizes), func(i int) RingSizingPoint {
+		size := pktSizes[i]
 		analytic := analyticSlots(size)
 		lo, hi := 1, analytic*4+8
 		// Ensure hi works; widen if not.
@@ -114,9 +116,8 @@ func Fig15aRingSizing(pktSizes []int) []RingSizingPoint {
 				lo = mid + 1
 			}
 		}
-		out = append(out, RingSizingPoint{PacketSize: size, MinSlots: lo, AnalyticSlots: analytic})
-	}
-	return out
+		return RingSizingPoint{PacketSize: size, MinSlots: lo, AnalyticSlots: analytic}
+	})
 }
 
 // analyticSlots is the closed-form sizing: during the notification

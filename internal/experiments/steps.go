@@ -97,11 +97,9 @@ func Fig13Tables(results []*StepResult) (a, b *metrics.Table) {
 
 // Fig13AllWorkloads runs the per-step accounting over every distribution.
 func Fig13AllWorkloads(base RunConfig, dists []*workload.Distribution) []*StepResult {
-	var out []*StepResult
-	for _, d := range dists {
+	return parallelMap(len(dists), func(i int) *StepResult {
 		cfg := base
-		cfg.Dist = d
-		out = append(out, Fig13PerStep(cfg))
-	}
-	return out
+		cfg.Dist = dists[i]
+		return Fig13PerStep(cfg)
+	})
 }

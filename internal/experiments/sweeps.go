@@ -27,10 +27,11 @@ type TableSizePoint struct {
 }
 
 // SweepTableSize replays a fixed event-packet stream through tables of
-// varying sizes and measures collision-driven false positives.
+// varying sizes and measures collision-driven false positives. Each table
+// size replays its own seeded stream, so the sizes fan out in parallel.
 func SweepTableSize(slots []int, flows, packets int, seed uint64) []TableSizePoint {
-	var out []TableSizePoint
-	for _, n := range slots {
+	return parallelMap(len(slots), func(si int) TableSizePoint {
+		n := slots[si]
 		rng := sim.NewStream(seed, "table-sweep")
 		// Count duplicate initial reports the way the switch CPU does:
 		// a report whose counter did not advance past the key's maximum.
@@ -51,13 +52,12 @@ func SweepTableSize(slots []int, flows, packets int, seed uint64) []TableSizePoi
 			tbl.Offer(&fevent.Event{Type: fevent.TypeCongestion, Flow: f, Hash: f.Hash(), QueueLatencyUs: 15})
 		}
 		tbl.Flush()
-		out = append(out, TableSizePoint{
+		return TableSizePoint{
 			Slots: n, Flows: flows,
 			FPRatio: float64(dupes) / float64(len(lastCount)),
 			Reports: reports,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // CSweepPoint is one C-constant sweep sample.
@@ -71,10 +71,10 @@ type CSweepPoint struct {
 }
 
 // SweepC replays a stream of per-flow bursts through tables with varying
-// report intervals C.
+// report intervals C, one worker per C value.
 func SweepC(cs []uint16, burst int, flows int, seed uint64) []CSweepPoint {
-	var out []CSweepPoint
-	for _, c := range cs {
+	return parallelMap(len(cs), func(ci int) CSweepPoint {
+		c := cs[ci]
 		var reports uint64
 		lastReported := make(map[fevent.Key]uint16)
 		maxStale := 0
@@ -96,13 +96,12 @@ func SweepC(cs []uint16, burst int, flows int, seed uint64) []CSweepPoint {
 			}
 		}
 		tbl.Flush()
-		out = append(out, CSweepPoint{
+		return CSweepPoint{
 			C:               c,
 			ReportsPerEvent: float64(reports) / float64(flows),
 			MaxStaleness:    maxStale,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // SweepTables renders both sweeps.

@@ -13,6 +13,9 @@ type ACLAggregator struct {
 	c       uint16
 	report  ReportFunc
 	counter map[uint8]*aclState
+	// scratch mirrors Table.scratch: emit reports a pointer into it so the
+	// steady-state path does not allocate.
+	scratch fevent.Event
 }
 
 type aclState struct {
@@ -53,13 +56,13 @@ func (a *ACLAggregator) Offer(rule uint8, ev *fevent.Event) {
 }
 
 func (a *ACLAggregator) emit(s *aclState) {
-	out := s.ev
+	a.scratch = s.ev
 	if s.counter > 0xffff {
-		out.Count = 0xffff
+		a.scratch.Count = 0xffff
 	} else {
-		out.Count = uint16(s.counter)
+		a.scratch.Count = uint16(s.counter)
 	}
-	a.report(&out)
+	a.report(&a.scratch)
 }
 
 // Flush reports the final counter of every rule.

@@ -41,6 +41,10 @@ type Table struct {
 	slots  []entry
 	c      uint16
 	report ReportFunc
+	// scratch is the reusable out-parameter for emit: report receives a
+	// pointer into it (valid only for the call, per the ReportFunc
+	// contract), so emitting never heap-allocates.
+	scratch fevent.Event
 
 	// Stats.
 	ingested  uint64 // event packets offered
@@ -107,10 +111,10 @@ func (t *Table) Offer(ev *fevent.Event) {
 }
 
 func (t *Table) emit(s *entry) {
-	out := s.ev
-	out.Count = s.counter
+	t.scratch = s.ev
+	t.scratch.Count = s.counter
 	t.reported++
-	t.report(&out)
+	t.report(&t.scratch)
 }
 
 // Flush reports and clears every resident entry, delivering final counters.

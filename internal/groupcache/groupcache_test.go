@@ -344,3 +344,38 @@ func BenchmarkBloomOffer(b *testing.B) {
 		bd.Offer(evs[i%len(evs)])
 	}
 }
+
+// TestOfferZeroAllocSteadyState pins the group-cache ingest path — the
+// per-event-packet hot path of Step 2 — at zero allocations, for both the
+// aggregate outcome (working set fits) and the collision/evict outcome.
+func TestOfferZeroAllocSteadyState(t *testing.T) {
+	var reports uint64
+	tbl := New(1<<10, 4, func(*fevent.Event) { reports++ })
+	evs := make([]fevent.Event, 64)
+	for i := range evs {
+		evs[i] = *congestionPacket(flowN(uint32(i)), 1)
+	}
+	for i := range evs { // install every key once
+		tbl.Offer(&evs[i])
+	}
+	var i int
+	if n := testing.AllocsPerRun(1000, func() {
+		tbl.Offer(&evs[i%len(evs)])
+		i++
+	}); n != 0 {
+		t.Errorf("aggregate Offer allocates %v times per event; budget is 0", n)
+	}
+
+	// One slot: every alternating key collides and takes the evict path.
+	evict := New(1, 4, func(*fevent.Event) { reports++ })
+	var j int
+	if n := testing.AllocsPerRun(1000, func() {
+		evict.Offer(&evs[j%2])
+		j++
+	}); n != 0 {
+		t.Errorf("evict Offer allocates %v times per event; budget is 0", n)
+	}
+	if reports == 0 {
+		t.Fatal("report callback never fired — the measured path skipped emission")
+	}
+}

@@ -105,10 +105,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Hash returns the CRC-32C of the canonical encoding. The switch data plane
 // computes this once and attaches it to every event report so the switch
 // CPU can index its false-positive table without re-hashing (§3.6).
+//
+// The CRC runs byte-at-a-time over the Castagnoli table instead of calling
+// crc32.Checksum: the stdlib entry point leaks its input to escape analysis,
+// which would heap-allocate the 13-byte scratch buffer on every packet of
+// the hot path. Same polynomial, bit-identical result (asserted by
+// TestFlowKeyHashMatchesCRC32C).
 func (k FlowKey) Hash() uint32 {
 	var buf [FlowKeyLen]byte
 	k.PutWire(buf[:])
-	return crc32.Checksum(buf[:], castagnoli)
+	crc := ^uint32(0)
+	for _, c := range buf {
+		crc = castagnoli[byte(crc)^c] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 // TableIndex reduces the hash onto a table of the given size.

@@ -1,6 +1,7 @@
 package pkt
 
 import (
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 )
@@ -61,6 +62,28 @@ func TestFlowKeyHashDistinguishes(t *testing.T) {
 	if a.Hash() == b.Hash() {
 		t.Error("distinct keys produced equal hash (CRC32C collision on 1-bit change is a bug)")
 	}
+}
+
+func TestFlowKeyHashMatchesCRC32C(t *testing.T) {
+	// The hand-rolled table loop in Hash must stay bit-identical to the
+	// stdlib CRC-32C of the wire encoding: the hash is a wire value (§3.6)
+	// that the switch CPU and collector index tables by.
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{src, dst, sp, dp, proto}
+		return k.Hash() == crc32.Checksum(k.AppendWire(nil), castagnoli)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowKeyHashZeroAlloc(t *testing.T) {
+	k := FlowKey{IP(10, 0, 0, 1), IP(10, 0, 0, 2), 100, 200, ProtoTCP}
+	var sink uint32
+	if n := testing.AllocsPerRun(1000, func() { sink += k.Hash() }); n != 0 {
+		t.Errorf("Hash allocates %v times per call; the per-packet hot path budget is 0", n)
+	}
+	_ = sink
 }
 
 func TestTableIndexInRange(t *testing.T) {

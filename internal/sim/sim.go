@@ -48,12 +48,16 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled closure.
+// event is a scheduled closure. Executed and canceled events return to a
+// free list and are reused by later Schedule/At calls, so steady-state
+// scheduling does not allocate; gen distinguishes a recycled event from
+// the one a stale Handle still points at.
 type event struct {
 	at    Time
 	seq   uint64 // tie-breaker: FIFO among events at the same instant
 	fn    func()
-	index int // heap index; -1 once popped or canceled
+	index int    // heap index; -1 once popped or canceled
+	gen   uint32 // incremented on every release to the free list
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
@@ -93,6 +97,7 @@ type Simulator struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	free    []*event // recycled events (zero-alloc steady-state scheduling)
 	stopped bool
 	// processed counts executed events, mostly for tests and reporting.
 	processed uint64
@@ -115,7 +120,8 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Handle identifies a scheduled event so it can be canceled. The zero Handle
 // is invalid.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Schedule runs fn after delay d (which must be >= 0) relative to Now.
@@ -131,21 +137,37 @@ func (s *Simulator) At(t Time, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, s.seq, fn
+	} else {
+		ev = &event{at: t, seq: s.seq, fn: fn}
+	}
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// release returns a popped or canceled event to the free list, dropping its
+// closure reference and invalidating outstanding Handles.
+func (s *Simulator) release(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // Cancel removes a scheduled event. It reports whether the event was still
 // pending (false if it already ran, was canceled, or the handle is zero).
 func (s *Simulator) Cancel(h Handle) bool {
-	if h.ev == nil || h.ev.index < 0 {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&s.queue, h.ev.index)
-	h.ev.index = -1
-	h.ev.fn = nil
+	s.release(h.ev)
 	return true
 }
 
@@ -161,7 +183,10 @@ func (s *Simulator) Step() bool {
 	ev := heap.Pop(&s.queue).(*event)
 	s.now = ev.at
 	s.processed++
-	ev.fn()
+	fn := ev.fn
+	// Release before running so fn's own Schedule calls can reuse the slot.
+	s.release(ev)
+	fn()
 	return true
 }
 
@@ -200,6 +225,16 @@ func (s *Simulator) Every(d Time, fn func()) *Ticker {
 		panic("sim: non-positive tick interval")
 	}
 	t := &Ticker{sim: s, interval: d, fn: fn}
+	// One closure for the ticker's lifetime: re-arming must not allocate.
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -209,20 +244,13 @@ type Ticker struct {
 	sim      *Simulator
 	interval Time
 	fn       func()
+	tick     func() // pre-bound wrapper scheduled every interval
 	handle   Handle
 	stopped  bool
 }
 
 func (t *Ticker) arm() {
-	t.handle = t.sim.Schedule(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.handle = t.sim.Schedule(t.interval, t.tick)
 }
 
 // Stop cancels all future ticks.

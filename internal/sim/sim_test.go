@@ -340,3 +340,38 @@ func BenchmarkStreamUint64(b *testing.B) {
 		_ = r.Uint64()
 	}
 }
+
+// TestScheduleStepZeroAllocSteadyState pins the scheduler's event cycle at
+// zero allocations once the free list is warm: every simulated packet
+// costs at least one Schedule+Step, so this is the floor under the whole
+// hot path.
+func TestScheduleStepZeroAllocSteadyState(t *testing.T) {
+	s := New()
+	fn := func() {}
+	s.Schedule(0, fn) // prime the free list
+	s.Step()
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Schedule(1, fn)
+		s.Step()
+	}); n != 0 {
+		t.Errorf("Schedule+Step allocates %v times per event; budget is 0", n)
+	}
+}
+
+// TestCancelReusedSlotIsNoop: a Handle from a released event must not
+// cancel the event that later reuses its slot (the free-list generation
+// guard).
+func TestCancelReusedSlotIsNoop(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.Schedule(1, func() {})
+	s.Step() // runs and releases the event; h is now stale
+	s.Schedule(1, func() { ran = true })
+	if s.Cancel(h) { // must not touch the reused slot
+		t.Fatal("Cancel reported success on a stale handle")
+	}
+	s.RunAll()
+	if !ran {
+		t.Fatal("stale Handle canceled a reused event slot")
+	}
+}

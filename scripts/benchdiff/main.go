@@ -1,0 +1,97 @@
+// Command benchdiff compares freshly generated BENCH_*.json artifacts
+// against the checked-in baseline (bench/baseline/) and exits non-zero on
+// a hot-path regression. CI runs it after `make bench-json`.
+//
+// Policy:
+//   - allocs/op is machine-independent: any increase over baseline fails.
+//   - hot-path events/sec may drift with the runner; only a drop beyond
+//     -speed-tolerance (default 25%) fails.
+//   - the parallel report must attest digest identity (parallelism never
+//     changes results) and, on machines with enough cores, a speedup of
+//     at least -min-speedup over the sequential run.
+//
+// Usage:
+//
+//	benchdiff [-baseline bench/baseline] [-current .]
+//	          [-speed-tolerance 0.25] [-min-speedup 1.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netseer/internal/benchjson"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench/baseline", "directory with baseline BENCH_*.json")
+	current := flag.String("current", ".", "directory with freshly generated BENCH_*.json")
+	speedTol := flag.Float64("speed-tolerance", 0.25, "max fractional events/sec drop vs baseline")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "min parallel speedup (enforced only with >=4 workers on >=4 CPUs)")
+	flag.Parse()
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	base, err := benchjson.ReadFile(filepath.Join(*baseline, "BENCH_hotpath.json"))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchjson.ReadFile(filepath.Join(*current, "BENCH_hotpath.json"))
+	if err != nil {
+		fatal(err)
+	}
+	for _, bm := range base.Metrics {
+		cm, ok := cur.Metric(bm.Name)
+		if !ok {
+			fail("%s: present in baseline but missing from current run", bm.Name)
+			continue
+		}
+		if cm.AllocsPerOp > bm.AllocsPerOp {
+			fail("%s: allocs/op grew %v -> %v (any increase fails)", bm.Name, bm.AllocsPerOp, cm.AllocsPerOp)
+		}
+		if bm.EventsPerSec > 0 && cm.EventsPerSec < bm.EventsPerSec*(1-*speedTol) {
+			fail("%s: events/sec dropped %.3g -> %.3g (tolerance %.0f%%)",
+				bm.Name, bm.EventsPerSec, cm.EventsPerSec, *speedTol*100)
+		}
+	}
+
+	par, err := benchjson.ReadFile(filepath.Join(*current, "BENCH_parallel.json"))
+	if err != nil {
+		fatal(err)
+	}
+	sp, ok := par.Metric("parallel/speedup")
+	if !ok {
+		fail("BENCH_parallel.json: missing parallel/speedup metric")
+	} else {
+		if sp.Extra["digests_match"] != 1 {
+			fail("parallel run is not bit-identical to sequential (digests_match=%v)", sp.Extra["digests_match"])
+		}
+		workers := sp.Extra["workers"]
+		if workers >= 4 && par.NumCPU >= 4 && sp.Extra["speedup"] < *minSpeedup {
+			fail("parallel speedup %.2fx at %.0f workers on %d CPUs; need >= %.2fx",
+				sp.Extra["speedup"], workers, par.NumCPU, *minSpeedup)
+		} else {
+			fmt.Printf("parallel: %.2fx speedup at %.0f workers on %d CPUs (digests match)\n",
+				sp.Extra["speedup"], workers, par.NumCPU)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d hot-path metrics within budget (allocs/op: no increase; events/sec tolerance %.0f%%)\n",
+		len(base.Metrics), *speedTol*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command genfuzzcorpus regenerates the checked-in seed corpus for
+// FuzzReadFrame (internal/collector/testdata/fuzz/FuzzReadFrame/). The
+// seeds cover every framing-layer rejection branch — truncations, CRC
+// corruption, length lies, record-count lies — plus two valid frames, so
+// `make fuzz-smoke` starts from interesting inputs instead of empty noise.
+//
+// Run from the repo root: go run ./scripts/genfuzzcorpus
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"netseer/internal/collector"
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+)
+
+func main() {
+	dir := filepath.Join("internal", "collector", "testdata", "fuzz", "FuzzReadFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	frame := func(seq uint64, events ...fevent.Event) []byte {
+		b := &fevent.Batch{SwitchID: 5, Timestamp: 77, Events: events, Seq: seq}
+		var buf bytes.Buffer
+		if err := collector.WriteFrame(&buf, b); err != nil {
+			fatal(err)
+		}
+		return buf.Bytes()
+	}
+	flow := pkt.FlowKey{SrcIP: pkt.IP(10, 0, 0, 3), DstIP: pkt.IP(10, 0, 1, 4),
+		SrcPort: 33001, DstPort: 80, Proto: pkt.ProtoTCP}
+	ev := fevent.Event{Type: fevent.TypeCongestion, Flow: flow, Hash: flow.Hash(),
+		SwitchID: 5, Timestamp: 77, QueueLatencyUs: 12}
+	drop := fevent.Event{Type: fevent.TypeDrop, Flow: flow, Hash: flow.Hash(),
+		SwitchID: 5, Timestamp: 78, DropCode: fevent.DropMMUCongestion}
+
+	whole := frame(9, ev)
+
+	mutate := func(src []byte, f func([]byte)) []byte {
+		out := append([]byte(nil), src...)
+		f(out)
+		return out
+	}
+
+	seeds := map[string][]byte{
+		"valid_one_event":  whole,
+		"valid_two_events": frame(10, ev, drop),
+		"valid_empty":      frame(0),
+		"truncated_header": whole[:3],
+		"truncated_body":   whole[:len(whole)-2],
+		"trailing_byte":    append(append([]byte(nil), whole...), 0x01),
+		// CRC field bytes 4..8 cover seq+body; flip one bit.
+		"corrupt_crc": mutate(whole, func(b []byte) { b[5] ^= 0x40 }),
+		// Length claims more than MaxFrame.
+		"oversize_length": {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		// Length lies small: claims fewer bytes than the body carries.
+		"length_lies_small": mutate(whole, func(b []byte) {
+			binary.BigEndian.PutUint32(b[0:4], binary.BigEndian.Uint32(b[0:4])-fevent.RecordLen)
+		}),
+		// Body's record count field inflated past the actual payload.
+		"record_count_lie": mutate(whole, func(b []byte) { corruptRecordCount(b) }),
+		// Valid framing around an undefined event type.
+		"invalid_event_type": frame(11, fevent.Event{Type: 0x7f, Flow: flow, Hash: flow.Hash(),
+			SwitchID: 5, Timestamp: 79}),
+		"zero_noise": bytes.Repeat([]byte{0}, 64),
+	}
+
+	for name, data := range seeds {
+		path := filepath.Join(dir, name)
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// corruptRecordCount bumps the batch body's event-count field. The frame
+// layout is [4B length][4B CRC][8B seq][batch body] and the batch header
+// is switchID(2) timestamp(8) count(2), so the count sits at frame offset
+// 8+8+10. The CRC is recomputed so the lie reaches the batch decoder
+// instead of being caught by the checksum.
+func corruptRecordCount(b []byte) {
+	body := b[16:]
+	cnt := binary.BigEndian.Uint16(body[10:12])
+	binary.BigEndian.PutUint16(body[10:12], cnt+3)
+	binary.BigEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[8:]))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genfuzzcorpus:", err)
+	os.Exit(1)
+}
