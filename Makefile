@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean
+.PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
+	oracle oracle-fuzz-smoke oracle-cover
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -30,6 +31,26 @@ fuzz:
 # `go run ./scripts/genfuzzcorpus`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/collector/
+
+# oracle runs the correctness-oracle scenario matrix: every scenario must
+# satisfy all five invariant checkers, including the TCP delivery replay
+# (see internal/oracle and DESIGN.md §8).
+oracle:
+	$(GO) test -count=1 ./internal/oracle/
+
+# oracle-fuzz-smoke: ~10s of whole-pipeline coverage-guided fuzzing from
+# the seed corpus under internal/oracle/testdata/fuzz/.
+oracle-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPipeline -fuzztime 10s ./internal/oracle/
+
+# oracle-cover fails if statement coverage of the oracle or the group
+# cache drops below 85%.
+oracle-cover:
+	$(GO) test -count=1 -coverprofile=cover-oracle.out \
+		-coverpkg=netseer/internal/oracle,netseer/internal/groupcache \
+		./internal/oracle/ ./internal/groupcache/
+	$(GO) run ./scripts/covergate -profile cover-oracle.out -min 85 \
+		netseer/internal/oracle netseer/internal/groupcache
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	repro [-fig all|7|8a|8b|9|10|11|12|13|14a|14b|15] [-window 10ms] [-seed 1]
-//	      [-parallel N] [-bench-json] [-bench-out DIR]
+//	      [-parallel N] [-bench-json] [-bench-out DIR] [-oracle]
+//
+// -oracle skips the figures and instead runs the correctness oracle
+// (internal/oracle): the seeded scenario matrix with all five invariant
+// checkers, printed as a scorecard. Exits non-zero if any claim is
+// violated.
 //
 // Absolute numbers come from a software simulation, not the authors'
 // Tofino testbed; the shapes — who wins, by what order of magnitude,
@@ -24,6 +29,7 @@ import (
 	"netseer/internal/experiments"
 	"netseer/internal/fpelim"
 	"netseer/internal/incidents"
+	"netseer/internal/oracle"
 	"netseer/internal/resources"
 	"netseer/internal/sim"
 	"netseer/internal/workload"
@@ -36,9 +42,16 @@ func main() {
 	par := flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool width (1 = fully sequential)")
 	benchJSON := flag.Bool("bench-json", false, "emit BENCH_hotpath.json and BENCH_parallel.json instead of figures")
 	benchOut := flag.String("bench-out", ".", "directory for -bench-json artifacts")
+	runOracle := flag.Bool("oracle", false, "run the correctness-oracle scenario matrix and print a scorecard")
 	flag.Parse()
 
 	experiments.SetParallelism(*par)
+	if *runOracle {
+		if failed := oracle.Scorecard(os.Stdout, *seed); failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON {
 		if err := emitBenchJSON(*benchOut, *seed, *par); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)

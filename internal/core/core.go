@@ -270,6 +270,22 @@ func (n *NetSeerSwitch) Stats() Stats {
 	return s
 }
 
+// TableStats aggregates the group-caching tables' counters (drop,
+// congestion and pause tables; the ACL aggregator never evicts). The
+// eviction count tells a reconciler whether per-key packet counters are
+// exact: with zero evictions every key lives in one uninterrupted
+// aggregation run, so its final reported Count is the exact packet total.
+func (n *NetSeerSwitch) TableStats() (ingested, reported, merged, evictions uint64) {
+	for _, t := range []*groupcache.Table{n.dropTable, n.congTable, n.pauseTab} {
+		i, r, m, e := t.Stats()
+		ingested += i
+		reported += r
+		merged += m
+		evictions += e
+	}
+	return
+}
+
 // SetSeqEnabled toggles inter-switch detection on one port (partial
 // deployment; host-facing ports without capable NICs).
 func (n *NetSeerSwitch) SetSeqEnabled(port int, on bool) { n.seqOn[port] = on }

@@ -1,0 +1,105 @@
+package fpelim
+
+import (
+	"testing"
+
+	"netseer/internal/sim"
+)
+
+// TestPacerBurstDepthBoundsIdleAccumulation: however long the pacer sits
+// idle, the bucket never holds more than the configured burst — the first
+// burst after idle admits exactly burstBytes before delaying.
+func TestPacerBurstDepthBoundsIdleAccumulation(t *testing.T) {
+	p := NewPacer(1e6, 1000) // 1 Mb/s, 1 kB burst
+	// A day of idle time would refill ~10 GB without the cap.
+	now := sim.Time(24) * 3600 * sim.Second
+	if d := p.Admit(now, 1000); d != 0 {
+		t.Fatalf("full-burst send after idle delayed by %v", d)
+	}
+	if d := p.Admit(now, 1); d <= 0 {
+		t.Error("send beyond burst depth not delayed: idle accumulated past the cap")
+	}
+}
+
+// TestPacerZeroIntervalAdmitsQueue: multiple sends at the same instant
+// must queue behind each other — the refill guard (now <= last) may not
+// mint tokens for zero elapsed time, and each modeled spend deepens the
+// deficit, so returned delays strictly increase.
+func TestPacerZeroIntervalAdmitsQueue(t *testing.T) {
+	p := NewPacer(1e6, 100) // bucket: 800 bits
+	if d := p.Admit(0, 100); d != 0 {
+		t.Fatalf("first send delayed by %v", d)
+	}
+	prev := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		d := p.Admit(0, 100)
+		if d <= prev {
+			t.Fatalf("send %d at t=0 delayed %v, not after previous delay %v", i+2, d, prev)
+		}
+		prev = d
+	}
+	// 6 queued sends × 800 bits at 1 Mb/s = 4.8 ms for the last one.
+	if prev < 4*sim.Millisecond || prev > 6*sim.Millisecond {
+		t.Errorf("queue tail delay = %v, want ~4.8ms", prev)
+	}
+}
+
+// TestPacerClockGoingBackwards: a non-monotonic caller must not mint
+// tokens or corrupt the refill anchor; capacity continues to accrue from
+// the furthest point reached.
+func TestPacerClockGoingBackwards(t *testing.T) {
+	p := NewPacer(1e6, 100)
+	p.Admit(sim.Millisecond, 100) // drain at t=1ms
+	if d := p.Admit(0, 100); d <= 0 {
+		t.Error("send at t=0 after refill anchor moved to 1ms was not delayed")
+	}
+	// Forward progress from the anchor still refills: 800 µs restores the
+	// 800-bit deficit, another 800 µs the 100 fresh bytes.
+	if d := p.Admit(sim.Millisecond+2*800*sim.Microsecond, 100); d != 0 {
+		t.Errorf("send after genuine elapsed time delayed by %v", d)
+	}
+}
+
+// TestPacerStatsCountEverySend: sent counts all admits, delayed only the
+// ones that had to wait.
+func TestPacerStatsCountEverySend(t *testing.T) {
+	p := NewPacer(1e6, 100)
+	p.Admit(0, 50)
+	p.Admit(0, 50) // drains the bucket exactly
+	p.Admit(0, 50) // queued
+	p.Admit(0, 50) // queued
+	sent, delayed := p.Stats()
+	if sent != 4 || delayed != 2 {
+		t.Errorf("Stats() = (%d, %d), want (4, 2)", sent, delayed)
+	}
+}
+
+// TestPacerSteadyStateConvergesToRate: mixed packet sizes over a long
+// horizon drain at the configured rate regardless of burst configuration.
+func TestPacerSteadyStateConvergesToRate(t *testing.T) {
+	p := NewPacer(1e7, 500) // 10 Mb/s, 500 B burst
+	now := sim.Time(0)
+	totalBits := 0
+	sizes := []int{100, 1500, 64, 900, 512}
+	for i := 0; i < 500; i++ {
+		n := sizes[i%len(sizes)]
+		now += p.Admit(now, n)
+		totalBits += n * 8
+	}
+	// Ideal drain time minus the one-burst head start.
+	ideal := sim.Time(float64(totalBits) / 1e7 * 1e9)
+	if now < ideal-sim.Time(500*8*100) || now > ideal+sim.Millisecond {
+		t.Errorf("drained %d bits in %v, want ~%v at 10 Mb/s", totalBits, now, ideal)
+	}
+}
+
+// TestPacerBurstValidation: a non-positive burst must panic like a
+// non-positive rate does.
+func TestPacerBurstValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPacer(1e6, 0) did not panic")
+		}
+	}()
+	NewPacer(1e6, 0)
+}

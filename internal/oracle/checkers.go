@@ -1,0 +1,544 @@
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/dataplane"
+	"netseer/internal/faultconn"
+	"netseer/internal/fevent"
+)
+
+// CheckResult is one invariant checker's outcome.
+type CheckResult struct {
+	Claim      string
+	Checked    int // facts examined (ground-truth keys, events, batches…)
+	Violations []string
+}
+
+// OK reports whether the checker passed.
+func (c CheckResult) OK() bool { return len(c.Violations) == 0 }
+
+// Report holds every checker's outcome for one scenario.
+type Report struct {
+	Sc      Scenario
+	Results []CheckResult
+}
+
+// OK reports whether every checker passed.
+func (r *Report) OK() bool {
+	for _, c := range r.Results {
+		if !c.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations flattens the failures, prefixed by claim name.
+func (r *Report) Violations() []string {
+	var out []string
+	for _, c := range r.Results {
+		for _, v := range c.Violations {
+			out = append(out, c.Claim+": "+v)
+		}
+	}
+	return out
+}
+
+// maxViolations bounds the failure detail per checker; past this the count
+// matters, not another page of keys.
+const maxViolations = 12
+
+// blind reports whether a drop code is invisible to NetSeer by design
+// (§3.7: failed ASIC/MMU destroy packets before any hook runs; only
+// syslog self-checks can tell the operator).
+func blind(c fevent.DropCode) bool {
+	return c == fevent.DropASICFailure || c == fevent.DropMMUFailure
+}
+
+// storedView indexes the collector store's contents for reconciliation.
+type storedView struct {
+	drop  map[dataplane.FlowEventKey]bool // non-ACL drop events
+	cong  map[dataplane.FlowEventKey]bool
+	pause map[dataplane.FlowEventKey]bool
+	path  map[dataplane.FlowEventKey]bool
+	acl   map[aclKey]uint16 // max stored count per (switch, rule)
+
+	// maxCount is the highest stored count per key — the exact packet
+	// total when the key's switch had zero evictions, a lower bound
+	// otherwise.
+	maxCount map[dataplane.FlowEventKey]uint16
+	// seqs records each (switch, dedup-key)'s stored counts in delivery
+	// order, for the fpelim duplicate check.
+	seqs  map[swKey][]uint16
+	order []swKey
+
+	events []fevent.Event
+}
+
+type aclKey struct {
+	sw   uint16
+	rule uint8
+}
+
+type swKey struct {
+	sw  uint16
+	key fevent.Key
+}
+
+func eventKey(e *fevent.Event) dataplane.FlowEventKey {
+	k := dataplane.FlowEventKey{SwitchID: e.SwitchID, Type: e.Type, Flow: e.Flow, Code: e.DropCode}
+	if e.Type == fevent.TypePathChange {
+		k.In, k.Out = e.IngressPort, e.EgressPort
+	}
+	if e.Type != fevent.TypeDrop {
+		k.Code = 0
+	}
+	return k
+}
+
+func newStoredView(store *collector.Store) *storedView {
+	v := &storedView{
+		drop:     make(map[dataplane.FlowEventKey]bool),
+		cong:     make(map[dataplane.FlowEventKey]bool),
+		pause:    make(map[dataplane.FlowEventKey]bool),
+		path:     make(map[dataplane.FlowEventKey]bool),
+		acl:      make(map[aclKey]uint16),
+		maxCount: make(map[dataplane.FlowEventKey]uint16),
+		seqs:     make(map[swKey][]uint16),
+	}
+	v.events = store.Query(collector.Filter{})
+	for i := range v.events {
+		e := &v.events[i]
+		sk := swKey{e.SwitchID, e.Key()}
+		if _, seen := v.seqs[sk]; !seen {
+			v.order = append(v.order, sk)
+		}
+		v.seqs[sk] = append(v.seqs[sk], e.Count)
+		if e.Type == fevent.TypeDrop && e.DropCode == fevent.DropACLDeny {
+			ak := aclKey{e.SwitchID, e.ACLRule}
+			if e.Count > v.acl[ak] {
+				v.acl[ak] = e.Count
+			}
+			continue
+		}
+		k := eventKey(e)
+		switch e.Type {
+		case fevent.TypeDrop:
+			v.drop[k] = true
+		case fevent.TypeCongestion:
+			v.cong[k] = true
+		case fevent.TypePause:
+			v.pause[k] = true
+		case fevent.TypePathChange:
+			v.path[k] = true
+		}
+		if e.Count > v.maxCount[k] {
+			v.maxCount[k] = e.Count
+		}
+	}
+	return v
+}
+
+// truthACL groups ground-truth ACL-deny drops at rule granularity.
+func truthACL(gt *dataplane.GroundTruth) map[aclKey]int {
+	out := make(map[aclKey]int)
+	for _, d := range gt.Drops {
+		if d.Code == fevent.DropACLDeny {
+			out[aclKey{d.SwitchID, d.ACLRule}]++
+		}
+	}
+	return out
+}
+
+// Check runs the four in-process invariant checkers (completeness,
+// soundness, encoding, recovery) against one run's artifacts. The fifth
+// (delivery) needs a real TCP channel; run it via CheckDelivery.
+func Check(res *Result) *Report {
+	v := newStoredView(res.Store)
+	return &Report{
+		Sc: res.Sc,
+		Results: []CheckResult{
+			checkCompleteness(res, v),
+			checkSoundness(res, v),
+			checkEncoding(res),
+			checkRecovery(res, v),
+		},
+	}
+}
+
+// CheckAll runs every checker including the TCP delivery replay.
+func CheckAll(res *Result) *Report {
+	r := Check(res)
+	r.Results = append(r.Results, CheckDelivery(res))
+	return r
+}
+
+// checkCompleteness verifies claim 1 (§3.4 Algorithm 1, §3.3): zero false
+// negatives. Every ground-truth flow event NetSeer can see must be
+// covered by a stored event, and where the group cache had no evictions
+// the stored packet counter must equal the ground-truth packet count
+// exactly. Capacity-loss counters must be zero (the harness budgets them
+// out) except ring overwrites, which relax only the inter-switch clause.
+func checkCompleteness(res *Result, v *storedView) CheckResult {
+	c := CheckResult{Claim: "completeness"}
+	fail := func(format string, args ...any) {
+		if len(c.Violations) < maxViolations {
+			c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+		} else if len(c.Violations) == maxViolations {
+			c.Violations = append(c.Violations, "… more violations elided")
+		}
+	}
+	st := res.Stats
+	if st.LostInternalPort != 0 || st.LostMMURedirect != 0 || st.LostStackOverflow != 0 {
+		fail("capacity losses under unlimited budget: internalPort=%d mmuRedirect=%d stackOverflow=%d",
+			st.LostInternalPort, st.LostMMURedirect, st.LostStackOverflow)
+	}
+
+	countExact := func(k dataplane.FlowEventKey, gtCount int) {
+		if res.Evictions[k.SwitchID] != 0 || gtCount > 0xffff {
+			// Evictions split the key across aggregation runs whose
+			// intermediate finals are not reconstructible (fpelim
+			// legitimately suppresses re-reports); the soundness checker
+			// still bounds the stored count from above.
+			return
+		}
+		if got := int(v.maxCount[k]); got != gtCount {
+			fail("count mismatch (no evictions on sw %d): %v stored=%d truth=%d", k.SwitchID, k, got, gtCount)
+		}
+	}
+
+	interSwitchTruth := 0
+	for k, n := range res.GT.DropFlowEvents(func(code fevent.DropCode) bool {
+		return !blind(code) && code != fevent.DropACLDeny
+	}) {
+		c.Checked++
+		if k.Code == fevent.DropInterSwitch || k.Code == fevent.DropInterCard {
+			interSwitchTruth += n
+			if res.BySwitch[k.SwitchID].LostRingOverwrite == 0 && !v.drop[k] {
+				fail("missed drop: %v ×%d (ring had no overwrites)", k, n)
+			}
+			if res.BySwitch[k.SwitchID].LostRingOverwrite == 0 {
+				countExact(k, n)
+			}
+			continue
+		}
+		if !v.drop[k] {
+			fail("missed drop: %v ×%d", k, n)
+			continue
+		}
+		countExact(k, n)
+	}
+
+	// Packet-level identity for silent drops: every lost packet is either
+	// recovered from the ring or accounted as a ring overwrite.
+	if got := int(st.InterSwitchFound + st.LostRingOverwrite); got != interSwitchTruth {
+		fail("inter-switch packet identity: recovered=%d + overwritten=%d != truth=%d",
+			st.InterSwitchFound, st.LostRingOverwrite, interSwitchTruth)
+	}
+
+	for ak, n := range truthACL(res.GT) {
+		c.Checked++
+		want := n
+		if want > 0xffff {
+			want = 0xffff
+		}
+		if got := int(v.acl[ak]); got != want {
+			fail("ACL rule %d on sw %d: stored count %d, truth %d", ak.rule, ak.sw, got, want)
+		}
+	}
+	for k, n := range res.GT.CongestionFlowEvents() {
+		c.Checked++
+		if !v.cong[k] {
+			fail("missed congestion: %v ×%d", k, n)
+			continue
+		}
+		countExact(k, n)
+	}
+	for k, n := range res.GT.PauseFlowEvents() {
+		c.Checked++
+		if !v.pause[k] {
+			fail("missed pause: %v ×%d", k, n)
+			continue
+		}
+		countExact(k, n)
+	}
+	for k := range res.GT.PathChangeFlowEvents(false) {
+		c.Checked++
+		if !v.path[k] {
+			fail("missed path change: %v", k)
+		}
+	}
+	return c
+}
+
+// checkSoundness verifies claim 2 (§3.4, §3.6): every stored event
+// corresponds to something that really happened — false positives only
+// ever arise from group-cache collision churn, and fpelim removes all of
+// them (no stored duplicate carries a non-advancing counter), so stored
+// counts never exceed ground truth.
+func checkSoundness(res *Result, v *storedView) CheckResult {
+	c := CheckResult{Claim: "soundness"}
+	fail := func(format string, args ...any) {
+		if len(c.Violations) < maxViolations {
+			c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+		} else if len(c.Violations) == maxViolations {
+			c.Violations = append(c.Violations, "… more violations elided")
+		}
+	}
+	truthDrop := res.GT.DropFlowEvents(nil)
+	truthCong := res.GT.CongestionFlowEvents()
+	truthPause := res.GT.PauseFlowEvents()
+	truthPath := res.GT.PathChangeFlowEvents(false)
+	truthRule := truthACL(res.GT)
+
+	counted := make(map[dataplane.FlowEventKey]bool)
+	for i := range v.events {
+		e := &v.events[i]
+		c.Checked++
+		switch e.Type {
+		case fevent.TypeDrop:
+			if blind(e.DropCode) {
+				fail("event for a NetSeer-blind drop code stored: %v", e)
+				continue
+			}
+			if e.DropCode == fevent.DropACLDeny {
+				ak := aclKey{e.SwitchID, e.ACLRule}
+				n := truthRule[ak]
+				if n == 0 {
+					fail("phantom ACL report: rule %d on sw %d never denied anything", e.ACLRule, e.SwitchID)
+				} else if int(e.Count) > n && n <= 0xffff {
+					fail("ACL overcount: rule %d on sw %d count=%d truth=%d", e.ACLRule, e.SwitchID, e.Count, n)
+				}
+				continue
+			}
+			k := eventKey(e)
+			n, ok := truthDrop[k]
+			if !ok {
+				fail("phantom drop: %v", e)
+				continue
+			}
+			if !counted[k] && int(v.maxCount[k]) > n {
+				counted[k] = true
+				fail("drop overcount: %v stored=%d truth=%d", k, v.maxCount[k], n)
+			}
+		case fevent.TypeCongestion:
+			k := eventKey(e)
+			n, ok := truthCong[k]
+			if !ok {
+				fail("phantom congestion: %v", e)
+				continue
+			}
+			if !counted[k] && int(v.maxCount[k]) > n {
+				counted[k] = true
+				fail("congestion overcount: %v stored=%d truth=%d", k, v.maxCount[k], n)
+			}
+		case fevent.TypePause:
+			k := eventKey(e)
+			n, ok := truthPause[k]
+			if !ok {
+				fail("phantom pause: %v", e)
+				continue
+			}
+			if !counted[k] && int(v.maxCount[k]) > n {
+				counted[k] = true
+				fail("pause overcount: %v stored=%d truth=%d", k, v.maxCount[k], n)
+			}
+		case fevent.TypePathChange:
+			if truthPath[eventKey(e)] == 0 {
+				fail("phantom path change: %v", e)
+			}
+		default:
+			fail("stored event with invalid type %d", e.Type)
+		}
+	}
+
+	// fpelim effectiveness: a stored event whose counter did not advance
+	// past its predecessor for the same identity is a §3.6 duplicate the
+	// CPU should have removed. (Counter regressions are genuine new
+	// aggregation episodes after an eviction, so only equality is a
+	// duplicate.)
+	for _, sk := range v.order {
+		seq := v.seqs[sk]
+		for i := 1; i < len(seq); i++ {
+			if seq[i] == seq[i-1] {
+				fail("unsuppressed duplicate report on sw %d: %v count=%d repeated", sk.sw, sk.key, seq[i])
+				break
+			}
+		}
+	}
+	return c
+}
+
+// checkEncoding verifies claim 3 (§3.5–§3.6): every exported event
+// round-trips through the 24-byte wire record bit-exactly, and its
+// pre-computed data-plane hash matches a software recomputation.
+func checkEncoding(res *Result) CheckResult {
+	c := CheckResult{Claim: "encoding"}
+	fail := func(format string, args ...any) {
+		if len(c.Violations) < maxViolations {
+			c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+		} else if len(c.Violations) == maxViolations {
+			c.Violations = append(c.Violations, "… more violations elided")
+		}
+	}
+	for _, b := range res.Batches {
+		for i := range b.Events {
+			e := &b.Events[i]
+			c.Checked++
+			if e.SwitchID != b.SwitchID {
+				fail("event switch %d in batch from switch %d", e.SwitchID, b.SwitchID)
+			}
+			rec := e.AppendRecord(nil)
+			if len(rec) != fevent.RecordLen {
+				fail("record is %d bytes, want %d: %v", len(rec), fevent.RecordLen, e)
+				continue
+			}
+			var back fevent.Event
+			if err := back.DecodeRecord(rec); err != nil {
+				fail("round-trip decode failed: %v (%v)", err, e)
+				continue
+			}
+			back.SwitchID, back.Timestamp = e.SwitchID, e.Timestamp
+			if back != *e {
+				fail("round-trip mismatch: sent %+v, decoded %+v", *e, back)
+			}
+			if got := e.Flow.Hash(); e.Hash != got {
+				fail("pre-computed hash %#x != recomputed %#x for %v", e.Hash, got, e)
+			}
+		}
+	}
+	return c
+}
+
+// checkRecovery verifies claim 4 (§3.3): gap-notification replay from the
+// upstream ring buffer yields exactly the silently dropped packets'
+// 5-tuples — as a set, recovered flows equal the ground-truth lost flows
+// (exactly when nothing was overwritten; never anything extra otherwise),
+// and per-packet accounting already holds via the completeness identity.
+func checkRecovery(res *Result, v *storedView) CheckResult {
+	c := CheckResult{Claim: "recovery"}
+	fail := func(format string, args ...any) {
+		if len(c.Violations) < maxViolations {
+			c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	truthFlows := make(map[dataplane.FlowEventKey]bool)
+	for k := range res.GT.DropFlowEvents(func(code fevent.DropCode) bool {
+		return code == fevent.DropInterSwitch || code == fevent.DropInterCard
+	}) {
+		truthFlows[k] = true
+	}
+	recovered := make(map[dataplane.FlowEventKey]bool)
+	for k := range v.drop {
+		if k.Code == fevent.DropInterSwitch || k.Code == fevent.DropInterCard {
+			recovered[k] = true
+		}
+	}
+	c.Checked = len(truthFlows)
+	for k := range recovered {
+		if !truthFlows[k] {
+			fail("recovered a 5-tuple that was never silently dropped: %v", k)
+		}
+	}
+	if res.Stats.LostRingOverwrite == 0 {
+		for k := range truthFlows {
+			if !recovered[k] {
+				fail("silently dropped 5-tuple not recovered (no overwrites): %v", k)
+			}
+		}
+	}
+	// Gap detection accounting: every notification episode the trackers
+	// raised was either recovered or counted as overwritten.
+	if res.Stats.SeqGapsDetected > 0 && res.Stats.InterSwitchFound+res.Stats.LostRingOverwrite == 0 {
+		fail("gaps detected (%d) but nothing recovered or accounted", res.Stats.SeqGapsDetected)
+	}
+	return c
+}
+
+// CheckDelivery verifies claim 5 (§3.6): replaying the exported batches
+// through the reliable switch-CPU→collector channel over a fault-injected
+// TCP wire is at-least-once, and (switch, seq) dedup makes the final
+// store an exact duplicate-free copy of the in-process delivery.
+func CheckDelivery(res *Result) CheckResult {
+	c := CheckResult{Claim: "delivery"}
+	fail := func(format string, args ...any) {
+		if len(c.Violations) < maxViolations {
+			c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	c.Checked = len(res.Batches)
+	if len(res.Batches) == 0 {
+		return c
+	}
+	store := collector.NewStore()
+	ln, err := faultconn.Listen("127.0.0.1:0", faultconn.Config{
+		Seed:       int64(res.Sc.Seed),
+		ResetAfter: 4096,
+		MaxChunk:   16,
+		Latency:    50 * time.Microsecond,
+	})
+	if err != nil {
+		fail("faultconn listen: %v", err)
+		return c
+	}
+	srv := collector.NewServerOn(store, ln, collector.ServerConfig{ReadTimeout: 300 * time.Millisecond})
+	defer srv.Close()
+	cl := collector.NewClientConfig(srv.Addr(), collector.ClientConfig{
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		FlushTimeout: 30 * time.Second,
+		CloseTimeout: 5 * time.Second,
+	})
+	for _, b := range res.Batches {
+		cl.Deliver(&fevent.Batch{SwitchID: b.SwitchID, Timestamp: b.Timestamp,
+			Events: append([]fevent.Event(nil), b.Events...)})
+	}
+	if err := cl.Flush(); err != nil {
+		fail("flush through faulty channel: %v (stats %+v)", err, cl.Stats())
+		return c
+	}
+	if err := cl.Close(); err != nil {
+		fail("close: %v", err)
+	}
+
+	want := multiset(res.Store.Query(collector.Filter{}))
+	got := multiset(store.Query(collector.Filter{}))
+	for k, n := range want {
+		if got[k] != n {
+			fail("event stored %d× locally but %d× after replay: %s", n, got[k], k)
+		}
+	}
+	for k, n := range got {
+		if _, ok := want[k]; !ok {
+			fail("replayed store has %d× an event the local store never saw: %s", n, k)
+		}
+	}
+	st := cl.Stats()
+	if st.Retransmits > 0 && store.DupBatches() == 0 && st.Reconnects == 0 {
+		// Retransmits without reconnects or dedup hits would mean the
+		// at-least-once channel silently re-sequenced batches.
+		fail("retransmits=%d with no reconnects and no dedup hits", st.Retransmits)
+	}
+	return c
+}
+
+// multiset renders events into count-keyed canonical strings covering
+// exactly what the wire preserves: the batch switch ID plus the full
+// 24-byte record. Per-event timestamps are deliberately excluded — CEBP
+// records carry none (§3.5), so decode restamps every event with the
+// batch timestamp and the replayed store can never match emission-time
+// stamps.
+func multiset(events []fevent.Event) map[string]int {
+	m := make(map[string]int)
+	var rec []byte
+	for i := range events {
+		e := &events[i]
+		rec = e.AppendRecord(rec[:0])
+		k := fmt.Sprintf("sw=%d %s [%x]", e.SwitchID, e.String(), rec)
+		m[k]++
+	}
+	return m
+}

@@ -1,0 +1,88 @@
+package oracle
+
+// Minimize greedily shrinks a failing scenario while the failure
+// persists: it repeatedly tries the simplification candidates below and
+// keeps any that still fails, until a fixed point. The result is the
+// replayable repro committed under testdata/repros/. failing must be
+// deterministic (scenarios are).
+func Minimize(sc Scenario, failing func(Scenario) bool) Scenario {
+	if !failing(sc) {
+		return sc
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range shrinks(sc) {
+			cand = cand.Normalize()
+			if cand == sc {
+				continue
+			}
+			if failing(cand) {
+				sc = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return sc
+}
+
+// shrinks proposes one-step simplifications of sc, most aggressive first:
+// drop whole fault classes, shrink the topology, then walk numeric fields
+// toward their minima (caches toward generous defaults, workload and
+// fault intensity toward zero).
+func shrinks(sc Scenario) []Scenario {
+	var out []Scenario
+	try := func(mut func(*Scenario)) {
+		c := sc
+		mut(&c)
+		out = append(out, c)
+	}
+
+	// Whole fault classes off.
+	try(func(c *Scenario) { c.Pause = false })
+	try(func(c *Scenario) { c.Incast = false })
+	try(func(c *Scenario) { c.PathFlip = false })
+	try(func(c *Scenario) { c.ACLDeny = false })
+	try(func(c *Scenario) { c.Parity = false })
+	try(func(c *Scenario) { c.Blackhole = false })
+	try(func(c *Scenario) { c.CorruptPct = 0 })
+	try(func(c *Scenario) { c.LossPct = 0 })
+	try(func(c *Scenario) { c.LossBurst = 0 })
+
+	// Smaller topology.
+	if sc.Topo != TopoLine2 {
+		try(func(c *Scenario) { c.Topo = TopoLine2 })
+		try(func(c *Scenario) { c.Topo = TopoLine3 })
+	}
+
+	// Generous caches (removes collision churn and ring overwrites from
+	// the picture if they are irrelevant to the failure).
+	if sc.GroupSlots < 4096 {
+		try(func(c *Scenario) { c.GroupSlots = 4096 })
+	}
+	if sc.GroupC < 128 {
+		try(func(c *Scenario) { c.GroupC = 128 })
+	}
+	if sc.RingSlots < 1024 {
+		try(func(c *Scenario) { c.RingSlots = 1024 })
+	}
+
+	// Halve numeric intensity toward the minimum.
+	halve8 := func(v uint8, min uint8) uint8 {
+		if v <= min {
+			return min
+		}
+		h := v / 2
+		if h < min {
+			h = min
+		}
+		return h
+	}
+	try(func(c *Scenario) { c.Flows = halve8(c.Flows, 1) })
+	try(func(c *Scenario) { c.Pkts = halve8(c.Pkts, 1) })
+	try(func(c *Scenario) { c.LossBurst = halve8(c.LossBurst, 0) })
+	try(func(c *Scenario) { c.LossPct = halve8(c.LossPct, 0) })
+	try(func(c *Scenario) { c.CorruptPct = halve8(c.CorruptPct, 0) })
+	try(func(c *Scenario) { c.Seed = 0 })
+	return out
+}

@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+)
+
+// claimNames is the fixed checker order of CheckAll.
+var claimNames = []string{"completeness", "soundness", "encoding", "recovery", "delivery"}
+
+// Scorecard runs the full seeded scenario matrix with every checker (TCP
+// delivery included), printing one line per scenario and a per-claim
+// summary. Returns the number of scenarios with at least one violation
+// (0 = all claims hold).
+func Scorecard(w io.Writer, seed uint64) int {
+	m := Matrix(seed)
+	fmt.Fprintf(w, "NetSeer correctness oracle — %d scenarios, seed %d\n", len(m), seed)
+	fmt.Fprintf(w, "%-4s %-55s %s\n", "#", "scenario", "claims")
+	failedScenarios := 0
+	claimFails := make(map[string]int)
+	for i, sc := range m {
+		rep := CheckAll(Run(sc))
+		line := ""
+		bad := false
+		for _, cr := range rep.Results {
+			mark := "✓"
+			if !cr.OK() {
+				mark = "✗"
+				bad = true
+				claimFails[cr.Claim]++
+			}
+			line += fmt.Sprintf(" %s %s", cr.Claim, mark)
+		}
+		desc := sc.String()
+		if len(desc) > 55 {
+			desc = desc[:55]
+		}
+		fmt.Fprintf(w, "%-4d %-55s%s\n", i, desc, line)
+		if bad {
+			failedScenarios++
+			for _, v := range rep.Violations() {
+				fmt.Fprintf(w, "     ! %s\n", v)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	for _, claim := range claimNames {
+		status := "HOLDS"
+		if n := claimFails[claim]; n > 0 {
+			status = fmt.Sprintf("VIOLATED in %d scenarios", n)
+		}
+		fmt.Fprintf(w, "  %-13s %s\n", claim, status)
+	}
+	if failedScenarios == 0 {
+		fmt.Fprintf(w, "oracle: all %d scenarios satisfy all %d claims\n", len(m), len(claimNames))
+	} else {
+		fmt.Fprintf(w, "oracle: %d/%d scenarios violated at least one claim\n", failedScenarios, len(m))
+	}
+	return failedScenarios
+}

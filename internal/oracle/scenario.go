@@ -1,0 +1,314 @@
+// Package oracle differentially tests NetSeer's correctness claims: it
+// runs the full pipeline (workload → fabric → detection → group caching →
+// CEBP batching → export → collector store) over randomized topologies,
+// workloads and fault schedules, then reconciles what the collector stored
+// against the simulator's omniscient GroundTruth ledger with one invariant
+// checker per paper claim (§3.3–§3.6):
+//
+//  1. completeness — every ground-truth drop/congestion/path-change/pause
+//     flow event is covered by a stored event, and packet counts
+//     reconcile exactly (zero false negatives, Algorithm 1).
+//  2. soundness — every stored event corresponds to something that really
+//     happened; false positives only ever arise from group-cache
+//     collision churn and fpelim removes all of them.
+//  3. encoding — every stored event round-trips through the 24-byte wire
+//     record, and the pre-computed hash matches a recomputation.
+//  4. recovery — gap-notification replay from the upstream ring buffer
+//     yields exactly the silently dropped packets' 5-tuples.
+//  5. delivery — replaying the exported batches over a faulty TCP channel
+//     is at-least-once, and (switch, seq) dedup leaves the store
+//     duplicate-free.
+//
+// The same Scenario type drives the seeded go-test matrix, the
+// FuzzPipeline whole-system fuzzer, and the `repro -oracle` scorecard.
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netseer/internal/sim"
+)
+
+// Topology kinds a Scenario can request.
+const (
+	TopoLine2     = iota // host — sw0 — sw1 — host
+	TopoLine3            // host — sw0 — sw1 — sw2 — host
+	TopoTestbed          // the paper's 10-switch, 32-host testbed
+	TopoFatTreeK4        // full K=4 fat-tree: 20 switches, 16 hosts
+	topoCount
+)
+
+// Scenario is one randomized end-to-end pipeline run. Every field is
+// bounded by Normalize so arbitrary fuzz bytes decode into a runnable
+// configuration. The zero value is not runnable; call Normalize (Run does).
+type Scenario struct {
+	// Seed fixes all randomness: workload shape, fault placement, and the
+	// faultconn schedule of the delivery checker.
+	Seed uint64
+	// Topo selects the fabric (TopoLine2 … TopoFatTreeK4).
+	Topo uint8
+
+	// GroupSlots/GroupC size the group-caching tables (§3.4); small slot
+	// counts force collision churn, small C forces frequent reports.
+	GroupSlots uint16
+	GroupC     uint8
+	// RingSlots sizes the per-port replay ring (§3.3); small rings force
+	// overwrite losses the checkers must account for.
+	RingSlots uint16
+
+	// Flows/Pkts shape the background workload: Flows random host pairs
+	// sending Pkts packets each.
+	Flows uint8
+	Pkts  uint8
+
+	// Fault schedule. LossBurst destroys that many consecutive frames on
+	// the lane link at mid-window; LossPct/CorruptPct are percent
+	// probabilities of silent loss / CRC corruption on the lane link for
+	// the middle half of the window.
+	LossBurst  uint8
+	LossPct    uint8
+	CorruptPct uint8
+	// Blackhole removes the route to one host for a slice of the window
+	// (DropNoRoute); Parity flips its routing entry silently for another
+	// slice (DropParityError); ACLDeny installs a deny rule and sends
+	// matching traffic; PathFlip re-pins one destination mid-run (ECMP
+	// topologies only); Incast drives a fan-in burst (MMU congestion);
+	// Pause marks a lossless priority and incasts it (PFC pause events).
+	Blackhole bool
+	Parity    bool
+	ACLDeny   bool
+	PathFlip  bool
+	Incast    bool
+	Pause     bool
+}
+
+// Window is the simulated measurement window of every scenario. Phases:
+// warm [0, W/4), faults [W/4, 3W/4), clean trailer [3W/4, W]. The trailer
+// guarantees post-fault traffic on the faulted link so sequence-gap
+// detection can observe the final losses (a gap is only visible when a
+// later packet arrives).
+const Window = 2 * sim.Millisecond
+
+// Normalize clamps every field into its supported range and disables
+// faults the selected topology cannot express. It is idempotent.
+func (sc Scenario) Normalize() Scenario {
+	sc.Topo %= topoCount
+	if sc.GroupSlots < 8 {
+		sc.GroupSlots = 8
+	}
+	if sc.GroupC == 0 {
+		sc.GroupC = 1
+	}
+	if sc.RingSlots < 16 {
+		sc.RingSlots = 16
+	}
+	if sc.Flows == 0 {
+		sc.Flows = 1
+	}
+	if sc.Flows > 40 {
+		sc.Flows = 40
+	}
+	if sc.Pkts == 0 {
+		sc.Pkts = 1
+	}
+	if sc.Pkts > 50 {
+		sc.Pkts = 50
+	}
+	if sc.LossBurst > 60 {
+		sc.LossBurst = 60
+	}
+	if sc.LossPct > 20 {
+		sc.LossPct = 20
+	}
+	if sc.CorruptPct > 20 {
+		sc.CorruptPct = 20
+	}
+	if sc.Topo == TopoLine2 || sc.Topo == TopoLine3 {
+		// Two-host chains have no ECMP to flip and no fan-in to incast.
+		sc.PathFlip = false
+		sc.Incast = false
+		sc.Pause = false
+	}
+	return sc
+}
+
+// scenarioLen is the canonical encoding length: seed(8) topo(1)
+// groupSlots(2) groupC(1) ringSlots(2) flows(1) pkts(1) lossBurst(1)
+// lossPct(1) corruptPct(1) flags(1).
+const scenarioLen = 20
+
+// Encode returns the canonical byte encoding of sc, the fuzzer's input
+// format and the on-disk repro format.
+func (sc Scenario) Encode() []byte {
+	b := make([]byte, scenarioLen)
+	binary.BigEndian.PutUint64(b[0:], sc.Seed)
+	b[8] = sc.Topo
+	binary.BigEndian.PutUint16(b[9:], sc.GroupSlots)
+	b[11] = sc.GroupC
+	binary.BigEndian.PutUint16(b[12:], sc.RingSlots)
+	b[14] = sc.Flows
+	b[15] = sc.Pkts
+	b[16] = sc.LossBurst
+	b[17] = sc.LossPct
+	b[18] = sc.CorruptPct
+	var flags uint8
+	for i, on := range []bool{sc.Blackhole, sc.Parity, sc.ACLDeny, sc.PathFlip, sc.Incast, sc.Pause} {
+		if on {
+			flags |= 1 << i
+		}
+	}
+	b[19] = flags
+	return b
+}
+
+// DecodeScenario interprets arbitrary bytes as a Scenario (short input is
+// zero-padded, excess bytes are ignored) and normalizes it, so every fuzz
+// input maps to a runnable configuration.
+func DecodeScenario(data []byte) Scenario {
+	var b [scenarioLen]byte
+	copy(b[:], data)
+	flags := b[19]
+	sc := Scenario{
+		Seed:       binary.BigEndian.Uint64(b[0:]),
+		Topo:       b[8],
+		GroupSlots: binary.BigEndian.Uint16(b[9:]),
+		GroupC:     b[11],
+		RingSlots:  binary.BigEndian.Uint16(b[12:]),
+		Flows:      b[14],
+		Pkts:       b[15],
+		LossBurst:  b[16],
+		LossPct:    b[17],
+		CorruptPct: b[18],
+		Blackhole:  flags&1 != 0,
+		Parity:     flags&2 != 0,
+		ACLDeny:    flags&4 != 0,
+		PathFlip:   flags&8 != 0,
+		Incast:     flags&16 != 0,
+		Pause:      flags&32 != 0,
+	}
+	return sc.Normalize()
+}
+
+// String identifies the scenario in failure messages.
+func (sc Scenario) String() string {
+	topo := [...]string{"line2", "line3", "testbed", "fattree-k4"}[sc.Topo%topoCount]
+	s := fmt.Sprintf("seed=%d topo=%s slots=%d C=%d ring=%d flows=%d pkts=%d",
+		sc.Seed, topo, sc.GroupSlots, sc.GroupC, sc.RingSlots, sc.Flows, sc.Pkts)
+	if sc.LossBurst > 0 {
+		s += fmt.Sprintf(" burst=%d", sc.LossBurst)
+	}
+	if sc.LossPct > 0 {
+		s += fmt.Sprintf(" loss=%d%%", sc.LossPct)
+	}
+	if sc.CorruptPct > 0 {
+		s += fmt.Sprintf(" corrupt=%d%%", sc.CorruptPct)
+	}
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{sc.Blackhole, "blackhole"}, {sc.Parity, "parity"}, {sc.ACLDeny, "acl"},
+		{sc.PathFlip, "pathflip"}, {sc.Incast, "incast"}, {sc.Pause, "pause"},
+	} {
+		if f.on {
+			s += " +" + f.name
+		}
+	}
+	return s
+}
+
+// Matrix returns the seeded scenario suite: ≥20 scenarios spanning every
+// topology size, workload mix, group-cache sizing, and fault class, plus
+// compound runs that stack faults. Deterministic in seed.
+func Matrix(seed uint64) []Scenario {
+	base := func(i int) Scenario {
+		return Scenario{
+			Seed:       seed + uint64(i)*0x9e3779b97f4a7c15,
+			GroupSlots: 4096, GroupC: 128, RingSlots: 1024,
+			Flows: 8, Pkts: 20,
+		}
+	}
+	var m []Scenario
+	add := func(mut func(*Scenario)) {
+		sc := base(len(m))
+		mut(&sc)
+		m = append(m, sc.Normalize())
+	}
+
+	// Clean runs: every topology, no faults — baseline invariants.
+	add(func(s *Scenario) { s.Topo = TopoLine2 })
+	add(func(s *Scenario) { s.Topo = TopoLine3; s.Flows = 16 })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Flows = 32; s.Pkts = 30 })
+	add(func(s *Scenario) { s.Topo = TopoFatTreeK4; s.Flows = 24 })
+
+	// Silent-drop recovery (§3.3): bursts and random loss, generous ring.
+	add(func(s *Scenario) { s.Topo = TopoLine2; s.LossBurst = 12 })
+	add(func(s *Scenario) { s.Topo = TopoLine2; s.LossPct = 10 })
+	add(func(s *Scenario) { s.Topo = TopoLine3; s.LossBurst = 40; s.LossPct = 5 })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.LossPct = 8; s.Flows = 24 })
+	add(func(s *Scenario) { s.Topo = TopoLine2; s.CorruptPct = 10 })
+	add(func(s *Scenario) { s.Topo = TopoLine3; s.LossPct = 6; s.CorruptPct = 6 })
+
+	// Tiny rings: overwrite losses must be accounted, never mis-reported.
+	add(func(s *Scenario) { s.Topo = TopoLine2; s.RingSlots = 16; s.LossBurst = 30; s.LossPct = 10 })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.RingSlots = 32; s.LossPct = 10; s.Flows = 32 })
+
+	// Group-cache churn (§3.4): tiny tables, tiny C — collision storms.
+	add(func(s *Scenario) {
+		s.Topo = TopoLine2
+		s.GroupSlots = 8
+		s.GroupC = 2
+		s.Flows = 32
+		s.Pkts = 40
+		s.LossPct = 12
+	})
+	add(func(s *Scenario) {
+		s.Topo = TopoTestbed
+		s.GroupSlots = 16
+		s.GroupC = 4
+		s.Flows = 40
+		s.Pkts = 40
+		s.LossPct = 10
+	})
+	add(func(s *Scenario) {
+		s.Topo = TopoLine3
+		s.GroupSlots = 8
+		s.GroupC = 1
+		s.Flows = 40
+		s.Pkts = 50
+		s.LossBurst = 20
+	})
+
+	// Pipeline drops (§3.3 Fig. 4 taxonomy).
+	add(func(s *Scenario) { s.Topo = TopoLine2; s.Blackhole = true })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Parity = true; s.Flows = 16 })
+	add(func(s *Scenario) { s.Topo = TopoLine3; s.ACLDeny = true })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Blackhole = true; s.Parity = true; s.ACLDeny = true })
+
+	// Path changes, congestion, pause (ECMP topologies).
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.PathFlip = true })
+	add(func(s *Scenario) { s.Topo = TopoFatTreeK4; s.PathFlip = true; s.Flows = 32 })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Incast = true })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Pause = true; s.Incast = true })
+
+	// Kitchen sink: every fault class at once, stressed caches.
+	add(func(s *Scenario) {
+		s.Topo = TopoTestbed
+		s.GroupSlots = 32
+		s.GroupC = 4
+		s.RingSlots = 128
+		s.Flows = 40
+		s.Pkts = 40
+		s.LossBurst = 20
+		s.LossPct = 8
+		s.CorruptPct = 5
+		s.Blackhole = true
+		s.Parity = true
+		s.ACLDeny = true
+		s.PathFlip = true
+		s.Incast = true
+		s.Pause = true
+	})
+	return m
+}

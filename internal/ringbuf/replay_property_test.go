@@ -1,0 +1,209 @@
+package ringbuf
+
+import (
+	"math/rand"
+	"testing"
+
+	"netseer/internal/pkt"
+	"netseer/internal/seqtrack"
+)
+
+// flowOf derives a unique, reconstructible 5-tuple for packet ID id, so a
+// replayed entry can be checked against the exact packet that carried it.
+func flowOf(id uint32) pkt.FlowKey {
+	return pkt.FlowKey{
+		SrcIP:   0x0a000000 | id>>16,
+		DstIP:   0x0a800000 | id&0xffff,
+		SrcPort: uint16(id * 2654435761 >> 16),
+		DstPort: uint16(id * 40503),
+		Proto:   uint8(17 + id%2),
+	}
+}
+
+// wantRecovered models, independently of the Ring internals, which IDs of
+// the gap [from, to] a LookupRange must return: IDs inside the scanned
+// tail window (over-long gaps only scan the newest Size() IDs) whose slot
+// still holds them per the last-writer map. The map also captures the
+// documented 2³²-wrap aliasing of non-power-of-two rings.
+func wantRecovered(from, to uint32, ringSize int, lastWriter map[uint32]uint32) int {
+	count := to - from + 1
+	scanFrom := from
+	if count > uint32(ringSize) {
+		scanFrom = from + (count - uint32(ringSize))
+	}
+	want := 0
+	for g := scanFrom; ; g++ {
+		if lastWriter[g%uint32(ringSize)] == g {
+			want++
+		}
+		if g == to {
+			break
+		}
+	}
+	return want
+}
+
+// TestReplayMatchesTrackerLossesProperty is the §3.3 round trip under
+// randomized gap positions and ring sizes, including uint32 sequence
+// wraparound and rings overwritten several times over:
+//
+//   - every notification the downstream tracker emits, resolved against
+//     the upstream ring, partitions exactly into recovered + unrecoverable;
+//   - every recovered entry is the true 5-tuple of a packet that was
+//     dropped in that gap — never a misattribution from an overwritten
+//     slot;
+//   - residency is exact per the independent last-writer model;
+//   - the tracker's lost counter equals the dropped packets (the final
+//     packet is always delivered, so every gap gets a trigger).
+func TestReplayMatchesTrackerLossesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 300; trial++ {
+		ringSize := 1 + rng.Intn(200)
+		total := ringSize + rng.Intn(4*ringSize)
+		var start uint32
+		switch trial % 3 {
+		case 0:
+			start = rng.Uint32()
+		case 1:
+			// Force the sequence across the uint32 wraparound.
+			start = ^uint32(0) - uint32(rng.Intn(total))
+		default:
+			start = uint32(rng.Intn(100))
+		}
+
+		// Precompute the drop pattern: random bursts, final packet always
+		// delivered so every gap has a subsequent trigger.
+		dropPct := 5 + rng.Intn(40)
+		burstMax := 1 + rng.Intn(2*ringSize)
+		drops := make([]bool, total)
+		inBurst := 0
+		droppedTotal := uint64(0)
+		for i := range drops {
+			if inBurst > 0 {
+				drops[i] = true
+				inBurst--
+			} else if rng.Intn(100) < dropPct {
+				drops[i] = true
+				inBurst = rng.Intn(burstMax)
+			}
+		}
+		drops[total-1] = false
+		// The tracker synchronizes on the first ID it receives, so drops
+		// before that are invisible to it by design; count only the rest.
+		firstRecv := 0
+		for firstRecv < total && drops[firstRecv] {
+			firstRecv++
+		}
+		for i := firstRecv + 1; i < total-1; i++ {
+			if drops[i] {
+				droppedTotal++
+			}
+		}
+
+		ring := New(ringSize)
+		tr := seqtrack.New()
+		recovered := make(map[uint32]bool)
+		lastWriter := make(map[uint32]uint32) // slot -> newest recorded ID
+		for i := 0; i < total; i++ {
+			id := start + uint32(i)
+			ring.Record(id, flowOf(id), 64+int(id%1200))
+			lastWriter[id%uint32(ringSize)] = id
+			if drops[i] {
+				continue
+			}
+
+			n := tr.Observe(id)
+			if n == nil {
+				continue
+			}
+			found, unrecoveredN := ring.LookupRange(n.FromID, n.ToID)
+			if uint32(len(found))+uint32(unrecoveredN) != n.Count() {
+				t.Fatalf("trial %d: gap [%d,%d] of %d partitioned into %d found + %d unrecovered",
+					trial, n.FromID, n.ToID, n.Count(), len(found), unrecoveredN)
+			}
+			for _, e := range found {
+				if e.ID-n.FromID > n.ToID-n.FromID {
+					t.Fatalf("trial %d: replayed ID %d outside gap [%d,%d]", trial, e.ID, n.FromID, n.ToID)
+				}
+				if e.Flow != flowOf(e.ID) {
+					t.Fatalf("trial %d: replayed flow for ID %d is %+v, want %+v — misattributed slot",
+						trial, e.ID, e.Flow, flowOf(e.ID))
+				}
+				if recovered[e.ID] {
+					t.Fatalf("trial %d: ID %d recovered twice", trial, e.ID)
+				}
+				recovered[e.ID] = true
+			}
+			if want := wantRecovered(n.FromID, n.ToID, ringSize, lastWriter); len(found) != want {
+				t.Fatalf("trial %d: gap [%d,%d] with ring %d recovered %d, want %d",
+					trial, n.FromID, n.ToID, ringSize, len(found), want)
+			}
+		}
+
+		_, _, lost := tr.Stats()
+		if lost != droppedTotal {
+			t.Fatalf("trial %d: tracker reports %d lost packets, dropped %d", trial, lost, droppedTotal)
+		}
+	}
+}
+
+// TestReplayAfterFullRingWraparound pins the paper's worst case: a gap
+// longer than the ring, here placed across the uint32 sequence boundary.
+// Only the newest Size() IDs are scanned and everything older is counted,
+// not guessed; away from the boundary the recovery is exactly the newest
+// Size()-1 packets (the trigger consumed one slot).
+func TestReplayAfterFullRingWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		ringSize := 2 + rng.Intn(64)
+		gap := uint32(ringSize + 1 + rng.Intn(3*ringSize))
+		straddle := trial%2 == 0
+		var start uint32
+		if straddle {
+			start = ^uint32(0) - gap/2 // cross the uint32 boundary mid-gap
+		} else {
+			start = rng.Uint32() >> 1 // safely below the boundary
+		}
+
+		ring := New(ringSize)
+		tr := seqtrack.New()
+		lastWriter := make(map[uint32]uint32)
+		record := func(id uint32) {
+			ring.Record(id, flowOf(id), 100)
+			lastWriter[id%uint32(ringSize)] = id
+		}
+
+		record(start)
+		tr.Observe(start)
+		for i := uint32(1); i <= gap; i++ {
+			record(start + i)
+		}
+		trigger := start + gap + 1
+		record(trigger)
+		n := tr.Observe(trigger)
+		if n == nil {
+			t.Fatalf("trial %d: no notification for a %d-packet gap", trial, gap)
+		}
+		if n.Count() != gap {
+			t.Fatalf("trial %d: notification covers %d, want %d", trial, n.Count(), gap)
+		}
+		found, unrecovered := ring.LookupRange(n.FromID, n.ToID)
+		if uint32(len(found))+uint32(unrecovered) != gap {
+			t.Fatalf("trial %d: %d found + %d unrecovered != gap %d", trial, len(found), unrecovered, gap)
+		}
+		want := wantRecovered(n.FromID, n.ToID, ringSize, lastWriter)
+		if len(found) != want {
+			t.Fatalf("trial %d: recovered %d of an over-long gap with ring %d, want %d",
+				trial, len(found), ringSize, want)
+		}
+		if !straddle && len(found) != ringSize-1 {
+			t.Fatalf("trial %d: away from the wrap, recovered %d with ring %d, want exactly %d",
+				trial, len(found), ringSize, ringSize-1)
+		}
+		for _, e := range found {
+			if e.Flow != flowOf(e.ID) {
+				t.Fatalf("trial %d: misattributed flow for ID %d", trial, e.ID)
+			}
+		}
+	}
+}

@@ -55,6 +55,12 @@ const BytesPerSlot = 20
 
 // Record stores the packet with the given consecutive ID, overwriting the
 // slot ID mod N.
+//
+// When N is not a power of two, the ID sequence wrapping past 2³² aliases
+// (2³² mod N ≠ 0): for one window around the wrap, up to two of the most
+// recent N packets share a slot and become unrecoverable early. This
+// costs coverage once per 4.3 billion packets per port; it can never
+// misattribute, because Lookup verifies the recorded ID.
 func (r *Ring) Record(id uint32, flow pkt.FlowKey, wireLen int) {
 	i := int(id % uint32(len(r.slots)))
 	r.slots[i] = Entry{Flow: flow, ID: id, WireLen: uint16(wireLen)}

@@ -25,25 +25,29 @@ import (
 	"netseer/internal/benchjson"
 )
 
-func main() {
-	baseline := flag.String("baseline", "bench/baseline", "directory with baseline BENCH_*.json")
-	current := flag.String("current", ".", "directory with freshly generated BENCH_*.json")
-	speedTol := flag.Float64("speed-tolerance", 0.25, "max fractional events/sec drop vs baseline")
-	minSpeedup := flag.Float64("min-speedup", 1.5, "min parallel speedup (enforced only with >=4 workers on >=4 CPUs)")
-	flag.Parse()
+// options parameterizes one comparison run (mirrors the flags).
+type options struct {
+	baseline   string  // directory with baseline BENCH_*.json
+	current    string  // directory with freshly generated BENCH_*.json
+	speedTol   float64 // max fractional events/sec drop vs baseline
+	minSpeedup float64 // min parallel speedup (>=4 workers on >=4 CPUs)
+}
 
-	var failures []string
+// compare applies the gating policy. failures are regressions (any means
+// the build must fail), info are human-oriented progress lines, err is a
+// fatal setup problem (missing or unreadable artifact).
+func compare(o options) (failures, info []string, err error) {
 	fail := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
 	}
 
-	base, err := benchjson.ReadFile(filepath.Join(*baseline, "BENCH_hotpath.json"))
+	base, err := benchjson.ReadFile(filepath.Join(o.baseline, "BENCH_hotpath.json"))
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
-	cur, err := benchjson.ReadFile(filepath.Join(*current, "BENCH_hotpath.json"))
+	cur, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_hotpath.json"))
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	for _, bm := range base.Metrics {
 		cm, ok := cur.Metric(bm.Name)
@@ -54,15 +58,15 @@ func main() {
 		if cm.AllocsPerOp > bm.AllocsPerOp {
 			fail("%s: allocs/op grew %v -> %v (any increase fails)", bm.Name, bm.AllocsPerOp, cm.AllocsPerOp)
 		}
-		if bm.EventsPerSec > 0 && cm.EventsPerSec < bm.EventsPerSec*(1-*speedTol) {
+		if bm.EventsPerSec > 0 && cm.EventsPerSec < bm.EventsPerSec*(1-o.speedTol) {
 			fail("%s: events/sec dropped %.3g -> %.3g (tolerance %.0f%%)",
-				bm.Name, bm.EventsPerSec, cm.EventsPerSec, *speedTol*100)
+				bm.Name, bm.EventsPerSec, cm.EventsPerSec, o.speedTol*100)
 		}
 	}
 
-	par, err := benchjson.ReadFile(filepath.Join(*current, "BENCH_parallel.json"))
+	par, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_parallel.json"))
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	sp, ok := par.Metric("parallel/speedup")
 	if !ok {
@@ -72,26 +76,42 @@ func main() {
 			fail("parallel run is not bit-identical to sequential (digests_match=%v)", sp.Extra["digests_match"])
 		}
 		workers := sp.Extra["workers"]
-		if workers >= 4 && par.NumCPU >= 4 && sp.Extra["speedup"] < *minSpeedup {
+		if workers >= 4 && par.NumCPU >= 4 && sp.Extra["speedup"] < o.minSpeedup {
 			fail("parallel speedup %.2fx at %.0f workers on %d CPUs; need >= %.2fx",
-				sp.Extra["speedup"], workers, par.NumCPU, *minSpeedup)
+				sp.Extra["speedup"], workers, par.NumCPU, o.minSpeedup)
 		} else {
-			fmt.Printf("parallel: %.2fx speedup at %.0f workers on %d CPUs (digests match)\n",
-				sp.Extra["speedup"], workers, par.NumCPU)
+			info = append(info, fmt.Sprintf("parallel: %.2fx speedup at %.0f workers on %d CPUs (digests match)",
+				sp.Extra["speedup"], workers, par.NumCPU))
 		}
 	}
 
+	if len(failures) == 0 {
+		info = append(info, fmt.Sprintf("benchdiff: %d hot-path metrics within budget (allocs/op: no increase; events/sec tolerance %.0f%%)",
+			len(base.Metrics), o.speedTol*100))
+	}
+	return failures, info, nil
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.baseline, "baseline", "bench/baseline", "directory with baseline BENCH_*.json")
+	flag.StringVar(&o.current, "current", ".", "directory with freshly generated BENCH_*.json")
+	flag.Float64Var(&o.speedTol, "speed-tolerance", 0.25, "max fractional events/sec drop vs baseline")
+	flag.Float64Var(&o.minSpeedup, "min-speedup", 1.5, "min parallel speedup (enforced only with >=4 workers on >=4 CPUs)")
+	flag.Parse()
+
+	failures, info, err := compare(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	for _, line := range info {
+		fmt.Println(line)
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d hot-path metrics within budget (allocs/op: no increase; events/sec tolerance %.0f%%)\n",
-		len(base.Metrics), *speedTol*100)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchdiff:", err)
-	os.Exit(1)
 }

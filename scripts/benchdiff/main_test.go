@@ -1,0 +1,161 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netseer/internal/benchjson"
+)
+
+// writeReport writes a BENCH_*.json fixture into dir.
+func writeReport(t *testing.T, dir, file string, r *benchjson.Report) {
+	t.Helper()
+	if err := r.WriteFile(filepath.Join(dir, file)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hotpath builds a single-metric hot-path report.
+func hotpath(allocs, eps float64) *benchjson.Report {
+	r := benchjson.NewReport("hotpath")
+	r.Add(benchjson.Metric{Name: "core/pipeline", AllocsPerOp: allocs, EventsPerSec: eps})
+	return r
+}
+
+// parallelReport builds a parallel report with the given attestation.
+func parallelReport(numCPU int, workers, speedup, digestsMatch float64) *benchjson.Report {
+	r := benchjson.NewReport("parallel")
+	r.NumCPU = numCPU
+	r.Add(benchjson.Metric{Name: "parallel/speedup", Extra: map[string]float64{
+		"workers":       workers,
+		"speedup":       speedup,
+		"digests_match": digestsMatch,
+	}})
+	return r
+}
+
+// fixture lays out a baseline dir and a current dir, returning both.
+func fixture(t *testing.T, base, cur, par *benchjson.Report) options {
+	t.Helper()
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	if base != nil {
+		writeReport(t, baseDir, "BENCH_hotpath.json", base)
+	}
+	if cur != nil {
+		writeReport(t, curDir, "BENCH_hotpath.json", cur)
+	}
+	if par != nil {
+		writeReport(t, curDir, "BENCH_parallel.json", par)
+	}
+	return options{baseline: baseDir, current: curDir, speedTol: 0.25, minSpeedup: 1.5}
+}
+
+func mustCompare(t *testing.T, o options) []string {
+	t.Helper()
+	failures, _, err := compare(o)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	return failures
+}
+
+func wantFailure(t *testing.T, failures []string, substr string) {
+	t.Helper()
+	for _, f := range failures {
+		if strings.Contains(f, substr) {
+			return
+		}
+	}
+	t.Errorf("no failure mentions %q; got %q", substr, failures)
+}
+
+func TestComparePassesWithinBudget(t *testing.T) {
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 0.9e8), parallelReport(8, 4, 2.0, 1))
+	failures, info, err := compare(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Errorf("unexpected failures: %q", failures)
+	}
+	joined := strings.Join(info, "\n")
+	if !strings.Contains(joined, "within budget") || !strings.Contains(joined, "2.00x speedup") {
+		t.Errorf("info missing summary lines: %q", info)
+	}
+}
+
+func TestCompareFailsOnAllocsIncrease(t *testing.T) {
+	o := fixture(t, hotpath(3, 1e8), hotpath(4, 1e8), parallelReport(8, 4, 2.0, 1))
+	wantFailure(t, mustCompare(t, o), "allocs/op grew")
+}
+
+func TestCompareFailsOnThroughputDropBeyondTolerance(t *testing.T) {
+	// 40% drop against a 25% tolerance.
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 0.6e8), parallelReport(8, 4, 2.0, 1))
+	wantFailure(t, mustCompare(t, o), "events/sec dropped")
+}
+
+func TestCompareToleratesThroughputDropWithinTolerance(t *testing.T) {
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 0.8e8), parallelReport(8, 4, 2.0, 1))
+	if failures := mustCompare(t, o); len(failures) != 0 {
+		t.Errorf("20%% drop within 25%% tolerance should pass; got %q", failures)
+	}
+}
+
+func TestCompareFailsOnMetricMissingFromCurrent(t *testing.T) {
+	cur := benchjson.NewReport("hotpath") // empty: baseline metric vanished
+	o := fixture(t, hotpath(3, 1e8), cur, parallelReport(8, 4, 2.0, 1))
+	wantFailure(t, mustCompare(t, o), "missing from current run")
+}
+
+func TestCompareFailsOnDigestMismatch(t *testing.T) {
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(8, 4, 2.0, 0))
+	wantFailure(t, mustCompare(t, o), "not bit-identical")
+}
+
+func TestCompareFailsOnMissingSpeedupMetric(t *testing.T) {
+	par := benchjson.NewReport("parallel")
+	par.NumCPU = 8
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), par)
+	wantFailure(t, mustCompare(t, o), "missing parallel/speedup")
+}
+
+func TestCompareEnforcesSpeedupOnlyWithEnoughCPUs(t *testing.T) {
+	// 4 workers on 8 CPUs at 1.1x: below the 1.5x floor -> fail.
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(8, 4, 1.1, 1))
+	wantFailure(t, mustCompare(t, o), "parallel speedup")
+
+	// Same speedup on a 2-CPU machine: the gate must not fire.
+	o = fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(2, 4, 1.1, 1))
+	if failures := mustCompare(t, o); len(failures) != 0 {
+		t.Errorf("speedup gate fired on a 2-CPU machine: %q", failures)
+	}
+
+	// And with fewer than 4 workers, regardless of CPUs.
+	o = fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(8, 2, 1.1, 1))
+	if failures := mustCompare(t, o); len(failures) != 0 {
+		t.Errorf("speedup gate fired with 2 workers: %q", failures)
+	}
+}
+
+func TestCompareReportsMissingBaseline(t *testing.T) {
+	o := fixture(t, nil, hotpath(3, 1e8), parallelReport(8, 4, 2.0, 1))
+	if _, _, err := compare(o); err == nil {
+		t.Fatal("compare succeeded with no baseline artifact")
+	}
+}
+
+func TestCompareReportsMissingCurrentArtifacts(t *testing.T) {
+	// Current hot-path artifact absent.
+	o := fixture(t, hotpath(3, 1e8), nil, parallelReport(8, 4, 2.0, 1))
+	if _, _, err := compare(o); err == nil {
+		t.Fatal("compare succeeded with no current hot-path artifact")
+	}
+
+	// Parallel artifact absent.
+	o = fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), nil)
+	if _, _, err := compare(o); err == nil {
+		t.Fatal("compare succeeded with no parallel artifact")
+	}
+}

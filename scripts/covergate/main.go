@@ -1,0 +1,149 @@
+// Command covergate parses a Go -coverprofile and fails if any named
+// package's statement coverage is below the floor. CI uses it to keep the
+// correctness oracle and the group cache honest:
+//
+//	go test -coverprofile=cover.out -coverpkg=<pkgs> <tests>
+//	go run ./scripts/covergate -profile cover.out -min 85 \
+//	    netseer/internal/oracle netseer/internal/groupcache
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (p pkgCov) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+// parseProfile reads a coverprofile and returns per-package statement
+// coverage. Profile lines look like:
+//
+//	netseer/internal/oracle/checkers.go:186.44,190.3 2 1
+//
+// i.e. file:startLine.col,endLine.col numStatements hitCount. When several
+// test binaries share one profile (go test pkgA pkgB -coverprofile=x with
+// -coverpkg), the same block appears once per binary — usually hit in one
+// section and zero in the others — so blocks are merged by location with
+// their hit counts summed before any percentage is computed.
+func parseProfile(r io.Reader) (map[string]*pkgCov, error) {
+	type block struct {
+		stmts int
+		hits  int
+	}
+	blocks := make(map[string]*block)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("covergate: malformed profile line %q", line)
+		}
+		if !strings.Contains(fields[0], ":") {
+			return nil, fmt.Errorf("covergate: malformed location %q", fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("covergate: bad statement count in %q: %v", line, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("covergate: bad hit count in %q: %v", line, err)
+		}
+		b := blocks[fields[0]]
+		if b == nil {
+			blocks[fields[0]] = &block{stmts: stmts, hits: hits}
+		} else {
+			b.hits += hits
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*pkgCov)
+	for loc, b := range blocks {
+		file, _, _ := strings.Cut(loc, ":")
+		pkg := path.Dir(file)
+		pc := out[pkg]
+		if pc == nil {
+			pc = &pkgCov{}
+			out[pkg] = pc
+		}
+		pc.total += b.stmts
+		if b.hits > 0 {
+			pc.covered += b.stmts
+		}
+	}
+	return out, nil
+}
+
+// gate checks every required package against the floor, returning one
+// line per package and whether all passed. Packages absent from the
+// profile fail (no data means no coverage).
+func gate(cov map[string]*pkgCov, pkgs []string, min float64) (lines []string, ok bool) {
+	ok = true
+	for _, pkg := range pkgs {
+		pc := cov[pkg]
+		if pc == nil {
+			lines = append(lines, fmt.Sprintf("FAIL %s: no coverage data in profile", pkg))
+			ok = false
+			continue
+		}
+		pct := pc.percent()
+		if pct < min {
+			lines = append(lines, fmt.Sprintf("FAIL %s: %.1f%% statement coverage, floor %.0f%%", pkg, pct, min))
+			ok = false
+		} else {
+			lines = append(lines, fmt.Sprintf("ok   %s: %.1f%% statement coverage (floor %.0f%%)", pkg, pct, min))
+		}
+	}
+	return lines, ok
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile to parse")
+	min := flag.Float64("min", 85, "minimum statement coverage percent per package")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "covergate: no packages named")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	cov, err := parseProfile(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+	lines, ok := gate(cov, flag.Args(), *min)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
