@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
-	oracle oracle-fuzz-smoke oracle-cover
+	oracle oracle-fuzz-smoke oracle-cover obs obs-cover
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -51,6 +51,20 @@ oracle-cover:
 		./internal/oracle/ ./internal/groupcache/
 	$(GO) run ./scripts/covergate -profile cover-oracle.out -min 85 \
 		netseer/internal/oracle netseer/internal/groupcache
+
+# obs runs the self-telemetry gate under the race detector: the
+# instrument/registry/exposition unit suite, the netseerd-shaped
+# end-to-end /metrics scrape with live TCP ingestion, the query-protocol
+# stats verb and error-path accounting, and the testbed publish bridge.
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestMetricsEndToEnd|TestQueryStats|TestQueryErrorPaths' ./internal/collector/
+	$(GO) test -race -count=1 -run 'TestRegisterObsPublishesPipeline' ./internal/experiments/
+
+# obs-cover fails if statement coverage of internal/obs drops below 85%.
+obs-cover:
+	$(GO) test -count=1 -coverprofile=cover-obs.out -coverpkg=netseer/internal/obs ./internal/obs/
+	$(GO) run ./scripts/covergate -profile cover-obs.out -min 85 netseer/internal/obs
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	fetquery [-addr host:port] query type=drop code=no-route
+//	fetquery [-addr host:port] [-interval d] query type=drop code=no-route
 //	fetquery count switch=3
 //	fetquery flows
+//	fetquery stats
+//
+// The stats verb dumps netseerd's self-telemetry (the same Prometheus
+// text exposition its /metrics endpoint serves) over the query port —
+// useful where only the query port is reachable. With -interval the
+// request repeats on one connection until interrupted, watch-style.
 package main
 
 import (
@@ -15,13 +21,15 @@ import (
 	"log"
 	"net"
 	"strings"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9751", "netseerd query address")
+	interval := flag.Duration("interval", 0, "repeat the query at this interval (0: once)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: fetquery [-addr host:port] <query|count|flows> [key=value ...]")
+		log.Fatal("usage: fetquery [-addr host:port] [-interval d] <query|count|flows|path|latency|summary|stats> [key=value ...]")
 	}
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
@@ -29,18 +37,34 @@ func main() {
 	}
 	defer conn.Close()
 	req := strings.Join(flag.Args(), " ")
-	if _, err := fmt.Fprintln(conn, req); err != nil {
-		log.Fatalf("send: %v", err)
-	}
 	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for {
+		if _, err := fmt.Fprintln(conn, req); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		if !readResponse(sc) {
+			if err := sc.Err(); err != nil {
+				log.Fatalf("read: %v", err)
+			}
+			log.Fatal("read: connection closed")
+		}
+		if *interval <= 0 {
+			return
+		}
+		time.Sleep(*interval)
+		fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+	}
+}
+
+// readResponse prints lines until the "." terminator; false on EOF/error.
+func readResponse(sc *bufio.Scanner) bool {
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "." {
-			return
+			return true
 		}
 		fmt.Println(line)
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatalf("read: %v", err)
-	}
+	return false
 }

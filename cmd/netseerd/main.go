@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	netseerd [-ingest addr] [-query addr]
+//	netseerd [-ingest addr] [-query addr] [-metrics addr]
 //
 // Query examples (e.g. via `nc` or cmd/fetquery):
 //
 //	count type=drop
 //	query flow=tcp:10.0.0.1:40000:10.1.0.1:80 code=no-route
 //	flows
+//	stats
+//
+// The -metrics address serves the daemon's self-telemetry: /metrics
+// (Prometheus text exposition), /healthz, and /debug/pprof. The same
+// exposition is available over the query port via the "stats" verb.
 package main
 
 import (
@@ -23,16 +28,27 @@ import (
 	"time"
 
 	"netseer/internal/collector"
+	"netseer/internal/obs"
 )
 
 func main() {
 	ingestAddr := flag.String("ingest", "127.0.0.1:9750", "event ingestion listen address")
 	queryAddr := flag.String("query", "127.0.0.1:9751", "query listen address")
+	metricsAddr := flag.String("metrics", "127.0.0.1:9752", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
+	logStats := flag.Duration("log-stats", 0, "log a telemetry snapshot at this interval (0 disables)")
 	maxConns := flag.Int("max-conns", 128, "max concurrent ingest connections")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame ingest read deadline")
 	flag.Parse()
 
+	// The catalog placeholders first, so every canonical series is present
+	// even for the pipeline stages this daemon does not run; live stage
+	// registrations below replace their placeholders.
+	reg := obs.NewRegistry()
+	obs.RegisterCatalog(reg)
+	obs.RegisterRuntime(reg)
+
 	store := collector.NewStore()
+	store.RegisterMetrics(reg)
 	ingest, err := collector.NewServerConfig(store, *ingestAddr, collector.ServerConfig{
 		MaxConns:    *maxConns,
 		ReadTimeout: *readTimeout,
@@ -41,12 +57,26 @@ func main() {
 		log.Fatalf("ingest listener: %v", err)
 	}
 	defer ingest.Close()
-	query, err := collector.NewQueryServer(store, *queryAddr)
+	ingest.RegisterMetrics(reg)
+	query, err := collector.NewQueryServerReg(store, *queryAddr, reg)
 	if err != nil {
 		log.Fatalf("query listener: %v", err)
 	}
 	defer query.Close()
 	log.Printf("netseerd: ingesting on %s, queries on %s", ingest.Addr(), query.Addr())
+
+	if *metricsAddr != "" {
+		osrv, err := obs.ServeHTTP(reg, *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("netseerd: metrics on http://%s/metrics", osrv.Addr())
+	}
+	if *logStats > 0 {
+		stop := obs.StartLogger(reg, *logStats, log.Printf)
+		defer stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

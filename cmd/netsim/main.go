@@ -23,6 +23,7 @@ import (
 	"netseer/internal/fevent"
 	"netseer/internal/link"
 	"netseer/internal/metrics"
+	"netseer/internal/obs"
 	"netseer/internal/pcap"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
@@ -36,6 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	collectorAddr := flag.String("collector", "", "netseerd ingest address (empty: in-process summary)")
 	fault := flag.String("fault", "none", "fault to inject: none, blackhole, corrupt, incast, parity")
+	metricsAddr := flag.String("metrics", "", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	pcapPath := flag.String("pcap", "", "write traffic at the first core switch to this pcap file")
 	traceOut := flag.String("trace-out", "", "record flow arrivals to this trace file")
 	traceIn := flag.String("trace-in", "", "replay flow arrivals from this trace file instead of the generator")
@@ -52,6 +54,28 @@ func main() {
 	}
 	tb := experiments.NewTestbed(cfg)
 
+	// Self-telemetry: the full canonical surface plus live switch-side
+	// series. The hot pipeline stages keep single-owner plain counters, so
+	// publish points are pre-scheduled at fixed fractions of the window
+	// (never as self-rescheduling simulator events, which would keep the
+	// run alive forever) and once more after the run drains.
+	reg := obs.NewRegistry()
+	obs.RegisterCatalog(reg)
+	obs.RegisterRuntime(reg)
+	publish := tb.RegisterObs(reg)
+	const publishPoints = 16
+	for i := 1; i <= publishPoints; i++ {
+		tb.Sim.Schedule(cfg.Window*sim.Time(i)/publishPoints, publish)
+	}
+	if *metricsAddr != "" {
+		osrv, err := obs.ServeHTTP(reg, *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer osrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", osrv.Addr())
+	}
+
 	// Optional TCP export: interpose a client sink on every switch by
 	// re-attaching; simplest is to forward the in-process store at the
 	// end, which preserves batch framing.
@@ -59,6 +83,7 @@ func main() {
 	if *collectorAddr != "" {
 		client = collector.NewClient(*collectorAddr)
 		defer client.Close()
+		client.RegisterMetrics(reg)
 	}
 
 	if *pcapPath != "" {
@@ -114,6 +139,7 @@ func main() {
 	start := time.Now()
 	tb.Run()
 	elapsed := time.Since(start)
+	publish() // final snapshot after the run drained
 
 	st := tb.NetSeerStats()
 	fmt.Printf("simulated %v of %s at %.0f%% load in %v wall time\n",

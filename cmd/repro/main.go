@@ -29,6 +29,7 @@ import (
 	"netseer/internal/experiments"
 	"netseer/internal/fpelim"
 	"netseer/internal/incidents"
+	"netseer/internal/obs"
 	"netseer/internal/oracle"
 	"netseer/internal/resources"
 	"netseer/internal/sim"
@@ -43,7 +44,24 @@ func main() {
 	benchJSON := flag.Bool("bench-json", false, "emit BENCH_hotpath.json and BENCH_parallel.json instead of figures")
 	benchOut := flag.String("bench-out", ".", "directory for -bench-json artifacts")
 	runOracle := flag.Bool("oracle", false, "run the correctness-oracle scenario matrix and print a scorecard")
+	metricsAddr := flag.String("metrics", "", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		// Process-level telemetry for long figure regenerations: runtime
+		// gauges plus the canonical placeholder surface (individual runs
+		// are short-lived testbeds, so no live pipeline series here).
+		reg := obs.NewRegistry()
+		obs.RegisterCatalog(reg)
+		obs.RegisterRuntime(reg)
+		osrv, err := obs.ServeHTTP(reg, *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics listener:", err)
+			os.Exit(1)
+		}
+		defer osrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", osrv.Addr())
+	}
 
 	experiments.SetParallelism(*par)
 	if *runOracle {

@@ -80,12 +80,17 @@ type Batcher struct {
 	cebps   []*cebp
 	stopped bool
 
-	// Stats.
+	// Stats. Plain counters: the batcher is single-owner (one simulated
+	// pipeline) and Push/pass are pinned zero-alloc hot paths; scrapes read
+	// owner-published mirrors instead (see internal/obs).
 	pushed    uint64
 	overflow  uint64
 	flushed   uint64 // batches delivered
 	delivered uint64 // events delivered
 	portBytes uint64 // bytes serialized through the internal port
+	passes    uint64 // CEBP transits of the stack
+	pops      uint64 // events popped into CEBPs
+	stackHW   int    // deepest the stack has been
 }
 
 // cebp is one circulating packet's state.
@@ -134,6 +139,9 @@ func (b *Batcher) Push(e *fevent.Event) bool {
 	}
 	b.pushed++
 	b.stack = append(b.stack, *e)
+	if len(b.stack) > b.stackHW {
+		b.stackHW = len(b.stack)
+	}
 	b.wakeOne()
 	return true
 }
@@ -158,6 +166,7 @@ func (b *Batcher) pass(c *cebp) {
 	if b.stopped {
 		return
 	}
+	b.passes++
 	popped := false
 	if n := len(b.stack); n > 0 {
 		// The stack pops LIFO: the hardware stack's top lives in the last
@@ -167,6 +176,7 @@ func (b *Batcher) pass(c *cebp) {
 		c.payload = append(c.payload, e)
 		c.idleSince = b.sim.Now()
 		popped = true
+		b.pops++
 	}
 	next := b.cfg.RecircLatency
 	if ser := b.serialization(c); ser > next {
@@ -252,3 +262,12 @@ func (b *Batcher) Stop() { b.stopped = true }
 func (b *Batcher) Stats() (pushed, overflow, batches, delivered, portBytes uint64) {
 	return b.pushed, b.overflow, b.flushed, b.delivered, b.portBytes
 }
+
+// PassStats reports CEBP circulation work: stack transits and events
+// popped. pops/passes is the stack-pressure signal of Fig. 12 — near 1.0
+// the circulating packets are saturated.
+func (b *Batcher) PassStats() (passes, pops uint64) { return b.passes, b.pops }
+
+// StackHighWater returns the deepest the cross-stage stack has been; a
+// high-water near StackDepth warns of imminent overflow loss.
+func (b *Batcher) StackHighWater() int { return b.stackHW }

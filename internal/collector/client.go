@@ -13,6 +13,7 @@ import (
 
 	"netseer/internal/fevent"
 	"netseer/internal/metrics"
+	"netseer/internal/obs"
 )
 
 // ClientConfig tunes the asynchronous reliable sender. Zero fields take
@@ -100,12 +101,17 @@ type Client struct {
 	closed    bool
 	forced    bool // Close gave up on graceful drain
 
-	// Channel-health counters (guarded by mu).
-	connects, reconnects, dialFailures uint64
-	sentBatches, ackedBatches          uint64
-	retransmits, droppedBatches        uint64
-	highWater                          int
-	ackLat                             *metrics.Histogram
+	// Channel-health counters. The client is concurrent (caller, sender,
+	// ack reader), so these are atomic obs instruments mutated in place —
+	// a /metrics scrape reads them without taking mu. ackLat dual-records
+	// into the offline metrics.Histogram (the ChannelStats accessor
+	// contract) and the atomic obs.Histogram (the scrape surface).
+	connects, reconnects, dialFailures obs.Counter
+	sentBatches, ackedBatches          obs.Counter
+	retransmits, droppedBatches        obs.Counter
+	highWater                          obs.MaxGauge
+	ackLat                             *metrics.Histogram // guarded by mu
+	ackLatObs                          *obs.Histogram
 
 	closeOnce  sync.Once
 	closeCh    chan struct{}
@@ -123,6 +129,7 @@ func NewClientConfig(addr string, cfg ClientConfig) *Client {
 		addr:       addr,
 		cfg:        cfg.withDefaults(),
 		ackLat:     metrics.NewHistogram(),
+		ackLatObs:  obs.NewHistogram(obs.LatencyBuckets()),
 		closeCh:    make(chan struct{}),
 		senderDone: make(chan struct{}),
 	}
@@ -145,8 +152,8 @@ func NewClientConfig(addr string, cfg ClientConfig) *Client {
 func (c *Client) Deliver(b *fevent.Batch) {
 	c.mu.Lock()
 	if c.closed {
-		c.droppedBatches++
 		c.mu.Unlock()
+		c.droppedBatches.Inc()
 		return
 	}
 	c.nextSeq++
@@ -154,11 +161,9 @@ func (c *Client) Deliver(b *fevent.Batch) {
 	c.queue = append(c.queue, b)
 	if len(c.queue) > c.cfg.MaxQueue {
 		c.queue = c.queue[1:]
-		c.droppedBatches++
+		c.droppedBatches.Inc()
 	}
-	if d := len(c.queue) + len(c.inflight); d > c.highWater {
-		c.highWater = d
-	}
+	c.highWater.Observe(int64(len(c.queue) + len(c.inflight)))
 	c.mu.Unlock()
 	c.cond.Broadcast()
 }
@@ -227,18 +232,37 @@ func (c *Client) Stats() metrics.ChannelStats {
 	h := metrics.NewHistogram()
 	h.Merge(c.ackLat)
 	return metrics.ChannelStats{
-		Connects:       c.connects,
-		Reconnects:     c.reconnects,
-		DialFailures:   c.dialFailures,
-		BatchesSent:    c.sentBatches,
-		BatchesAcked:   c.ackedBatches,
-		Retransmits:    c.retransmits,
-		DroppedBatches: c.droppedBatches,
+		Connects:       c.connects.Load(),
+		Reconnects:     c.reconnects.Load(),
+		DialFailures:   c.dialFailures.Load(),
+		BatchesSent:    c.sentBatches.Load(),
+		BatchesAcked:   c.ackedBatches.Load(),
+		Retransmits:    c.retransmits.Load(),
+		DroppedBatches: c.droppedBatches.Load(),
 		QueueDepth:     len(c.queue),
 		InflightDepth:  len(c.inflight),
-		HighWater:      c.highWater,
+		HighWater:      int(c.highWater.Load()),
 		AckLatencyUs:   h,
 	}
+}
+
+// RegisterMetrics exposes the channel-health instruments on r. The extra
+// labels (if any) distinguish multiple clients in one process.
+func (c *Client) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
+	r.RegisterCounter(obs.MChanConnects, "TCP connections established to the collector.", &c.connects, labels...)
+	r.RegisterCounter(obs.MChanReconnects, "Connections beyond the first (losses recovered by redial).", &c.reconnects, labels...)
+	r.RegisterCounter(obs.MChanDialFailures, "Failed connection attempts.", &c.dialFailures, labels...)
+	r.RegisterCounter(obs.MChanSentBatches, "Batch frames written to the wire (including rewrites).", &c.sentBatches, labels...)
+	r.RegisterCounter(obs.MChanAckedBatches, "Batches covered by a server cumulative ack.", &c.ackedBatches, labels...)
+	r.RegisterCounter(obs.MChanRetransmits, "Batch frames rewritten after a connection drop.", &c.retransmits, labels...)
+	r.RegisterCounter(obs.MChanDroppedBatches, "Batches dropped on queue overflow or after close.", &c.droppedBatches, labels...)
+	r.GaugeFunc(obs.MChanBacklog, "Batches delivered but not yet acked (queue + inflight).", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.queue) + len(c.inflight))
+	}, labels...)
+	r.RegisterMaxGauge(obs.MChanBacklogHW, "Deepest the unacked backlog has been.", &c.highWater, labels...)
+	r.RegisterHistogram(obs.MChanAckLatency, "Microseconds from last write of a batch to its covering ack.", c.ackLatObs, labels...)
 }
 
 // senderLoop owns all network I/O: it dials (with backoff), hands the
@@ -260,8 +284,8 @@ func (c *Client) senderLoop() {
 
 		conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 		if err != nil {
+			c.dialFailures.Inc()
 			c.mu.Lock()
-			c.dialFailures++
 			c.dialFails++
 			c.mu.Unlock()
 			c.cond.Broadcast()
@@ -304,9 +328,9 @@ func (c *Client) runConn(conn net.Conn) {
 	c.connected = true
 	c.connErr = nil
 	c.dialFails = 0
-	c.connects++
-	if c.connects > 1 {
-		c.reconnects++
+	c.connects.Inc()
+	if c.connects.Load() > 1 {
+		c.reconnects.Inc()
 	}
 	c.sent = 0 // every in-flight batch must be rewritten on this conn
 	c.mu.Unlock()
@@ -367,7 +391,7 @@ func (c *Client) writeLoop(conn net.Conn) error {
 				p := &c.inflight[c.sent]
 				p.writes++
 				if p.writes > 1 {
-					c.retransmits++
+					c.retransmits.Inc()
 				}
 				p.sentAt = time.Now()
 				batch = p.b
@@ -378,7 +402,7 @@ func (c *Client) writeLoop(conn net.Conn) error {
 				batch = b
 			}
 			c.sent++
-			c.sentBatches++
+			c.sentBatches.Inc()
 		}
 		c.mu.Unlock()
 
@@ -429,7 +453,9 @@ func (c *Client) ackReader(conn net.Conn, done chan struct{}) {
 		}
 		n := 0
 		for n < len(c.inflight) && c.inflight[n].b.Seq <= seq {
-			c.ackLat.Observe(float64(now.Sub(c.inflight[n].sentAt).Microseconds()))
+			lat := float64(now.Sub(c.inflight[n].sentAt).Microseconds())
+			c.ackLat.Observe(lat)
+			c.ackLatObs.Observe(lat)
 			n++
 		}
 		if n > 0 {
@@ -438,7 +464,7 @@ func (c *Client) ackReader(conn net.Conn, done chan struct{}) {
 			if c.sent < 0 {
 				c.sent = 0
 			}
-			c.ackedBatches += uint64(n)
+			c.ackedBatches.Add(uint64(n))
 		}
 		c.mu.Unlock()
 		if n > 0 {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"netseer/internal/fevent"
+	"netseer/internal/obs"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
 )
@@ -23,22 +24,56 @@ import (
 //	summary
 //	latency [switch=N]
 //	path flow=proto:src:sport:dst:dport
+//	stats
 //
 // Responses are one event (or value) per line, terminated by a line
-// containing a single ".". Errors are "! message" lines.
+// containing a single ".". Errors are "! message" lines. The stats verb
+// dumps the process's self-telemetry in the Prometheus text format, so
+// fetquery can observe a daemon without an HTTP client.
 type QueryServer struct {
 	store *Store
+	reg   *obs.Registry
 	ln    net.Listener
 	wg    sync.WaitGroup
+
+	requests [len(queryVerbs)]obs.Counter
+	errors   obs.Counter
+}
+
+// queryVerbs lists the line-protocol verbs, indexed by the per-verb
+// request counters ("unknown" last, counting rejected commands).
+var queryVerbs = [...]string{"query", "count", "flows", "path", "latency", "summary", "stats", "unknown"}
+
+func verbIndex(cmd string) int {
+	for i, v := range queryVerbs {
+		if v == cmd {
+			return i
+		}
+	}
+	return len(queryVerbs) - 1
 }
 
 // NewQueryServer starts a query listener on addr.
 func NewQueryServer(store *Store, addr string) (*QueryServer, error) {
+	return NewQueryServerReg(store, addr, nil)
+}
+
+// NewQueryServerReg starts a query listener whose stats verb serves reg
+// (nil disables the verb) and whose per-verb request counters register on
+// reg under netseer_query_*.
+func NewQueryServerReg(store *Store, addr string, reg *obs.Registry) (*QueryServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	q := &QueryServer{store: store, ln: ln}
+	q := &QueryServer{store: store, reg: reg, ln: ln}
+	if reg != nil {
+		for i := range queryVerbs {
+			reg.RegisterCounter(obs.MQueryRequests, "Query-protocol requests, by verb.",
+				&q.requests[i], obs.L("verb", queryVerbs[i]))
+		}
+		reg.RegisterCounter(obs.MQueryErrors, "Query-protocol requests answered with an error line.", &q.errors)
+	}
 	q.wg.Add(1)
 	go q.acceptLoop()
 	return q, nil
@@ -83,14 +118,21 @@ func (q *QueryServer) serve(conn net.Conn) {
 	}
 }
 
+// errf writes one "! message" error line plus the terminator and counts it.
+func (q *QueryServer) errf(w *bufio.Writer, format string, args ...any) {
+	q.errors.Inc()
+	fmt.Fprintf(w, "! "+format+"\n.\n", args...)
+}
+
 func (q *QueryServer) handle(line string, w *bufio.Writer) {
 	fields := strings.Fields(line)
 	cmd := strings.ToLower(fields[0])
+	q.requests[verbIndex(cmd)].Inc()
 	switch cmd {
 	case "query", "count":
 		f, err := ParseFilter(fields[1:])
 		if err != nil {
-			fmt.Fprintf(w, "! %v\n.\n", err)
+			q.errf(w, "%v", err)
 			return
 		}
 		events := q.store.Query(f)
@@ -109,12 +151,12 @@ func (q *QueryServer) handle(line string, w *bufio.Writer) {
 		fmt.Fprint(w, ".\n")
 	case "path":
 		if len(fields) != 2 {
-			fmt.Fprint(w, "! usage: path flow=proto:src:sport:dst:dport\n.\n")
+			q.errf(w, "usage: path flow=proto:src:sport:dst:dport")
 			return
 		}
 		f, err := ParseFilter(fields[1:])
 		if err != nil || f.Flow == nil {
-			fmt.Fprintf(w, "! %v\n.\n", err)
+			q.errf(w, "%v", err)
 			return
 		}
 		for _, h := range q.store.PathOf(*f.Flow) {
@@ -124,7 +166,7 @@ func (q *QueryServer) handle(line string, w *bufio.Writer) {
 	case "latency":
 		f, err := ParseFilter(fields[1:])
 		if err != nil {
-			fmt.Fprintf(w, "! %v\n.\n", err)
+			q.errf(w, "%v", err)
 			return
 		}
 		h := q.store.LatencyHistogram(f.SwitchID)
@@ -139,8 +181,15 @@ func (q *QueryServer) handle(line string, w *bufio.Writer) {
 				row.SwitchID, row.Type, row.Events, row.Flows)
 		}
 		fmt.Fprint(w, ".\n")
+	case "stats":
+		if q.reg == nil {
+			q.errf(w, "stats not available (no registry)")
+			return
+		}
+		q.reg.WritePrometheus(w)
+		fmt.Fprint(w, ".\n")
 	default:
-		fmt.Fprintf(w, "! unknown command %q\n.\n", cmd)
+		q.errf(w, "unknown command %q", cmd)
 	}
 }
 

@@ -1,0 +1,123 @@
+package collector
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"netseer/internal/obs"
+)
+
+// regValue extracts one sample value from the registry's exposition for
+// asserting counter movement without reaching into the server's fields.
+func regValue(t *testing.T, reg *obs.Registry, line string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(l, line+" ") {
+			return strings.TrimPrefix(l, line+" ")
+		}
+	}
+	t.Fatalf("no sample %q in exposition", line)
+	return ""
+}
+
+func TestQueryStatsVerb(t *testing.T) {
+	store := seedStore()
+	reg := obs.NewRegistry()
+	obs.RegisterCatalog(reg)
+	store.RegisterMetrics(reg)
+	qs, err := NewQueryServerReg(store, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+
+	lines := queryLine(t, qs.Addr(), "stats")
+	if len(lines) == 0 {
+		t.Fatal("stats returned nothing")
+	}
+	body := strings.Join(lines, "\n") + "\n"
+	if err := obs.ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("stats output is not a valid exposition: %v", err)
+	}
+	for _, want := range []string{
+		obs.MStoreEvents, obs.MStoreFlows, obs.MDetectToStore + "_bucket",
+		obs.MQueryRequests, obs.MGroupEvictions,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("stats output missing %s", want)
+		}
+	}
+	// The stats request that produced the dump had already been counted
+	// when the exposition rendered.
+	if !strings.Contains(body, obs.MQueryRequests+`{verb="stats"} 1`) {
+		t.Error("stats output does not count its own request")
+	}
+}
+
+func TestQueryStatsVerbWithoutRegistry(t *testing.T) {
+	qs, err := NewQueryServer(seedStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	lines := queryLine(t, qs.Addr(), "stats")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "!") {
+		t.Errorf("stats without registry = %v, want error line", lines)
+	}
+}
+
+// Every error path of the line protocol answers with a "! message" line
+// and moves the error counter; the verb counter attributes the request.
+func TestQueryErrorPathsCounted(t *testing.T) {
+	store := seedStore()
+	reg := obs.NewRegistry()
+	qs, err := NewQueryServerReg(store, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+
+	cases := []struct {
+		name, req, verb string
+	}{
+		{"malformed_verb", "frobnicate", "unknown"},
+		{"bad_flow_key", "query flow=zzz", "query"},
+		{"unknown_event_code", "count code=warp-failure", "count"},
+		{"unknown_event_type", "query type=meltdown", "query"},
+		{"bad_switch_id", "count switch=notanumber", "count"},
+		{"path_missing_flow", "path", "path"},
+		{"path_bad_flow", "path flow=1:2", "path"},
+		{"latency_bad_filter", "latency switch=x", "latency"},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lines := queryLine(t, qs.Addr(), tc.req)
+			if len(lines) != 1 || !strings.HasPrefix(lines[0], "! ") {
+				t.Fatalf("%q returned %v, want one error line", tc.req, lines)
+			}
+			if got, want := regValue(t, reg, obs.MQueryErrors), strconv.Itoa(i+1); got != want {
+				t.Errorf("after %q: %s = %s, want %s", tc.req, obs.MQueryErrors, got, want)
+			}
+			verbLine := obs.MQueryRequests + `{verb="` + tc.verb + `"}`
+			if got := regValue(t, reg, verbLine); got == "0" {
+				t.Errorf("after %q: %s still 0", tc.req, verbLine)
+			}
+		})
+	}
+
+	// A successful request moves its verb counter but not the error one.
+	if lines := queryLine(t, qs.Addr(), "flows"); len(lines) == 0 || strings.HasPrefix(lines[0], "!") {
+		t.Fatalf("flows = %v", lines)
+	}
+	if got, want := regValue(t, reg, obs.MQueryErrors), strconv.Itoa(len(cases)); got != want {
+		t.Errorf("flows moved the error counter: %s, want %s", got, want)
+	}
+	if got := regValue(t, reg, obs.MQueryRequests+`{verb="flows"}`); got != "1" {
+		t.Errorf("flows verb counter = %s, want 1", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"netseer/internal/fevent"
 	"netseer/internal/metrics"
+	"netseer/internal/obs"
 )
 
 // ServerConfig tunes the ingest server. Zero fields take defaults.
@@ -63,8 +64,19 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
-	stats  metrics.IngestStats
 	wg     sync.WaitGroup
+
+	// Ingest-side counters. The server is concurrent (accept loop plus one
+	// goroutine per connection), so these are atomic obs instruments: a
+	// /metrics scrape reads them without taking mu.
+	connsAccepted, connsRejected obs.Counter
+	acceptRetries                obs.Counter
+	frames, frameErrors          obs.Counter
+	ackWriteErrors               obs.Counter
+	// ingestLag measures wall-clock microseconds from a frame's arrival
+	// (read completed) to its covering ack hitting the socket — the
+	// collector-side component of event staleness.
+	ingestLag *obs.Histogram
 }
 
 // NewServer starts an ingest server on addr (e.g. "127.0.0.1:0") with
@@ -85,7 +97,8 @@ func NewServerConfig(store *Store, addr string, cfg ServerConfig) (*Server, erro
 // NewServerOn serves on an existing listener — the hook fault-injection
 // harnesses use to interpose a flaky wire (see internal/faultconn).
 func NewServerOn(store *Store, ln net.Listener, cfg ServerConfig) *Server {
-	s := &Server{store: store, ln: ln, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, ln: ln, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{}),
+		ingestLag: obs.NewHistogram(obs.LatencyBuckets())}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -96,9 +109,25 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Stats snapshots the ingest-side counters.
 func (s *Server) Stats() metrics.IngestStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return metrics.IngestStats{
+		ConnsAccepted:  s.connsAccepted.Load(),
+		ConnsRejected:  s.connsRejected.Load(),
+		AcceptRetries:  s.acceptRetries.Load(),
+		Frames:         s.frames.Load(),
+		FrameErrors:    s.frameErrors.Load(),
+		AckWriteErrors: s.ackWriteErrors.Load(),
+	}
+}
+
+// RegisterMetrics exposes the ingest instruments on r.
+func (s *Server) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
+	r.RegisterCounter(obs.MIngestConnsAccepted, "Ingest connections accepted.", &s.connsAccepted, labels...)
+	r.RegisterCounter(obs.MIngestConnsRejected, "Connections closed because MaxConns was reached.", &s.connsRejected, labels...)
+	r.RegisterCounter(obs.MIngestAcceptRetries, "Transient accept errors retried.", &s.acceptRetries, labels...)
+	r.RegisterCounter(obs.MIngestFrames, "Batch frames ingested into the store.", &s.frames, labels...)
+	r.RegisterCounter(obs.MIngestFrameErrors, "Malformed or truncated frames (connection dropped).", &s.frameErrors, labels...)
+	r.RegisterCounter(obs.MIngestAckWriteErrors, "Failed ack writes (connection dropped; client retransmits).", &s.ackWriteErrors, labels...)
+	r.RegisterHistogram(obs.MIngestLag, "Microseconds from frame read to store-applied-and-acked.", s.ingestLag, labels...)
 }
 
 func (s *Server) acceptLoop() {
@@ -108,10 +137,10 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
-			if !closed {
-				s.stats.AcceptRetries++
-			}
 			s.mu.Unlock()
+			if !closed {
+				s.acceptRetries.Inc()
+			}
 			if closed || errors.Is(err, net.ErrClosed) {
 				return
 			}
@@ -127,14 +156,14 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		if len(s.conns) >= s.cfg.MaxConns {
-			s.stats.ConnsRejected++
 			s.mu.Unlock()
+			s.connsRejected.Inc()
 			conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
-		s.stats.ConnsAccepted++
 		s.mu.Unlock()
+		s.connsAccepted.Inc()
 		s.wg.Add(1)
 		go s.serve(conn)
 	}
@@ -161,28 +190,24 @@ func (s *Server) serve(conn net.Conn) {
 			// anything else — truncation, bad CRC, oversized length — is
 			// a frame error worth counting.
 			if !errors.Is(err, io.EOF) {
-				s.mu.Lock()
-				s.stats.FrameErrors++
-				s.mu.Unlock()
+				s.frameErrors.Inc()
 			}
 			return
 		}
+		arrived := time.Now()
 		// Deliver before acking: an ack promises the batch is in the
 		// Store (replays of already-stored batches are deduplicated
 		// there and still acked — the client must stop resending them).
 		s.store.Deliver(&b)
-		s.mu.Lock()
-		s.stats.Frames++
-		s.mu.Unlock()
+		s.frames.Inc()
 		if b.Seq != 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
 			if err := writeAck(conn, b.Seq); err != nil {
-				s.mu.Lock()
-				s.stats.AckWriteErrors++
-				s.mu.Unlock()
+				s.ackWriteErrors.Inc()
 				return
 			}
 		}
+		s.ingestLag.Observe(float64(time.Since(arrived).Microseconds()))
 	}
 }
 

@@ -6,9 +6,11 @@ package collector
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 
 	"netseer/internal/metrics"
+	"netseer/internal/obs"
 
 	"netseer/internal/fevent"
 	"netseer/internal/pkt"
@@ -39,15 +41,40 @@ type Store struct {
 	byFlow   map[pkt.FlowKey][]int
 	bySwitch map[uint16][]int
 	byType   map[fevent.Type][]int
+
+	// byTypeSwitch counts stored events per (type, switch) for the
+	// netseer_store_events_total exposition; label sets are discovered at
+	// scrape time via SamplesFunc.
+	byTypeSwitch map[typeSwitchKey]uint64
+
+	// detectToStore is the end-to-end staleness histogram: microseconds on
+	// the switch clock from an event's Step-2 report timestamp to its batch
+	// timestamp at storage time (the batch stamp is the last switch-side
+	// clock reading the event carries). This is only non-degenerate for
+	// batches delivered in-process (experiments testbed, oracle): the 24 B
+	// wire record carries no per-event stamp, so fevent.Batch.Decode
+	// restores every event's timestamp from the batch header and a store
+	// fed over TCP legally observes 0 — "no staler than the batch stamp".
+	// Over the wire the switch-side leg is covered by the exporter's
+	// detect→CPU histogram and the collector-side leg by ingest lag.
+	detectToStore *obs.Histogram
+}
+
+// typeSwitchKey keys the per-(type, switch) event counts.
+type typeSwitchKey struct {
+	t  fevent.Type
+	sw uint16
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		seen:     make(map[batchKey]struct{}),
-		byFlow:   make(map[pkt.FlowKey][]int),
-		bySwitch: make(map[uint16][]int),
-		byType:   make(map[fevent.Type][]int),
+		seen:          make(map[batchKey]struct{}),
+		byFlow:        make(map[pkt.FlowKey][]int),
+		bySwitch:      make(map[uint16][]int),
+		byType:        make(map[fevent.Type][]int),
+		byTypeSwitch:  make(map[typeSwitchKey]uint64),
+		detectToStore: obs.NewHistogram(obs.LatencyBuckets()),
 	}
 }
 
@@ -66,13 +93,49 @@ func (s *Store) Deliver(b *fevent.Batch) {
 		}
 		s.seen[k] = struct{}{}
 	}
-	for _, e := range b.Events {
+	for i := range b.Events {
+		e := &b.Events[i]
 		idx := len(s.events)
-		s.events = append(s.events, e)
+		s.events = append(s.events, *e)
 		s.byFlow[e.Flow] = append(s.byFlow[e.Flow], idx)
 		s.bySwitch[e.SwitchID] = append(s.bySwitch[e.SwitchID], idx)
 		s.byType[e.Type] = append(s.byType[e.Type], idx)
+		s.byTypeSwitch[typeSwitchKey{t: e.Type, sw: e.SwitchID}]++
+		if b.Timestamp >= e.Timestamp {
+			s.detectToStore.Observe(float64(b.Timestamp-e.Timestamp) / 1e3)
+		}
 	}
+}
+
+// RegisterMetrics exposes the store's instruments on r: per-(type, switch)
+// event counts, distinct-flow and dedup gauges, and the detection→store
+// staleness histogram.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	r.SamplesFunc(obs.MStoreEvents, "Events stored, by event type and reporting switch.",
+		obs.KindCounter, func() []obs.Sample {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			out := make([]obs.Sample, 0, len(s.byTypeSwitch))
+			for k, n := range s.byTypeSwitch {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{
+						obs.L("type", k.t.String()),
+						obs.L("switch", strconv.Itoa(int(k.sw))),
+					},
+					Value: float64(n),
+				})
+			}
+			return out
+		})
+	r.GaugeFunc(obs.MStoreFlows, "Distinct flows with at least one stored event.", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.byFlow))
+	})
+	r.CounterFunc(obs.MStoreDupBatches, "Replayed batches dropped by (switch, seq) dedup.", func() float64 {
+		return float64(s.DupBatches())
+	})
+	r.RegisterHistogram(obs.MDetectToStore, "Microseconds from event detection (switch clock) to storage; 0 for wire-delivered batches, whose records carry only the batch stamp.", s.detectToStore)
 }
 
 // DupBatches returns how many replayed batches dedup has dropped — the
@@ -287,4 +350,5 @@ func (s *Store) Reset() {
 	s.byFlow = make(map[pkt.FlowKey][]int)
 	s.bySwitch = make(map[uint16][]int)
 	s.byType = make(map[fevent.Type][]int)
+	s.byTypeSwitch = make(map[typeSwitchKey]uint64)
 }

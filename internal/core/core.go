@@ -23,6 +23,7 @@ import (
 	"netseer/internal/fevent"
 	"netseer/internal/fpelim"
 	"netseer/internal/groupcache"
+	"netseer/internal/obs"
 	"netseer/internal/pkt"
 	"netseer/internal/ringbuf"
 	"netseer/internal/seqtrack"
@@ -214,6 +215,16 @@ type NetSeerSwitch struct {
 	internalPort *tokenBucket
 
 	stats Stats
+
+	// Self-telemetry. perType/perCode are plain counters (the pipeline is
+	// single-owner and the detection paths are pinned zero-alloc hot
+	// paths); scrapes read owner-published mirrors (see internal/obs).
+	// The latency histogram is atomic — it is observed per batch arrival
+	// at the switch CPU, off the pinned paths — so /metrics can read it
+	// live.
+	perType        [5]uint64  // detection events indexed by fevent.Type
+	perCode        [16]uint64 // drop event packets indexed by fevent.DropCode
+	latDetectToCPU *obs.Histogram
 }
 
 // Attach creates a NetSeer instance on sw, delivering surviving events to
@@ -225,9 +236,10 @@ func Attach(sw *dataplane.Switch, cfg Config, sink EventSink) *NetSeerSwitch {
 	cfg = cfg.withDefaults()
 	n := &NetSeerSwitch{
 		sw: sw, cfg: cfg, sim: sw.Sim(), sink: sink,
-		pathTable:    make([]pathEntry, cfg.PathSlots),
-		mmuRedirect:  newTokenBucket(cfg.MMURedirectBps, 256<<10),
-		internalPort: newTokenBucket(cfg.InternalPortBps, 512<<10),
+		pathTable:      make([]pathEntry, cfg.PathSlots),
+		mmuRedirect:    newTokenBucket(cfg.MMURedirectBps, 256<<10),
+		internalPort:   newTokenBucket(cfg.InternalPortBps, 512<<10),
+		latDetectToCPU: obs.NewHistogram(obs.LatencyBuckets()),
 	}
 	n.dropTable = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)
 	n.congTable = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)
@@ -285,6 +297,48 @@ func (n *NetSeerSwitch) TableStats() (ingested, reported, merged, evictions uint
 	}
 	return
 }
+
+// EventCounts returns detection-event counts indexed by fevent.Type and
+// drop event packets indexed by fevent.DropCode. Owner-read only: call
+// from the goroutine driving the simulation (see internal/obs).
+func (n *NetSeerSwitch) EventCounts() (perType [5]uint64, perCode [16]uint64) {
+	return n.perType, n.perCode
+}
+
+// DetectToCPULatency is the detection→switch-CPU latency histogram
+// (switch clock, microseconds), observed per event as CEBPs arrive. The
+// histogram is atomic, so it may be scraped live.
+func (n *NetSeerSwitch) DetectToCPULatency() *obs.Histogram { return n.latDetectToCPU }
+
+// TableOccupancy returns live entries across the group caching tables.
+func (n *NetSeerSwitch) TableOccupancy() int {
+	return n.dropTable.Len() + n.congTable.Len() + n.pauseTab.Len()
+}
+
+// Rereports sums the tables' periodic C-crossing re-report counts.
+func (n *NetSeerSwitch) Rereports() uint64 {
+	return n.dropTable.Rereports() + n.congTable.Rereports() + n.pauseTab.Rereports()
+}
+
+// BatchStats exposes the CEBP batcher's counters (see batcher.Stats).
+func (n *NetSeerSwitch) BatchStats() (pushed, overflow, batches, delivered, portBytes uint64) {
+	return n.batcher.Stats()
+}
+
+// BatcherTelemetry reports CEBP circulation pressure: stack transits,
+// events popped, and the stack-depth high-water mark.
+func (n *NetSeerSwitch) BatcherTelemetry() (passes, pops uint64, stackHW int) {
+	passes, pops = n.batcher.PassStats()
+	return passes, pops, n.batcher.StackHighWater()
+}
+
+// ElimStats exposes the CPU false-positive eliminator's counters.
+func (n *NetSeerSwitch) ElimStats() (seen, duplicates, forwarded uint64) {
+	return n.elim.Stats()
+}
+
+// PacerStats exposes the export pacer's counters.
+func (n *NetSeerSwitch) PacerStats() (sent, delayed uint64) { return n.pacer.Stats() }
 
 // SetSeqEnabled toggles inter-switch detection on one port (partial
 // deployment; host-facing ports without capable NICs).

@@ -136,6 +136,7 @@ func (n *NetSeerSwitch) PipelineForward(p *pkt.Packet, inPort, outPort, queue in
 			Hash:       p.Flow.Hash(),
 		}
 		n.statEventPacket(p.WireLen)
+		n.perType[fevent.TypePause]++
 		n.pauseTab.Offer(&ev)
 	}
 }
@@ -172,6 +173,7 @@ func (n *NetSeerSwitch) detectPathChange(p *pkt.Packet, inPort, outPort int) {
 	// Path change is flow-level by nature: it bypasses group caching and
 	// goes straight to extraction.
 	n.statEventPacket(p.WireLen)
+	n.perType[fevent.TypePathChange]++
 	n.onFlowEvent(&ev)
 }
 
@@ -183,6 +185,8 @@ func (n *NetSeerSwitch) OnPipelineDrop(p *pkt.Packet, inPort int, code fevent.Dr
 		return
 	}
 	n.statEventPacket(p.WireLen)
+	n.perType[fevent.TypeDrop]++
+	n.perCode[code]++
 	ev := fevent.Event{
 		Type:        fevent.TypeDrop,
 		Flow:        p.Flow,
@@ -212,6 +216,8 @@ func (n *NetSeerSwitch) OnMMUDrop(p *pkt.Packet, inPort, outPort, queue int) {
 		return
 	}
 	n.statEventPacket(p.WireLen)
+	n.perType[fevent.TypeDrop]++
+	n.perCode[fevent.DropMMUCongestion]++
 	ev := fevent.Event{
 		Type:        fevent.TypeDrop,
 		Flow:        p.Flow,
@@ -237,6 +243,7 @@ func (n *NetSeerSwitch) OnDequeue(p *pkt.Packet, outPort, queue int, qdelay sim.
 		us = 0xffff
 	}
 	n.statEventPacket(p.WireLen)
+	n.perType[fevent.TypeCongestion]++
 	ev := fevent.Event{
 		Type:           fevent.TypeCongestion,
 		Flow:           p.Flow,

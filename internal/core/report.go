@@ -18,6 +18,8 @@ func (n *NetSeerSwitch) statEventPacket(wireLen int) {
 // the ring buffer.
 func (n *NetSeerSwitch) offerEventPacket(ev *fevent.Event, wireLen int) {
 	n.statEventPacket(wireLen)
+	n.perType[fevent.TypeDrop]++
+	n.perCode[ev.DropCode]++
 	n.dropTable.Offer(ev)
 }
 
@@ -39,8 +41,14 @@ func (n *NetSeerSwitch) onFlowEvent(e *fevent.Event) {
 
 // onBatch receives a flushed CEBP at the switch CPU: Step 4.
 func (n *NetSeerSwitch) onBatch(b *fevent.Batch) {
+	now := n.sim.Now()
 	for i := range b.Events {
 		ev := &b.Events[i]
+		// Detection→CPU staleness on the switch clock: the event was
+		// stamped when Step 2 reported it, and has just reached the CPU.
+		if now >= ev.Timestamp {
+			n.latDetectToCPU.Observe(float64(now-ev.Timestamp) / 1e3)
+		}
 		if !n.elim.Offer(ev) {
 			n.stats.SuppressedFPs++
 			continue

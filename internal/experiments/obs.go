@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"netseer/internal/fevent"
+	"netseer/internal/obs"
+)
+
+// obsMirrors holds the scrape-side copies of the switch pipeline's
+// single-owner counters. The hot stages (detection, group cache, batcher,
+// fpelim) deliberately keep plain counters — an atomic RMW on a ~16 ns
+// pinned path would blow the performance budget — so the simulation owner
+// publishes snapshots into these atomic mirrors and the scraper reads the
+// mirrors without ever touching owner memory (see internal/obs).
+type obsMirrors struct {
+	detectEvents [4]obs.Counter // one per fevent.Types entry
+	detectDrops  [fevent.DropCorruption + 1]obs.Counter
+	lostMMU      obs.Counter
+	lostInternal obs.Counter
+	lostRing     obs.Counter
+	lostStack    obs.Counter
+
+	groupIngested  obs.Counter
+	groupReports   obs.Counter
+	groupMerged    obs.Counter
+	groupEvictions obs.Counter
+	groupRereports obs.Counter
+	groupOccupancy obs.Gauge
+
+	batchPushed    obs.Counter
+	batchOverflow  obs.Counter
+	batchFlushes   obs.Counter
+	batchDelivered obs.Counter
+	batchPasses    obs.Counter
+	batchPops      obs.Counter
+	batchStackHW   obs.Gauge
+
+	elimSeen       obs.Counter
+	elimSuppressed obs.Counter
+	elimForwarded  obs.Counter
+	pacerSent      obs.Counter
+	pacerDelayed   obs.Counter
+}
+
+// RegisterObs exposes the testbed's switch-side pipeline telemetry on r
+// and returns the publish function the simulation owner must call to
+// refresh the mirrors (at checkpoints during a run and once after it).
+// The detection→CPU latency histogram needs no publishing: it is atomic
+// on the (non-pinned) batch-arrival path, so the registry merges the
+// per-switch histograms live at scrape time.
+func (tb *Testbed) RegisterObs(r *obs.Registry) (publish func()) {
+	m := &obsMirrors{}
+	for i, t := range fevent.Types {
+		r.RegisterCounter(obs.MDetectEvents, "", &m.detectEvents[i], obs.L("type", t.String()))
+	}
+	for c := range m.detectDrops {
+		r.RegisterCounter(obs.MDetectDrops, "", &m.detectDrops[c], obs.L("code", fevent.DropCode(c).String()))
+	}
+	r.RegisterCounter(obs.MDetectLost, "", &m.lostMMU, obs.L("reason", "mmu-redirect"))
+	r.RegisterCounter(obs.MDetectLost, "", &m.lostInternal, obs.L("reason", "internal-port"))
+	r.RegisterCounter(obs.MDetectLost, "", &m.lostRing, obs.L("reason", "ring-overwrite"))
+	r.RegisterCounter(obs.MDetectLost, "", &m.lostStack, obs.L("reason", "stack-overflow"))
+
+	r.RegisterCounter(obs.MGroupIngested, "", &m.groupIngested)
+	r.RegisterCounter(obs.MGroupReports, "", &m.groupReports)
+	r.RegisterCounter(obs.MGroupMerged, "", &m.groupMerged)
+	r.RegisterCounter(obs.MGroupEvictions, "", &m.groupEvictions)
+	r.RegisterCounter(obs.MGroupRereports, "", &m.groupRereports)
+	r.RegisterGauge(obs.MGroupOccupancy, "", &m.groupOccupancy)
+
+	r.RegisterCounter(obs.MBatchPushed, "", &m.batchPushed)
+	r.RegisterCounter(obs.MBatchOverflow, "", &m.batchOverflow)
+	r.RegisterCounter(obs.MBatchFlushes, "", &m.batchFlushes)
+	r.RegisterCounter(obs.MBatchDelivered, "", &m.batchDelivered)
+	r.RegisterCounter(obs.MBatchPasses, "", &m.batchPasses)
+	r.RegisterCounter(obs.MBatchPops, "", &m.batchPops)
+	r.RegisterGauge(obs.MBatchStackHW, "", &m.batchStackHW)
+
+	r.RegisterCounter(obs.MElimSeen, "", &m.elimSeen)
+	r.RegisterCounter(obs.MElimSuppressed, "", &m.elimSuppressed)
+	r.RegisterCounter(obs.MElimForwarded, "", &m.elimForwarded)
+	r.RegisterCounter(obs.MPacerSent, "", &m.pacerSent)
+	r.RegisterCounter(obs.MPacerDelayed, "", &m.pacerDelayed)
+
+	// The testbed's local store receives batches in-process, so its events
+	// keep their per-event detection stamps and the detection→store
+	// histogram carries real intra-batch staleness here — unlike a remote
+	// netseerd, where the 24 B wire record coarsens event stamps to the
+	// batch stamp (see collector.Store).
+	tb.Store.RegisterMetrics(r)
+
+	r.HistogramFunc(obs.MDetectToCPU, "", func() obs.HistogramSnapshot {
+		merged := obs.HistogramSnapshot{}
+		for _, ns := range tb.NetSeers {
+			s := ns.DetectToCPULatency().Snapshot()
+			if merged.Bounds == nil {
+				merged = s
+			} else {
+				merged.Merge(s)
+			}
+		}
+		if merged.Bounds == nil {
+			merged = obs.HistogramSnapshot{
+				Bounds: obs.LatencyBuckets(),
+				Counts: make([]uint64, len(obs.LatencyBuckets())+1),
+			}
+		}
+		return merged
+	})
+
+	return func() { tb.publishObs(m) }
+}
+
+// publishObs sums the per-switch single-owner counters and stores the
+// totals into the atomic mirrors. Must run on the goroutine driving the
+// simulation (the counters' owner).
+func (tb *Testbed) publishObs(m *obsMirrors) {
+	var perType [5]uint64
+	var perCode [16]uint64
+	var gi, gr, gm, ge, grr uint64
+	var occupancy, stackHW int
+	var bp, bo, bf, bd, passes, pops uint64
+	var es, esup, ef, ps, pd uint64
+	var lostMMU, lostInternal, lostRing, lostStack uint64
+	for _, ns := range tb.NetSeers {
+		t, c := ns.EventCounts()
+		for i := range t {
+			perType[i] += t[i]
+		}
+		for i := range c {
+			perCode[i] += c[i]
+		}
+		i, rep, mrg, ev := ns.TableStats()
+		gi, gr, gm, ge = gi+i, gr+rep, gm+mrg, ge+ev
+		grr += ns.Rereports()
+		occupancy += ns.TableOccupancy()
+		pushed, overflow, batches, delivered, _ := ns.BatchStats()
+		bp, bo, bf, bd = bp+pushed, bo+overflow, bf+batches, bd+delivered
+		pa, po, hw := ns.BatcherTelemetry()
+		passes, pops = passes+pa, pops+po
+		if hw > stackHW {
+			stackHW = hw
+		}
+		seen, dup, fwd := ns.ElimStats()
+		es, esup, ef = es+seen, esup+dup, ef+fwd
+		sent, delayed := ns.PacerStats()
+		ps, pd = ps+sent, pd+delayed
+		st := ns.Stats()
+		lostMMU += st.LostMMURedirect
+		lostInternal += st.LostInternalPort
+		lostRing += st.LostRingOverwrite
+		lostStack += st.LostStackOverflow
+	}
+	for i, t := range fevent.Types {
+		m.detectEvents[i].Store(perType[t])
+	}
+	for c := range m.detectDrops {
+		m.detectDrops[c].Store(perCode[c])
+	}
+	m.lostMMU.Store(lostMMU)
+	m.lostInternal.Store(lostInternal)
+	m.lostRing.Store(lostRing)
+	m.lostStack.Store(lostStack)
+	m.groupIngested.Store(gi)
+	m.groupReports.Store(gr)
+	m.groupMerged.Store(gm)
+	m.groupEvictions.Store(ge)
+	m.groupRereports.Store(grr)
+	m.groupOccupancy.Set(int64(occupancy))
+	m.batchPushed.Store(bp)
+	m.batchOverflow.Store(bo)
+	m.batchFlushes.Store(bf)
+	m.batchDelivered.Store(bd)
+	m.batchPasses.Store(passes)
+	m.batchPops.Store(pops)
+	m.batchStackHW.Set(int64(stackHW))
+	m.elimSeen.Store(es)
+	m.elimSuppressed.Store(esup)
+	m.elimForwarded.Store(ef)
+	m.pacerSent.Store(ps)
+	m.pacerDelayed.Store(pd)
+}

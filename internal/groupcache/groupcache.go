@@ -46,11 +46,14 @@ type Table struct {
 	// contract), so emitting never heap-allocates.
 	scratch fevent.Event
 
-	// Stats.
+	// Stats. Plain counters: the table is single-owner (one pipeline) and
+	// Offer's ~16 ns budget leaves no room for atomic adds; scrapes read
+	// owner-published mirrors instead (see internal/obs).
 	ingested  uint64 // event packets offered
 	reported  uint64 // flow events emitted
 	merged    uint64 // packets absorbed into an existing entry
 	evictions uint64 // collisions that replaced a live entry
+	rereports uint64 // periodic C-crossing re-reports of aggregated events
 }
 
 type entry struct {
@@ -91,6 +94,7 @@ func (t *Table) Offer(ev *fevent.Event) {
 		s.ev.QueueLatencyUs = maxU16(s.ev.QueueLatencyUs, ev.QueueLatencyUs)
 		t.merged++
 		if s.counter >= s.target {
+			t.rereports++
 			t.emit(s)
 			s.target += t.c
 		}
@@ -135,6 +139,11 @@ func (t *Table) Flush() {
 func (t *Table) Stats() (ingested, reported, merged, evictions uint64) {
 	return t.ingested, t.reported, t.merged, t.evictions
 }
+
+// Rereports returns how many emitted events were periodic C-crossing
+// refreshes of a resident aggregate (as opposed to installs/evictions) —
+// the "long-running events stay visible" side of Algorithm 1.
+func (t *Table) Rereports() uint64 { return t.rereports }
 
 // Len returns the number of live entries.
 func (t *Table) Len() int {

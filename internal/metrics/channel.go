@@ -3,7 +3,10 @@ package metrics
 import "fmt"
 
 // ChannelStats is a point-in-time snapshot of the client side of the
-// reliable switch-CPU→collector channel (collector.Client.Stats).
+// reliable switch-CPU→collector channel (collector.Client.Stats). The
+// live counters are atomic obs instruments on the client itself — also
+// exposed on /metrics via Client.RegisterMetrics — and this struct is the
+// offline copy their loads produce, kept for report formatting.
 type ChannelStats struct {
 	// Connects counts successful dials; Reconnects is the subset after
 	// the first; DialFailures counts failed attempts.
@@ -41,7 +44,8 @@ func (s ChannelStats) Format() string {
 	return t.String()
 }
 
-// IngestStats is the server side of the channel (collector.Server.Stats).
+// IngestStats is the server side of the channel (collector.Server.Stats):
+// like ChannelStats, a snapshot of the server's atomic obs instruments.
 type IngestStats struct {
 	// ConnsAccepted/ConnsRejected count accepted connections and ones
 	// closed for exceeding the concurrent-connection cap; AcceptRetries

@@ -73,11 +73,24 @@ func (h *Histogram) Min() float64 {
 // Max returns the observed maximum.
 func (h *Histogram) Max() float64 { return h.max }
 
-// Quantile returns an estimate of the q-quantile (0 < q <= 1) with the
-// histogram's relative-error bound.
+// Quantile returns an estimate of the q-quantile with the histogram's
+// relative-error bound.
+//
+// Contract (shared with obs.HistogramSnapshot.Quantile and, for exact
+// samples, metrics.Percentile): an empty histogram returns 0; q <= 0
+// returns Min(), q >= 1 returns Max(); estimates are clamped to
+// [Min(), Max()], so on small samples the bucket-midpoint approximation
+// can never stray outside the observed range — a single observed value
+// reports that value at every quantile, as nearest-rank does.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
 	}
 	target := uint64(math.Ceil(q * float64(h.count)))
 	if target < 1 {
@@ -97,8 +110,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i := lo; i <= hi; i++ {
 		acc += h.buckets[i]
 		if acc >= target {
-			// Geometric midpoint of the bucket.
-			return h.lower(i) * math.Sqrt(h.growth)
+			// Geometric midpoint of the bucket, clamped to the observed
+			// range.
+			est := h.lower(i) * math.Sqrt(h.growth)
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
 		}
 	}
 	return h.max

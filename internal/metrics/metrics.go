@@ -10,8 +10,16 @@ import (
 	"strings"
 )
 
-// Percentile returns the p-th percentile (0–100) of xs using nearest-rank
-// on a sorted copy. It returns 0 for empty input.
+// Percentile returns the p-th percentile (0–100) of xs using exact
+// nearest-rank (no interpolation) on a sorted copy.
+//
+// Contract, shared with the histogram quantile estimators
+// (metrics.Histogram.Quantile, obs.HistogramSnapshot.Quantile): empty
+// input returns 0; p <= 0 returns the smallest element, p >= 100 the
+// largest; results always lie inside the observed range, so on tiny
+// samples (one or two elements) the exact and estimated forms agree —
+// the estimators clamp their bucket approximation to [min, max] for
+// exactly this reason.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free fixed-bucket histogram. Bucket boundaries are
+// chosen at construction, so Observe is a bounded linear scan plus a few
+// atomic adds — no allocation, no lock — and histograms sharing bounds can
+// be merged sample-exactly, which the registry uses to aggregate the same
+// instrument across pipeline instances.
+//
+// Unlike metrics.Histogram (the offline log-bucketed analysis helper),
+// this histogram is safe for concurrent Observe/Snapshot and is the one
+// the daemons expose on /metrics.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; the implicit last bucket is +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits; +Inf until the first Observe
+	maxBits atomic.Uint64 // float64 bits; -Inf until the first Observe
+}
+
+// LatencyBuckets returns the canonical latency bounds in microseconds:
+// powers of two from 1 µs to ~8.4 s. All of NetSeer's latency histograms
+// share them so detection→CPU, ack and detection→store distributions
+// merge and compare directly.
+func LatencyBuckets() []float64 {
+	b := make([]float64, 24)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+// Panics on empty or unsorted bounds: a histogram that cannot place values
+// would silently distort every latency report built on it.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. It is allocation-free and safe for
+// concurrent use.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram's current state. Concurrent Observes may
+// land between field reads; the snapshot is internally consistent enough
+// for reporting (bucket counts are each read once, monotonic).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Min:    math.Float64frombits(h.minBits.Load()),
+		Max:    math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile under the shared quantile contract
+// (see metrics.Percentile): q <= 0 returns the observed minimum, q >= 1
+// the observed maximum, and every estimate is clamped to [Min, Max] so
+// small samples cannot report values outside the observed range.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, also the unit
+// the registry gathers and the owner-publish pattern merges.
+type HistogramSnapshot struct {
+	// Bounds are the ascending upper bounds; Counts has len(Bounds)+1
+	// entries, the last being the overflow (+Inf) bucket.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	Min    float64 // +Inf when empty
+	Max    float64 // -Inf when empty
+}
+
+// Merge adds other's observations into s. Both snapshots must share
+// bounds (they do when both derive from the same bucket layout, e.g.
+// LatencyBuckets); mismatched layouts panic rather than mis-bucket.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	if other.Count == 0 {
+		return
+	}
+	if len(s.Counts) != len(other.Counts) {
+		panic("obs: merging histogram snapshots with different bucket layouts")
+	}
+	for i, n := range other.Counts {
+		s.Counts[i] += n
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile by linear interpolation inside the
+// selected bucket, under the shared quantile contract: 0 for an empty
+// histogram; q <= 0 returns Min, q >= 1 returns Max; estimates are
+// clamped to [Min, Max].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var acc uint64
+	for i, n := range s.Counts {
+		acc += n
+		if acc < target {
+			continue
+		}
+		lo := s.Min
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		est := lo + (hi-lo)/2
+		return clamp(est, s.Min, s.Max)
+	}
+	return s.Max
+}
+
+// String renders count/mean/p50/p99/max on one line, mirroring
+// metrics.Histogram.String for interchangeable log output.
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f",
+		s.Count, s.Mean(), s.Quantile(0.5), s.Quantile(0.99), s.Max)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

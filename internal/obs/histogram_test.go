@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewHistogramPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {1, 3, 2},
+		"equal":    {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds: expected panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 24 || b[0] != 1 || b[1] != 2 {
+		t.Fatalf("unexpected bucket layout: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Fatalf("bucket %d: %v is not double %v", i, b[i], b[i-1])
+		}
+	}
+}
+
+func TestHistogramObserveSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	s := h.Snapshot()
+	want := []uint64{1, 1, 1, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Sum != 555.5 || s.Min != 0.5 || s.Max != 500 {
+		t.Fatalf("sum/min/max = %v/%v/%v", s.Sum, s.Min, s.Max)
+	}
+	if got := s.Mean(); math.Abs(got-555.5/4) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// A value exactly on a bound lands in that bound's bucket (le semantics).
+	h2 := NewHistogram([]float64{1, 10})
+	h2.Observe(10)
+	if s2 := h2.Snapshot(); s2.Counts[1] != 1 {
+		t.Fatalf("boundary value mis-bucketed: %v", s2.Counts)
+	}
+}
+
+func TestHistogramQuantileContract(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8, 16}
+	tests := []struct {
+		name   string
+		values []float64
+		q      float64
+		want   float64
+	}{
+		{"empty returns 0", nil, 0.5, 0},
+		{"empty q=0 returns 0", nil, 0, 0},
+		{"single q=0.5 clamps to the one value", []float64{3}, 0.5, 3},
+		{"single q<=0 returns min", []float64{3}, 0, 3},
+		{"single q>=1 returns max", []float64{3}, 1, 3},
+		{"two elements q<=0 returns min", []float64{3, 7}, -1, 3},
+		{"two elements q>=1 returns max", []float64{3, 7}, 2, 7},
+		{"estimates never exceed max", []float64{3, 3, 3}, 0.99, 3},
+		{"estimates never undercut min", []float64{7, 7, 7}, 0.01, 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			for _, v := range tc.values {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+	// Interpolated estimates stay within [Min, Max] on spread samples.
+	h := NewHistogram(bounds)
+	for _, v := range []float64{1.5, 3, 6, 12} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < 1.5 || got > 12 {
+			t.Fatalf("Quantile(%v) = %v outside observed [1.5, 12]", q, got)
+		}
+	}
+	// Overflow bucket: estimate is clamped by the observed max.
+	ho := NewHistogram([]float64{1})
+	ho.Observe(1000)
+	if got := ho.Quantile(0.5); got != 1000 {
+		t.Fatalf("overflow Quantile = %v, want 1000", got)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	b.Observe(5)
+	b.Observe(50)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 || s.Sum != 55.5 || s.Min != 0.5 || s.Max != 50 {
+		t.Fatalf("merged: count=%d sum=%v min=%v max=%v", s.Count, s.Sum, s.Min, s.Max)
+	}
+	// Merging an empty snapshot is a no-op even with a nil layout.
+	s.Merge(HistogramSnapshot{})
+	if s.Count != 3 {
+		t.Fatalf("empty merge changed count: %d", s.Count)
+	}
+	// Mismatched layouts panic rather than mis-bucket.
+	other := NewHistogram([]float64{1})
+	other.Observe(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on layout mismatch")
+		}
+	}()
+	s.Merge(other.Snapshot())
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	if got := h.Snapshot().String(); got != "empty" {
+		t.Fatalf("empty String = %q", got)
+	}
+	h.Observe(5)
+	got := h.Snapshot().String()
+	if !strings.Contains(got, "n=1") || !strings.Contains(got, "p99=") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 100))
+				_ = h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("Count = %d, want 8000", s.Count)
+	}
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	if n != 8000 {
+		t.Fatalf("bucket sum = %d, want 8000", n)
+	}
+}

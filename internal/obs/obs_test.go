@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("Load = %d, want 42", c.Load())
+	}
+	c.Store(7)
+	if c.Load() != 7 {
+		t.Fatalf("after Store: %d, want 7", c.Load())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("Load = %d, want 7", g.Load())
+	}
+}
+
+func TestMaxGauge(t *testing.T) {
+	var m MaxGauge
+	m.Observe(5)
+	m.Observe(3) // lower: ignored
+	if m.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", m.Load())
+	}
+	m.Observe(9)
+	if m.Load() != 9 {
+		t.Fatalf("Load = %d, want 9", m.Load())
+	}
+	m.Store(1)
+	if m.Load() != 1 {
+		t.Fatalf("after Store: %d, want 1", m.Load())
+	}
+}
+
+func TestInstrumentsConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var m MaxGauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				m.Observe(int64(w*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+	if g.Load() != 8000 {
+		t.Fatalf("gauge = %d, want 8000", g.Load())
+	}
+	if m.Load() != 7999 {
+		t.Fatalf("max = %d, want 7999", m.Load())
+	}
+}
+
+// The instruments must be callable from paths pinned at 0 allocs/op.
+func TestInstrumentsAllocFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var m MaxGauge
+	h := NewHistogram(LatencyBuckets())
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(-1)
+		m.Observe(g.Load())
+		h.Observe(float64(c.Load() % 512))
+	})
+	if n != 0 {
+		t.Fatalf("instrument ops allocate %v allocs/op, want 0", n)
+	}
+}

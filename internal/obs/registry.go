@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name=value pair attached to a series.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one dynamically labeled value produced at scrape time by a
+// SamplesFunc collector.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// series is one labeled time series inside a family. Exactly one of
+// value/hist/samplesFn is set, matching the family kind.
+type series struct {
+	labels      []Label
+	labelKey    string
+	value       func() float64
+	hist        func() HistogramSnapshot
+	samplesFn   func() []Sample
+	placeholder bool
+}
+
+// family groups the series sharing a metric name.
+type family struct {
+	name, help string
+	kind       Kind
+	series     []*series
+}
+
+// Registry holds the instrument inventory of one process and renders it
+// in the Prometheus text exposition format. Registration is cheap and
+// idempotent per (name, label set): re-registering replaces the series,
+// which lets a live instrument supersede a catalog placeholder.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// RegisterCounter exposes c under name with the given labels.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	r.register(name, help, KindCounter, &series{labels: labels, value: func() float64 { return float64(c.Load()) }})
+}
+
+// CounterFunc exposes a counter whose value is computed at scrape time.
+// f must be safe to call from the scraping goroutine (take your own
+// locks; never read single-owner hot-path memory).
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(name, help, KindCounter, &series{labels: labels, value: f})
+}
+
+// RegisterGauge exposes g under name with the given labels.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) {
+	r.register(name, help, KindGauge, &series{labels: labels, value: func() float64 { return float64(g.Load()) }})
+}
+
+// RegisterMaxGauge exposes the high-water mark m as a gauge.
+func (r *Registry) RegisterMaxGauge(name, help string, m *MaxGauge, labels ...Label) {
+	r.register(name, help, KindGauge, &series{labels: labels, value: func() float64 { return float64(m.Load()) }})
+}
+
+// GaugeFunc exposes a gauge computed at scrape time (same contract as
+// CounterFunc).
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(name, help, KindGauge, &series{labels: labels, value: f})
+}
+
+// RegisterHistogram exposes h under name with the given labels.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, KindHistogram, &series{labels: labels, hist: h.Snapshot})
+}
+
+// HistogramFunc exposes a histogram snapshot computed at scrape time —
+// the hook for merging one logical instrument across many pipeline
+// instances.
+func (r *Registry) HistogramFunc(name, help string, f func() HistogramSnapshot, labels ...Label) {
+	r.register(name, help, KindHistogram, &series{labels: labels, hist: f})
+}
+
+// SamplesFunc registers a counter or gauge family whose labeled samples
+// are produced at scrape time — the hook for label sets not known at
+// registration (the store's per-switch and per-type event counts). f runs
+// on the scraping goroutine and must take its own locks. Histogram
+// families cannot be sample-collected.
+func (r *Registry) SamplesFunc(name, help string, kind Kind, f func() []Sample) {
+	if kind == KindHistogram {
+		panic("obs: SamplesFunc does not support histogram families")
+	}
+	r.register(name, help, kind, &series{labelKey: "\x00samples", samplesFn: f})
+}
+
+// Placeholder registers a zero-valued series so the family appears in the
+// exposition before (or without) a live instrument. Registering any real
+// series under the same name removes every placeholder of that family:
+// the surface stays uniform across daemons without double-reporting.
+func (r *Registry) Placeholder(name, help string, kind Kind) {
+	s := &series{placeholder: true}
+	if kind == KindHistogram {
+		s.hist = func() HistogramSnapshot {
+			return HistogramSnapshot{Bounds: LatencyBuckets(), Counts: make([]uint64, len(LatencyBuckets())+1)}
+		}
+	} else {
+		s.value = func() float64 { return 0 }
+	}
+	r.register(name, help, kind, s)
+}
+
+func (r *Registry) register(name, help string, kind Kind, s *series) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range s.labels {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Key, name))
+		}
+	}
+	s.labelKey = renderLabels(s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	if help != "" {
+		f.help = help
+	}
+	if !s.placeholder {
+		kept := f.series[:0]
+		for _, old := range f.series {
+			if !old.placeholder && old.labelKey != s.labelKey {
+				kept = append(kept, old)
+			}
+		}
+		f.series = append(kept, s)
+		return
+	}
+	// A placeholder never displaces a live series.
+	for _, old := range f.series {
+		if !old.placeholder || old.labelKey == s.labelKey {
+			return
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by name for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var sb strings.Builder
+	for _, f := range fams {
+		ser := append([]*series(nil), f.series...)
+		sort.Slice(ser, func(i, j int) bool { return ser[i].labelKey < ser[j].labelKey })
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ser {
+			switch {
+			case f.kind == KindHistogram:
+				writeHistogram(&sb, f.name, s.labels, s.hist())
+			case s.samplesFn != nil:
+				samples := s.samplesFn()
+				sort.Slice(samples, func(i, j int) bool {
+					return renderLabels(samples[i].Labels) < renderLabels(samples[j].Labels)
+				})
+				for _, sm := range samples {
+					fmt.Fprintf(&sb, "%s%s %s\n", f.name, renderLabels(sm.Labels), formatValue(sm.Value))
+				}
+			default:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labelKey, formatValue(s.value()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeHistogram(sb *strings.Builder, name string, labels []Label, snap HistogramSnapshot) {
+	var cum uint64
+	for i, n := range snap.Counts {
+		cum += n
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatValue(snap.Bounds[i])
+		}
+		withLE := append(append([]Label(nil), labels...), Label{Key: "le", Value: le})
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, renderLabels(withLE), cum)
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, renderLabels(labels), formatValue(snap.Sum))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, renderLabels(labels), snap.Count)
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" {
+		return false // le is reserved for histogram buckets
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

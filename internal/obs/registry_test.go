@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func exposition(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := ValidateExposition([]byte(sb.String())); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, sb.String())
+	}
+	return sb.String()
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	var g Gauge
+	var m MaxGauge
+	c.Add(3)
+	g.Set(-2)
+	m.Observe(9)
+	r.RegisterCounter("test_ops_total", "Ops.", &c)
+	r.RegisterGauge("test_depth", "Depth.", &g)
+	r.RegisterMaxGauge("test_depth_highwater", "HW.", &m)
+	r.CounterFunc("test_func_total", "Func.", func() float64 { return 5 })
+	r.GaugeFunc("test_func_gauge", "", func() float64 { return 1.5 })
+	out := exposition(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Ops.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		"test_depth -2",
+		"test_depth_highwater 9",
+		"test_func_total 5",
+		"test_func_gauge 1.5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# HELP test_func_gauge") {
+		t.Error("empty help string should omit the HELP line")
+	}
+}
+
+func TestRegistryLabels(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	a.Add(1)
+	b.Add(2)
+	// Labels render sorted by key regardless of registration order.
+	r.RegisterCounter("ev_total", "", &a, L("type", "drop"), L("code", "no-route"))
+	r.RegisterCounter("ev_total", "", &b, L("type", "pause"), L("code", "none"))
+	out := exposition(t, r)
+	if !strings.Contains(out, `ev_total{code="no-route",type="drop"} 1`) {
+		t.Fatalf("labeled series missing or unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, `ev_total{code="none",type="pause"} 2`) {
+		t.Fatalf("second series missing:\n%s", out)
+	}
+	// Re-registering the same (name, labels) replaces the series.
+	var c Counter
+	c.Add(9)
+	r.RegisterCounter("ev_total", "", &c, L("code", "no-route"), L("type", "drop"))
+	out = exposition(t, r)
+	if !strings.Contains(out, `ev_total{code="no-route",type="drop"} 9`) ||
+		strings.Contains(out, `ev_total{code="no-route",type="drop"} 1`) {
+		t.Fatalf("re-registration did not replace:\n%s", out)
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.RegisterCounter("esc_total", `back\slash "quoted"`, &c, L("v", "a\"b\\c\nd"))
+	out := exposition(t, r)
+	if !strings.Contains(out, `esc_total{v="a\"b\\c\nd"} 0`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	r.RegisterHistogram("lat_us", "Latency.", h, L("stage", "ingest"))
+	out := exposition(t, r)
+	for _, want := range []string{
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{le="1",stage="ingest"} 1`,
+		`lat_us_bucket{le="10",stage="ingest"} 2`,
+		`lat_us_bucket{le="+Inf",stage="ingest"} 3`,
+		`lat_us_sum{stage="ingest"} 55.5`,
+		`lat_us_count{stage="ingest"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// HistogramFunc merges snapshots at scrape time.
+	h2 := NewHistogram([]float64{1, 10})
+	h2.Observe(2)
+	r.HistogramFunc("merged_us", "", func() HistogramSnapshot {
+		s := h.Snapshot()
+		s.Merge(h2.Snapshot())
+		return s
+	})
+	out = exposition(t, r)
+	if !strings.Contains(out, "merged_us_count 4\n") {
+		t.Fatalf("merged histogram count wrong:\n%s", out)
+	}
+}
+
+func TestRegistrySamplesFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Placeholder("store_events_total", "", KindCounter)
+	r.SamplesFunc("store_events_total", "By type.", KindCounter, func() []Sample {
+		return []Sample{
+			{Labels: []Label{L("type", "drop")}, Value: 7},
+			{Labels: []Label{L("type", "congestion")}, Value: 2},
+		}
+	})
+	out := exposition(t, r)
+	if !strings.Contains(out, `store_events_total{type="congestion"} 2`) ||
+		!strings.Contains(out, `store_events_total{type="drop"} 7`) {
+		t.Fatalf("samples missing:\n%s", out)
+	}
+	if strings.Contains(out, "store_events_total 0") {
+		t.Fatalf("placeholder survived a live SamplesFunc:\n%s", out)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SamplesFunc with histogram kind should panic")
+			}
+		}()
+		r.SamplesFunc("bad_hist", "", KindHistogram, nil)
+	}()
+}
+
+func TestRegistryPlaceholderSemantics(t *testing.T) {
+	r := NewRegistry()
+	RegisterCatalog(r)
+	out := exposition(t, r)
+	// Placeholders give every canonical family a zero-valued presence.
+	for _, want := range []string{
+		MGroupEvictions + " 0",
+		MChanRetransmits + " 0",
+		MIngestLag + "_count 0",
+		MDetectToStore + "_count 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("catalog placeholder %q missing", want)
+		}
+	}
+	// A live registration replaces the placeholder...
+	var ev Counter
+	ev.Add(12)
+	r.RegisterCounter(MGroupEvictions, "", &ev)
+	// ...and a placeholder never displaces a live series.
+	r.Placeholder(MGroupEvictions, "", KindCounter)
+	RegisterCatalog(r)
+	out = exposition(t, r)
+	if !strings.Contains(out, MGroupEvictions+" 12\n") || strings.Contains(out, MGroupEvictions+" 0\n") {
+		t.Fatalf("placeholder replacement wrong:\n%s", out)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	for name, fn := range map[string]func(){
+		"invalid metric name": func() { r.RegisterCounter("bad name", "", &c) },
+		"empty metric name":   func() { r.RegisterCounter("", "", &c) },
+		"digit-leading name":  func() { r.RegisterCounter("7up", "", &c) },
+		"invalid label name":  func() { r.RegisterCounter("ok_total", "", &c, L("bad-key", "v")) },
+		"reserved le label":   func() { r.RegisterCounter("ok_total", "", &c, L("le", "v")) },
+		"kind mismatch": func() {
+			r.RegisterCounter("twice", "", &c)
+			var g Gauge
+			r.RegisterGauge("twice", "", &g)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	out := exposition(t, r)
+	for _, name := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_memstats_alloc_bytes_total", "go_gc_cycles_total", "process_uptime_seconds"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("runtime metric %s missing", name)
+		}
+	}
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Error("go_goroutines should be nonzero in a running test")
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntime exposes the Go runtime's own health signals — the
+// telemetry layer monitoring the process that hosts it. Names follow the
+// Prometheus Go-client conventions so standard dashboards apply.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(readMemStats().TotalAlloc) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(readMemStats().NumGC) })
+	r.GaugeFunc("process_uptime_seconds", "Seconds since the process registered its telemetry.",
+		func() float64 { return time.Since(start).Seconds() })
+}
+
+func readMemStats() runtime.MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m
+}

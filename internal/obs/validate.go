@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that data is well-formed Prometheus text
+// exposition: every comment is a # HELP/# TYPE with a valid type, every
+// sample line parses (name, optional label set, float value), TYPE
+// declarations precede their samples, and histogram families are
+// internally consistent (cumulative non-decreasing buckets, a le="+Inf"
+// bucket equal to _count). It is the assertion behind the CI obs job, so
+// it fails loudly with line numbers.
+func ValidateExposition(data []byte) error {
+	types := map[string]string{}   // family -> declared type
+	seen := map[string]bool{}      // family of first sample seen
+	histCum := map[string]uint64{} // name+labelKey (sans le) -> last cumulative bucket
+	histInf := map[string]uint64{} // name+labelKey -> le="+Inf" value
+	histCnt := map[string]uint64{} // name+labelKey -> _count value
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: comment is not # HELP or # TYPE: %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: # TYPE missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if seen[name] {
+					return fmt.Errorf("line %d: # TYPE for %q after its samples", lineNo, name)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %q", lineNo, name)
+				}
+				types[name] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := histogramFamily(name, types)
+		seen[fam] = true
+		switch {
+		case strings.HasSuffix(name, "_bucket") && types[strings.TrimSuffix(name, "_bucket")] == "histogram":
+			base := strings.TrimSuffix(name, "_bucket")
+			le, rest, ok := splitLE(labels)
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			key := base + rest
+			cum := uint64(value)
+			if cum < histCum[key] {
+				return fmt.Errorf("line %d: histogram %s buckets not cumulative (%d < %d)", lineNo, base, cum, histCum[key])
+			}
+			histCum[key] = cum
+			if le == "+Inf" {
+				histInf[key] = cum
+			}
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			histCnt[strings.TrimSuffix(name, "_count")+labels] = uint64(value)
+		}
+	}
+	for key, cnt := range histCnt {
+		inf, ok := histInf[key]
+		if !ok {
+			return fmt.Errorf("histogram series %s has no le=\"+Inf\" bucket", key)
+		}
+		if inf != cnt {
+			return fmt.Errorf("histogram series %s: le=\"+Inf\" bucket %d != _count %d", key, inf, cnt)
+		}
+	}
+	return nil
+}
+
+// histogramFamily maps a sample name to its family for TYPE-ordering
+// checks, folding histogram suffixes onto the declared base name.
+func histogramFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits a sample line into metric name, the rendered label
+// block ("" or "{...}" with the labels re-rendered sorted), and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		var parsed []Label
+		parsed, rest, err = parseLabels(rest[brace:])
+		if err != nil {
+			return "", "", 0, err
+		}
+		labels = renderLabels(parsed)
+	} else {
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample missing value: %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return "", "", 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes a "{k=\"v\",...}" block, returning the labels and
+// the remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	if s == "" || s[0] != '{' {
+		return nil, "", fmt.Errorf("expected label block, got %q", s)
+	}
+	s = s[1:]
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if key != "le" && !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = strings.TrimLeft(s[eq+1:], " ")
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label value not quoted near %q", s)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("dangling escape in label value for %q", key)
+				}
+				switch s[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[0])
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label value for %q", s[0], key)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// splitLE extracts the le label from a rendered label block, returning
+// its value and the block re-rendered without it.
+func splitLE(rendered string) (le, rest string, ok bool) {
+	if rendered == "" {
+		return "", "", false
+	}
+	labels, _, err := parseLabels(rendered)
+	if err != nil {
+		return "", "", false
+	}
+	var kept []Label
+	for _, l := range labels {
+		if l.Key == "le" {
+			le, ok = l.Value, true
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return le, renderLabels(kept), ok
+}

@@ -3,7 +3,10 @@
 // a hot-path regression. CI runs it after `make bench-json`.
 //
 // Policy:
-//   - allocs/op is machine-independent: any increase over baseline fails.
+//   - allocs/op is machine-independent: any increase over baseline fails,
+//     and metrics under hotpath/ must be exactly zero — the simulated
+//     pipeline's per-event paths are pinned alloc-free, so even a
+//     baseline that drifted up would not excuse a non-zero value.
 //   - hot-path events/sec may drift with the runner; only a drop beyond
 //     -speed-tolerance (default 25%) fails.
 //   - the parallel report must attest digest identity (parallelism never
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"netseer/internal/benchjson"
 )
@@ -57,6 +61,9 @@ func compare(o options) (failures, info []string, err error) {
 		}
 		if cm.AllocsPerOp > bm.AllocsPerOp {
 			fail("%s: allocs/op grew %v -> %v (any increase fails)", bm.Name, bm.AllocsPerOp, cm.AllocsPerOp)
+		}
+		if strings.HasPrefix(bm.Name, "hotpath/") && cm.AllocsPerOp != 0 {
+			fail("%s: allocs/op = %v; hotpath/ metrics must be exactly 0", bm.Name, cm.AllocsPerOp)
 		}
 		if bm.EventsPerSec > 0 && cm.EventsPerSec < bm.EventsPerSec*(1-o.speedTol) {
 			fail("%s: events/sec dropped %.3g -> %.3g (tolerance %.0f%%)",

@@ -90,6 +90,34 @@ func TestCompareFailsOnAllocsIncrease(t *testing.T) {
 	wantFailure(t, mustCompare(t, o), "allocs/op grew")
 }
 
+// hotpathNamed builds a report whose single metric carries the hotpath/
+// prefix the zero-alloc hard rule is scoped to.
+func hotpathNamed(allocs, eps float64) *benchjson.Report {
+	r := benchjson.NewReport("hotpath")
+	r.Add(benchjson.Metric{Name: "hotpath/groupcache_ingest", AllocsPerOp: allocs, EventsPerSec: eps})
+	return r
+}
+
+func TestCompareRequiresZeroAllocsOnHotpath(t *testing.T) {
+	// Even a baseline that drifted to 1 alloc/op does not excuse the
+	// current run: hotpath/ metrics must be exactly zero.
+	o := fixture(t, hotpathNamed(1, 1e8), hotpathNamed(1, 1e8), parallelReport(8, 4, 2.0, 1))
+	wantFailure(t, mustCompare(t, o), "must be exactly 0")
+
+	// Zero allocs passes.
+	o = fixture(t, hotpathNamed(0, 1e8), hotpathNamed(0, 1e8), parallelReport(8, 4, 2.0, 1))
+	if failures := mustCompare(t, o); len(failures) != 0 {
+		t.Errorf("zero-alloc hotpath flagged: %q", failures)
+	}
+
+	// The hard rule is scoped: non-hotpath metrics may allocate (the
+	// no-increase rule still applies to them).
+	o = fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(8, 4, 2.0, 1))
+	if failures := mustCompare(t, o); len(failures) != 0 {
+		t.Errorf("non-hotpath metric hit the zero-alloc rule: %q", failures)
+	}
+}
+
 func TestCompareFailsOnThroughputDropBeyondTolerance(t *testing.T) {
 	// 40% drop against a 25% tolerance.
 	o := fixture(t, hotpath(3, 1e8), hotpath(3, 0.6e8), parallelReport(8, 4, 2.0, 1))
