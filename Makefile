@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
-	oracle oracle-fuzz-smoke oracle-cover obs obs-cover
+	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -60,6 +60,35 @@ obs:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -race -count=1 -run 'TestMetricsEndToEnd|TestQueryStats|TestQueryErrorPaths' ./internal/collector/
 	$(GO) test -race -count=1 -run 'TestRegisterObsPublishesPipeline' ./internal/experiments/
+
+# durability runs the crash-safety gate under the race detector: the WAL
+# unit suite, the SIGKILL kill-recover chaos loop (acked events survive
+# arbitrary collector crashes), multi-endpoint failover without double
+# delivery, and the overload ladder (slow acks -> shed-to-log, shed
+# events recoverable after restart).
+durability:
+	$(GO) test -race -count=1 ./internal/collector/wal/
+	$(GO) test -race -count=1 -run \
+		'TestKillRecoverAckedNeverLost|TestFailoverNoDoubleDeliver|TestShedEventsRecoverableAfterRestart|TestServerSlowWatermarkDelaysAcks|TestAdmission|TestChaos' \
+		./internal/collector/
+
+# wal-fuzz-smoke: ~8s per WAL fuzz target (record reader, whole-segment
+# replay), starting from the seed corpus under
+# internal/collector/wal/testdata/fuzz/ (regenerate it with
+# `go run ./scripts/genfuzzcorpus`).
+wal-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime 8s ./internal/collector/wal/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 8s ./internal/collector/wal/
+
+# wal-cover fails if statement coverage of internal/collector/wal drops
+# below 85% (the collector suite exercises the log end-to-end, so both
+# packages' tests feed the profile).
+wal-cover:
+	$(GO) test -count=1 -coverprofile=cover-wal.out \
+		-coverpkg=netseer/internal/collector/wal \
+		./internal/collector/wal/ ./internal/collector/
+	$(GO) run ./scripts/covergate -profile cover-wal.out -min 85 \
+		netseer/internal/collector/wal
 
 # obs-cover fails if statement coverage of internal/obs drops below 85%.
 obs-cover:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netseerd [-ingest addr] [-query addr] [-metrics addr]
+//	netseerd [-ingest addr] [-query addr] [-metrics addr] [-data-dir dir]
 //
 // Query examples (e.g. via `nc` or cmd/fetquery):
 //
@@ -13,6 +13,14 @@
 //	query flow=tcp:10.0.0.1:40000:10.1.0.1:80 code=no-route
 //	flows
 //	stats
+//
+// With -data-dir the daemon is durable: every ingested batch is written
+// to a write-ahead log before it is acknowledged, the store is
+// snapshotted (and the log truncated) every -snapshot-interval, and a
+// restart replays snapshot + log tail so no acked event is lost to a
+// crash. -mem-budget adds overload protection on top: past 70% of the
+// budget acks slow down (backpressuring the switch CPU), past 90%
+// batches are logged but not indexed until a restart replays them.
 //
 // The -metrics address serves the daemon's self-telemetry: /metrics
 // (Prometheus text exposition), /healthz, and /debug/pprof. The same
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"netseer/internal/collector"
+	"netseer/internal/collector/wal"
 	"netseer/internal/obs"
 )
 
@@ -38,6 +47,11 @@ func main() {
 	logStats := flag.Duration("log-stats", 0, "log a telemetry snapshot at this interval (0 disables)")
 	maxConns := flag.Int("max-conns", 128, "max concurrent ingest connections")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame ingest read deadline")
+	dataDir := flag.String("data-dir", "", "write-ahead log directory; empty runs in-memory (a crash loses the store)")
+	memBudget := flag.Int64("mem-budget", 0, "store memory budget in bytes for admission control (0 disables)")
+	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "checkpoint (snapshot + log truncate) interval with -data-dir")
+	segmentBytes := flag.Int64("wal-segment-bytes", 8<<20, "write-ahead log segment rotation size")
+	drainGrace := flag.Duration("drain-grace", 3*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	flag.Parse()
 
 	// The catalog placeholders first, so every canonical series is present
@@ -47,11 +61,41 @@ func main() {
 	obs.RegisterCatalog(reg)
 	obs.RegisterRuntime(reg)
 
-	store := collector.NewStore()
+	// With a data dir, recovery runs before the first frame is accepted:
+	// newest snapshot, then the log tail, through the same decoder the
+	// wire uses.
+	var store *collector.Store
+	var w *wal.WAL
+	if *dataDir != "" {
+		var err error
+		w, err = wal.Open(*dataDir, wal.Options{SegmentBytes: *segmentBytes})
+		if err != nil {
+			log.Fatalf("write-ahead log: %v", err)
+		}
+		defer w.Close()
+		var rst wal.ReplayStats
+		store, rst, err = collector.RecoverStore(w)
+		if err != nil {
+			log.Fatalf("recovering store from %s: %v", *dataDir, err)
+		}
+		log.Printf("netseerd: recovered %d events from %s (%d log records across %d segments)",
+			store.Len(), *dataDir, rst.Records, rst.Segments)
+		if rst.Truncated {
+			log.Printf("netseerd: log tail truncated at %s (unacked suffix discarded; exporters retransmit)", rst.TruncatedAt)
+		}
+	} else {
+		store = collector.NewStore()
+		if *memBudget > 0 {
+			log.Printf("netseerd: -mem-budget without -data-dir: shedding disabled, overload only slows acks")
+		}
+	}
 	store.RegisterMetrics(reg)
+
 	ingest, err := collector.NewServerConfig(store, *ingestAddr, collector.ServerConfig{
-		MaxConns:    *maxConns,
-		ReadTimeout: *readTimeout,
+		MaxConns:     *maxConns,
+		ReadTimeout:  *readTimeout,
+		WAL:          w,
+		MemoryBudget: *memBudget,
 	})
 	if err != nil {
 		log.Fatalf("ingest listener: %v", err)
@@ -78,9 +122,42 @@ func main() {
 		defer stop()
 	}
 
+	// Periodic checkpoints bound both restart-replay time and disk usage.
+	checkpointDone := make(chan struct{})
+	if w != nil && *snapshotEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-checkpointDone:
+					return
+				case <-t.C:
+					if err := ingest.Checkpoint(); err != nil {
+						log.Printf("netseerd: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(checkpointDone)
+	if w != nil {
+		// Graceful shutdown: quiesce ingestion (every accepted frame gets
+		// its durable ack), then checkpoint so the next start replays a
+		// snapshot instead of the whole log.
+		log.Printf("netseerd: draining ingest (up to %s)", *drainGrace)
+		ingest.Drain(*drainGrace)
+		if err := ingest.Checkpoint(); err != nil {
+			log.Printf("netseerd: final checkpoint: %v", err)
+		}
+		ws := w.Stats()
+		log.Printf("netseerd: wal: %d appends, %d fsyncs, %d snapshots, %d live segments (%d bytes)",
+			ws.Appends, ws.Fsyncs, ws.Snapshots, ws.Segments, ws.SizeBytes)
+	}
 	st := ingest.Stats()
 	log.Printf("netseerd: %d events stored (%d replayed batches deduplicated), shutting down", store.Len(), store.DupBatches())
 	log.Printf("netseerd: ingest health: conns=%d rejected=%d accept-retries=%d frames=%d frame-errors=%d ack-errors=%d",

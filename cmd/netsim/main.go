@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"netseer/internal/collector"
@@ -35,7 +36,7 @@ func main() {
 	load := flag.Float64("load", 0.7, "client uplink load fraction")
 	window := flag.Duration("window", 10*time.Millisecond, "simulated duration")
 	seed := flag.Uint64("seed", 1, "random seed")
-	collectorAddr := flag.String("collector", "", "netseerd ingest address (empty: in-process summary)")
+	collectorAddr := flag.String("collector", "", "netseerd ingest address, or a comma-separated failover list primary,backup,... (empty: in-process summary)")
 	fault := flag.String("fault", "none", "fault to inject: none, blackhole, corrupt, incast, parity")
 	metricsAddr := flag.String("metrics", "", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	pcapPath := flag.String("pcap", "", "write traffic at the first core switch to this pcap file")
@@ -81,7 +82,7 @@ func main() {
 	// end, which preserves batch framing.
 	var client *collector.Client
 	if *collectorAddr != "" {
-		client = collector.NewClient(*collectorAddr)
+		client = collector.NewClientEndpoints(strings.Split(*collectorAddr, ","), collector.ClientConfig{})
 		defer client.Close()
 		client.RegisterMetrics(reg)
 	}

@@ -41,7 +41,7 @@ func main() {
 	window := flag.Duration("window", 10*time.Millisecond, "simulated window per run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	par := flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool width (1 = fully sequential)")
-	benchJSON := flag.Bool("bench-json", false, "emit BENCH_hotpath.json and BENCH_parallel.json instead of figures")
+	benchJSON := flag.Bool("bench-json", false, "emit BENCH_{hotpath,parallel,durability}.json instead of figures")
 	benchOut := flag.String("bench-out", ".", "directory for -bench-json artifacts")
 	runOracle := flag.Bool("oracle", false, "run the correctness-oracle scenario matrix and print a scorecard")
 	metricsAddr := flag.String("metrics", "", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
@@ -180,10 +180,11 @@ func main() {
 	}
 }
 
-// emitBenchJSON runs the hot-path microbenchmarks and the parallel-engine
-// harness and writes BENCH_hotpath.json / BENCH_parallel.json into dir.
-// CI regenerates these on every run and scripts/benchdiff gates merges on
-// them (see bench/baseline/).
+// emitBenchJSON runs the hot-path microbenchmarks, the parallel-engine
+// harness and the durability suite, writing BENCH_hotpath.json /
+// BENCH_parallel.json / BENCH_durability.json into dir. CI regenerates
+// these on every run and scripts/benchdiff gates merges on them (see
+// bench/baseline/).
 func emitBenchJSON(dir string, seed uint64, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -209,6 +210,21 @@ func emitBenchJSON(dir string, seed uint64, workers int) error {
 	if m, ok := par.Metric("parallel/speedup"); ok {
 		fmt.Fprintf(os.Stderr, "bench-json: speedup %.2fx at %d workers over %.0f points\n",
 			m.Extra["speedup"], workers, m.Extra["points"])
+	}
+
+	fmt.Fprintln(os.Stderr, "bench-json: running durability suite (in-memory vs WAL ingest)...")
+	dur, err := benchjson.Durability()
+	if err != nil {
+		return err
+	}
+	durPath := filepath.Join(dir, "BENCH_durability.json")
+	if err := dur.WriteFile(durPath); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bench-json: wrote", durPath)
+	if m, ok := dur.Metric("durability/overhead"); ok {
+		fmt.Fprintf(os.Stderr, "bench-json: group-commit overhead %.1f%% of in-memory ingest (budget %.0f%%)\n",
+			m.Extra["overhead_frac"]*100, m.Extra["budget_frac"]*100)
 	}
 	return nil
 }

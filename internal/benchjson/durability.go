@@ -1,0 +1,197 @@
+package benchjson
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/collector/wal"
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// The durability suite (BENCH_durability.json) measures what crash
+// safety costs on the ingest path: the same loopback client→server
+// workload is run against an in-memory server, a WAL-backed server with
+// group commit (the production configuration), and a WAL-backed server
+// with the group window disabled (every append pays its own fsync). The
+// headline metric is the group-commit overhead versus the in-memory
+// baseline — the repo's budget, enforced by scripts/benchdiff, is 25%.
+
+// DurabilityOverheadBudget is the max fractional events/sec loss the
+// WAL-backed (group-committed) ingest may show against the in-memory
+// baseline.
+const DurabilityOverheadBudget = 0.25
+
+// Workload shape: enough batches that group commit reaches steady state,
+// small enough that the eager (fsync-per-append) variant stays bounded.
+// The overhead verdict is noise-hardened two ways: the in-memory and
+// WAL-backed variants run back-to-back within each round (scheduling
+// interference on small CI machines lasts long enough to hit both sides
+// of a pair roughly equally, and cancels in the ratio), and the verdict
+// is the best round of durRounds. A real regression — losing group
+// commit, an extra syscall per append — slows every round, while
+// interference only hits some, so the minimum is the discriminating
+// statistic for a guardrail.
+const (
+	durBatches        = 4000
+	durEventsPerBatch = 8
+	durRounds         = 5
+)
+
+func durBatch(i int) *fevent.Batch {
+	evs := make([]fevent.Event, durEventsPerBatch)
+	for j := range evs {
+		f := pkt.FlowKey{SrcIP: pkt.IP(10, 2, 0, 1) + uint32(i), DstIP: pkt.IP(10, 2, 1, 2),
+			SrcPort: uint16(1000 + j), DstPort: 80, Proto: pkt.ProtoTCP}
+		evs[j] = fevent.Event{Type: fevent.TypeDrop, Flow: f, Hash: f.Hash(),
+			DropCode: fevent.DropNoRoute, SwitchID: 3, Timestamp: sim.Time(i*durEventsPerBatch + j + 1)}
+	}
+	return &fevent.Batch{SwitchID: 3, Timestamp: sim.Time(i + 1), Events: evs}
+}
+
+// ingestEventsPerSec runs the fixed workload through one loopback
+// client→server channel and returns sustained events/sec. With w non-nil
+// the server acks only after group-committed fsync — the full durable
+// path, disk included.
+func ingestEventsPerSec(w *wal.WAL) (float64, error) {
+	store := collector.NewStore()
+	srv, err := collector.NewServerConfig(store, "127.0.0.1:0", collector.ServerConfig{WAL: w})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	cl := collector.NewClientConfig(srv.Addr(), collector.ClientConfig{
+		MaxQueue:     durBatches, // the whole workload is enqueued up front
+		MaxInflight:  1024,       // deep window: group commit feeds on pipelining
+		FlushTimeout: 120 * time.Second,
+	})
+	defer cl.Close()
+
+	start := time.Now()
+	for i := 0; i < durBatches; i++ {
+		cl.Deliver(durBatch(i))
+	}
+	if err := cl.Flush(); err != nil {
+		return 0, fmt.Errorf("durability ingest flush: %w", err)
+	}
+	elapsed := time.Since(start)
+	if got := store.Len(); got != durBatches*durEventsPerBatch {
+		return 0, fmt.Errorf("durability ingest stored %d events, want %d", got, durBatches*durEventsPerBatch)
+	}
+	return float64(durBatches*durEventsPerBatch) / elapsed.Seconds(), nil
+}
+
+// withBenchWAL opens a throwaway WAL, runs fn against it, and reports the
+// log's append/fsync counters (the group-commit factor).
+func withBenchWAL(opt wal.Options, fn func(w *wal.WAL) (float64, error)) (eps float64, st wal.Stats, err error) {
+	dir, err := os.MkdirTemp("", "netseer-walbench-*")
+	if err != nil {
+		return 0, wal.Stats{}, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(dir, opt)
+	if err != nil {
+		return 0, wal.Stats{}, err
+	}
+	defer w.Close()
+	// The server requires recovery to have consumed the log's scan state.
+	if _, err := w.Replay(func([]byte) error { return nil }); err != nil {
+		return 0, wal.Stats{}, err
+	}
+	eps, err = fn(w)
+	return eps, w.Stats(), err
+}
+
+// pairedRounds runs the in-memory and group-committed WAL ingests
+// back-to-back durRounds times against w, returning each side's best run
+// and the per-round overhead fractions.
+func pairedRounds(w *wal.WAL) (memBest, groupBest float64, overheads []float64, err error) {
+	for i := 0; i < durRounds; i++ {
+		memEps, err := ingestEventsPerSec(nil)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		groupEps, err := ingestEventsPerSec(w)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if memEps > memBest {
+			memBest = memEps
+		}
+		if groupEps > groupBest {
+			groupBest = groupEps
+		}
+		overheads = append(overheads, 1-groupEps/memEps)
+	}
+	return memBest, groupBest, overheads, nil
+}
+
+// minOf returns the smallest value in xs.
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Durability runs the suite and builds the report. The
+// durability/overhead metric carries the verdict: extra.overhead_frac is
+// the fractional events/sec cost of group-committed durability (best of
+// the paired rounds), and extra.within_budget is 1 iff it is at most
+// DurabilityOverheadBudget.
+func Durability() (*Report, error) {
+	r := NewReport("durability")
+
+	var memEps, groupEps float64
+	var overheads []float64
+	groupEps, groupSt, err := withBenchWAL(wal.Options{}, func(w *wal.WAL) (float64, error) {
+		var err error
+		memEps, groupEps, overheads, err = pairedRounds(w)
+		return groupEps, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Add(Metric{Name: "durability/ingest_memory", EventsPerSec: memEps})
+	r.Add(Metric{Name: "durability/ingest_wal_group", EventsPerSec: groupEps,
+		Extra: map[string]float64{
+			"fsyncs":              float64(groupSt.Fsyncs),
+			"group_commit_factor": float64(groupSt.Appends) / float64(max64(groupSt.Fsyncs, 1)),
+		}})
+
+	// GroupWindow < 0 disables the coalescing wait: the syncer flushes as
+	// soon as it sees a pending append instead of letting a window's worth
+	// pile in. The gap to ingest_wal_group is what group commit buys.
+	eagerEps, eagerSt, err := withBenchWAL(wal.Options{GroupWindow: -1}, ingestEventsPerSec)
+	if err != nil {
+		return nil, err
+	}
+	r.Add(Metric{Name: "durability/ingest_wal_eager", EventsPerSec: eagerEps,
+		Extra: map[string]float64{"fsyncs": float64(eagerSt.Fsyncs)}})
+
+	overhead := minOf(overheads)
+	within := 0.0
+	if overhead <= DurabilityOverheadBudget {
+		within = 1
+	}
+	r.Add(Metric{Name: "durability/overhead", Extra: map[string]float64{
+		"overhead_frac":    overhead,
+		"budget_frac":      DurabilityOverheadBudget,
+		"within_budget":    within,
+		"speedup_vs_eager": groupEps / eagerEps,
+	}})
+	return r, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

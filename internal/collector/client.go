@@ -40,6 +40,11 @@ type ClientConfig struct {
 	// CloseTimeout bounds the graceful drain in Close before the
 	// connection is torn down (default 2s).
 	CloseTimeout time.Duration
+	// PrimaryRetryInterval is how often a client running on a backup
+	// endpoint probes the primary for recovery; a successful probe
+	// promotes the channel back (default 3s). Ignored for
+	// single-endpoint clients.
+	PrimaryRetryInterval time.Duration
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -67,6 +72,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.CloseTimeout <= 0 {
 		c.CloseTimeout = 2 * time.Second
 	}
+	if c.PrimaryRetryInterval <= 0 {
+		c.PrimaryRetryInterval = 3 * time.Second
+	}
 	return c
 }
 
@@ -84,9 +92,18 @@ type pendingBatch struct {
 // in an in-flight window until the server's cumulative ack covers its
 // sequence number. A connection drop therefore retransmits instead of
 // losing data; the Store deduplicates replays by (switch, sequence).
+//
+// Given several endpoints (NewClientEndpoints), the client fails over:
+// a dial failure moves to the next endpoint immediately, the jittered
+// backoff applies only once the whole list has refused a cycle, and the
+// in-flight window carries across — batches unacked on the dead
+// endpoint are retransmitted to the new one and deduplicated there by
+// (switch, seq), so a failover can never double-deliver. While running
+// on a backup, a background probe redials the primary every
+// PrimaryRetryInterval and promotes the channel back on success.
 type Client struct {
-	addr string
-	cfg  ClientConfig
+	endpoints []string // ordered; [0] is the primary
+	cfg       ClientConfig
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -109,6 +126,7 @@ type Client struct {
 	connects, reconnects, dialFailures obs.Counter
 	sentBatches, ackedBatches          obs.Counter
 	retransmits, droppedBatches        obs.Counter
+	failovers, promotions              obs.Counter
 	highWater                          obs.MaxGauge
 	ackLat                             *metrics.Histogram // guarded by mu
 	ackLatObs                          *obs.Histogram
@@ -123,10 +141,20 @@ type Client struct {
 // once the first batch is delivered.
 func NewClient(addr string) *Client { return NewClientConfig(addr, ClientConfig{}) }
 
-// NewClientConfig creates a client with explicit tuning.
+// NewClientConfig creates a single-endpoint client with explicit tuning.
 func NewClientConfig(addr string, cfg ClientConfig) *Client {
+	return NewClientEndpoints([]string{addr}, cfg)
+}
+
+// NewClientEndpoints creates a client with an ordered failover list:
+// endpoints[0] is the primary, the rest are tried in order when it is
+// unreachable. Panics on an empty list.
+func NewClientEndpoints(endpoints []string, cfg ClientConfig) *Client {
+	if len(endpoints) == 0 {
+		panic("collector: NewClientEndpoints needs at least one endpoint")
+	}
 	c := &Client{
-		addr:       addr,
+		endpoints:  append([]string(nil), endpoints...),
 		cfg:        cfg.withDefaults(),
 		ackLat:     metrics.NewHistogram(),
 		ackLatObs:  obs.NewHistogram(obs.LatencyBuckets()),
@@ -181,8 +209,8 @@ func (c *Client) Flush() error {
 		if pending == 0 {
 			return nil
 		}
-		if !c.connected && c.dialFails > 0 {
-			return fmt.Errorf("collector: %d batches undelivered (collector unreachable)", pending)
+		if !c.connected && c.dialFails >= len(c.endpoints) {
+			return fmt.Errorf("collector: %d batches undelivered (all %d endpoints unreachable)", pending, len(c.endpoints))
 		}
 		if c.closed {
 			return errors.New("collector: client closed")
@@ -239,6 +267,8 @@ func (c *Client) Stats() metrics.ChannelStats {
 		BatchesAcked:   c.ackedBatches.Load(),
 		Retransmits:    c.retransmits.Load(),
 		DroppedBatches: c.droppedBatches.Load(),
+		Failovers:      c.failovers.Load(),
+		Promotions:     c.promotions.Load(),
 		QueueDepth:     len(c.queue),
 		InflightDepth:  len(c.inflight),
 		HighWater:      int(c.highWater.Load()),
@@ -256,6 +286,8 @@ func (c *Client) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
 	r.RegisterCounter(obs.MChanAckedBatches, "Batches covered by a server cumulative ack.", &c.ackedBatches, labels...)
 	r.RegisterCounter(obs.MChanRetransmits, "Batch frames rewritten after a connection drop.", &c.retransmits, labels...)
 	r.RegisterCounter(obs.MChanDroppedBatches, "Batches dropped on queue overflow or after close.", &c.droppedBatches, labels...)
+	r.RegisterCounter(obs.MChanFailovers, "Switches to a different collector endpoint.", &c.failovers, labels...)
+	r.RegisterCounter(obs.MChanPromotions, "Returns to the primary collector endpoint.", &c.promotions, labels...)
 	r.GaugeFunc(obs.MChanBacklog, "Batches delivered but not yet acked (queue + inflight).", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -265,11 +297,21 @@ func (c *Client) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
 	r.RegisterHistogram(obs.MChanAckLatency, "Microseconds from last write of a batch to its covering ack.", c.ackLatObs, labels...)
 }
 
+// errPromote is the sentinel the primary probe fails a backup connection
+// with: not a network fault, just "the primary is back — move home".
+var errPromote = errors.New("collector: primary endpoint recovered")
+
 // senderLoop owns all network I/O: it dials (with backoff), hands the
-// connection to writeLoop/ackReader, and retries until closed.
+// connection to writeLoop/ackReader, and retries until closed. With
+// several endpoints it walks the list on dial failures — one backoff
+// budget shared across the whole list, slept only after a full cycle of
+// refusals, so one dead endpoint never slows failover to a live one.
 func (c *Client) senderLoop() {
 	defer close(c.senderDone)
 	backoff := c.cfg.BackoffMin
+	ep := 0            // endpoint to try next
+	lastConnected := 0 // endpoint of the previous successful dial
+	cycleFails := 0    // consecutive endpoints refused since the last success
 	for {
 		c.mu.Lock()
 		for !c.closed && len(c.queue) == 0 && len(c.inflight) == 0 {
@@ -282,21 +324,46 @@ func (c *Client) senderLoop() {
 		closing := c.closed
 		c.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+		conn, err := net.DialTimeout("tcp", c.endpoints[ep], c.cfg.DialTimeout)
 		if err != nil {
 			c.dialFailures.Inc()
 			c.mu.Lock()
 			c.dialFails++
+			unreachable := c.dialFails >= len(c.endpoints)
 			c.mu.Unlock()
-			c.cond.Broadcast()
-			if closing {
-				return // closing and unreachable: abandon the backlog
+			if unreachable {
+				// Only a full cycle of refusals means "collector
+				// unreachable" to Flush — a dead primary with a live
+				// backup is a degraded channel, not a broken one.
+				c.cond.Broadcast()
 			}
-			c.sleepBackoff(&backoff)
+			if closing && unreachable {
+				return // closing and nowhere to drain to: abandon the backlog
+			}
+			ep = (ep + 1) % len(c.endpoints)
+			cycleFails++
+			if cycleFails >= len(c.endpoints) {
+				c.sleepBackoff(&backoff)
+				cycleFails = 0
+			}
 			continue
 		}
+		cycleFails = 0
 		backoff = c.cfg.BackoffMin
-		c.runConn(conn)
+		if ep != lastConnected {
+			if ep == 0 {
+				c.promotions.Inc()
+			} else {
+				c.failovers.Inc()
+			}
+			lastConnected = ep
+		}
+		err = c.runConn(conn, ep != 0)
+		if errors.Is(err, errPromote) {
+			ep = 0 // probe saw the primary up: go home
+		}
+		// Any other failure retries the same endpoint first; its dial
+		// failing is what advances the walk.
 	}
 }
 
@@ -316,8 +383,11 @@ func (c *Client) sleepBackoff(backoff *time.Duration) {
 	}
 }
 
-// runConn drives one connection until it fails or the client drains.
-func (c *Client) runConn(conn net.Conn) {
+// runConn drives one connection until it fails or the client drains,
+// returning the connection's terminal error. probePrimary (set on backup
+// endpoints) runs the health probe that redials the primary and fails
+// this connection with errPromote once it answers.
+func (c *Client) runConn(conn net.Conn, probePrimary bool) error {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 		tc.SetKeepAlive(true)
@@ -336,18 +406,51 @@ func (c *Client) runConn(conn net.Conn) {
 	c.mu.Unlock()
 	c.cond.Broadcast()
 
+	probeStop := make(chan struct{})
+	if probePrimary {
+		go c.primaryProbe(conn, probeStop)
+	}
 	readerDone := make(chan struct{})
 	go c.ackReader(conn, readerDone)
 	err := c.writeLoop(conn)
 	c.failConn(conn, err)
 	<-readerDone
+	close(probeStop)
 
 	c.mu.Lock()
+	term := c.connErr
 	c.connected = false
 	c.conn = nil
 	c.sent = 0
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	return term
+}
+
+// primaryProbe redials the primary endpoint every PrimaryRetryInterval
+// while the client runs on a backup. A successful dial is only a health
+// check — the probe connection is closed immediately — but it fails the
+// backup connection with errPromote, and the sender loop reconnects to
+// the primary with the in-flight window intact.
+func (c *Client) primaryProbe(conn net.Conn, stop <-chan struct{}) {
+	t := time.NewTicker(c.cfg.PrimaryRetryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.closeCh:
+			return
+		case <-t.C:
+			p, err := net.DialTimeout("tcp", c.endpoints[0], c.cfg.DialTimeout)
+			if err != nil {
+				continue
+			}
+			p.Close()
+			c.failConn(conn, errPromote)
+			return
+		}
+	}
 }
 
 // failConn records the terminal error of conn (once) and closes it,

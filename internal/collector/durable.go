@@ -1,0 +1,37 @@
+package collector
+
+import (
+	"fmt"
+
+	"netseer/internal/collector/wal"
+	"netseer/internal/fevent"
+)
+
+// RecoverStore rebuilds a Store from an opened write-ahead log: load the
+// newest snapshot, then replay the tail segments through the same
+// decode+Deliver path the live wire uses. Replayed batches dedup against
+// the snapshot's (switch, seq) set — and against each other — so
+// recovery is idempotent no matter how the crash interleaved snapshot
+// installation and appends. Batches that were shed before the crash
+// carry no seen-entry and re-index here, exactly as the admission ladder
+// promised.
+func RecoverStore(w *wal.WAL) (*Store, wal.ReplayStats, error) {
+	store := NewStore()
+	if snap := w.Snapshot(); snap != nil {
+		if err := store.LoadSnapshot(snap); err != nil {
+			return nil, wal.ReplayStats{}, fmt.Errorf("collector: recovering snapshot: %w", err)
+		}
+	}
+	st, err := w.Replay(func(payload []byte) error {
+		var b fevent.Batch
+		if err := DecodePayload(payload, &b); err != nil {
+			return fmt.Errorf("collector: replaying WAL record: %w", err)
+		}
+		store.Deliver(&b)
+		return nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return store, st, nil
+}

@@ -68,23 +68,45 @@ func WriteFrame(w io.Writer, b *fevent.Batch) error {
 // ReadFrame reads one length-prefixed batch from r into b, verifying the
 // checksum and populating b.Seq.
 func ReadFrame(r io.Reader, b *fevent.Batch) error {
+	_, err := readFramePayload(r, b)
+	return err
+}
+
+// readFramePayload reads one frame like ReadFrame but also returns the
+// verified payload bytes (seq + batch body) — exactly what the durable
+// server appends to its write-ahead log, so the log stores what the wire
+// carried and recovery reuses DecodePayload.
+func readFramePayload(r io.Reader, b *fevent.Batch) ([]byte, error) {
 	var hdr [frameHdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[0:4])
 	if n < frameSeqLen {
-		return ErrFrameTooShort
+		return nil, ErrFrameTooShort
 	}
 	if n > MaxFrame {
-		return fmt.Errorf("collector: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("collector: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return err
+		return nil, err
 	}
 	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
-		return ErrFrameCRC
+		return nil, ErrFrameCRC
+	}
+	if err := DecodePayload(payload, b); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// DecodePayload parses a frame payload (8 B delivery sequence + encoded
+// batch body) into b. WAL recovery replays the logged payloads through
+// this — the same decoder the live wire path uses.
+func DecodePayload(payload []byte, b *fevent.Batch) error {
+	if len(payload) < frameSeqLen {
+		return ErrFrameTooShort
 	}
 	b.Seq = binary.BigEndian.Uint64(payload[:frameSeqLen])
 	rest, err := fevent.DecodeBatch(payload[frameSeqLen:], b)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"netseer/internal/collector/wal"
 	"netseer/internal/fevent"
 	"netseer/internal/metrics"
 	"netseer/internal/obs"
@@ -30,6 +31,24 @@ type ServerConfig struct {
 	// AcceptRetryDelay is the pause after a transient Accept error
 	// (default 50ms).
 	AcceptRetryDelay time.Duration
+
+	// WAL, when non-nil, makes the server durable: every ingested frame
+	// is appended to the log and its ack is withheld until the record is
+	// fsynced — an ack then means "survives a collector crash". Recover
+	// the paired Store with RecoverStore before constructing the server.
+	WAL *wal.WAL
+	// MemoryBudget bounds the store's estimated resident bytes
+	// (Store.MemoryBytes) via the admission ladder; 0 disables admission
+	// control. See SlowWatermark/ShedWatermark.
+	MemoryBudget int64
+	// SlowWatermark and ShedWatermark are fractions of MemoryBudget
+	// (defaults 0.7 and 0.9). Above slow, acks are delayed by AckSlowdown
+	// so the exporter's in-flight window backpressures; above shed (WAL
+	// servers only), frames are logged but not indexed.
+	SlowWatermark, ShedWatermark float64
+	// AckSlowdown is the per-ack delay applied on the slow rung
+	// (default 2ms).
+	AckSlowdown time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -48,23 +67,39 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.AcceptRetryDelay <= 0 {
 		c.AcceptRetryDelay = 50 * time.Millisecond
 	}
+	if c.AckSlowdown <= 0 {
+		c.AckSlowdown = 2 * time.Millisecond
+	}
 	return c
 }
 
 // Server ingests event batches over TCP into a Store and acknowledges
 // each delivered frame with a cumulative ack, making the channel
-// at-least-once end to end. It survives transient accept errors, applies
+// at-least-once end to end. With a WAL attached it is also durable:
+// acks are gated on fsync (group-committed in internal/collector/wal),
+// checkpoints snapshot the store and truncate the log, and admission
+// watermarks shed load instead of letting an ingest burst grow memory
+// without bound. It survives transient accept errors, applies
 // per-connection read deadlines and TCP keepalives, and caps concurrent
 // connections.
 type Server struct {
 	store *Store
 	ln    net.Listener
 	cfg   ServerConfig
+	wal   *wal.WAL
+	admit *admission
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// ingestMu is the checkpoint barrier: every frame's append+apply
+	// holds it shared, Checkpoint holds it exclusive across the segment
+	// cut and the store capture, so no record can sit in the
+	// logged-but-not-applied window while the snapshot boundary moves.
+	ingestMu sync.RWMutex
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 
 	// Ingest-side counters. The server is concurrent (accept loop plus one
 	// goroutine per connection), so these are atomic obs instruments: a
@@ -73,9 +108,11 @@ type Server struct {
 	acceptRetries                obs.Counter
 	frames, frameErrors          obs.Counter
 	ackWriteErrors               obs.Counter
+	walAppendErrors              obs.Counter
 	// ingestLag measures wall-clock microseconds from a frame's arrival
 	// (read completed) to its covering ack hitting the socket — the
-	// collector-side component of event staleness.
+	// collector-side component of event staleness. With a WAL attached it
+	// includes the group-commit fsync wait.
 	ingestLag *obs.Histogram
 }
 
@@ -97,7 +134,10 @@ func NewServerConfig(store *Store, addr string, cfg ServerConfig) (*Server, erro
 // NewServerOn serves on an existing listener — the hook fault-injection
 // harnesses use to interpose a flaky wire (see internal/faultconn).
 func NewServerOn(store *Store, ln net.Listener, cfg ServerConfig) *Server {
-	s := &Server{store: store, ln: ln, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{}),
+	cfg = cfg.withDefaults()
+	s := &Server{store: store, ln: ln, cfg: cfg, wal: cfg.WAL,
+		conns:     make(map[net.Conn]struct{}),
+		admit:     newAdmission(cfg.MemoryBudget, cfg.SlowWatermark, cfg.ShedWatermark, cfg.WAL != nil),
 		ingestLag: obs.NewHistogram(obs.LatencyBuckets())}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -119,7 +159,21 @@ func (s *Server) Stats() metrics.IngestStats {
 	}
 }
 
-// RegisterMetrics exposes the ingest instruments on r.
+// ShedBatches reports how many batches the shed rung has WAL-ed without
+// indexing since startup (0 without admission control).
+func (s *Server) ShedBatches() uint64 {
+	if s.admit == nil {
+		return 0
+	}
+	return s.admit.shedBatches.Load()
+}
+
+// AdmitState returns the current admission-ladder rung as a string
+// ("ok", "slow", "shed").
+func (s *Server) AdmitState() string { return s.admit.current().String() }
+
+// RegisterMetrics exposes the ingest instruments on r, including the
+// WAL and admission series when configured.
 func (s *Server) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
 	r.RegisterCounter(obs.MIngestConnsAccepted, "Ingest connections accepted.", &s.connsAccepted, labels...)
 	r.RegisterCounter(obs.MIngestConnsRejected, "Connections closed because MaxConns was reached.", &s.connsRejected, labels...)
@@ -127,7 +181,36 @@ func (s *Server) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
 	r.RegisterCounter(obs.MIngestFrames, "Batch frames ingested into the store.", &s.frames, labels...)
 	r.RegisterCounter(obs.MIngestFrameErrors, "Malformed or truncated frames (connection dropped).", &s.frameErrors, labels...)
 	r.RegisterCounter(obs.MIngestAckWriteErrors, "Failed ack writes (connection dropped; client retransmits).", &s.ackWriteErrors, labels...)
-	r.RegisterHistogram(obs.MIngestLag, "Microseconds from frame read to store-applied-and-acked.", s.ingestLag, labels...)
+	r.RegisterHistogram(obs.MIngestLag, "Microseconds from frame read to store-applied-and-acked (durably, with a WAL).", s.ingestLag, labels...)
+	r.GaugeFunc(obs.MStoreBytes, "Estimated resident bytes of the event store (admission-control input).", func() float64 {
+		return float64(s.store.MemoryBytes())
+	}, labels...)
+	s.admit.registerMetrics(r, labels...)
+	if s.wal != nil {
+		r.RegisterCounter(obs.MWALAppendErrors, "Frames dropped because the WAL append failed.", &s.walAppendErrors, labels...)
+		w := s.wal
+		r.CounterFunc(obs.MWALAppends, "Records appended to the write-ahead log.", func() float64 {
+			return float64(w.Stats().Appends)
+		}, labels...)
+		r.CounterFunc(obs.MWALFsyncs, "Disk flushes issued by the WAL (appends/fsyncs = group-commit factor).", func() float64 {
+			return float64(w.Stats().Fsyncs)
+		}, labels...)
+		r.CounterFunc(obs.MWALSnapshots, "Snapshots installed by checkpoints.", func() float64 {
+			return float64(w.Stats().Snapshots)
+		}, labels...)
+		r.CounterFunc(obs.MWALSegmentsDropped, "Segments deleted by snapshot truncation.", func() float64 {
+			return float64(w.Stats().SegmentsDropped)
+		}, labels...)
+		r.GaugeFunc(obs.MWALSegments, "Live WAL segment files.", func() float64 {
+			return float64(w.Stats().Segments)
+		}, labels...)
+		r.GaugeFunc(obs.MWALSizeBytes, "Bytes across live WAL segments.", func() float64 {
+			return float64(w.Stats().SizeBytes)
+		}, labels...)
+		r.GaugeFunc(obs.MWALPending, "Appended records not yet covered by an fsync.", func() float64 {
+			return float64(w.Stats().PendingDurable)
+		}, labels...)
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -136,12 +219,12 @@ func (s *Server) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if !closed {
+			if !stopping {
 				s.acceptRetries.Inc()
 			}
-			if closed || errors.Is(err, net.ErrClosed) {
+			if stopping || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			// Transient (EMFILE, ECONNABORTED, …): back off briefly and
@@ -150,7 +233,7 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -169,6 +252,18 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// ackPoint is one frame awaiting acknowledgement: its delivery sequence,
+// the WAL serial gating the ack (0 = no durability wait), and when the
+// frame finished reading (for the ingest-lag histogram). A point with
+// barrier set carries no ack: the acker closes the channel once every
+// earlier ack is on the wire, letting the read loop flush the pipeline
+// before it blocks on the network again.
+type ackPoint struct {
+	seq, serial uint64
+	arrived     time.Time
+	barrier     chan struct{}
+}
+
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -181,34 +276,183 @@ func (s *Server) serve(conn net.Conn) {
 		tc.SetKeepAlive(true)
 		tc.SetKeepAlivePeriod(s.cfg.KeepAlivePeriod)
 	}
+
+	// The acker runs behind the read loop so WAL group commit can batch
+	// many in-flight frames under one fsync: the read loop keeps
+	// ingesting while earlier frames wait for durability. The bounded
+	// channel is the pipeline depth; when the acker stalls (fsync, ack
+	// slowdown), the read loop eventually blocks — backpressure reaches
+	// the exporter through its in-flight window.
+	acks := make(chan ackPoint, 256)
+	ackerDone := make(chan struct{})
+	go s.ackLoop(conn, acks, ackerDone)
+
 	br := bufio.NewReaderSize(conn, 64<<10)
+	pending := 0
 	for {
+		// About to block on the wire with acks still in the pipeline:
+		// flush them first. A frame burst pipelines freely (that is what
+		// group commit feeds on), but the server never reads more of a
+		// lossy link's budget while it still owes acks for frames it has
+		// already consumed — otherwise a connection that dies mid-read
+		// takes every pending ack down with it and the exporter makes no
+		// progress at all.
+		if pending > 0 && br.Buffered() == 0 {
+			barrier := make(chan struct{})
+			acks <- ackPoint{barrier: barrier}
+			<-barrier
+			pending = 0
+		}
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		var b fevent.Batch
-		if err := ReadFrame(br, &b); err != nil {
+		payload, err := readFramePayload(br, &b)
+		if err != nil {
 			// A clean close lands exactly on a frame boundary (io.EOF);
 			// anything else — truncation, bad CRC, oversized length — is
 			// a frame error worth counting.
 			if !errors.Is(err, io.EOF) {
 				s.frameErrors.Inc()
 			}
-			return
+			break
 		}
 		arrived := time.Now()
-		// Deliver before acking: an ack promises the batch is in the
-		// Store (replays of already-stored batches are deduplicated
-		// there and still acked — the client must stop resending them).
-		s.store.Deliver(&b)
+		state := s.admit.update(s.store.MemoryBytes())
+
+		// Apply before acking: an ack promises the batch is in the Store
+		// (and, with a WAL, on disk). Replays of already-stored batches
+		// are deduplicated and still acked — the client must stop
+		// resending them — but are not logged twice.
+		var serial uint64
+		var werr error
+		s.ingestMu.RLock()
+		switch {
+		case b.Seq != 0 && s.store.SeenBatch(b.SwitchID, b.Seq):
+			s.store.Deliver(&b) // counts the duplicate, changes nothing else
+			if s.wal != nil {
+				// The first copy's fsync may still be pending; gate this
+				// ack on everything logged so far so a replayed ack never
+				// promises more durability than the disk has.
+				serial = s.wal.LastSerial()
+			}
+		case s.wal != nil:
+			serial, werr = s.wal.Append(payload, state == admitShed)
+			if werr == nil {
+				if state == admitShed {
+					s.admit.shedBatches.Inc()
+					s.admit.shedEvent.Add(uint64(len(b.Events)))
+				} else {
+					s.store.Deliver(&b)
+				}
+			}
+		default:
+			s.store.Deliver(&b)
+		}
+		s.ingestMu.RUnlock()
+		if werr != nil {
+			// The log is the reliability boundary: a frame that cannot be
+			// made durable must not be acked. Drop the connection; the
+			// client retransmits once the operator fixes the disk.
+			s.walAppendErrors.Inc()
+			break
+		}
 		s.frames.Inc()
 		if b.Seq != 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
-			if err := writeAck(conn, b.Seq); err != nil {
-				s.ackWriteErrors.Inc()
+			acks <- ackPoint{seq: b.Seq, serial: serial, arrived: arrived}
+			pending++
+		} else {
+			s.ingestLag.Observe(float64(time.Since(arrived).Microseconds()))
+		}
+	}
+	close(acks)
+	<-ackerDone
+}
+
+// ackLoop writes cumulative acks for one connection, each gated on the
+// WAL durability of its frame and throttled by the admission ladder's
+// slow rung. On a write failure it closes the connection (waking the
+// read loop) and drains the channel so the read loop can exit.
+func (s *Server) ackLoop(conn net.Conn, acks <-chan ackPoint, done chan<- struct{}) {
+	defer close(done)
+	// fail closes the connection (waking the read loop) and drains the
+	// channel — releasing any barrier the read loop is parked on — until
+	// the read loop notices and closes it.
+	fail := func() {
+		conn.Close()
+		for ap := range acks {
+			if ap.barrier != nil {
+				close(ap.barrier)
+			}
+		}
+	}
+	for ap := range acks {
+		if ap.barrier != nil {
+			close(ap.barrier) // every earlier ack is already on the wire
+			continue
+		}
+		if ap.serial != 0 {
+			if err := s.wal.WaitDurable(ap.serial); err != nil {
+				fail()
 				return
 			}
 		}
-		s.ingestLag.Observe(float64(time.Since(arrived).Microseconds()))
+		if s.admit.current() == admitSlow {
+			s.admit.ackDelays.Inc()
+			time.Sleep(s.cfg.AckSlowdown)
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
+		if err := writeAck(conn, ap.seq); err != nil {
+			s.ackWriteErrors.Inc()
+			fail()
+			return
+		}
+		s.ingestLag.Observe(float64(time.Since(ap.arrived).Microseconds()))
 	}
+}
+
+// Checkpoint snapshots the store and truncates the WAL behind it. The
+// ingest barrier is held exclusively across the segment cut and the
+// store capture — the only ordering under which "in a segment below the
+// cut" implies "captured by the snapshot" — and released before the
+// snapshot bytes are written to disk, so ingestion stalls only for the
+// capture, not the I/O.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return errors.New("collector: no WAL attached")
+	}
+	s.ingestMu.Lock()
+	cut, err := s.wal.CutSegment()
+	var snap []byte
+	if err == nil {
+		snap = s.store.EncodeSnapshot()
+	}
+	s.ingestMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.wal.InstallSnapshot(cut, snap)
+}
+
+// Drain gracefully quiesces ingestion for shutdown: it stops accepting,
+// gives every live connection up to grace to finish its current frame
+// (idle connections are released at the deadline), and waits for all
+// pending acks — durability waits included — to reach the wire. After
+// Drain returns, a Checkpoint captures everything that was ever acked.
+func (s *Server) Drain(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.ln.Close()
+	deadline := time.Now().Add(grace)
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 }
 
 // Close stops accepting and closes every connection.

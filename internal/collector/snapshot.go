@@ -1,0 +1,111 @@
+package collector
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Store snapshot encoding, the checkpoint companion of the write-ahead
+// log: everything the store holds — events with their own switch/stamp,
+// the (switch, seq) dedup set, and the duplicate counter — flattened
+// into one byte string. The WAL frames and checksums it as a single
+// record, so a torn or corrupt snapshot is rejected whole at recovery
+// (the previous snapshot + longer replay then reconstructs the state).
+//
+// Layout (big-endian):
+//
+//	magic "NSS1" (4 B)
+//	dupBatches (8 B)
+//	seenCount (4 B), then per key: switch (2 B), seq (8 B)
+//	eventCount (4 B), then per event: switch (2 B), timestamp (8 B),
+//	                                  24 B fevent record
+const snapMagic = "NSS1"
+
+// snapEventLen is the per-event snapshot footprint.
+const snapEventLen = 2 + 8 + fevent.RecordLen
+
+// EncodeSnapshot serializes the store's full state. The caller hands the
+// bytes to wal.InstallSnapshot; see Server.Checkpoint for the barrier
+// that orders the capture against in-flight ingestion.
+func (s *Store) EncodeSnapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf := make([]byte, 0, len(snapMagic)+8+4+len(s.seen)*10+4+len(s.events)*snapEventLen)
+	buf = append(buf, snapMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, s.dupBatches)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.seen)))
+	for k := range s.seen {
+		buf = binary.BigEndian.AppendUint16(buf, k.sw)
+		buf = binary.BigEndian.AppendUint64(buf, k.seq)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.events)))
+	for i := range s.events {
+		e := &s.events[i]
+		buf = binary.BigEndian.AppendUint16(buf, e.SwitchID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Timestamp))
+		buf = e.AppendRecord(buf)
+	}
+	return buf
+}
+
+// LoadSnapshot replaces the store's state with a decoded snapshot,
+// rebuilding every index. It is the first half of recovery; WAL tail
+// replay (whose batches dedup against the loaded seen-set) is the
+// second.
+func (s *Store) LoadSnapshot(data []byte) error {
+	if len(data) < len(snapMagic)+8+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("collector: snapshot magic missing or header truncated (%d bytes)", len(data))
+	}
+	data = data[len(snapMagic):]
+	dup := binary.BigEndian.Uint64(data[0:8])
+	seenCount := binary.BigEndian.Uint32(data[8:12])
+	data = data[12:]
+	if uint64(len(data)) < uint64(seenCount)*10+4 {
+		return fmt.Errorf("collector: snapshot dedup section truncated")
+	}
+	seen := make(map[batchKey]struct{}, seenCount)
+	for i := uint32(0); i < seenCount; i++ {
+		seen[batchKey{
+			sw:  binary.BigEndian.Uint16(data[0:2]),
+			seq: binary.BigEndian.Uint64(data[2:10]),
+		}] = struct{}{}
+		data = data[10:]
+	}
+	eventCount := binary.BigEndian.Uint32(data[0:4])
+	data = data[4:]
+	if uint64(len(data)) != uint64(eventCount)*snapEventLen {
+		return fmt.Errorf("collector: snapshot event section is %d bytes, want %d", len(data), uint64(eventCount)*snapEventLen)
+	}
+	events := make([]fevent.Event, eventCount)
+	for i := uint32(0); i < eventCount; i++ {
+		e := &events[i]
+		if err := e.DecodeRecord(data[10:]); err != nil {
+			return fmt.Errorf("collector: snapshot event %d: %w", i, err)
+		}
+		e.SwitchID = binary.BigEndian.Uint16(data[0:2])
+		e.Timestamp = sim.Time(binary.BigEndian.Uint64(data[2:10]))
+		data = data[snapEventLen:]
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = events
+	s.seen = seen
+	s.dupBatches = dup
+	s.byFlow = make(map[pkt.FlowKey][]int)
+	s.bySwitch = make(map[uint16][]int)
+	s.byType = make(map[fevent.Type][]int)
+	s.byTypeSwitch = make(map[typeSwitchKey]uint64)
+	for i := range s.events {
+		e := &s.events[i]
+		s.byFlow[e.Flow] = append(s.byFlow[e.Flow], i)
+		s.bySwitch[e.SwitchID] = append(s.bySwitch[e.SwitchID], i)
+		s.byType[e.Type] = append(s.byType[e.Type], i)
+		s.byTypeSwitch[typeSwitchKey{t: e.Type, sw: e.SwitchID}]++
+	}
+	return nil
+}

@@ -146,6 +146,36 @@ func (s *Store) DupBatches() uint64 {
 	return s.dupBatches
 }
 
+// SeenBatch reports whether the sequenced batch (sw, seq) is already
+// stored. The durable server asks before logging a frame: a replayed
+// batch needs an ack but neither a WAL record nor a second delivery.
+func (s *Store) SeenBatch(sw uint16, seq uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.seen[batchKey{sw: sw, seq: seq}]
+	return ok
+}
+
+// Estimated resident cost per stored item, for admission control: an
+// event carries the struct itself plus three index slots and its share
+// of map buckets; a dedup key is a small map entry. Deliberately
+// conservative (rounded up) — admission control should engage early, not
+// late.
+const (
+	eventMemCost = 160
+	seenMemCost  = 64
+)
+
+// MemoryBytes estimates the store's resident memory — the quantity the
+// ingest server's admission watermarks are defined over. An estimate is
+// enough: the watermarks are percentages of an operator-chosen budget,
+// not allocator truth.
+func (s *Store) MemoryBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.events))*eventMemCost + int64(len(s.seen))*seenMemCost
+}
+
 // Len returns the number of stored events.
 func (s *Store) Len() int {
 	s.mu.RLock()

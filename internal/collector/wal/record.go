@@ -1,0 +1,92 @@
+// Package wal gives the collector a durable, crash-recoverable backing
+// log. Ingested batches are appended as length+CRC-framed records to an
+// append-only segment file; fsyncs are group-committed so concurrent
+// appenders amortize one disk flush; segments rotate at a size bound; and
+// a periodic snapshot of the upper store lets old segments be deleted.
+// On restart, Open finds the newest valid snapshot and replays the tail
+// segments after it, stopping cleanly at the first torn or corrupt
+// record — a crash mid-write can only cost unacked suffix records, never
+// a parse panic or a misread.
+//
+// The package stores opaque payloads ([]byte); the collector puts the
+// same bytes on disk that travel in a wire frame (8 B delivery sequence +
+// encoded batch), so recovery reuses the wire decoder and the store's
+// (switch, seq) dedup makes replay idempotent.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing, shared by segment files and snapshot files:
+//
+//	[4 B length][4 B CRC-32][payload]
+//
+// length counts the payload only; the CRC covers the payload. The layout
+// deliberately mirrors the collector's wire framing so the same torn-tail
+// and corruption taxonomy applies.
+
+// recordHdrLen is the fixed record prefix: length + CRC.
+const recordHdrLen = 8
+
+// MaxRecord bounds one log record. It must admit the largest wire frame
+// payload (8 B seq + a full fevent batch) with headroom; anything larger
+// in a segment is treated as corruption.
+const MaxRecord = 1 << 20
+
+// MaxSnapshot bounds a snapshot record. Snapshots hold the whole store
+// (≈34 B per event), so the bound is generous.
+const MaxSnapshot = 1 << 30
+
+var (
+	// ErrRecordCRC reports a record whose checksum does not match — bit
+	// rot or a torn write that landed mid-payload.
+	ErrRecordCRC = errors.New("wal: record CRC mismatch")
+	// ErrRecordTooLarge reports a length field beyond the caller's bound —
+	// almost always a torn or overwritten length word.
+	ErrRecordTooLarge = errors.New("wal: record length exceeds limit")
+	// ErrRecordTorn reports a record cut off mid-header or mid-payload: the
+	// classic crash-during-append tail.
+	ErrRecordTorn = errors.New("wal: torn record")
+)
+
+// AppendRecord appends the framed encoding of payload to buf.
+func AppendRecord(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// recordedLen is the on-disk size of a payload once framed.
+func recordedLen(payload []byte) int64 { return int64(recordHdrLen + len(payload)) }
+
+// ReadRecord reads one framed record from r, verifying length bound and
+// checksum. io.EOF is returned only at a clean record boundary; a record
+// cut off partway through maps to ErrRecordTorn, a bad checksum to
+// ErrRecordCRC, and an implausible length to ErrRecordTooLarge — the
+// recovery loop treats all three as "stop here, keep the prefix".
+func ReadRecord(r io.Reader, max uint32) ([]byte, error) {
+	var hdr [recordHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: header: %v", ErrRecordTorn, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrRecordTorn, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, ErrRecordCRC
+	}
+	return payload, nil
+}

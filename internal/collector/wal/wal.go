@@ -1,0 +1,693 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes a WAL. Zero fields take defaults.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 8 MiB).
+	SegmentBytes int64
+	// GroupWindow is how long the background syncer waits after the first
+	// pending append before issuing the fsync, letting concurrent and
+	// pipelined appends share one flush (default 200µs; <0 disables the
+	// wait, 0 takes the default).
+	GroupWindow time.Duration
+	// NoSync skips fsyncs entirely: appends become durable against
+	// process crashes only via the OS page cache. Used by benchmarks to
+	// isolate the fsync cost and by tests that don't need power-loss
+	// semantics.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.GroupWindow == 0 {
+		o.GroupWindow = 200 * time.Microsecond
+	}
+	if o.GroupWindow < 0 {
+		o.GroupWindow = 0
+	}
+	return o
+}
+
+// ErrClosed reports an operation on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appends / AppendedBytes count records and payload bytes written.
+	Appends, AppendedBytes uint64
+	// Fsyncs counts disk flushes; Appends/Fsyncs is the group-commit
+	// batching factor.
+	Fsyncs uint64
+	// Rotations counts segment rolls, Snapshots installed snapshots,
+	// SegmentsDropped segments deleted by snapshot truncation.
+	Rotations, Snapshots, SegmentsDropped uint64
+	// Segments is the number of live segment files (closed + active);
+	// SizeBytes their total size.
+	Segments  int
+	SizeBytes int64
+	// PendingDurable is how many appended records still await an fsync.
+	PendingDurable uint64
+	// Retained reports whether shed batches have pinned old segments
+	// against truncation (cleared only by reopening the log).
+	Retained bool
+}
+
+// ReplayStats summarizes one recovery replay.
+type ReplayStats struct {
+	// Segments is how many tail segment files were read.
+	Segments int
+	// Records / Bytes count successfully replayed records.
+	Records, Bytes uint64
+	// Truncated reports that replay stopped at a torn or corrupt record;
+	// TruncatedAt names the file and the reason. Everything before the
+	// bad record was replayed, everything after is discarded — those
+	// records were never acked durable, so the exporter retransmits them.
+	Truncated   bool
+	TruncatedAt string
+}
+
+// WAL is an append-only, group-committed, segmented log with snapshot
+// checkpoints. It is safe for concurrent use.
+type WAL struct {
+	dir string
+	opt Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when syncedSerial advances, or on error/close
+
+	f        *os.File // active segment
+	segIdx   uint64   // active segment index
+	segSize  int64
+	segSizes map[uint64]int64 // live segments (closed + active) → size
+
+	appendSerial uint64 // serial of the last record written
+	syncedSerial uint64 // serial covered by the last successful fsync
+	ioErr        error  // sticky I/O error: the log refuses further appends
+	closed       bool
+
+	retainFloor uint64 // lowest segment pinned by shed batches; ^0 = none
+	// pending buffers framed records destined for the active segment but
+	// not yet written to it: group commit batches the write() as well as
+	// the fsync, so an append is one memcpy, not one syscall. Every flush
+	// path (sync loop, rotation, cut, Sync, Close) drains it before
+	// touching the disk.
+	pending []byte
+
+	// Recovery artifacts from Open, consumed by Snapshot/Replay.
+	snapPayload []byte
+	replaySegs  []uint64
+
+	appends, appendedBytes       uint64
+	fsyncs, rotations            uint64
+	snapshots, segmentsDropped   uint64
+	syncReq, syncerDone, closeCh chan struct{}
+	// waiters counts goroutines blocked in WaitDurable. While any exist
+	// the syncer flushes back-to-back instead of waiting out the group
+	// window: batching then comes from appends piling in behind the
+	// in-flight fsync, not from added latency.
+	waiters int
+	// syncNow wakes a window wait in progress when the first waiter
+	// arrives mid-window.
+	syncNow chan struct{}
+}
+
+const noRetain = ^uint64(0)
+
+func segName(idx uint64) string  { return fmt.Sprintf("wal-%08d.seg", idx) }
+func snapName(idx uint64) string { return fmt.Sprintf("snap-%08d.snap", idx) }
+
+// Open opens (or creates) the log in dir and performs the scan phase of
+// recovery: it locates the newest loadable snapshot and the tail
+// segments to replay. Call Snapshot and Replay to rebuild upper-layer
+// state, then Append at will. Appends always go to a fresh segment —
+// a possibly-torn crash tail is never appended to.
+func Open(dir string, opt Options) (*WAL, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs, snaps []uint64
+	segSizes := make(map[uint64]int64)
+	for _, e := range entries {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%d.seg", &idx); n == 1 && e.Name() == segName(idx) {
+			segs = append(segs, idx)
+			if info, err := e.Info(); err == nil {
+				segSizes[idx] = info.Size()
+			}
+		}
+		if n, _ := fmt.Sscanf(e.Name(), "snap-%d.snap", &idx); n == 1 && e.Name() == snapName(idx) {
+			snaps = append(snaps, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+
+	w := &WAL{
+		dir:         dir,
+		opt:         opt,
+		segSizes:    segSizes,
+		replaySegs:  segs,
+		retainFloor: noRetain,
+		syncReq:     make(chan struct{}, 1),
+		syncNow:     make(chan struct{}, 1),
+		syncerDone:  make(chan struct{}),
+		closeCh:     make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+
+	// Newest snapshot that still parses wins; older or corrupt ones are
+	// ignored (their covering segments may already be gone, but a corrupt
+	// snapshot is never half-loaded thanks to the record CRC).
+	next := uint64(1)
+	for _, idx := range snaps {
+		payload, err := readSnapshotFile(filepath.Join(dir, snapName(idx)))
+		if err == nil {
+			w.snapPayload = payload
+			break
+		}
+	}
+	if len(segs) > 0 && segs[len(segs)-1] >= next {
+		next = segs[len(segs)-1] + 1
+	}
+	if len(snaps) > 0 && snaps[0] >= next {
+		next = snaps[0] + 1
+	}
+	if err := w.openSegment(next); err != nil {
+		return nil, err
+	}
+	go w.syncLoop()
+	return w, nil
+}
+
+// readSnapshotFile loads and CRC-verifies one snapshot file (a single
+// framed record) and requires a clean EOF after it.
+func readSnapshotFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload, err := ReadRecord(f, MaxSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	var one [1]byte
+	if _, err := f.Read(one[:]); err != io.EOF {
+		return nil, fmt.Errorf("wal: trailing bytes after snapshot record in %s", path)
+	}
+	return payload, nil
+}
+
+// openSegment creates the segment file for idx and makes it active.
+// Caller must not hold mu (Open) or must hold it (rotate) — the method
+// itself takes no locks.
+func (w *WAL) openSegment(idx uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(idx)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := w.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segIdx = idx
+	w.segSize = 0
+	w.segSizes[idx] = 0
+	return nil
+}
+
+// syncDir fsyncs the log directory so file creations and renames survive
+// a power cut.
+func (w *WAL) syncDir() error {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Snapshot returns the payload of the newest valid snapshot found by
+// Open, or nil if the log had none.
+func (w *WAL) Snapshot() []byte { return w.snapPayload }
+
+// Replay streams every surviving record of the tail segments to fn in
+// append order. It stops cleanly — no error, Truncated set — at the
+// first torn or corrupt record; records past that point were never
+// acknowledged as durable, so upper layers lose nothing an ack promised.
+// A non-nil error from fn aborts the replay and is returned.
+func (w *WAL) Replay(fn func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	for _, idx := range w.replaySegs {
+		path := filepath.Join(w.dir, segName(idx))
+		f, err := os.Open(path)
+		if err != nil {
+			// A truncated-away segment (concurrent checkpoint) is not a
+			// replay failure; anything else is.
+			if os.IsNotExist(err) {
+				continue
+			}
+			return st, err
+		}
+		st.Segments++
+		for {
+			payload, err := ReadRecord(f, MaxRecord)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// First torn/corrupt record: keep the prefix, drop the rest
+				// of the log (later segments included — a mid-log hole
+				// means the tail's ordering guarantees are gone).
+				st.Truncated = true
+				st.TruncatedAt = fmt.Sprintf("%s: %v", segName(idx), err)
+				f.Close()
+				return st, nil
+			}
+			if err := fn(payload); err != nil {
+				f.Close()
+				return st, err
+			}
+			st.Records++
+			st.Bytes += uint64(len(payload))
+		}
+		f.Close()
+	}
+	return st, nil
+}
+
+// Append buffers one record for the active segment and schedules its
+// write+fsync, returning the record's serial without waiting for
+// durability —
+// pair it with WaitDurable before acknowledging the payload to anyone.
+// retain pins the record's segment against snapshot truncation; the
+// collector sets it for shed batches, whose contents exist nowhere but
+// the log.
+func (w *WAL) Append(payload []byte, retain bool) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: %d-byte payload exceeds MaxRecord", len(payload))
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.ioErr != nil {
+		err := w.ioErr
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.segSize >= w.opt.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.ioErr = err
+			w.mu.Unlock()
+			w.cond.Broadcast()
+			return 0, err
+		}
+	}
+	w.pending = AppendRecord(w.pending, payload)
+	w.segSize += recordedLen(payload)
+	w.segSizes[w.segIdx] = w.segSize
+	w.appendSerial++
+	serial := w.appendSerial
+	w.appends++
+	w.appendedBytes += uint64(len(payload))
+	if retain && w.segIdx < w.retainFloor {
+		w.retainFloor = w.segIdx
+	}
+	if w.opt.NoSync {
+		w.syncedSerial = serial
+	}
+	w.mu.Unlock()
+	if !w.opt.NoSync {
+		select {
+		case w.syncReq <- struct{}{}:
+		default:
+		}
+	}
+	return serial, nil
+}
+
+// LastSerial returns the serial of the most recently appended record
+// (0 before the first append). WaitDurable(LastSerial()) therefore
+// covers everything logged so far — the gate the server uses when
+// acking a replayed batch whose original record may still be unsynced.
+func (w *WAL) LastSerial() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendSerial
+}
+
+// AppendDurable appends the record and blocks until it is fsynced —
+// the synchronous convenience over Append+WaitDurable.
+func (w *WAL) AppendDurable(payload []byte, retain bool) error {
+	serial, err := w.Append(payload, retain)
+	if err != nil {
+		return err
+	}
+	return w.WaitDurable(serial)
+}
+
+// WaitDurable blocks until every record up to serial is fsynced (or the
+// log fails or closes). A nil return is the durability promise an ack
+// may be built on.
+func (w *WAL) WaitDurable(serial uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.waiters++
+	for w.syncedSerial < serial && w.ioErr == nil && !w.closed {
+		if !w.opt.NoSync {
+			select {
+			case w.syncNow <- struct{}{}:
+			default:
+			}
+		}
+		w.cond.Wait()
+	}
+	w.waiters--
+	if w.syncedSerial >= serial {
+		return nil
+	}
+	if w.ioErr != nil {
+		return w.ioErr
+	}
+	return ErrClosed
+}
+
+// flushPendingLocked writes the buffered records to the active segment.
+// Caller holds mu. A write failure poisons the log: a partial write
+// leaves a torn record at the tail, and nothing may land after it.
+func (w *WAL) flushPendingLocked() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	if w.ioErr != nil {
+		return w.ioErr
+	}
+	if _, err := w.f.Write(w.pending); err != nil {
+		w.ioErr = err
+		w.pending = nil
+		w.cond.Broadcast()
+		return err
+	}
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// rotateLocked seals the active segment (flushing buffered records and
+// fsyncing, so every serial so far is durable) and opens the next one.
+// Caller holds mu.
+func (w *WAL) rotateLocked() error {
+	if err := w.flushPendingLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs++
+	if w.syncedSerial < w.appendSerial {
+		w.syncedSerial = w.appendSerial
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.rotations++
+	return w.openSegment(w.segIdx + 1)
+}
+
+// syncLoop is the group-commit engine: it wakes on the first pending
+// append, waits GroupWindow so pipelined appends pile in behind it, then
+// issues one fsync covering all of them. The window is elided whenever a
+// WaitDurable caller is already blocked — with someone paying latency
+// for the flush, batching comes for free from appends landing behind the
+// in-flight fsync, so added wait buys nothing.
+func (w *WAL) syncLoop() {
+	defer close(w.syncerDone)
+	for {
+		select {
+		case <-w.syncReq:
+		case <-w.closeCh:
+			return
+		}
+		// Drop any stale wake token before deciding: a signal from a
+		// waiter of an earlier round must not cut this round's window.
+		select {
+		case <-w.syncNow:
+		default:
+		}
+		w.mu.Lock()
+		demand := w.waiters > 0
+		w.mu.Unlock()
+		if w.opt.GroupWindow > 0 && !demand {
+			timer := time.NewTimer(w.opt.GroupWindow)
+			select {
+			case <-timer.C:
+			case <-w.syncNow: // first waiter arrived mid-window
+				timer.Stop()
+			case <-w.closeCh:
+				timer.Stop()
+				return
+			}
+		}
+		w.mu.Lock()
+		if err := w.flushPendingLocked(); err != nil {
+			w.mu.Unlock()
+			continue // log poisoned; WaitDurable waiters were woken
+		}
+		target := w.appendSerial
+		f := w.f
+		dirty := target > w.syncedSerial && w.ioErr == nil && !w.closed
+		w.mu.Unlock()
+		if !dirty {
+			continue
+		}
+		// fsync outside mu: appenders keep buffering while the disk flush
+		// covers everything already written.
+		err := f.Sync()
+		w.mu.Lock()
+		w.fsyncs++
+		if err != nil {
+			if w.ioErr == nil {
+				w.ioErr = err
+			}
+		} else if target > w.syncedSerial && f == w.f {
+			w.syncedSerial = target
+		}
+		w.mu.Unlock()
+		w.cond.Broadcast()
+	}
+}
+
+// Sync forces an fsync of the active segment and blocks until every
+// appended record is durable — the drain path's final flush.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if err := w.flushPendingLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	target := w.appendSerial
+	if w.ioErr != nil || target == w.syncedSerial {
+		err := w.ioErr
+		w.mu.Unlock()
+		return err
+	}
+	f := w.f
+	w.mu.Unlock()
+	err := f.Sync()
+	w.mu.Lock()
+	w.fsyncs++
+	if err != nil {
+		if w.ioErr == nil {
+			w.ioErr = err
+		}
+	} else if target > w.syncedSerial && f == w.f {
+		w.syncedSerial = target
+	}
+	ret := w.ioErr
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	return ret
+}
+
+// CutSegment seals the active segment and starts a new one, returning
+// the new segment's index — the checkpoint boundary. Everything appended
+// before the cut lives in segments < cut; a snapshot capturing upper
+// state *after* the cut therefore covers them, and InstallSnapshot(cut,
+// ...) may delete them. The caller must ensure no record is in the
+// appended-but-not-applied window across the cut+capture (the collector
+// server holds its ingest barrier for exactly this).
+func (w *WAL) CutSegment() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.ioErr != nil {
+		return 0, w.ioErr
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.ioErr = err
+		w.cond.Broadcast()
+		return 0, err
+	}
+	return w.segIdx, nil
+}
+
+// InstallSnapshot durably writes a snapshot covering all segments below
+// cut, then deletes the segments and snapshots it supersedes. Segments
+// pinned by shed batches (retain floor) survive regardless: their
+// contents exist only in the log and are re-indexed by the next replay.
+func (w *WAL) InstallSnapshot(cut uint64, snapshot []byte) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	w.mu.Unlock()
+
+	tmp := filepath.Join(w.dir, snapName(cut)+".tmp")
+	final := filepath.Join(w.dir, snapName(cut))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	framed := AppendRecord(make([]byte, 0, recordHdrLen+len(snapshot)), snapshot)
+	if _, err := f.Write(framed); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.syncDir(); err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	w.snapshots++
+	floor := w.retainFloor
+	var drop []uint64
+	for idx := range w.segSizes {
+		if idx < cut && idx < floor && idx != w.segIdx {
+			drop = append(drop, idx)
+		}
+	}
+	for _, idx := range drop {
+		delete(w.segSizes, idx)
+	}
+	w.mu.Unlock()
+
+	for _, idx := range drop {
+		if err := os.Remove(filepath.Join(w.dir, segName(idx))); err == nil {
+			w.mu.Lock()
+			w.segmentsDropped++
+			w.mu.Unlock()
+		}
+	}
+	// Older snapshot files are superseded by the one just installed.
+	entries, err := os.ReadDir(w.dir)
+	if err == nil {
+		for _, e := range entries {
+			var idx uint64
+			if n, _ := fmt.Sscanf(e.Name(), "snap-%d.snap", &idx); n == 1 && e.Name() == snapName(idx) && idx < cut {
+				os.Remove(filepath.Join(w.dir, e.Name()))
+			}
+		}
+	}
+	return w.syncDir()
+}
+
+// Stats snapshots the log's counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var size int64
+	for _, s := range w.segSizes {
+		size += s
+	}
+	return Stats{
+		Appends:         w.appends,
+		AppendedBytes:   w.appendedBytes,
+		Fsyncs:          w.fsyncs,
+		Rotations:       w.rotations,
+		Snapshots:       w.snapshots,
+		SegmentsDropped: w.segmentsDropped,
+		Segments:        len(w.segSizes),
+		SizeBytes:       size,
+		PendingDurable:  w.appendSerial - w.syncedSerial,
+		Retained:        w.retainFloor != noRetain,
+	}
+}
+
+// Dir returns the log directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Close flushes and closes the log. Appends after Close fail with
+// ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.closeCh)
+	<-w.syncerDone
+	w.mu.Lock()
+	err := w.flushPendingLocked()
+	f := w.f
+	dirty := err == nil && !w.opt.NoSync && w.syncedSerial < w.appendSerial && w.ioErr == nil
+	w.mu.Unlock()
+	if dirty {
+		err = f.Sync()
+		w.mu.Lock()
+		w.fsyncs++
+		if err == nil {
+			w.syncedSerial = w.appendSerial
+		} else if w.ioErr == nil {
+			w.ioErr = err
+		}
+		w.mu.Unlock()
+	}
+	w.cond.Broadcast()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

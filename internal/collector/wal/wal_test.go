@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect replays w and returns every payload.
+func collect(t *testing.T, w *WAL) ([][]byte, ReplayStats) {
+	t.Helper()
+	var got [][]byte
+	st, err := w.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, st
+}
+
+func payloadN(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := w.AppendDurable(payloadN(i), false); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Snapshot() != nil {
+		t.Error("fresh log reports a snapshot")
+	}
+	got, st := collect(t, w2)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, payloadN(i)) {
+			t.Fatalf("record %d = %q, want %q (order or content lost)", i, p, payloadN(i))
+		}
+	}
+	if st.Truncated {
+		t.Errorf("clean log reports truncation at %s", st.TruncatedAt)
+	}
+}
+
+// TestGroupCommit checks that pipelined appends share fsyncs: many
+// concurrent AppendDurable calls must finish with far fewer flushes than
+// appends.
+func TestGroupCommit(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{GroupWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- w.AppendDurable(payloadN(i), false)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	}
+	if st.PendingDurable != 0 {
+		t.Errorf("%d records still pending after AppendDurable returned", st.PendingDurable)
+	}
+	if st.Fsyncs >= n/2 {
+		t.Errorf("%d fsyncs for %d appends — group commit is not batching", st.Fsyncs, n)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(payloadN(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("no rotation with 256-byte segments (stats %+v)", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, _ := collect(t, w2)
+	if len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, payloadN(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, payloadN(i))
+		}
+	}
+}
+
+// TestSnapshotTruncatesSegments checks the checkpoint contract: after
+// InstallSnapshot(cut, ...), recovery sees the snapshot plus only the
+// records appended after the cut.
+func TestSnapshotTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 128, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append(payloadN(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := w.CutSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallSnapshot(cut, []byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 25; i++ {
+		if _, err := w.Append(payloadN(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.SegmentsDropped == 0 {
+		t.Errorf("snapshot dropped no segments (stats %+v)", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Snapshot(); !bytes.Equal(got, []byte("snapshot-state")) {
+		t.Fatalf("recovered snapshot %q, want %q", got, "snapshot-state")
+	}
+	got, _ := collect(t, w2)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d post-cut records, want 5", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, payloadN(20+i)) {
+			t.Fatalf("post-cut record %d = %q, want %q", i, p, payloadN(20+i))
+		}
+	}
+}
+
+// TestRetainFloorPinsSegments checks that a retained (shed) record's
+// segment survives snapshot truncation: its payload exists nowhere but
+// the log, so dropping the segment would lose acked data.
+func TestRetainFloorPinsSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("shed-payload"), true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(payloadN(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := w.CutSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallSnapshot(cut, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); !st.Retained {
+		t.Error("stats do not report a retain floor")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, _ := collect(t, w2)
+	found := false
+	for _, p := range got {
+		if bytes.Equal(p, []byte("shed-payload")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("retained shed record did not survive snapshot truncation")
+	}
+}
+
+// TestReplayStopsAtTornTail truncates the last segment mid-record and
+// checks recovery keeps the clean prefix, reports the truncation, and
+// never errors.
+func TestReplayStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(payloadN(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := filepath.Join(dir, segName(w.segIdx))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut 5 bytes off the final record: torn payload.
+	if err := os.Truncate(seg, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, st := collect(t, w2)
+	if len(got) != n-1 {
+		t.Fatalf("replayed %d records from torn log, want %d", len(got), n-1)
+	}
+	if !st.Truncated || st.TruncatedAt == "" {
+		t.Errorf("truncation not reported (stats %+v)", st)
+	}
+}
+
+// TestReplayStopsAtCorruptRecord flips a byte mid-log and checks replay
+// keeps only the prefix — a mid-log hole voids the ordering guarantees
+// of everything after it.
+func TestReplayStopsAtCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(payloadN(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := filepath.Join(dir, segName(w.segIdx))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, st := collect(t, w2)
+	if !st.Truncated {
+		t.Fatal("corrupt mid-log record not detected")
+	}
+	if len(got) >= 10 {
+		t.Fatalf("replayed %d records past a corrupt one", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, payloadN(i)) {
+			t.Fatalf("prefix record %d = %q, want %q", i, p, payloadN(i))
+		}
+	}
+}
+
+// TestCrashTailNeverAppendedTo reopens a log and checks new appends land
+// in a fresh segment, leaving the possibly-torn crash tail untouched.
+func TestCrashTailNeverAppendedTo(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("first-life"), false); err != nil {
+		t.Fatal(err)
+	}
+	oldSeg := w.segIdx
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oldSize, err := os.Stat(filepath.Join(dir, segName(oldSeg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.segIdx <= oldSeg {
+		t.Fatalf("reopened log appends to segment %d, old tail was %d", w2.segIdx, oldSeg)
+	}
+	if _, err := w2.Append([]byte("second-life"), false); err != nil {
+		t.Fatal(err)
+	}
+	newSize, err := os.Stat(filepath.Join(dir, segName(oldSeg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSize.Size() != oldSize.Size() {
+		t.Fatalf("old tail segment grew from %d to %d bytes", oldSize.Size(), newSize.Size())
+	}
+	got, _ := collect(t, w2)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("first-life")) {
+		t.Fatalf("replay before new appends = %q, want [first-life]", got)
+	}
+}
+
+// TestCorruptSnapshotFallsBack corrupts the newest snapshot and checks
+// Open falls back to the older one.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut1, err := w.CutSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallSnapshot(cut1, []byte("old-snap")); err != nil {
+		t.Fatal(err)
+	}
+	cut2, err := w.CutSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallSnapshot(cut2, []byte("new-snap")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// InstallSnapshot(cut2) deleted the old snapshot file; recreate it so
+	// the fallback has somewhere to land, then corrupt the new one.
+	old := AppendRecord(nil, []byte("old-snap"))
+	if err := os.WriteFile(filepath.Join(dir, snapName(cut1)), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, snapName(cut2))
+	data, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Snapshot(); !bytes.Equal(got, []byte("old-snap")) {
+		t.Fatalf("recovered snapshot %q, want fallback to %q", got, "old-snap")
+	}
+}
+
+func TestClosedLogRefusesAppends(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("x"), false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := w.WaitDurable(99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitDurable after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(make([]byte, MaxRecord+1), false); err == nil {
+		t.Fatal("oversize append accepted")
+	}
+}
+
+func TestLastSerial(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.LastSerial(); got != 0 {
+		t.Fatalf("LastSerial before any append = %d", got)
+	}
+	for i := 1; i <= 3; i++ {
+		serial, err := w.Append(payloadN(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != uint64(i) || w.LastSerial() != uint64(i) {
+			t.Fatalf("append %d: serial=%d LastSerial=%d", i, serial, w.LastSerial())
+		}
+	}
+}

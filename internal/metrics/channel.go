@@ -18,6 +18,10 @@ type ChannelStats struct {
 	// DroppedBatches counts overflow drops at the bounded queue — the
 	// only place the channel is allowed to lose data, and it is counted.
 	DroppedBatches uint64
+	// Failovers counts switches to a different collector endpoint;
+	// Promotions counts returns to the primary once its probe succeeds
+	// (both 0 for a single-endpoint client).
+	Failovers, Promotions uint64
 	// QueueDepth/InflightDepth are the current backlog; HighWater is the
 	// maximum queue+inflight ever observed.
 	QueueDepth, InflightDepth, HighWater int
@@ -36,6 +40,10 @@ func (s ChannelStats) Format() string {
 	t.AddRow("batches acked", fmt.Sprint(s.BatchesAcked))
 	t.AddRow("retransmits", fmt.Sprint(s.Retransmits))
 	t.AddRow("dropped (overflow)", fmt.Sprint(s.DroppedBatches))
+	if s.Failovers > 0 || s.Promotions > 0 {
+		t.AddRow("endpoint failovers", fmt.Sprint(s.Failovers))
+		t.AddRow("primary promotions", fmt.Sprint(s.Promotions))
+	}
 	t.AddRow("backlog depth", fmt.Sprintf("%d queued + %d inflight", s.QueueDepth, s.InflightDepth))
 	t.AddRow("backlog high-water", fmt.Sprint(s.HighWater))
 	if s.AckLatencyUs != nil {

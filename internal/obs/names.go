@@ -56,10 +56,32 @@ const (
 	MIngestAckWriteErrors = "netseer_ingest_ack_write_errors_total"
 	MIngestLag            = "netseer_ingest_lag_us"
 
+	// Reliable channel, multi-endpoint failover (client side).
+	MChanFailovers  = "netseer_channel_failovers_total"
+	MChanPromotions = "netseer_channel_promotions_total"
+
+	// Durable collector: write-ahead log.
+	MWALAppends         = "netseer_wal_appends_total"
+	MWALFsyncs          = "netseer_wal_fsyncs_total"
+	MWALSnapshots       = "netseer_wal_snapshots_total"
+	MWALSegmentsDropped = "netseer_wal_segments_dropped_total"
+	MWALAppendErrors    = "netseer_wal_append_errors_total"
+	MWALSegments        = "netseer_wal_segments"
+	MWALSizeBytes       = "netseer_wal_size_bytes"
+	MWALPending         = "netseer_wal_pending_records"
+
+	// Durable collector: admission control (overload shedding).
+	MAdmitState       = "netseer_admit_state"
+	MAdmitTransitions = "netseer_admit_transitions_total"
+	MAdmitAckDelays   = "netseer_admit_ack_delays_total"
+	MAdmitShedBatches = "netseer_admit_shed_batches_total"
+	MAdmitShedEvents  = "netseer_admit_shed_events_total"
+
 	// Event store.
 	MStoreEvents     = "netseer_store_events_total" // labels type, switch
 	MStoreFlows      = "netseer_store_flows"
 	MStoreDupBatches = "netseer_store_dup_batches_total"
+	MStoreBytes      = "netseer_store_bytes"
 
 	// End-to-end latency tracing (switch clock, microseconds).
 	MDetectToCPU   = "netseer_detect_to_cpu_latency_us"
@@ -115,9 +137,25 @@ var catalog = []catalogEntry{
 	{MIngestFrameErrors, "Connections dropped on a malformed or corrupt frame.", KindCounter},
 	{MIngestAckWriteErrors, "Connections dropped while writing an ack.", KindCounter},
 	{MIngestLag, "Microseconds from frame-read completion to store-applied and acked.", KindHistogram},
+	{MChanFailovers, "Failovers from the primary collector endpoint to a backup.", KindCounter},
+	{MChanPromotions, "Promotions back to the primary collector endpoint.", KindCounter},
+	{MWALAppends, "Records appended to the collector write-ahead log.", KindCounter},
+	{MWALFsyncs, "Disk flushes issued by the WAL (appends/fsyncs = group-commit factor).", KindCounter},
+	{MWALSnapshots, "Store snapshots installed by checkpoints.", KindCounter},
+	{MWALSegmentsDropped, "WAL segments deleted by snapshot truncation.", KindCounter},
+	{MWALAppendErrors, "Ingest frames dropped because the WAL append failed.", KindCounter},
+	{MWALSegments, "Live WAL segment files.", KindGauge},
+	{MWALSizeBytes, "Bytes across live WAL segments.", KindGauge},
+	{MWALPending, "Appended WAL records not yet covered by an fsync.", KindGauge},
+	{MAdmitState, "Admission ladder rung: 0 ok, 1 slow (acks delayed), 2 shed (WAL-only).", KindGauge},
+	{MAdmitTransitions, "Admission ladder rung changes.", KindCounter},
+	{MAdmitAckDelays, "Acks delayed by the slow watermark.", KindCounter},
+	{MAdmitShedBatches, "Batches WAL-ed but not indexed above the shed watermark.", KindCounter},
+	{MAdmitShedEvents, "Events in shed batches (queryable only after a restart replay).", KindCounter},
 	{MStoreEvents, "Events resident in the store, by event type and switch.", KindCounter},
 	{MStoreFlows, "Distinct flows with stored events.", KindGauge},
 	{MStoreDupBatches, "Replayed batches dropped by (switch, seq) dedup.", KindCounter},
+	{MStoreBytes, "Estimated resident bytes of the event store (admission-control input).", KindGauge},
 	{MDetectToCPU, "Microseconds from event detection to switch-CPU batch arrival (switch clock).", KindHistogram},
 	{MDetectToStore, "Microseconds from event detection to store ingestion (switch clock).", KindHistogram},
 	{MQueryRequests, "Query-protocol requests served, by verb.", KindCounter},

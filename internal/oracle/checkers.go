@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"netseer/internal/collector"
@@ -504,17 +505,8 @@ func CheckDelivery(res *Result) CheckResult {
 		fail("close: %v", err)
 	}
 
-	want := multiset(res.Store.Query(collector.Filter{}))
-	got := multiset(store.Query(collector.Filter{}))
-	for k, n := range want {
-		if got[k] != n {
-			fail("event stored %d× locally but %d× after replay: %s", n, got[k], k)
-		}
-	}
-	for k, n := range got {
-		if _, ok := want[k]; !ok {
-			fail("replayed store has %d× an event the local store never saw: %s", n, k)
-		}
+	for _, d := range EventMultisetDiff(res.Store.Query(collector.Filter{}), store.Query(collector.Filter{}), maxViolations) {
+		fail("%s", d)
 	}
 	st := cl.Stats()
 	if st.Retransmits > 0 && store.DupBatches() == 0 && st.Reconnects == 0 {
@@ -523,6 +515,32 @@ func CheckDelivery(res *Result) CheckResult {
 		fail("retransmits=%d with no reconnects and no dedup hits", st.Retransmits)
 	}
 	return c
+}
+
+// EventMultisetDiff compares two event sets as multisets of canonical
+// records and returns one message per differing key (at most max; 0
+// means unlimited), sorted for stable output. An empty result means the
+// candidate holds exactly the reference's events with exactly the same
+// multiplicities — the equality both the delivery checker and the
+// crash-recovery harness assert.
+func EventMultisetDiff(reference, candidate []fevent.Event, max int) []string {
+	want, got := multiset(reference), multiset(candidate)
+	var diffs []string
+	for k, n := range want {
+		if got[k] != n {
+			diffs = append(diffs, fmt.Sprintf("event stored %d× in reference but %d× in candidate: %s", n, got[k], k))
+		}
+	}
+	for k, n := range got {
+		if _, ok := want[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("candidate has %d× an event the reference never saw: %s", n, k))
+		}
+	}
+	sort.Strings(diffs)
+	if max > 0 && len(diffs) > max {
+		diffs = diffs[:max]
+	}
+	return diffs
 }
 
 // multiset renders events into count-keyed canonical strings covering

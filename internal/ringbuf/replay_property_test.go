@@ -20,12 +20,20 @@ func flowOf(id uint32) pkt.FlowKey {
 	}
 }
 
+// modelSlot reproduces the ring's virtual-cursor slot assignment
+// independently: a sequence seeded at start occupies slots continuously,
+// with the 2³² wrap a plain +1 step — no aliasing for any ring size.
+func modelSlot(start uint32, ringSize int) func(uint32) uint32 {
+	return func(id uint32) uint32 {
+		return uint32((uint64(start) + uint64(id-start)) % uint64(ringSize))
+	}
+}
+
 // wantRecovered models, independently of the Ring internals, which IDs of
 // the gap [from, to] a LookupRange must return: IDs inside the scanned
 // tail window (over-long gaps only scan the newest Size() IDs) whose slot
-// still holds them per the last-writer map. The map also captures the
-// documented 2³²-wrap aliasing of non-power-of-two rings.
-func wantRecovered(from, to uint32, ringSize int, lastWriter map[uint32]uint32) int {
+// still holds them per the last-writer map.
+func wantRecovered(from, to uint32, ringSize int, lastWriter map[uint32]uint32, slotOf func(uint32) uint32) int {
 	count := to - from + 1
 	scanFrom := from
 	if count > uint32(ringSize) {
@@ -33,7 +41,7 @@ func wantRecovered(from, to uint32, ringSize int, lastWriter map[uint32]uint32) 
 	}
 	want := 0
 	for g := scanFrom; ; g++ {
-		if lastWriter[g%uint32(ringSize)] == g {
+		if lastWriter[slotOf(g)] == g {
 			want++
 		}
 		if g == to {
@@ -103,11 +111,12 @@ func TestReplayMatchesTrackerLossesProperty(t *testing.T) {
 		ring := New(ringSize)
 		tr := seqtrack.New()
 		recovered := make(map[uint32]bool)
+		slotOf := modelSlot(start, ringSize)
 		lastWriter := make(map[uint32]uint32) // slot -> newest recorded ID
 		for i := 0; i < total; i++ {
 			id := start + uint32(i)
 			ring.Record(id, flowOf(id), 64+int(id%1200))
-			lastWriter[id%uint32(ringSize)] = id
+			lastWriter[slotOf(id)] = id
 			if drops[i] {
 				continue
 			}
@@ -134,7 +143,7 @@ func TestReplayMatchesTrackerLossesProperty(t *testing.T) {
 				}
 				recovered[e.ID] = true
 			}
-			if want := wantRecovered(n.FromID, n.ToID, ringSize, lastWriter); len(found) != want {
+			if want := wantRecovered(n.FromID, n.ToID, ringSize, lastWriter, slotOf); len(found) != want {
 				t.Fatalf("trial %d: gap [%d,%d] with ring %d recovered %d, want %d",
 					trial, n.FromID, n.ToID, ringSize, len(found), want)
 			}
@@ -150,8 +159,10 @@ func TestReplayMatchesTrackerLossesProperty(t *testing.T) {
 // TestReplayAfterFullRingWraparound pins the paper's worst case: a gap
 // longer than the ring, here placed across the uint32 sequence boundary.
 // Only the newest Size() IDs are scanned and everything older is counted,
-// not guessed; away from the boundary the recovery is exactly the newest
-// Size()-1 packets (the trigger consumed one slot).
+// not guessed; the recovery is exactly the newest Size()-1 packets (the
+// trigger consumed one slot) — on the boundary as well as away from it,
+// since the virtual cursor makes the 2³² wrap alias-free for every ring
+// size.
 func TestReplayAfterFullRingWraparound(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 100; trial++ {
@@ -167,10 +178,11 @@ func TestReplayAfterFullRingWraparound(t *testing.T) {
 
 		ring := New(ringSize)
 		tr := seqtrack.New()
+		slotOf := modelSlot(start, ringSize)
 		lastWriter := make(map[uint32]uint32)
 		record := func(id uint32) {
 			ring.Record(id, flowOf(id), 100)
-			lastWriter[id%uint32(ringSize)] = id
+			lastWriter[slotOf(id)] = id
 		}
 
 		record(start)
@@ -191,14 +203,14 @@ func TestReplayAfterFullRingWraparound(t *testing.T) {
 		if uint32(len(found))+uint32(unrecovered) != gap {
 			t.Fatalf("trial %d: %d found + %d unrecovered != gap %d", trial, len(found), unrecovered, gap)
 		}
-		want := wantRecovered(n.FromID, n.ToID, ringSize, lastWriter)
+		want := wantRecovered(n.FromID, n.ToID, ringSize, lastWriter, slotOf)
 		if len(found) != want {
 			t.Fatalf("trial %d: recovered %d of an over-long gap with ring %d, want %d",
 				trial, len(found), ringSize, want)
 		}
-		if !straddle && len(found) != ringSize-1 {
-			t.Fatalf("trial %d: away from the wrap, recovered %d with ring %d, want exactly %d",
-				trial, len(found), ringSize, ringSize-1)
+		if len(found) != ringSize-1 {
+			t.Fatalf("trial %d (straddle=%v): recovered %d with ring %d, want exactly %d",
+				trial, straddle, len(found), ringSize, ringSize-1)
 		}
 		for _, e := range found {
 			if e.Flow != flowOf(e.ID) {

@@ -26,9 +26,24 @@ type Entry struct {
 
 // Ring is a fixed-size per-egress-port packet record. The zero value is
 // unusable; call New.
+//
+// Slots are addressed by a 64-bit virtual cursor rather than by the raw
+// 32-bit packet ID: consecutive records advance the cursor by their ID
+// delta, and a lookup rebases the ID against the newest record. With
+// `id mod N` addressing and a non-power-of-two N, the ID sequence
+// wrapping past 2³² aliases (2³² mod N ≠ 0) and two of the most recent
+// N packets share a slot once per wrap; the virtual cursor keeps slot
+// assignment continuous across the wrap, so the most recent N packets
+// always occupy N distinct slots. Away from the wrap the two schemes
+// assign identical slots (the simulator's IDs count up from 0), so
+// sizing results such as Fig. 15 are unaffected.
 type Ring struct {
 	slots []Entry
 	valid []bool
+
+	virt    uint64 // virtual cursor of the newest record
+	lastID  uint32 // packet ID recorded at virt
+	started bool
 
 	recorded uint64
 	hits     uint64
@@ -53,19 +68,38 @@ func (r *Ring) Size() int { return len(r.slots) }
 // word alignment. Used by the Fig. 15(b) SRAM accounting.
 const BytesPerSlot = 20
 
-// Record stores the packet with the given consecutive ID, overwriting the
-// slot ID mod N.
-//
-// When N is not a power of two, the ID sequence wrapping past 2³² aliases
-// (2³² mod N ≠ 0): for one window around the wrap, up to two of the most
-// recent N packets share a slot and become unrecoverable early. This
-// costs coverage once per 4.3 billion packets per port; it can never
-// misattribute, because Lookup verifies the recorded ID.
+// Record stores the packet with the given consecutive ID in the next
+// virtual slot. IDs are expected to be (close to) consecutive per ring,
+// as the hardware counter produces them; the cursor advances by the
+// uint32 delta from the previous record, which makes the 2³² wrap a
+// plain +1 step instead of an aliasing discontinuity.
 func (r *Ring) Record(id uint32, flow pkt.FlowKey, wireLen int) {
-	i := int(id % uint32(len(r.slots)))
+	if !r.started {
+		// Seed the cursor at the raw ID so slot assignment matches the
+		// historical `id mod N` layout until the first wrap.
+		r.virt = uint64(id)
+		r.started = true
+	} else {
+		r.virt += uint64(id - r.lastID)
+	}
+	r.lastID = id
+	i := int(r.virt % uint64(len(r.slots)))
 	r.slots[i] = Entry{Flow: flow, ID: id, WireLen: uint16(wireLen)}
 	r.valid[i] = true
 	r.recorded++
+}
+
+// slot maps a packet ID to its virtual slot by rebasing against the
+// newest record. ok is false when the ID predates the first record.
+func (r *Ring) slot(id uint32) (int, bool) {
+	if !r.started {
+		return 0, false
+	}
+	back := uint64(r.lastID - id) // records behind the newest, mod 2³²
+	if back > r.virt {
+		return 0, false
+	}
+	return int((r.virt - back) % uint64(len(r.slots))), true
 }
 
 // Lookup retrieves the entry recorded for packet ID id. ok is false when
@@ -73,8 +107,8 @@ func (r *Ring) Record(id uint32, flow pkt.FlowKey, wireLen int) {
 // caller must then treat the drop as detected-but-unattributable rather
 // than guessing.
 func (r *Ring) Lookup(id uint32) (Entry, bool) {
-	i := int(id % uint32(len(r.slots)))
-	if !r.valid[i] || r.slots[i].ID != id {
+	i, ok := r.slot(id)
+	if !ok || !r.valid[i] || r.slots[i].ID != id {
 		r.misses++
 		return Entry{}, false
 	}

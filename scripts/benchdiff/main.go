@@ -12,6 +12,9 @@
 //   - the parallel report must attest digest identity (parallelism never
 //     changes results) and, on machines with enough cores, a speedup of
 //     at least -min-speedup over the sequential run.
+//   - the durability report must attest that group-committed WAL ingest
+//     stays within its overhead budget of the in-memory baseline (the
+//     comparison is machine-relative, so no baseline file is needed).
 //
 // Usage:
 //
@@ -90,6 +93,21 @@ func compare(o options) (failures, info []string, err error) {
 			info = append(info, fmt.Sprintf("parallel: %.2fx speedup at %.0f workers on %d CPUs (digests match)",
 				sp.Extra["speedup"], workers, par.NumCPU))
 		}
+	}
+
+	dur, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_durability.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	ov, ok := dur.Metric("durability/overhead")
+	if !ok {
+		fail("BENCH_durability.json: missing durability/overhead metric")
+	} else if ov.Extra["within_budget"] != 1 {
+		fail("durable ingest overhead %.1f%% of the in-memory baseline; budget %.0f%%",
+			ov.Extra["overhead_frac"]*100, ov.Extra["budget_frac"]*100)
+	} else {
+		info = append(info, fmt.Sprintf("durability: group-committed WAL ingest within %.1f%% of in-memory (budget %.0f%%)",
+			ov.Extra["overhead_frac"]*100, ov.Extra["budget_frac"]*100))
 	}
 
 	if len(failures) == 0 {

@@ -1,8 +1,10 @@
-// Command genfuzzcorpus regenerates the checked-in seed corpus for
-// FuzzReadFrame (internal/collector/testdata/fuzz/FuzzReadFrame/). The
-// seeds cover every framing-layer rejection branch — truncations, CRC
-// corruption, length lies, record-count lies — plus two valid frames, so
-// `make fuzz-smoke` starts from interesting inputs instead of empty noise.
+// Command genfuzzcorpus regenerates the checked-in seed corpora for
+// FuzzReadFrame (internal/collector/testdata/fuzz/FuzzReadFrame/) and
+// FuzzWALRecord (internal/collector/wal/testdata/fuzz/FuzzWALRecord/).
+// The seeds cover every framing-layer rejection branch — truncations,
+// CRC corruption, length lies, record-count lies — plus valid inputs, so
+// `make fuzz-smoke` and `make wal-fuzz-smoke` start from interesting
+// inputs instead of empty noise.
 //
 // Run from the repo root: go run ./scripts/genfuzzcorpus
 package main
@@ -16,11 +18,17 @@ import (
 	"path/filepath"
 
 	"netseer/internal/collector"
+	"netseer/internal/collector/wal"
 	"netseer/internal/fevent"
 	"netseer/internal/pkt"
 )
 
 func main() {
+	writeFrameSeeds()
+	writeWALRecordSeeds()
+}
+
+func writeFrameSeeds() {
 	dir := filepath.Join("internal", "collector", "testdata", "fuzz", "FuzzReadFrame")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fatal(err)
@@ -72,6 +80,50 @@ func main() {
 		"zero_noise": bytes.Repeat([]byte{0}, 64),
 	}
 
+	writeSeeds(dir, seeds)
+}
+
+// writeWALRecordSeeds covers the WAL record reader — the exact code path
+// crash recovery runs over a possibly-torn segment tail. Layout per
+// record: [4B length][4B CRC-32][payload].
+func writeWALRecordSeeds() {
+	dir := filepath.Join("internal", "collector", "wal", "testdata", "fuzz", "FuzzWALRecord")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	one := wal.AppendRecord(nil, []byte("wal-record-payload"))
+	var three []byte
+	for i := 0; i < 3; i++ {
+		three = wal.AppendRecord(three, []byte(fmt.Sprintf("wal-record-%d", i)))
+	}
+
+	mutate := func(src []byte, f func([]byte)) []byte {
+		out := append([]byte(nil), src...)
+		f(out)
+		return out
+	}
+
+	seeds := map[string][]byte{
+		"valid_one_record":    one,
+		"valid_three_records": three,
+		"valid_empty_payload": wal.AppendRecord(nil, nil),
+		// A crash can tear anywhere: mid-header, mid-payload, or right
+		// after a whole record followed by a torn next header.
+		"torn_header":            one[:5],
+		"torn_payload":           one[:len(one)-3],
+		"valid_then_torn":        append(append([]byte(nil), one...), three[:6]...),
+		"corrupt_crc":            mutate(one, func(b []byte) { b[6] ^= 0x10 }),
+		"corrupt_payload":        mutate(one, func(b []byte) { b[len(b)-1] ^= 0x01 }),
+		"truncated_length_word":  {0, 0},
+		"oversize_length":        {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		"length_exceeds_payload": mutate(one, func(b []byte) { binary.BigEndian.PutUint32(b[0:4], 200) }),
+		"zero_noise":             bytes.Repeat([]byte{0}, 64),
+	}
+	writeSeeds(dir, seeds)
+}
+
+func writeSeeds(dir string, seeds map[string][]byte) {
 	for name, data := range seeds {
 		path := filepath.Join(dir, name)
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
