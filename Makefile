@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
-	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover
+	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover \
+	fabric fabric-chaos fabric-cover
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -71,6 +72,31 @@ durability:
 	$(GO) test -race -count=1 -run \
 		'TestKillRecoverAckedNeverLost|TestFailoverNoDoubleDeliver|TestShedEventsRecoverableAfterRestart|TestServerSlowWatermarkDelaysAcks|TestAdmission|TestChaos' \
 		./internal/collector/
+
+# fabric runs the sharded-collector gate under the race detector: the
+# ring/records/handoff unit suites, the coordinator wire protocol, and
+# the exactly-once fan-out audits, plus the fault-injection conn suite
+# the partition scenarios build on.
+fabric:
+	$(GO) test -race -count=1 ./internal/collector/fabric/
+	$(GO) test -race -count=1 ./internal/faultconn/
+
+# fabric-chaos runs just the membership-churn chaos matrix: shard add
+# under load, demote/retire under load, a one-way partition mid-ingest,
+# a SIGKILLed shard mid-rebalance, and coordinator restarts in both
+# two-phase-record phases. FABRIC_CHAOS narrows the matrix to one
+# scenario (e.g. make fabric-chaos FABRIC_CHAOS=TestShardSIGKILLMidRebalance).
+FABRIC_CHAOS ?= TestShardAddUnderLoad|TestShardLeaveRetireUnderLoad|TestAsymmetricPartitionDuringIngest|TestShardSIGKILLMidRebalance|TestHandoffSurvivesRestartThenCompletes|TestCoordinatorRestartAbortsStaging
+fabric-chaos:
+	$(GO) test -race -count=1 -run '$(FABRIC_CHAOS)' ./internal/collector/fabric/
+
+# fabric-cover fails if statement coverage of internal/collector/fabric
+# drops below 85%.
+fabric-cover:
+	$(GO) test -count=1 -coverprofile=cover-fabric.out \
+		-coverpkg=netseer/internal/collector/fabric ./internal/collector/fabric/
+	$(GO) run ./scripts/covergate -profile cover-fabric.out -min 85 \
+		netseer/internal/collector/fabric
 
 # wal-fuzz-smoke: ~8s per WAL fuzz target (record reader, whole-segment
 # replay), starting from the seed corpus under

@@ -11,7 +11,22 @@
 // The stats verb dumps netseerd's self-telemetry (the same Prometheus
 // text exposition its /metrics endpoint serves) over the query port —
 // useful where only the query port is reachable. With -interval the
-// request repeats on one connection until interrupted, watch-style.
+// request repeats until interrupted, watch-style; a lost connection is
+// re-dialed with jittered exponential backoff instead of aborting the
+// watch.
+//
+// Against a sharded fabric, fetquery fans the query out to every shard
+// and merges the answers time-ordered and deduplicated:
+//
+//	fetquery -coordinator host:9760 query type=drop
+//	fetquery -addr s1:9751,s2:9751,s3:9751 query switch=3
+//
+// -coordinator fetches the published ring config (authoritative slot
+// ownership, exact crash-window dedup); a comma-separated -addr list
+// synthesizes one, which merges correctly except for double copies left
+// by an unresolved handoff. When a shard does not answer, the output is
+// a correct view of the shards that did and ends with a
+// "# partial=true (k/n shards answered)" marker.
 package main
 
 import (
@@ -19,42 +34,89 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"strings"
 	"time"
+
+	"netseer/internal/collector/fabric"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9751", "netseerd query address")
+	addr := flag.String("addr", "127.0.0.1:9751", "netseerd query address, or a comma-separated shard list to fan out")
+	coord := flag.String("coordinator", "", "fabric coordinator address: fetch the ring config and fan out to its shards")
 	interval := flag.Duration("interval", 0, "repeat the query at this interval (0: once)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-shard timeout in fan-out mode")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: fetquery [-addr host:port] [-interval d] <query|count|flows|path|latency|summary|stats> [key=value ...]")
+		log.Fatal("usage: fetquery [-addr host:port[,host:port...]] [-coordinator host:port] [-interval d] <query|count|flows|path|latency|summary|stats> [key=value ...]")
 	}
-	conn, err := net.Dial("tcp", *addr)
-	if err != nil {
-		log.Fatalf("connect: %v", err)
+	addrs := strings.Split(*addr, ",")
+	if *coord != "" || len(addrs) > 1 {
+		runFanOut(*coord, addrs, flag.Args(), *interval, *timeout)
+		return
 	}
-	defer conn.Close()
-	req := strings.Join(flag.Args(), " ")
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	for {
-		if _, err := fmt.Fprintln(conn, req); err != nil {
-			log.Fatalf("send: %v", err)
+	runSingle(addrs[0], strings.Join(flag.Args(), " "), *interval)
+}
+
+// runSingle is the classic one-collector path. With an interval, dial
+// failures and dropped connections retry with jittered backoff — a
+// watch outlives a collector restart.
+func runSingle(addr, req string, interval time.Duration) {
+	backoff := 50 * time.Millisecond
+	var conn net.Conn
+	var sc *bufio.Scanner
+	defer func() {
+		if conn != nil {
+			conn.Close()
 		}
-		if !readResponse(sc) {
-			if err := sc.Err(); err != nil {
+	}()
+	for {
+		if conn == nil {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				if interval <= 0 {
+					log.Fatalf("connect: %v", err)
+				}
+				log.Printf("connect: %v (retrying in ~%s)", err, backoff)
+				time.Sleep(jitter(backoff))
+				if backoff *= 2; backoff > 2*time.Second {
+					backoff = 2 * time.Second
+				}
+				continue
+			}
+			conn, sc = c, bufio.NewScanner(c)
+			sc.Buffer(make([]byte, 64<<10), 1<<20)
+			backoff = 50 * time.Millisecond
+		}
+		_, err := fmt.Fprintln(conn, req)
+		if err == nil && readResponse(sc) {
+			if interval <= 0 {
+				return
+			}
+			time.Sleep(interval)
+			fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+			continue
+		}
+		if err == nil {
+			err = sc.Err()
+		}
+		if interval <= 0 {
+			if err != nil {
 				log.Fatalf("read: %v", err)
 			}
 			log.Fatal("read: connection closed")
 		}
-		if *interval <= 0 {
-			return
-		}
-		time.Sleep(*interval)
-		fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+		log.Printf("connection lost: %v (reconnecting)", err)
+		conn.Close()
+		conn, sc = nil, nil
 	}
+}
+
+// jitter spreads a reconnect delay across [d/2, d] so a fleet of
+// watchers does not stampede a recovering collector.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // readResponse prints lines until the "." terminator; false on EOF/error.
@@ -67,4 +129,57 @@ func readResponse(sc *bufio.Scanner) bool {
 		fmt.Println(line)
 	}
 	return false
+}
+
+// runFanOut queries every shard of a fabric and merges. Only filter
+// queries fan out: aggregate verbs (count, flows, stats) are answered
+// per shard and cannot be merged without the raw events.
+func runFanOut(coordAddr string, addrs []string, args []string, interval, timeout time.Duration) {
+	if verb := args[0]; verb != "query" && verb != "export" {
+		log.Fatalf("fan-out supports the query verb only (got %q); aim -addr at one shard for %q", verb, verb)
+	}
+	filter := strings.Join(args[1:], " ")
+	backoff := 50 * time.Millisecond
+	for {
+		cfg, err := fanOutConfig(coordAddr, addrs, timeout)
+		if err != nil {
+			if interval <= 0 {
+				log.Fatalf("ring config: %v", err)
+			}
+			log.Printf("ring config: %v (retrying in ~%s)", err, backoff)
+			time.Sleep(jitter(backoff))
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		res := fabric.FanOutQuery(cfg, filter, timeout)
+		for i := range res.Events {
+			e := &res.Events[i]
+			fmt.Printf("t=%d %s\n", e.Timestamp, e.String())
+		}
+		fmt.Printf("# %d events, epoch %d\n", len(res.Events), cfg.Epoch)
+		if res.Partial {
+			fmt.Printf("# partial=true (%d/%d shards answered)\n", res.ShardsOK, res.ShardsTotal)
+		}
+		if interval <= 0 {
+			return
+		}
+		time.Sleep(interval)
+		fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+	}
+}
+
+// fanOutConfig resolves the ring config: the coordinator's published
+// epoch when available, else one synthesized from the address list.
+func fanOutConfig(coordAddr string, addrs []string, timeout time.Duration) (fabric.Config, error) {
+	if coordAddr != "" {
+		return fabric.FetchConfig(coordAddr, timeout)
+	}
+	shards := make([]fabric.ShardInfo, len(addrs))
+	for i, a := range addrs {
+		shards[i] = fabric.ShardInfo{ID: uint32(i + 1), Query: strings.TrimSpace(a)}
+	}
+	return fabric.Config{Epoch: 1, Shards: shards, Slots: fabric.AssignSlots(shards)}, nil
 }

@@ -1,0 +1,144 @@
+// Fabric modes of netseerd: -mode shard runs one member of the sharded
+// collector fabric (a durable collector plus the admin surface the
+// coordinator drives rebalances through), -mode coordinator runs the
+// thin membership coordinator that owns the epoch-stamped slot ring.
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/collector/fabric"
+	"netseer/internal/collector/wal"
+	"netseer/internal/obs"
+)
+
+// shardFlags carries the flag values the fabric modes consume.
+type shardFlags struct {
+	ingestAddr, queryAddr, metricsAddr string
+	adminAddr, coordAddr               string
+	fabricListen, fabricState          string
+	dataDir                            string
+	shardID                            uint
+	maxConns                           int
+	readTimeout                        time.Duration
+	memBudget                          int64
+	segmentBytes                       int64
+	snapshotEvery                      time.Duration
+	joinTimeout                        time.Duration
+}
+
+// runShard is netseerd -mode shard: one fabric member. With -coordinator
+// it joins the ring on startup; without, it waits for the coordinator to
+// be pointed at it.
+func runShard(f shardFlags, reg *obs.Registry) {
+	if f.dataDir == "" {
+		log.Fatal("netseerd: -mode shard requires -data-dir (the fabric's handoff protocol is WAL-backed)")
+	}
+	node, err := fabric.StartShard(fabric.ShardOptions{
+		ID:         uint32(f.shardID),
+		Dir:        f.dataDir,
+		IngestAddr: f.ingestAddr,
+		QueryAddr:  f.queryAddr,
+		AdminAddr:  f.adminAddr,
+		Server: collector.ServerConfig{
+			MaxConns:     f.maxConns,
+			ReadTimeout:  f.readTimeout,
+			MemoryBudget: f.memBudget,
+		},
+		WAL:      wal.Options{SegmentBytes: f.segmentBytes},
+		Registry: reg,
+	})
+	if err != nil {
+		log.Fatalf("netseerd: shard: %v", err)
+	}
+	defer node.Close()
+	log.Printf("netseerd: shard %d ingesting on %s, queries on %s, admin on %s (epoch %d)",
+		node.ID, node.IngestAddr(), node.QueryAddr(), node.AdminAddr(), node.Epoch())
+
+	if f.metricsAddr != "" {
+		osrv, err := obs.ServeHTTP(reg, f.metricsAddr)
+		if err != nil {
+			log.Fatalf("netseerd: metrics listener: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("netseerd: metrics on http://%s/metrics", osrv.Addr())
+	}
+
+	if f.coordAddr != "" {
+		cfg, err := fabric.RequestJoin(f.coordAddr, node.Info(), f.joinTimeout)
+		if err != nil {
+			log.Fatalf("netseerd: joining the fabric via %s: %v", f.coordAddr, err)
+		}
+		log.Printf("netseerd: joined the fabric at epoch %d (%d shards)", cfg.Epoch, len(cfg.Shards))
+	}
+
+	// Checkpoints are refused while a rebalance transfer is open on this
+	// node; the next tick retries after the fence or release closes it.
+	done := make(chan struct{})
+	if f.snapshotEvery > 0 {
+		go func() {
+			t := time.NewTicker(f.snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if err := node.Checkpoint(); err != nil {
+						log.Printf("netseerd: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(done)
+	log.Printf("netseerd: shard %d shutting down (%d events stored, %d transfers open)",
+		node.ID, node.Store().Len(), len(node.OpenTransfers()))
+}
+
+// runCoordinator is netseerd -mode coordinator: membership, epochs, and
+// rebalance orchestration — no event data flows through this process.
+func runCoordinator(f shardFlags, reg *obs.Registry) {
+	if f.fabricState == "" {
+		log.Fatal("netseerd: -mode coordinator requires -fabric-state (the durable two-phase rebalance record)")
+	}
+	coord, err := fabric.StartCoordinator(fabric.CoordinatorOptions{
+		StatePath:  f.fabricState,
+		ListenAddr: f.fabricListen,
+		Registry:   reg,
+	})
+	if err != nil {
+		log.Fatalf("netseerd: coordinator: %v", err)
+	}
+	defer coord.Close()
+	cfg := coord.Config()
+	log.Printf("netseerd: coordinator on %s (epoch %d, %d shards)", coord.Addr(), cfg.Epoch, len(cfg.Shards))
+	if !coord.Resolved() {
+		log.Printf("netseerd: resolving a rebalance left pending by the previous run")
+	}
+
+	if f.metricsAddr != "" {
+		osrv, err := obs.ServeHTTP(reg, f.metricsAddr)
+		if err != nil {
+			log.Fatalf("netseerd: metrics listener: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("netseerd: metrics on http://%s/metrics", osrv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	cfg = coord.Config()
+	log.Printf("netseerd: coordinator shutting down at epoch %d (%d shards, pending=%v)",
+		cfg.Epoch, len(cfg.Shards), !coord.Resolved())
+}

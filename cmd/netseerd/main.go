@@ -25,6 +25,17 @@
 // The -metrics address serves the daemon's self-telemetry: /metrics
 // (Prometheus text exposition), /healthz, and /debug/pprof. The same
 // exposition is available over the query port via the "stats" verb.
+//
+// Beyond the default standalone collector, -mode selects a fabric role:
+//
+//	netseerd -mode shard -shard-id 1 -data-dir /var/lib/netseer/s1 \
+//	         -ingest :9750 -query :9751 -admin :9753 -coordinator host:9760
+//	netseerd -mode coordinator -fabric-listen :9760 -fabric-state /var/lib/netseer/ring.json
+//
+// A shard is a durable collector plus the admin surface rebalances run
+// through; the coordinator owns the epoch-stamped slot ring and drives
+// membership changes (join/leave/retire) with a durable two-phase record
+// so its own crash mid-rebalance resolves cleanly. See DESIGN.md §11.
 package main
 
 import (
@@ -52,6 +63,13 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "checkpoint (snapshot + log truncate) interval with -data-dir")
 	segmentBytes := flag.Int64("wal-segment-bytes", 8<<20, "write-ahead log segment rotation size")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+	mode := flag.String("mode", "standalone", "standalone | shard | coordinator")
+	shardID := flag.Uint("shard-id", 0, "this shard's ID in the fabric (shard mode)")
+	adminAddr := flag.String("admin", "127.0.0.1:9753", "fabric admin listen address (shard mode)")
+	coordAddr := flag.String("coordinator", "", "coordinator address to join on startup (shard mode; empty: wait to be joined)")
+	fabricListen := flag.String("fabric-listen", "127.0.0.1:9760", "coordinator listen address (coordinator mode)")
+	fabricState := flag.String("fabric-state", "", "coordinator durable state file (coordinator mode)")
+	joinTimeout := flag.Duration("join-timeout", 2*time.Minute, "bound on the whole join rebalance (shard mode with -coordinator)")
 	flag.Parse()
 
 	// The catalog placeholders first, so every canonical series is present
@@ -60,6 +78,27 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterCatalog(reg)
 	obs.RegisterRuntime(reg)
+
+	if *mode != "standalone" {
+		f := shardFlags{
+			ingestAddr: *ingestAddr, queryAddr: *queryAddr, metricsAddr: *metricsAddr,
+			adminAddr: *adminAddr, coordAddr: *coordAddr,
+			fabricListen: *fabricListen, fabricState: *fabricState,
+			dataDir: *dataDir, shardID: *shardID,
+			maxConns: *maxConns, readTimeout: *readTimeout,
+			memBudget: *memBudget, segmentBytes: *segmentBytes,
+			snapshotEvery: *snapshotEvery, joinTimeout: *joinTimeout,
+		}
+		switch *mode {
+		case "shard":
+			runShard(f, reg)
+		case "coordinator":
+			runCoordinator(f, reg)
+		default:
+			log.Fatalf("netseerd: unknown -mode %q (standalone | shard | coordinator)", *mode)
+		}
+		return
+	}
 
 	// With a data dir, recovery runs before the first frame is accepted:
 	// newest snapshot, then the log tail, through the same decoder the

@@ -1,0 +1,45 @@
+package collector
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitteredDelayBounds pins the failover backoff contract: every draw
+// lands in [backoff/2, backoff] — never below half the budget (which
+// would hammer a recovering collector) and never above it (which would
+// stretch the reconnect SLO) — and the draws actually spread across the
+// window instead of collapsing to one point.
+func TestJitteredDelayBounds(t *testing.T) {
+	for _, backoff := range []time.Duration{
+		50 * time.Millisecond,
+		333 * time.Millisecond,
+		time.Second,
+		5 * time.Second,
+	} {
+		lo, hi := backoff/2, backoff
+		min, max := hi, lo
+		for i := 0; i < 2000; i++ {
+			d := jitteredDelay(backoff)
+			if d < lo || d > hi {
+				t.Fatalf("jitteredDelay(%v) = %v, outside [%v, %v]", backoff, d, lo, hi)
+			}
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if spread := max - min; spread < (hi-lo)/4 {
+			t.Errorf("jitteredDelay(%v) spread only %v across 2000 draws; retry storms would stay correlated", backoff, spread)
+		}
+	}
+
+	// Degenerate budgets must not panic (Int63n(0) would) or go negative.
+	for _, backoff := range []time.Duration{1, 2, 3} {
+		if d := jitteredDelay(backoff); d < 0 || d > backoff {
+			t.Fatalf("jitteredDelay(%v) = %v, outside [0, %v]", backoff, d, backoff)
+		}
+	}
+}

@@ -45,6 +45,12 @@ type ClientConfig struct {
 	// promotes the channel back (default 3s). Ignored for
 	// single-endpoint clients.
 	PrimaryRetryInterval time.Duration
+	// PreserveSeq keeps a non-zero Seq already present on a delivered
+	// batch instead of assigning a fresh one. The fabric's drain path
+	// sets it when re-routing another client's pending batches after a
+	// ring change: the original (switch, seq) identity must survive the
+	// re-route, or the destination could store the same batch twice.
+	PreserveSeq bool
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -184,8 +190,14 @@ func (c *Client) Deliver(b *fevent.Batch) {
 		c.droppedBatches.Inc()
 		return
 	}
-	c.nextSeq++
-	b.Seq = c.nextSeq
+	if c.cfg.PreserveSeq && b.Seq != 0 {
+		if b.Seq > c.nextSeq {
+			c.nextSeq = b.Seq
+		}
+	} else {
+		c.nextSeq++
+		b.Seq = c.nextSeq
+	}
 	c.queue = append(c.queue, b)
 	if len(c.queue) > c.cfg.MaxQueue {
 		c.queue = c.queue[1:]
@@ -251,6 +263,34 @@ func (c *Client) Close() error {
 		return fmt.Errorf("collector: closed with %d undelivered batches", n)
 	}
 	return nil
+}
+
+// Takeover stops the client immediately — no graceful drain — and
+// returns every batch it still owes the collector, in-flight window
+// first, in sequence order. The fabric uses it when a ring change
+// retires a shard's client: the pending batches are re-delivered to the
+// new owner through a PreserveSeq client, so their (switch, seq)
+// identities — and therefore dedup — carry across the re-route.
+func (c *Client) Takeover() []*fevent.Batch {
+	c.mu.Lock()
+	c.closed = true
+	c.forced = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	c.cond.Broadcast()
+	<-c.senderDone
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*fevent.Batch, 0, len(c.inflight)+len(c.queue))
+	for i := range c.inflight {
+		out = append(out, c.inflight[i].b)
+	}
+	out = append(out, c.queue...)
+	c.inflight, c.queue = nil, nil
+	return out
 }
 
 // Stats snapshots the channel-health counters.
@@ -367,11 +407,17 @@ func (c *Client) senderLoop() {
 	}
 }
 
+// jitteredDelay draws one backoff sleep: uniform in
+// [backoff/2, backoff], so consecutive retry storms from many exporters
+// decorrelate while the delay never collapses below half the budget.
+func jitteredDelay(backoff time.Duration) time.Duration {
+	return backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+}
+
 // sleepBackoff sleeps the jittered backoff (interruptible by Close) and
 // doubles it up to the cap.
 func (c *Client) sleepBackoff(backoff *time.Duration) {
-	d := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff/2)+1))
-	t := time.NewTimer(d)
+	t := time.NewTimer(jitteredDelay(*backoff))
 	defer t.Stop()
 	select {
 	case <-t.C:

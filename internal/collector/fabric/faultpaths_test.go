@@ -1,0 +1,212 @@
+// Error-surface tests for the fabric: membership guard rails, shard
+// startup failures, the shard admin protocol's rejection paths, and the
+// router's pending-batch re-route when a shard vanishes from membership
+// with deliveries still buffered toward it.
+package fabric_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/collector/fabric"
+	"netseer/internal/collector/wal"
+	"netseer/internal/fevent"
+	"netseer/internal/sim"
+)
+
+// TestMembershipGuards exercises the refusals that keep the ring sane:
+// no duplicate IDs, no removing strangers, never removing the last
+// shard. None of these touch a shard — the fake admin address proves it.
+func TestMembershipGuards(t *testing.T) {
+	only := fabric.ShardInfo{ID: 1, Ingest: []string{"127.0.0.1:1"}, Query: "127.0.0.1:1", Admin: "127.0.0.1:1"}
+	coord, err := fabric.StartCoordinator(fabric.CoordinatorOptions{
+		StatePath:  filepath.Join(t.TempDir(), "coord.json"),
+		ListenAddr: "127.0.0.1:0",
+		Bootstrap:  []fabric.ShardInfo{only},
+		OpTimeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	if _, err := coord.Leave(1); err == nil || !strings.Contains(err.Error(), "last shard") {
+		t.Fatalf("leaving the last shard: err = %v, want the last-shard refusal", err)
+	}
+	if _, err := coord.Leave(9); err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("leaving a stranger: err = %v, want not-a-member", err)
+	}
+	if _, err := coord.Retire(9); err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("retiring a stranger: err = %v, want not-a-member", err)
+	}
+	if _, err := coord.Join(only); err == nil || !strings.Contains(err.Error(), "already a member") {
+		t.Fatalf("joining a duplicate ID: err = %v, want already-a-member", err)
+	}
+	if cfg := coord.Config(); cfg.Epoch != 1 || len(cfg.Shards) != 1 {
+		t.Fatalf("guard refusals moved the ring: epoch %d, %d shards", cfg.Epoch, len(cfg.Shards))
+	}
+}
+
+// TestStartShardFailuresReleaseResources: every constructor failure must
+// come back as an error (not a hang or a panic), with the earlier
+// listeners and the WAL torn down so the directory can be reopened.
+func TestStartShardFailuresReleaseResources(t *testing.T) {
+	bad := "host:port:extra"
+	cases := []struct {
+		name string
+		opts fabric.ShardOptions
+	}{
+		{"bad ingest addr", fabric.ShardOptions{IngestAddr: bad, QueryAddr: "127.0.0.1:0", AdminAddr: "127.0.0.1:0"}},
+		{"bad query addr", fabric.ShardOptions{IngestAddr: "127.0.0.1:0", QueryAddr: bad, AdminAddr: "127.0.0.1:0"}},
+		{"bad admin addr", fabric.ShardOptions{IngestAddr: "127.0.0.1:0", QueryAddr: "127.0.0.1:0", AdminAddr: bad}},
+	}
+	for _, tc := range cases {
+		tc.opts.ID = 1
+		tc.opts.Dir = filepath.Join(t.TempDir(), "s")
+		tc.opts.WAL = wal.Options{NoSync: true}
+		if _, err := fabric.StartShard(tc.opts); err == nil {
+			t.Errorf("%s: StartShard succeeded", tc.name)
+			continue
+		}
+		// The failure must not leave the WAL locked or half-made: a clean
+		// retry with good addresses works in the same directory.
+		tc.opts.IngestAddr, tc.opts.QueryAddr, tc.opts.AdminAddr = "127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"
+		n, err := fabric.StartShard(tc.opts)
+		if err != nil {
+			t.Errorf("%s: retry after failure: %v", tc.name, err)
+			continue
+		}
+		n.Close()
+	}
+
+	// A data dir that cannot be created is a startup error too.
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fabric.StartShard(fabric.ShardOptions{
+		ID: 1, Dir: filepath.Join(file, "nested"),
+		IngestAddr: "127.0.0.1:0", QueryAddr: "127.0.0.1:0", AdminAddr: "127.0.0.1:0",
+	}); err == nil {
+		t.Error("StartShard under a regular file succeeded")
+	}
+}
+
+// TestShardAdminProtocolErrors drives the admin port with the requests a
+// buggy or stale coordinator might send: each is rejected in-band and the
+// connection keeps serving.
+func TestShardAdminProtocolErrors(t *testing.T) {
+	n := startShard(t, 1, t.TempDir())
+	defer n.Close()
+
+	conn, err := net.Dial("tcp", n.AdminAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	sc := bufio.NewScanner(conn)
+	roundTrip := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatalf("send %q: %v", line, err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no response to %q: %v", line, sc.Err())
+		}
+		return sc.Text()
+	}
+
+	if resp := roundTrip(`{"op":"wat"}`); !strings.Contains(resp, "unknown op") {
+		t.Fatalf("unknown op: %q", resp)
+	}
+	if resp := roundTrip(`{broken`); !strings.Contains(resp, "bad request") {
+		t.Fatalf("malformed JSON: %q", resp)
+	}
+	if resp := roundTrip(`{"op":"apply"}`); !strings.Contains(resp, "missing config") {
+		t.Fatalf("config-less apply: %q", resp)
+	}
+	if resp := roundTrip(`{"op":"import","rb":7,"events":"!!!not-base64"}`); !strings.Contains(resp, "bad events") {
+		t.Fatalf("bad events blob: %q", resp)
+	}
+	if resp := roundTrip(`{"op":"import","rb":7,"seen":"!!!not-base64"}`); !strings.Contains(resp, "bad seen") {
+		t.Fatalf("bad seen blob: %q", resp)
+	}
+	// After all that abuse, the node still answers a real op.
+	if resp := roundTrip(`{"op":"ping"}`); !strings.Contains(resp, `"ok":true`) {
+		t.Fatalf("ping after errors: %q", resp)
+	}
+
+	// A stale apply (epoch behind what the shard already runs) is refused.
+	live := fabric.Config{Epoch: 5, Shards: []fabric.ShardInfo{n.Info()}}
+	for s := range live.Slots {
+		live.Slots[s] = 1
+	}
+	if resp := roundTrip(`{"op":"apply","config":` + string(live.Encode()) + `}`); !strings.Contains(resp, `"ok":true`) {
+		t.Fatalf("apply epoch 5: %q", resp)
+	}
+	stale := live
+	stale.Epoch = 3
+	if resp := roundTrip(`{"op":"apply","config":` + string(stale.Encode()) + `}`); !strings.Contains(resp, "behind applied") {
+		t.Fatalf("stale apply: %q", resp)
+	}
+}
+
+// TestRouterReroutesPendingOnMembershipDrop: batches buffered toward a
+// shard that never answers must survive that shard's removal from the
+// ring — ApplyConfig takes the dead client's queue over and re-routes it
+// whole (seqs preserved) to the slots' new owner.
+func TestRouterReroutesPendingOnMembershipDrop(t *testing.T) {
+	live := startShard(t, 1, t.TempDir())
+	defer live.Close()
+
+	// Shard 2 exists only as an address nothing listens on: deliveries
+	// routed to it buffer in the client and go nowhere.
+	dead := fabric.ShardInfo{ID: 2, Ingest: []string{pickAddr(t)}, Query: "127.0.0.1:1", Admin: "127.0.0.1:1"}
+	shards := []fabric.ShardInfo{live.Info(), dead}
+	cfg := fabric.Config{Epoch: 1, Shards: shards, Slots: fabric.AssignSlots(shards)}
+
+	r := fabric.NewRouter(cfg, collector.ClientConfig{})
+	defer r.Close()
+	var ref []fevent.Event
+	for b := 0; b < 20; b++ {
+		evs := make([]fevent.Event, 6)
+		for i := range evs {
+			evs[i] = eventN(b*6+i, uint16(b%4+1), sim.Time(2000+b))
+		}
+		r.Deliver(&fevent.Batch{SwitchID: uint16(b%4 + 1), Timestamp: sim.Time(2000 + b), Events: evs})
+		ref = append(ref, evs...)
+	}
+
+	// Epoch 2 drops shard 2; everything it was owed belongs to shard 1 now.
+	next := fabric.Config{Epoch: 2, Shards: []fabric.ShardInfo{live.Info()}}
+	next.Slots = fabric.AssignSlots(next.Shards)
+	r.ApplyConfig(next)
+	if err := r.Flush(); err != nil {
+		t.Fatalf("flush after re-route: %v", err)
+	}
+
+	got := live.Store().Query(collector.Filter{})
+	if len(got) != len(ref) {
+		t.Fatalf("surviving shard stores %d events after re-route, want %d", len(got), len(ref))
+	}
+	counts := make(map[string]int, len(ref))
+	for i := range ref {
+		counts[string(collector.AppendWireEvent(nil, &ref[i]))]++
+	}
+	for i := range got {
+		counts[string(collector.AppendWireEvent(nil, &got[i]))]--
+	}
+	for k, n := range counts {
+		if n != 0 {
+			t.Fatalf("re-route multiset off by %d on identity %x", n, k[:8])
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/fevent"
+)
+
+// MergedResult is one fabric-wide query answer.
+type MergedResult struct {
+	Events []fevent.Event
+	// Partial is set when at least one shard did not answer; the events
+	// are then a correct view of the shards that did, not of the fabric.
+	Partial bool
+	// ShardsOK / ShardsTotal report fan-out coverage.
+	ShardsOK, ShardsTotal int
+}
+
+// shardCopies counts one identity's copies on each shard.
+type shardCopies struct {
+	exemplar fevent.Event
+	per      map[uint32]int
+}
+
+// FanOutQuery runs one export query against every shard in cfg, merges
+// the answers time-ordered, and deduplicates crash-window double copies
+// with an owner-wins rule: for each exact event identity (every
+// wire-visible field, timestamp included), copies on the slot's owner
+// shard are canonical, and a non-owner shard's copies are suppressed up
+// to the owner's count — they are the unfenced (or unaborted) side of a
+// handoff whose other side already holds the same events. Copies beyond
+// the owner's count, and identities the owner lacks entirely, are
+// misplaced uniques parked by a re-route or a pre-fence arrival; they
+// are real events and survive the merge. filterArgs is the query
+// argument string ("switch=3 type=drop"), empty for everything.
+func FanOutQuery(cfg Config, filterArgs string, timeout time.Duration) MergedResult {
+	res := MergedResult{ShardsTotal: len(cfg.Shards)}
+	merged := make(map[string]*shardCopies)
+	for _, s := range cfg.Shards {
+		evs, err := queryShardExport(s.Query, filterArgs, timeout)
+		if err != nil {
+			res.Partial = true
+			continue
+		}
+		res.ShardsOK++
+		for i := range evs {
+			key := identityKey(&evs[i])
+			sc := merged[key]
+			if sc == nil {
+				sc = &shardCopies{exemplar: evs[i], per: make(map[uint32]int)}
+				merged[key] = sc
+			}
+			sc.per[s.ID]++
+		}
+	}
+	for _, sc := range merged {
+		e := sc.exemplar
+		owner := cfg.Slots[SlotOf(e.SwitchID, e.Flow)]
+		m := sc.per[owner]
+		total := m
+		for id, n := range sc.per {
+			if id != owner && n > m {
+				total += n - m
+			}
+		}
+		for i := 0; i < total; i++ {
+			res.Events = append(res.Events, e)
+		}
+	}
+	sort.Slice(res.Events, func(i, j int) bool {
+		a, b := &res.Events[i], &res.Events[j]
+		if a.Timestamp != b.Timestamp {
+			return a.Timestamp < b.Timestamp
+		}
+		if a.SwitchID != b.SwitchID {
+			return a.SwitchID < b.SwitchID
+		}
+		return identityKey(a) < identityKey(b)
+	})
+	return res
+}
+
+// identityKey renders an event's full wire identity as a map key.
+func identityKey(e *fevent.Event) string {
+	return string(collector.AppendWireEvent(nil, e))
+}
+
+// queryShardExport runs one "export" query against a shard query
+// endpoint and decodes the base64 wire events.
+func queryShardExport(addr, filterArgs string, timeout time.Duration) ([]fevent.Event, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	cmd := "export"
+	if strings.TrimSpace(filterArgs) != "" {
+		cmd += " " + strings.TrimSpace(filterArgs)
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return nil, err
+	}
+	var out []fevent.Event
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "." {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "!") {
+			return nil, fmt.Errorf("fabric: shard %s: %s", addr, strings.TrimSpace(line[1:]))
+		}
+		blob, err := base64.StdEncoding.DecodeString(line)
+		if err != nil {
+			return nil, err
+		}
+		e, err := collector.DecodeWireEvent(blob)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("fabric: shard %s closed mid-response", addr)
+}

@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+
+	"netseer/internal/collector"
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+func testEvents() []fevent.Event {
+	mk := func(i int) pkt.FlowKey {
+		return pkt.FlowKey{SrcIP: pkt.IP(10, 0, 0, byte(i)), DstIP: pkt.IP(10, 1, 0, 1),
+			SrcPort: uint16(1000 + i), DstPort: 80, Proto: 6}
+	}
+	return []fevent.Event{
+		{Type: fevent.TypeDrop, Flow: mk(1), DropCode: fevent.DropNoRoute,
+			SwitchID: 3, Timestamp: sim.Time(100), IngressPort: 1, EgressPort: 2, Count: 4},
+		{Type: fevent.TypeCongestion, Flow: mk(2), SwitchID: 5, Timestamp: sim.Time(200),
+			EgressPort: 7, Queue: 1, QueueLatencyUs: 900, Count: 1},
+		{Type: fevent.TypePathChange, Flow: mk(3), SwitchID: 3, Timestamp: sim.Time(300),
+			IngressPort: 2, EgressPort: 9},
+	}
+}
+
+func TestEventBlobRoundtrip(t *testing.T) {
+	evs := testEvents()
+	blob := encodeEvents(evs)
+	if len(blob) != len(evs)*collector.WireEventLen {
+		t.Fatalf("blob is %d bytes, want %d", len(blob), len(evs)*collector.WireEventLen)
+	}
+	got, err := decodeEvents(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		want := collector.AppendWireEvent(nil, &evs[i])
+		back := collector.AppendWireEvent(nil, &got[i])
+		if !bytes.Equal(want, back) {
+			t.Fatalf("event %d identity changed across roundtrip:\n%x\n%x", i, want, back)
+		}
+	}
+	if _, err := decodeEvents(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated event blob decoded without error")
+	}
+}
+
+func TestSeenSetRoundtrip(t *testing.T) {
+	ids := []collector.BatchID{{Switch: 1, Seq: 7}, {Switch: 65535, Seq: 1 << 60}, {Switch: 0, Seq: 0}}
+	got, err := decodeSeenSet(encodeSeenSet(ids))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("decoded %d ids, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("id %d: got %+v want %+v", i, got[i], ids[i])
+		}
+	}
+	if _, err := decodeSeenSet([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged seen set decoded without error")
+	}
+}
+
+func TestRecordFraming(t *testing.T) {
+	if rec := encodeBatchRecord([]byte("payload")); rec[0] != recBatch || string(rec[1:]) != "payload" {
+		t.Fatalf("batch record framing wrong: %q", rec)
+	}
+	m := encodeMark(0x20001, 0xF0)
+	if m[0] != recMark || beUint64(m[1:9]) != 0x20001 || beUint64(m[9:17]) != 0xF0 {
+		t.Fatalf("mark framing wrong: %x", m)
+	}
+	c := encodeRB(recCommit, 42)
+	if c[0] != recCommit || beUint64(c[1:9]) != 42 {
+		t.Fatalf("commit framing wrong: %x", c)
+	}
+	ch := encodeImportChunk(42, chunkSeen, []byte{9, 9})
+	if ch[0] != recImport || beUint64(ch[1:9]) != 42 || ch[9] != chunkSeen || len(ch) != 12 {
+		t.Fatalf("chunk framing wrong: %x", ch)
+	}
+}
+
+func TestSlotMaskHas(t *testing.T) {
+	var mask uint64 = 1<<0 | 1<<13 | 1<<63
+	for slot := 0; slot < NSlots; slot++ {
+		want := slot == 0 || slot == 13 || slot == 63
+		if slotMaskHas(mask, slot) != want {
+			t.Fatalf("slot %d: has=%v want %v", slot, slotMaskHas(mask, slot), want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package fabric shards the durable collector across N nodes while
+// keeping the oracle's exactly-once guarantee through membership churn.
+//
+// The key space is a consistent-hash ring over (switch, flow key),
+// quantised into NSlots slots. A thin coordinator owns the authoritative
+// slot→shard assignment as an epoch-stamped Config; exporters split each
+// batch by slot owner (router.go), queries fan out to every shard and
+// merge with owner-wins dedup (query.go), and rebalances move WAL-backed
+// slot ranges between shards behind a cutover barrier (shard.go,
+// coordinator.go): the source marks and ships, the destination commits
+// durably, and only then does the coordinator publish the new epoch. A
+// crash at any point leaves both copies resolvable — the fence removes
+// exactly the captured multiset, so recovery plus the owner-wins merge
+// can never lose or double-count an acked event.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"netseer/internal/pkt"
+)
+
+// NSlots quantises the hash ring. 64 slots keep the assignment table one
+// machine word (a slot set is a uint64 bitmask in WAL mark records) while
+// still spreading load: with vnode placement the largest shard owns only
+// a few slots more than the smallest.
+const NSlots = 64
+
+// vnodesPerShard is how many points each shard projects onto the ring;
+// more vnodes flatten the assignment at the cost of churn granularity.
+const vnodesPerShard = 16
+
+// SlotOf maps one (switch, flow) pair to its ring slot. The switch ID is
+// folded in with a Weyl constant so one heavy switch's flows still spread
+// across shards.
+func SlotOf(sw uint16, flow pkt.FlowKey) int {
+	return int((flow.Hash() ^ (uint32(sw) * 0x9e3779b1)) % NSlots)
+}
+
+// ShardInfo names one shard and its three listening surfaces.
+type ShardInfo struct {
+	ID uint32 `json:"id"`
+	// Ingest is the failover-ordered endpoint list exporters dial
+	// (reusing the multi-endpoint client; [0] is the primary).
+	Ingest []string `json:"ingest"`
+	// Query serves the line-oriented query protocol (fan-out target).
+	Query string `json:"query"`
+	// Admin serves the fabric admin protocol (apply/mark/import/fence).
+	Admin string `json:"admin"`
+}
+
+// Config is one epoch of ring membership: which shards exist and which
+// shard owns each slot. Configs are immutable once published; any change
+// is a new epoch.
+type Config struct {
+	Epoch  uint64         `json:"epoch"`
+	Shards []ShardInfo    `json:"shards"`
+	Slots  [NSlots]uint32 `json:"slots"`
+}
+
+// Shard returns the ShardInfo with the given ID.
+func (c *Config) Shard(id uint32) (ShardInfo, bool) {
+	for _, s := range c.Shards {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return ShardInfo{}, false
+}
+
+// Owner returns the shard owning the given slot.
+func (c *Config) Owner(slot int) (ShardInfo, bool) {
+	return c.Shard(c.Slots[slot])
+}
+
+// OwnerOf returns the shard owning one (switch, flow) pair.
+func (c *Config) OwnerOf(sw uint16, flow pkt.FlowKey) (ShardInfo, bool) {
+	return c.Owner(SlotOf(sw, flow))
+}
+
+// Encode serialises the config as JSON.
+func (c *Config) Encode() []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(err) // static struct, cannot fail
+	}
+	return b
+}
+
+// DecodeConfig parses an encoded config and validates that every slot
+// names a present shard.
+func DecodeConfig(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("fabric: bad config: %w", err)
+	}
+	for slot, id := range c.Slots {
+		if _, ok := c.Shard(id); !ok {
+			return c, fmt.Errorf("fabric: slot %d assigned to unknown shard %d", slot, id)
+		}
+	}
+	return c, nil
+}
+
+// ringPoint hashes arbitrary bytes onto the uint32 circle. CRC-32C is
+// already in the binary (flow hashing) and mixes well enough for vnode
+// placement.
+func ringPoint(b []byte) uint32 {
+	return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+}
+
+// AssignSlots computes the slot→shard assignment for a shard set by
+// consistent hashing: each shard projects vnodesPerShard points onto the
+// circle and each slot belongs to the first point clockwise from its own
+// hash. The assignment depends only on the shard IDs present, so adding
+// or removing one shard moves only the slots whose nearest point changed
+// — the property that keeps rebalances proportional to the churn.
+func AssignSlots(shards []ShardInfo) [NSlots]uint32 {
+	var out [NSlots]uint32
+	if len(shards) == 0 {
+		return out
+	}
+	type point struct {
+		at uint32
+		id uint32
+	}
+	points := make([]point, 0, len(shards)*vnodesPerShard)
+	var buf [8]byte
+	for _, s := range shards {
+		for v := 0; v < vnodesPerShard; v++ {
+			binary.BigEndian.PutUint32(buf[0:4], s.ID)
+			binary.BigEndian.PutUint32(buf[4:8], uint32(v))
+			points = append(points, point{at: ringPoint(buf[:]), id: s.ID})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].at != points[j].at {
+			return points[i].at < points[j].at
+		}
+		return points[i].id < points[j].id // ties resolved stably
+	})
+	var sbuf [4]byte
+	for slot := 0; slot < NSlots; slot++ {
+		binary.BigEndian.PutUint32(sbuf[:], uint32(slot)|0x80000000)
+		at := ringPoint(sbuf[:])
+		i := sort.Search(len(points), func(i int) bool { return points[i].at >= at })
+		if i == len(points) {
+			i = 0
+		}
+		out[slot] = points[i].id
+	}
+	return out
+}
+
+// MovedSlots returns, per (source, destination) shard pair, the bitmask
+// of slots whose owner changes from old to target — the unit of work a
+// rebalance hands off.
+func MovedSlots(old, target *Config) map[[2]uint32]uint64 {
+	out := make(map[[2]uint32]uint64)
+	for slot := 0; slot < NSlots; slot++ {
+		from, to := old.Slots[slot], target.Slots[slot]
+		if from != to {
+			out[[2]uint32{from, to}] |= 1 << uint(slot)
+		}
+	}
+	return out
+}

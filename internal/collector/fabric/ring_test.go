@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"testing"
+
+	"netseer/internal/pkt"
+)
+
+func shardN(id uint32) ShardInfo {
+	return ShardInfo{ID: id, Ingest: []string{"ingest"}, Query: "query", Admin: "admin"}
+}
+
+func shardSet(ids ...uint32) []ShardInfo {
+	out := make([]ShardInfo, len(ids))
+	for i, id := range ids {
+		out[i] = shardN(id)
+	}
+	return out
+}
+
+func TestSlotOfDeterministicAndInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		flow := pkt.FlowKey{SrcIP: pkt.IP(10, 0, byte(i>>8), byte(i)), DstIP: pkt.IP(10, 1, 0, 1),
+			SrcPort: uint16(i), DstPort: 80, Proto: 6}
+		sw := uint16(i % 7)
+		s := SlotOf(sw, flow)
+		if s < 0 || s >= NSlots {
+			t.Fatalf("slot %d out of range for flow %d", s, i)
+		}
+		if again := SlotOf(sw, flow); again != s {
+			t.Fatalf("SlotOf not deterministic: %d then %d", s, again)
+		}
+	}
+}
+
+func TestSlotOfSpreadsOneSwitch(t *testing.T) {
+	// One heavy switch's flows must not collapse onto a few slots.
+	seen := make(map[int]bool)
+	for i := 0; i < 4096; i++ {
+		flow := pkt.FlowKey{SrcIP: uint32(i * 2654435761), DstIP: pkt.IP(10, 1, 0, 1),
+			SrcPort: uint16(i), DstPort: 443, Proto: 6}
+		seen[SlotOf(3, flow)] = true
+	}
+	if len(seen) < NSlots/2 {
+		t.Fatalf("4096 flows of one switch hit only %d/%d slots", len(seen), NSlots)
+	}
+}
+
+func TestAssignSlotsCoversEveryShard(t *testing.T) {
+	shards := shardSet(1, 2, 3)
+	slots := AssignSlots(shards)
+	owned := make(map[uint32]int)
+	for slot, id := range slots {
+		found := false
+		for _, s := range shards {
+			if s.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("slot %d assigned to non-member shard %d", slot, id)
+		}
+		owned[id]++
+	}
+	for _, s := range shards {
+		if owned[s.ID] == 0 {
+			t.Fatalf("shard %d owns no slots: %v", s.ID, owned)
+		}
+	}
+	if again := AssignSlots(shards); again != slots {
+		t.Fatal("AssignSlots not deterministic")
+	}
+}
+
+func TestAssignSlotsMinimalMovementOnJoin(t *testing.T) {
+	old := AssignSlots(shardSet(1, 2, 3))
+	grown := AssignSlots(shardSet(1, 2, 3, 4))
+	moved := 0
+	for slot := 0; slot < NSlots; slot++ {
+		if old[slot] != grown[slot] {
+			moved++
+			if grown[slot] != 4 {
+				t.Fatalf("slot %d moved %d→%d, not to the joining shard",
+					slot, old[slot], grown[slot])
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joining shard 4 gained no slots")
+	}
+	if moved > NSlots/2 {
+		t.Fatalf("join moved %d/%d slots — not consistent hashing", moved, NSlots)
+	}
+}
+
+func TestAssignSlotsMinimalMovementOnLeave(t *testing.T) {
+	old := AssignSlots(shardSet(1, 2, 3, 4))
+	shrunk := AssignSlots(shardSet(1, 2, 3))
+	for slot := 0; slot < NSlots; slot++ {
+		if old[slot] != shrunk[slot] && old[slot] != 4 {
+			t.Fatalf("slot %d moved %d→%d though shard %d did not leave",
+				slot, old[slot], shrunk[slot], old[slot])
+		}
+	}
+}
+
+func TestMovedSlotsMatchesAssignmentDiff(t *testing.T) {
+	oldCfg := Config{Epoch: 1, Shards: shardSet(1, 2), Slots: AssignSlots(shardSet(1, 2))}
+	newShards := shardSet(1, 2, 3)
+	newCfg := Config{Epoch: 2, Shards: newShards, Slots: AssignSlots(newShards)}
+	moved := MovedSlots(&oldCfg, &newCfg)
+	var covered uint64
+	for pair, mask := range moved {
+		if mask == 0 {
+			t.Fatalf("pair %v has empty mask", pair)
+		}
+		if covered&mask != 0 {
+			t.Fatalf("pair %v overlaps another pair's slots", pair)
+		}
+		covered |= mask
+		for slot := 0; slot < NSlots; slot++ {
+			if mask&(1<<uint(slot)) == 0 {
+				continue
+			}
+			if oldCfg.Slots[slot] != pair[0] || newCfg.Slots[slot] != pair[1] {
+				t.Fatalf("slot %d in pair %v but owners are %d→%d",
+					slot, pair, oldCfg.Slots[slot], newCfg.Slots[slot])
+			}
+		}
+	}
+	for slot := 0; slot < NSlots; slot++ {
+		changed := oldCfg.Slots[slot] != newCfg.Slots[slot]
+		inMask := covered&(1<<uint(slot)) != 0
+		if changed != inMask {
+			t.Fatalf("slot %d: changed=%v but masked=%v", slot, changed, inMask)
+		}
+	}
+}
+
+func TestConfigEncodeDecodeRoundtrip(t *testing.T) {
+	shards := shardSet(7, 9)
+	cfg := Config{Epoch: 42, Shards: shards, Slots: AssignSlots(shards)}
+	got, err := DecodeConfig(cfg.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Epoch != cfg.Epoch || got.Slots != cfg.Slots || len(got.Shards) != len(cfg.Shards) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, cfg)
+	}
+}
+
+func TestDecodeConfigRejectsUnknownOwner(t *testing.T) {
+	shards := shardSet(1, 2)
+	cfg := Config{Epoch: 1, Shards: shards, Slots: AssignSlots(shards)}
+	cfg.Slots[5] = 99 // not a member
+	if _, err := DecodeConfig(cfg.Encode()); err == nil {
+		t.Fatal("config with a slot owned by a non-member decoded without error")
+	}
+}
+
+func TestOwnerOfAgreesWithSlots(t *testing.T) {
+	shards := shardSet(1, 2, 3)
+	cfg := Config{Epoch: 1, Shards: shards, Slots: AssignSlots(shards)}
+	flow := pkt.FlowKey{SrcIP: pkt.IP(10, 0, 0, 1), DstIP: pkt.IP(10, 0, 0, 2), SrcPort: 1, DstPort: 2, Proto: 17}
+	s, ok := cfg.OwnerOf(5, flow)
+	if !ok {
+		t.Fatal("no owner for a fully assigned ring")
+	}
+	if want := cfg.Slots[SlotOf(5, flow)]; s.ID != want {
+		t.Fatalf("OwnerOf returned shard %d, slot table says %d", s.ID, want)
+	}
+}

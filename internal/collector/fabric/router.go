@@ -1,0 +1,251 @@
+package fabric
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/fevent"
+	"netseer/internal/obs"
+)
+
+// Router is the exporter-side half of the fabric: a core.EventSink that
+// splits each batch by slot owner and ships every piece through that
+// shard's own reliable multi-endpoint client. Sequence numbers — and
+// therefore (switch, seq) dedup — are per shard client, so retransmits
+// within one shard behave exactly as in the single-collector channel.
+//
+// On a config change, clients of removed shards are taken over: their
+// pending batches are re-delivered whole (never re-split) to the new
+// owner of their first event's slot through a PreserveSeq drain client.
+// Keeping the original sequence numbers means a batch the old shard had
+// stored-but-not-acked deduplicates at the new owner against the seen
+// set the handoff shipped — the epoch fence that makes re-routing unable
+// to double-deliver. Events whose slot moved while their shard survives
+// simply land misplaced and stay queryable through the fan-out merge.
+type Router struct {
+	ccfg collector.ClientConfig
+
+	mu      sync.Mutex
+	cfg     Config
+	clients map[uint32]*collector.Client // per-shard, fresh seq space
+	drains  map[uint32]*collector.Client // per-shard, PreserveSeq re-routing
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	reg      *obs.Registry
+	routed   map[uint32]*obs.Counter
+	rerouted obs.Counter
+	partial  obs.Counter // unroutable events (no owner in config)
+}
+
+// NewRouter creates a router for the given initial config. ccfg tunes
+// every per-shard client.
+func NewRouter(cfg Config, ccfg collector.ClientConfig) *Router {
+	r := &Router{
+		ccfg:    ccfg,
+		cfg:     cfg,
+		clients: make(map[uint32]*collector.Client),
+		drains:  make(map[uint32]*collector.Client),
+		routed:  make(map[uint32]*obs.Counter),
+		stop:    make(chan struct{}),
+	}
+	return r
+}
+
+// RegisterMetrics exposes the routing instruments on reg. Per-shard
+// routed counters appear as shards are first routed to.
+func (r *Router) RegisterMetrics(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reg = reg
+	reg.RegisterCounter(obs.MFabricReroutedBatches, "Batches re-routed whole after a ring change removed their shard.", &r.rerouted)
+	reg.GaugeFunc(obs.MFabricEpoch, "Ring config epoch the router last applied.", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(r.cfg.Epoch)
+	})
+}
+
+// Epoch returns the config epoch the router is operating under.
+func (r *Router) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.Epoch
+}
+
+// clientLocked returns (creating if needed) the delivery client for a
+// shard. Callers hold r.mu.
+func (r *Router) clientLocked(s ShardInfo, preserve bool) *collector.Client {
+	m := r.clients
+	if preserve {
+		m = r.drains
+	}
+	if c, ok := m[s.ID]; ok {
+		return c
+	}
+	ccfg := r.ccfg
+	ccfg.PreserveSeq = preserve
+	c := collector.NewClientEndpoints(s.Ingest, ccfg)
+	m[s.ID] = c
+	if r.reg != nil && !preserve {
+		ctr := &obs.Counter{}
+		r.routed[s.ID] = ctr
+		r.reg.RegisterCounter(obs.MFabricRoutedBatches, "Batches routed to a shard by the slot ring.", ctr,
+			obs.L("shard", strconv.Itoa(int(s.ID))))
+	}
+	return c
+}
+
+// Deliver implements core.EventSink: split the batch by slot owner and
+// deliver each piece to its shard. Events with no owner (config without
+// their slot's shard — cannot happen with a validated config) are
+// dropped and counted.
+func (r *Router) Deliver(b *fevent.Batch) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	parts := make(map[uint32][]fevent.Event)
+	for i := range b.Events {
+		e := &b.Events[i]
+		owner := r.cfg.Slots[SlotOf(e.SwitchID, e.Flow)]
+		parts[owner] = append(parts[owner], *e)
+	}
+	type delivery struct {
+		c *collector.Client
+		b *fevent.Batch
+	}
+	out := make([]delivery, 0, len(parts))
+	for id, evs := range parts {
+		s, ok := r.cfg.Shard(id)
+		if !ok {
+			r.partial.Add(uint64(len(evs)))
+			continue
+		}
+		out = append(out, delivery{
+			c: r.clientLocked(s, false),
+			b: &fevent.Batch{SwitchID: b.SwitchID, Timestamp: b.Timestamp, Events: evs},
+		})
+		if ctr := r.routed[id]; ctr != nil {
+			ctr.Inc()
+		}
+	}
+	r.mu.Unlock()
+	for _, d := range out {
+		d.c.Deliver(d.b)
+	}
+}
+
+// ApplyConfig switches the router to a newer epoch. Clients of shards no
+// longer in membership are taken over and their pending batches
+// re-routed whole to the new owner of their first event's slot.
+func (r *Router) ApplyConfig(cfg Config) {
+	r.mu.Lock()
+	if r.closed || cfg.Epoch <= r.cfg.Epoch {
+		r.mu.Unlock()
+		return
+	}
+	r.cfg = cfg
+	var retired []*collector.Client
+	for id, c := range r.clients {
+		if _, ok := cfg.Shard(id); !ok {
+			retired = append(retired, c)
+			delete(r.clients, id)
+			delete(r.routed, id)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, c := range retired {
+		for _, b := range c.Takeover() {
+			if len(b.Events) == 0 {
+				continue
+			}
+			e := &b.Events[0]
+			r.mu.Lock()
+			s, ok := r.cfg.Owner(SlotOf(e.SwitchID, e.Flow))
+			var dc *collector.Client
+			if ok {
+				dc = r.clientLocked(s, true)
+			}
+			r.mu.Unlock()
+			if dc != nil {
+				dc.Deliver(b)
+				r.rerouted.Inc()
+			}
+		}
+	}
+}
+
+// WatchCoordinator polls the coordinator for config changes every
+// interval until Close.
+func (r *Router) WatchCoordinator(addr string, interval time.Duration) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				if cfg, err := FetchConfig(addr, 5*time.Second); err == nil {
+					r.ApplyConfig(cfg)
+				}
+			}
+		}
+	}()
+}
+
+// Flush blocks until every routed batch is acked by its shard (or a
+// client's flush deadline passes); the first error wins.
+func (r *Router) Flush() error {
+	r.mu.Lock()
+	cs := make([]*collector.Client, 0, len(r.clients)+len(r.drains))
+	for _, c := range r.clients {
+		cs = append(cs, c)
+	}
+	for _, c := range r.drains {
+		cs = append(cs, c)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, c := range cs {
+		if err := c.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close drains and closes every per-shard client.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.stop)
+	cs := make([]*collector.Client, 0, len(r.clients)+len(r.drains))
+	for _, c := range r.clients {
+		cs = append(cs, c)
+	}
+	for _, c := range r.drains {
+		cs = append(cs, c)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	var first error
+	for _, c := range cs {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,633 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"netseer/internal/collector"
+	"netseer/internal/collector/wal"
+	"netseer/internal/fevent"
+	"netseer/internal/obs"
+)
+
+// rbState tracks one open transfer on this node: the captured (source)
+// or imported (destination) event multiset, which the fence removes and
+// the release forgets.
+type rbState struct {
+	mask     uint64 // source side: the marked slot set (0 on imports)
+	events   []fevent.Event
+	imported bool
+}
+
+// ShardOptions configures one shard node.
+type ShardOptions struct {
+	ID  uint32
+	Dir string // WAL + config directory (created if missing)
+
+	// Listen addresses ("127.0.0.1:0" for tests).
+	IngestAddr string
+	QueryAddr  string
+	AdminAddr  string
+
+	// IngestListener, when non-nil, serves ingest on this listener
+	// instead of binding IngestAddr — chaos tests interpose
+	// fault-injected wires here.
+	IngestListener net.Listener
+
+	// Server carries the ingest tuning forwarded to collector.Server
+	// (WAL and WALEncode are overwritten — the shard owns its log).
+	Server collector.ServerConfig
+	// WAL tunes the log (NoSync for tests that don't need crash safety).
+	WAL wal.Options
+	// Registry, when non-nil, receives the shard's instruments.
+	Registry *obs.Registry
+
+	// StageDelay is a test hook: sleep this long inside the import
+	// handler between durability and the reply, widening the window a
+	// SIGKILL lands in mid-rebalance.
+	StageDelay time.Duration
+}
+
+// ShardNode is one member of the collector fabric: a durable collector
+// (WAL-backed store + ingest server + query server) plus the admin
+// surface the coordinator drives rebalances through. All rebalance
+// bookkeeping is logged with the record envelope in records.go, so a
+// SIGKILL at any point recovers to a state the coordinator can resolve.
+type ShardNode struct {
+	ID  uint32
+	dir string
+
+	wal   *wal.WAL
+	store *collector.Store
+	srv   *collector.Server
+	qsrv  *collector.QueryServer
+	admin net.Listener
+
+	mu     sync.Mutex
+	cfg    Config
+	openRB map[uint64]*rbState
+	closed bool
+	wg     sync.WaitGroup
+
+	stageDelay time.Duration
+
+	importedEvents obs.Counter
+	fencedEvents   obs.Counter
+	rebalanceBytes obs.Counter
+}
+
+// configPath is where a shard persists the last applied ring config.
+func configPath(dir string) string { return filepath.Join(dir, "ring-config.json") }
+
+// recoverShard rebuilds a shard's store and open-transfer table from its
+// WAL, decoding the record envelope: batches replay through the normal
+// Deliver path, transfer chunks buffer until their commit seals them (as
+// a source capture when an 'M' opened the rb here, as a destination
+// import otherwise), and fence/release apply as they did live. The
+// result matches the pre-crash state for every committed operation;
+// uncommitted marks and imports vanish whole and are retried from
+// scratch by the coordinator.
+func recoverShard(w *wal.WAL) (*collector.Store, map[uint64]*rbState, error) {
+	store := collector.NewStore()
+	if snap := w.Snapshot(); snap != nil {
+		if err := store.LoadSnapshot(snap); err != nil {
+			return nil, nil, fmt.Errorf("fabric: recovering snapshot: %w", err)
+		}
+	}
+	open := make(map[uint64]*rbState)
+	marks := make(map[uint64]uint64) // rb → mask (source role)
+	chunks := make(map[uint64][][]byte)
+	_, err := w.Replay(func(rec []byte) error {
+		if len(rec) == 0 {
+			return errors.New("fabric: empty WAL record")
+		}
+		tag, body := rec[0], rec[1:]
+		switch tag {
+		case recBatch:
+			var b fevent.Batch
+			if err := collector.DecodePayload(body, &b); err != nil {
+				return fmt.Errorf("fabric: replaying batch record: %w", err)
+			}
+			store.Deliver(&b)
+			return nil
+		}
+		if len(body) < 8 {
+			return fmt.Errorf("fabric: record %q truncated", tag)
+		}
+		rb := beUint64(body[:8])
+		switch tag {
+		case recMark:
+			if len(body) < 16 {
+				return errors.New("fabric: mark record truncated")
+			}
+			marks[rb] = beUint64(body[8:16])
+			chunks[rb] = nil // a re-marked rb starts its capture over
+		case recImport:
+			if len(body) < 9 {
+				return errors.New("fabric: transfer chunk truncated")
+			}
+			chunks[rb] = append(chunks[rb], append([]byte(nil), body[8:]...))
+		case recCommit:
+			mask, isSource := marks[rb]
+			st := &rbState{mask: mask, imported: !isSource}
+			for _, ch := range chunks[rb] {
+				kind, blob := ch[0], ch[1:]
+				switch kind {
+				case chunkSeen:
+					if isSource {
+						return errors.New("fabric: seen chunk in a source capture")
+					}
+					ids, err := decodeSeenSet(blob)
+					if err != nil {
+						return err
+					}
+					store.MergeSeen(ids)
+				case chunkEvents:
+					evs, err := decodeEvents(blob)
+					if err != nil {
+						return err
+					}
+					if !isSource {
+						store.AddEvents(evs)
+					}
+					st.events = append(st.events, evs...)
+				default:
+					return fmt.Errorf("fabric: unknown transfer chunk kind %q", kind)
+				}
+			}
+			delete(chunks, rb)
+			delete(marks, rb)
+			open[rb] = st
+		case recFence:
+			if st := open[rb]; st != nil {
+				store.RemoveEvents(st.events)
+				delete(open, rb)
+			}
+		case recRelease:
+			delete(open, rb)
+		default:
+			return fmt.Errorf("fabric: unknown WAL record tag %q", tag)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, open, nil
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for _, c := range b[:8] {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}
+
+// captureSlots copies every stored event whose slot is in the mask.
+func captureSlots(store *collector.Store, mask uint64) []fevent.Event {
+	return store.ExportWhere(func(e *fevent.Event) bool {
+		return slotMaskHas(mask, SlotOf(e.SwitchID, e.Flow))
+	})
+}
+
+// StartShard opens (or recovers) a shard node in opts.Dir and starts its
+// ingest, query and admin listeners.
+func StartShard(opts ShardOptions) (*ShardNode, error) {
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(opts.Dir, opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	store, open, err := recoverShard(w)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	n := &ShardNode{
+		ID: opts.ID, dir: opts.Dir, wal: w, store: store,
+		openRB: open, stageDelay: opts.StageDelay,
+	}
+	if data, err := os.ReadFile(configPath(opts.Dir)); err == nil {
+		if cfg, err := DecodeConfig(data); err == nil {
+			n.cfg = cfg
+		}
+	}
+
+	scfg := opts.Server
+	scfg.WAL = w
+	scfg.WALEncode = encodeBatchRecord
+	var srv *collector.Server
+	if opts.IngestListener != nil {
+		srv = collector.NewServerOn(store, opts.IngestListener, scfg)
+	} else {
+		srv, err = collector.NewServerConfig(store, opts.IngestAddr, scfg)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	n.srv = srv
+	qsrv, err := collector.NewQueryServerReg(store, opts.QueryAddr, opts.Registry)
+	if err != nil {
+		srv.Close()
+		w.Close()
+		return nil, err
+	}
+	n.qsrv = qsrv
+	admin, err := net.Listen("tcp", opts.AdminAddr)
+	if err != nil {
+		qsrv.Close()
+		srv.Close()
+		w.Close()
+		return nil, err
+	}
+	n.admin = admin
+	if opts.Registry != nil {
+		n.registerMetrics(opts.Registry)
+	}
+	n.wg.Add(1)
+	go n.adminLoop()
+	return n, nil
+}
+
+func (n *ShardNode) registerMetrics(r *obs.Registry) {
+	shard := obs.L("shard", strconv.Itoa(int(n.ID)))
+	n.srv.RegisterMetrics(r, shard)
+	n.store.RegisterMetrics(r)
+	r.RegisterCounter(obs.MFabricImportedEvents, "Events imported from a rebalance handoff.", &n.importedEvents, shard)
+	r.RegisterCounter(obs.MFabricFencedEvents, "Events removed by an epoch fence after handoff.", &n.fencedEvents, shard)
+	r.RegisterCounter(obs.MFabricRebalanceBytes, "Bytes of event payload moved by rebalance handoffs.", &n.rebalanceBytes, shard)
+	r.GaugeFunc(obs.MFabricEpoch, "Ring config epoch this node last applied.", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(n.cfg.Epoch)
+	}, shard)
+}
+
+// IngestAddr returns the ingest listener's address.
+func (n *ShardNode) IngestAddr() string { return n.srv.Addr() }
+
+// QueryAddr returns the query listener's address.
+func (n *ShardNode) QueryAddr() string { return n.qsrv.Addr() }
+
+// AdminAddr returns the admin listener's address.
+func (n *ShardNode) AdminAddr() string { return n.admin.Addr().String() }
+
+// Info assembles this node's ShardInfo from its live listeners.
+func (n *ShardNode) Info() ShardInfo {
+	return ShardInfo{
+		ID:     n.ID,
+		Ingest: []string{n.IngestAddr()},
+		Query:  n.QueryAddr(),
+		Admin:  n.AdminAddr(),
+	}
+}
+
+// Store exposes the underlying store (tests and in-process queries).
+func (n *ShardNode) Store() *collector.Store { return n.store }
+
+// Epoch returns the last applied config epoch.
+func (n *ShardNode) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Epoch
+}
+
+// OpenTransfers lists the rb IDs currently open on this node.
+func (n *ShardNode) OpenTransfers() []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint64, 0, len(n.openRB))
+	for rb := range n.openRB {
+		out = append(out, rb)
+	}
+	return out
+}
+
+// Checkpoint snapshots the store and truncates the WAL — refused while
+// any transfer is open, because a mark buried under a snapshot could no
+// longer recompute its capture at replay.
+func (n *ShardNode) Checkpoint() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.openRB) > 0 {
+		return fmt.Errorf("fabric: %d transfers open, checkpoint deferred", len(n.openRB))
+	}
+	return n.srv.Checkpoint()
+}
+
+// Close stops every listener. The WAL is closed last so in-flight
+// ingestion fails cleanly first.
+func (n *ShardNode) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.admin.Close()
+	n.qsrv.Close()
+	err := n.srv.Close()
+	n.wg.Wait()
+	n.wal.Close()
+	return err
+}
+
+// Admin protocol: one JSON object per line in each direction.
+//
+//	{"op":"ping"}                             → {"ok":true,"shard":N,"epoch":E,"rbs":[...]}
+//	{"op":"apply","config":{...}}             → {"ok":true}
+//	{"op":"mark","rb":N,"mask":M}             → {"ok":true,"events":"b64","seen":"b64"}
+//	{"op":"import","rb":N,"events":..,"seen":..} → {"ok":true}
+//	{"op":"fence","rb":N}                     → {"ok":true}
+//	{"op":"release","rb":N}                   → {"ok":true}
+//
+// Every operation is idempotent: mark of an open rb re-serves its
+// capture, import of a committed rb acks without re-appending, and
+// fence/release of an unknown rb succeed as no-ops — the coordinator
+// retries each step until acknowledged.
+type adminReq struct {
+	Op     string  `json:"op"`
+	RB     uint64  `json:"rb,omitempty"`
+	Mask   uint64  `json:"mask,omitempty"`
+	Config *Config `json:"config,omitempty"`
+	Events string  `json:"events,omitempty"`
+	Seen   string  `json:"seen,omitempty"`
+}
+
+type adminResp struct {
+	OK     bool     `json:"ok"`
+	Err    string   `json:"err,omitempty"`
+	Shard  uint32   `json:"shard,omitempty"`
+	Epoch  uint64   `json:"epoch,omitempty"`
+	RBs    []uint64 `json:"rbs,omitempty"`
+	Events string   `json:"events,omitempty"`
+	Seen   string   `json:"seen,omitempty"`
+}
+
+// adminScanBuf bounds one admin line; handoff payloads ride base64 on a
+// single line, so this must hold the largest transfer (64 MiB).
+const adminScanBuf = 64 << 20
+
+func (n *ShardNode) adminLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.admin.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.serveAdmin(conn)
+		}()
+	}
+}
+
+func (n *ShardNode) serveAdmin(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), adminScanBuf)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req adminReq
+		var resp adminResp
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp.Err = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = n.handleAdmin(&req)
+		}
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *ShardNode) handleAdmin(req *adminReq) adminResp {
+	switch req.Op {
+	case "ping", "status":
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		rbs := make([]uint64, 0, len(n.openRB))
+		for rb := range n.openRB {
+			rbs = append(rbs, rb)
+		}
+		return adminResp{OK: true, Shard: n.ID, Epoch: n.cfg.Epoch, RBs: rbs}
+	case "apply":
+		return n.handleApply(req)
+	case "mark":
+		return n.handleMark(req)
+	case "import":
+		return n.handleImport(req)
+	case "fence":
+		return n.handleFence(req)
+	case "release":
+		return n.handleRelease(req)
+	default:
+		return adminResp{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (n *ShardNode) handleApply(req *adminReq) adminResp {
+	if req.Config == nil {
+		return adminResp{Err: "apply: missing config"}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req.Config.Epoch < n.cfg.Epoch {
+		return adminResp{Err: fmt.Sprintf("apply: epoch %d behind applied %d", req.Config.Epoch, n.cfg.Epoch)}
+	}
+	n.cfg = *req.Config
+	// Persist atomically so a restarted shard still knows its epoch.
+	tmp := configPath(n.dir) + ".tmp"
+	if err := os.WriteFile(tmp, n.cfg.Encode(), 0o644); err == nil {
+		os.Rename(tmp, configPath(n.dir))
+	}
+	return adminResp{OK: true, Epoch: n.cfg.Epoch}
+}
+
+// handleMark opens transfer rb: under the ingest barrier it logs the
+// mark and captures the masked slots — the cut "everything stored so
+// far moves; later arrivals stay". The capture is then logged verbatim
+// (chunks + commit) so replay restores it without recomputation, and
+// only the commit's durability gates the reply. The reply carries the
+// capture plus the full (switch, seq) dedup set, so re-routed
+// stored-but-unacked batches still dedup at the destination.
+func (n *ShardNode) handleMark(req *adminReq) adminResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.openRB[req.RB]
+	if st == nil {
+		var capture []fevent.Event
+		err := n.srv.WithIngestBarrier(func() error {
+			if _, err := n.wal.Append(encodeMark(req.RB, req.Mask), false); err != nil {
+				return err
+			}
+			capture = captureSlots(n.store, req.Mask)
+			return nil
+		})
+		if err == nil {
+			err = n.appendChunked(req.RB, chunkEvents, encodeEvents(capture))
+		}
+		if err == nil {
+			err = n.wal.AppendDurable(encodeRB(recCommit, req.RB), false)
+		}
+		if err != nil {
+			return adminResp{Err: fmt.Sprintf("mark: %v", err)}
+		}
+		st = &rbState{mask: req.Mask, events: capture}
+		n.openRB[req.RB] = st
+	}
+	evBlob := encodeEvents(st.events)
+	seenBlob := encodeSeenSet(n.store.ExportSeen())
+	n.rebalanceBytes.Add(uint64(len(evBlob)))
+	return adminResp{
+		OK:     true,
+		Events: base64.StdEncoding.EncodeToString(evBlob),
+		Seen:   base64.StdEncoding.EncodeToString(seenBlob),
+	}
+}
+
+// importChunkBytes splits big handoffs into WAL-sized records.
+const importChunkBytes = 256 << 10
+
+// appendChunked logs one transfer blob as a run of chunk records. An
+// empty blob still writes one (empty) chunk so the commit has something
+// to seal.
+func (n *ShardNode) appendChunked(rb uint64, kind byte, blob []byte) error {
+	for off := 0; ; off += importChunkBytes {
+		end := off + importChunkBytes
+		if end > len(blob) {
+			end = len(blob)
+		}
+		if _, err := n.wal.Append(encodeImportChunk(rb, kind, blob[off:end]), false); err != nil {
+			return err
+		}
+		if end == len(blob) {
+			return nil
+		}
+	}
+}
+
+// handleImport commits transfer rb's events and dedup set durably, then
+// applies them to the store. The chunks land before a single commit
+// record, so a crash mid-append leaves nothing applied at replay and the
+// coordinator's retry re-ships from scratch.
+func (n *ShardNode) handleImport(req *adminReq) adminResp {
+	evBlob, err := base64.StdEncoding.DecodeString(req.Events)
+	if err != nil {
+		return adminResp{Err: fmt.Sprintf("import: bad events: %v", err)}
+	}
+	seenBlob, err := base64.StdEncoding.DecodeString(req.Seen)
+	if err != nil {
+		return adminResp{Err: fmt.Sprintf("import: bad seen: %v", err)}
+	}
+	evs, err := decodeEvents(evBlob)
+	if err != nil {
+		return adminResp{Err: err.Error()}
+	}
+	seen, err := decodeSeenSet(seenBlob)
+	if err != nil {
+		return adminResp{Err: err.Error()}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st := n.openRB[req.RB]; st != nil && st.imported {
+		return adminResp{OK: true} // committed by an earlier push
+	}
+	if err := n.appendChunked(req.RB, chunkSeen, seenBlob); err != nil {
+		return adminResp{Err: fmt.Sprintf("import: %v", err)}
+	}
+	if len(evBlob) > 0 {
+		if err := n.appendChunked(req.RB, chunkEvents, evBlob); err != nil {
+			return adminResp{Err: fmt.Sprintf("import: %v", err)}
+		}
+	}
+	if err := n.wal.AppendDurable(encodeRB(recCommit, req.RB), false); err != nil {
+		return adminResp{Err: fmt.Sprintf("import: %v", err)}
+	}
+	if n.stageDelay > 0 {
+		time.Sleep(n.stageDelay) // test hook: widen the kill window
+	}
+	n.store.AddEvents(evs)
+	n.store.MergeSeen(seen)
+	n.openRB[req.RB] = &rbState{events: evs, imported: true}
+	n.importedEvents.Add(uint64(len(evs)))
+	n.rebalanceBytes.Add(uint64(len(evBlob)))
+	return adminResp{OK: true}
+}
+
+// handleFence removes exactly transfer rb's captured (or imported)
+// multiset: the other side of the cutover now owns those events. Later
+// arrivals in the moved slots were not captured and survive as
+// misplaced-but-queryable events — the fan-out merge finds them.
+func (n *ShardNode) handleFence(req *adminReq) adminResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.openRB[req.RB]
+	if st == nil {
+		return adminResp{OK: true} // already fenced or never opened here
+	}
+	if err := n.wal.AppendDurable(encodeRB(recFence, req.RB), false); err != nil {
+		return adminResp{Err: fmt.Sprintf("fence: %v", err)}
+	}
+	n.store.RemoveEvents(st.events)
+	n.fencedEvents.Add(uint64(len(st.events)))
+	delete(n.openRB, req.RB)
+	return adminResp{OK: true}
+}
+
+// handleRelease closes transfer rb keeping its events: this side won the
+// cutover.
+func (n *ShardNode) handleRelease(req *adminReq) adminResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.openRB[req.RB] == nil {
+		return adminResp{OK: true}
+	}
+	if err := n.wal.AppendDurable(encodeRB(recRelease, req.RB), false); err != nil {
+		return adminResp{Err: fmt.Sprintf("release: %v", err)}
+	}
+	delete(n.openRB, req.RB)
+	return adminResp{OK: true}
+}
+
+// adminCall performs one request against a shard admin endpoint.
+func adminCall(addr string, req *adminReq, timeout time.Duration) (*adminResp, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(req); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), adminScanBuf)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("fabric: admin connection closed without response")
+	}
+	var resp adminResp
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("fabric: %s: %s", req.Op, resp.Err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,156 @@
+package collector
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Handoff surface: the hooks the sharded fabric uses to move key ranges
+// between stores. A rebalance exports the moving events and the dedup
+// seen-set from the source, imports both at the destination, and finally
+// removes exactly the exported multiset from the source (the epoch
+// fence). Everything here speaks the same 34-byte per-event encoding the
+// snapshot uses, so handoff payloads and checkpoints stay byte-compatible.
+
+// BatchID names one sequenced batch in the (switch, seq) dedup set.
+type BatchID struct {
+	Switch uint16
+	Seq    uint64
+}
+
+// WireEventLen is the canonical per-event handoff footprint: switch
+// (2 B) + timestamp (8 B) + the 24 B record.
+const WireEventLen = snapEventLen
+
+// AppendWireEvent appends the canonical handoff encoding of e to b.
+func AppendWireEvent(b []byte, e *fevent.Event) []byte {
+	b = binary.BigEndian.AppendUint16(b, e.SwitchID)
+	b = binary.BigEndian.AppendUint64(b, uint64(e.Timestamp))
+	return e.AppendRecord(b)
+}
+
+// DecodeWireEvent decodes one canonical handoff encoding.
+func DecodeWireEvent(b []byte) (fevent.Event, error) {
+	var e fevent.Event
+	if len(b) < WireEventLen {
+		return e, fmt.Errorf("collector: wire event truncated: %d bytes", len(b))
+	}
+	if err := e.DecodeRecord(b[10:]); err != nil {
+		return e, err
+	}
+	e.SwitchID = binary.BigEndian.Uint16(b[0:2])
+	e.Timestamp = sim.Time(binary.BigEndian.Uint64(b[2:10]))
+	return e, nil
+}
+
+// eventIdentity is the full-record multiset identity used by the epoch
+// fence: two events are the same iff every wire-visible field matches,
+// timestamp included, so a fence removes exactly the copies it captured
+// and never a later arrival that merely looks similar.
+type eventIdentity [WireEventLen]byte
+
+func identityOf(e *fevent.Event) eventIdentity {
+	var k eventIdentity
+	buf := AppendWireEvent(k[:0], e)
+	copy(k[:], buf)
+	return k
+}
+
+// ExportWhere returns copies of every stored event satisfying pred, in
+// ingestion order. The fabric passes a slot-ownership predicate to
+// capture a moving key range.
+func (s *Store) ExportWhere(pred func(*fevent.Event) bool) []fevent.Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []fevent.Event
+	for i := range s.events {
+		if pred(&s.events[i]) {
+			out = append(out, s.events[i])
+		}
+	}
+	return out
+}
+
+// ExportSeen returns the full (switch, seq) dedup set. A handoff ships
+// it alongside the events so batches that were stored-but-unacked at the
+// source still dedup when the exporter re-routes them to the new owner.
+func (s *Store) ExportSeen() []BatchID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]BatchID, 0, len(s.seen))
+	for k := range s.seen {
+		out = append(out, BatchID{Switch: k.sw, Seq: k.seq})
+	}
+	return out
+}
+
+// MergeSeen adds ids to the dedup set (idempotent).
+func (s *Store) MergeSeen(ids []BatchID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		s.seen[batchKey{sw: id.Switch, seq: id.Seq}] = struct{}{}
+	}
+}
+
+// AddEvents stores events directly, outside any batch (no dedup entry) —
+// the import half of a handoff, whose exactly-once accounting is the
+// source's fence rather than a (switch, seq) key.
+func (s *Store) AddEvents(evs []fevent.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range evs {
+		e := &evs[i]
+		idx := len(s.events)
+		s.events = append(s.events, *e)
+		s.byFlow[e.Flow] = append(s.byFlow[e.Flow], idx)
+		s.bySwitch[e.SwitchID] = append(s.bySwitch[e.SwitchID], idx)
+		s.byType[e.Type] = append(s.byType[e.Type], idx)
+		s.byTypeSwitch[typeSwitchKey{t: e.Type, sw: e.SwitchID}]++
+	}
+}
+
+// RemoveEvents removes one stored copy per element of the multiset evs
+// (full-record identity, timestamp included) and rebuilds the indexes.
+// Events with no stored match are ignored; it returns how many copies
+// were actually removed. This is the epoch fence: after a handoff
+// publishes, the source drops exactly what it captured and shipped.
+func (s *Store) RemoveEvents(evs []fevent.Event) int {
+	if len(evs) == 0 {
+		return 0
+	}
+	want := make(map[eventIdentity]int, len(evs))
+	for i := range evs {
+		want[identityOf(&evs[i])]++
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.events[:0]
+	removed := 0
+	for i := range s.events {
+		k := identityOf(&s.events[i])
+		if n := want[k]; n > 0 {
+			want[k] = n - 1
+			removed++
+			continue
+		}
+		kept = append(kept, s.events[i])
+	}
+	s.events = kept
+	s.byFlow = make(map[pkt.FlowKey][]int)
+	s.bySwitch = make(map[uint16][]int)
+	s.byType = make(map[fevent.Type][]int)
+	s.byTypeSwitch = make(map[typeSwitchKey]uint64)
+	for i := range s.events {
+		e := &s.events[i]
+		s.byFlow[e.Flow] = append(s.byFlow[e.Flow], i)
+		s.bySwitch[e.SwitchID] = append(s.bySwitch[e.SwitchID], i)
+		s.byType[e.Type] = append(s.byType[e.Type], i)
+		s.byTypeSwitch[typeSwitchKey{t: e.Type, sw: e.SwitchID}]++
+	}
+	return removed
+}

@@ -2,6 +2,7 @@ package collector
 
 import (
 	"bufio"
+	"encoding/base64"
 	"fmt"
 	"net"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 //	summary
 //	latency [switch=N]
 //	path flow=proto:src:sport:dst:dport
+//	export  (query arguments; one base64 34-byte wire event per line)
 //	stats
 //
 // Responses are one event (or value) per line, terminated by a line
@@ -42,7 +44,7 @@ type QueryServer struct {
 
 // queryVerbs lists the line-protocol verbs, indexed by the per-verb
 // request counters ("unknown" last, counting rejected commands).
-var queryVerbs = [...]string{"query", "count", "flows", "path", "latency", "summary", "stats", "unknown"}
+var queryVerbs = [...]string{"query", "count", "flows", "path", "latency", "summary", "stats", "export", "unknown"}
 
 func verbIndex(cmd string) int {
 	for i, v := range queryVerbs {
@@ -179,6 +181,23 @@ func (q *QueryServer) handle(line string, w *bufio.Writer) {
 		for _, row := range q.store.Summary() {
 			fmt.Fprintf(w, "switch=%d type=%s events=%d flows=%d\n",
 				row.SwitchID, row.Type, row.Events, row.Flows)
+		}
+		fmt.Fprint(w, ".\n")
+	case "export":
+		// Machine-readable variant of "query": one base64 line per event,
+		// each the canonical 34-byte wire encoding. fetquery's fan-out
+		// merge consumes this — text rendering loses the fields the
+		// cross-shard dedup identity needs.
+		f, err := ParseFilter(fields[1:])
+		if err != nil {
+			q.errf(w, "%v", err)
+			return
+		}
+		events := q.store.Query(f)
+		var buf []byte
+		for i := range events {
+			buf = AppendWireEvent(buf[:0], &events[i])
+			fmt.Fprintf(w, "%s\n", base64.StdEncoding.EncodeToString(buf))
 		}
 		fmt.Fprint(w, ".\n")
 	case "stats":

@@ -49,6 +49,12 @@ type ServerConfig struct {
 	// AckSlowdown is the per-ack delay applied on the slow rung
 	// (default 2ms).
 	AckSlowdown time.Duration
+
+	// WALEncode, when non-nil, transforms each frame payload before it is
+	// appended to the WAL. The sharded fabric uses it to prepend a record
+	// envelope so handoff marks and batch frames share one log; replay
+	// must then decode the same envelope (see fabric's RecoverShard).
+	WALEncode func(payload []byte) []byte
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -335,7 +341,11 @@ func (s *Server) serve(conn net.Conn) {
 				serial = s.wal.LastSerial()
 			}
 		case s.wal != nil:
-			serial, werr = s.wal.Append(payload, state == admitShed)
+			rec := payload
+			if s.cfg.WALEncode != nil {
+				rec = s.cfg.WALEncode(payload)
+			}
+			serial, werr = s.wal.Append(rec, state == admitShed)
 			if werr == nil {
 				if state == admitShed {
 					s.admit.shedBatches.Inc()
@@ -430,6 +440,17 @@ func (s *Server) Checkpoint() error {
 		return err
 	}
 	return s.wal.InstallSnapshot(cut, snap)
+}
+
+// WithIngestBarrier runs fn while the ingest barrier is held exclusively:
+// no frame can be mid-append or mid-apply, so fn observes (and may
+// extend) a consistent WAL/store boundary. The fabric's rebalance mark —
+// "every event stored so far belongs to the old owner" — is taken under
+// this barrier. fn must be brief; ingestion stalls for its duration.
+func (s *Server) WithIngestBarrier(fn func() error) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return fn()
 }
 
 // Drain gracefully quiesces ingestion for shutdown: it stops accepting,

@@ -239,6 +239,97 @@ func TestRetainFloorPinsSegments(t *testing.T) {
 	}
 }
 
+// TestRetainFloorUnderConcurrentCheckpointAndShed races retained (shed)
+// appends against a checkpoint loop that cuts and snapshots as fast as
+// it can. The floor is read and advanced under different critical
+// sections than the segment deletion, so this is the interleaving that
+// would lose data if the pin leaked: a snapshot deleting the segment a
+// shed record just landed in. Every shed payload must survive replay
+// exactly once, no matter where the cuts fell.
+func TestRetainFloorUnderConcurrentCheckpointAndShed(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 96, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var checkpoints sync.WaitGroup
+	checkpoints.Add(1)
+	go func() {
+		defer checkpoints.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cut, err := w.CutSegment()
+			if err != nil {
+				return
+			}
+			if err := w.InstallSnapshot(cut, []byte("snap")); err != nil {
+				return
+			}
+		}
+	}()
+
+	const appenders = 4
+	const perG = 150
+	shedPayload := func(g, i int) []byte { return []byte(fmt.Sprintf("shed-g%d-%04d", g, i)) }
+	var writers sync.WaitGroup
+	for g := 0; g < appenders; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				// Every third record is shed: logged with retain so its
+				// segment is pinned; the rest are ordinary indexed batches
+				// a snapshot may legitimately truncate away.
+				if i%3 == 0 {
+					if _, err := w.Append(shedPayload(g, i), true); err != nil {
+						t.Errorf("append shed g%d i%d: %v", g, i, err)
+						return
+					}
+				} else if _, err := w.Append(payloadN(g*perG+i), false); err != nil {
+					t.Errorf("append g%d i%d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	checkpoints.Wait()
+	if t.Failed() {
+		return
+	}
+	if st := w.Stats(); !st.Retained {
+		t.Error("stats do not report a retain floor after shed appends")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, _ := collect(t, w2)
+	counts := make(map[string]int, len(got))
+	for _, p := range got {
+		counts[string(p)]++
+	}
+	for g := 0; g < appenders; g++ {
+		for i := 0; i < perG; i += 3 {
+			if n := counts[string(shedPayload(g, i))]; n != 1 {
+				t.Fatalf("shed record g%d i%d replayed %d times, want exactly 1", g, i, n)
+			}
+		}
+	}
+}
+
 // TestReplayStopsAtTornTail truncates the last segment mid-record and
 // checks recovery keeps the clean prefix, reports the truncation, and
 // never errors.

@@ -1,9 +1,9 @@
 // Package faultconn wraps net.Conn/net.Listener with deterministic
 // fault injection — connection resets, partial writes, added latency,
-// and byte corruption — for chaos-testing the switch-CPU→collector
-// channel. All fault decisions are drawn from a seeded PRNG (one
-// sub-stream per accepted connection), so a failing run reproduces from
-// its seed.
+// byte corruption, and asymmetric partitions — for chaos-testing the
+// switch-CPU→collector channel. All fault decisions are drawn from a
+// seeded PRNG (one sub-stream per accepted connection), so a failing run
+// reproduces from its seed.
 package faultconn
 
 import (
@@ -17,6 +17,19 @@ import (
 // ErrInjectedReset is returned by Read/Write when the configured byte
 // budget runs out and the connection is forcibly closed.
 var ErrInjectedReset = errors.New("faultconn: injected connection reset")
+
+// Direction selects which way bytes flow through a wrapped connection,
+// as seen from the wrapped (usually server-side) endpoint.
+type Direction int
+
+const (
+	// Inbound is the peer→wrapped direction: partitioning it starves
+	// Read without disturbing the peer's view of its own writes.
+	Inbound Direction = 1 << iota
+	// Outbound is the wrapped→peer direction: partitioning it stalls
+	// Write (acks, responses) while requests keep arriving.
+	Outbound
+)
 
 // Config selects which faults to inject. Zero values disable each fault.
 type Config struct {
@@ -35,6 +48,64 @@ type Config struct {
 	CorruptProb float64
 	// Latency sleeps this long before every write.
 	Latency time.Duration
+
+	// PartitionDir, when non-zero, schedules an asymmetric partition:
+	// the selected direction(s) stall — a Read or Write in a partitioned
+	// direction blocks until the partition heals or the connection's
+	// deadline passes — while the opposite direction flows normally,
+	// like a one-way link failure. The partition starts PartitionAfter
+	// after the connection is wrapped and heals after PartitionFor
+	// (0 = never heals on its own). Listener.Partition/Heal override the
+	// schedule at runtime.
+	PartitionDir   Direction
+	PartitionAfter time.Duration
+	PartitionFor   time.Duration
+}
+
+// partitionState is the runtime partition switch shared by a Listener
+// and every connection it accepted, so a test can cut and heal one
+// direction across all live connections at once.
+type partitionState struct {
+	mu  sync.Mutex
+	dir Direction // currently partitioned directions (manual override)
+	set bool      // manual override active (ignore the config schedule)
+}
+
+func (p *partitionState) partition(dir Direction) {
+	p.mu.Lock()
+	p.dir, p.set = dir, true
+	p.mu.Unlock()
+}
+
+func (p *partitionState) heal() {
+	p.mu.Lock()
+	p.dir, p.set = 0, true
+	p.mu.Unlock()
+}
+
+// blocked reports whether dir is partitioned right now for a connection
+// created at start, combining the manual override with the configured
+// schedule.
+func (p *partitionState) blocked(cfg Config, start time.Time, dir Direction) bool {
+	if p != nil {
+		p.mu.Lock()
+		set, cur := p.set, p.dir
+		p.mu.Unlock()
+		if set {
+			return cur&dir != 0
+		}
+	}
+	if cfg.PartitionDir&dir == 0 {
+		return false
+	}
+	since := time.Since(start)
+	if since < cfg.PartitionAfter {
+		return false
+	}
+	if cfg.PartitionFor > 0 && since >= cfg.PartitionAfter+cfg.PartitionFor {
+		return false
+	}
+	return true
 }
 
 // Listener wraps a net.Listener so every accepted connection injects the
@@ -45,12 +116,21 @@ type Listener struct {
 
 	mu     sync.Mutex
 	nconns int64
+	part   partitionState
 }
 
 // Wrap returns a fault-injecting view of ln.
 func Wrap(ln net.Listener, cfg Config) *Listener {
 	return &Listener{Listener: ln, cfg: cfg}
 }
+
+// Partition cuts the given direction(s) on every connection this
+// listener has accepted or will accept, overriding any configured
+// schedule, until Heal is called.
+func (l *Listener) Partition(dir Direction) { l.part.partition(dir) }
+
+// Heal restores both directions on every connection of this listener.
+func (l *Listener) Heal() { l.part.heal() }
 
 // Listen opens a TCP listener on addr with fault injection.
 func Listen(addr string, cfg Config) (*Listener, error) {
@@ -73,18 +153,33 @@ func (l *Listener) Accept() (net.Conn, error) {
 	n := l.nconns
 	l.mu.Unlock()
 	// Derive a distinct, reproducible sub-seed per connection.
-	return WrapConn(c, l.cfg, l.cfg.Seed^(n*0x9e3779b97f4a7c)), nil
+	fc := WrapConn(c, l.cfg, l.cfg.Seed^(n*0x9e3779b97f4a7c))
+	fc.part = &l.part
+	return fc, nil
 }
 
 // Conn injects faults on one connection.
 type Conn struct {
 	net.Conn
-	cfg Config
+	cfg   Config
+	start time.Time
+	part  *partitionState // shared with the Listener; nil for WrapConn
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	budgetR int // inbound bytes until injected reset; -1 = unlimited
-	budgetW int // outbound bytes until injected reset; -1 = unlimited
+	mu        sync.Mutex
+	rng       *rand.Rand
+	budgetR   int // inbound bytes until injected reset; -1 = unlimited
+	budgetW   int // outbound bytes until injected reset; -1 = unlimited
+	deadlineR time.Time
+	deadlineW time.Time
+	closed    bool
+}
+
+// Close unblocks any partition wait before closing the wrapped conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.Conn.Close()
 }
 
 // WrapConn wraps one connection with the given fault config and seed.
@@ -96,12 +191,57 @@ func WrapConn(c net.Conn, cfg Config, seed int64) *Conn {
 		}
 		return cfg.ResetAfter/2 + rng.Intn(cfg.ResetAfter/2+1)
 	}
-	return &Conn{Conn: c, cfg: cfg, rng: rng, budgetR: drawBudget(), budgetW: drawBudget()}
+	return &Conn{Conn: c, cfg: cfg, start: time.Now(), rng: rng,
+		budgetR: drawBudget(), budgetW: drawBudget()}
+}
+
+// SetDeadline mirrors the deadline so partition waits can respect it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadlineR, c.deadlineW = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline mirrors the read deadline for partition waits.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadlineR = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline mirrors the write deadline for partition waits.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadlineW = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// awaitPartition blocks while dir is partitioned, returning once the
+// partition heals or the direction's deadline passes (the delegated
+// Read/Write then surfaces the usual timeout error). Polling keeps the
+// implementation independent of how the partition is controlled.
+func (c *Conn) awaitPartition(dir Direction) {
+	for c.part.blocked(c.cfg, c.start, dir) {
+		c.mu.Lock()
+		deadline, closed := c.deadlineR, c.closed
+		if dir == Outbound {
+			deadline = c.deadlineW
+		}
+		c.mu.Unlock()
+		if closed || (!deadline.IsZero() && time.Now().After(deadline)) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // Write injects latency, chunking, corruption and resets, then forwards
 // to the wrapped connection.
 func (c *Conn) Write(p []byte) (int, error) {
+	c.awaitPartition(Outbound)
 	if c.cfg.Latency > 0 {
 		time.Sleep(c.cfg.Latency)
 	}
@@ -140,6 +280,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 
 // Read injects corruption and resets on the inbound direction.
 func (c *Conn) Read(p []byte) (int, error) {
+	c.awaitPartition(Inbound)
 	c.mu.Lock()
 	if c.budgetR == 0 {
 		c.mu.Unlock()

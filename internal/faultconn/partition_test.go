@@ -1,0 +1,132 @@
+package faultconn
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// lnPair dials a fault-injecting listener and returns the wrapped
+// server-side conn plus the raw client side.
+func lnPair(t *testing.T, cfg Config) (*Listener, net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := <-accepted
+	t.Cleanup(func() { raw.Close(); wrapped.Close() })
+	return ln, wrapped, raw
+}
+
+func TestScheduledPartitionHealsOnItsOwn(t *testing.T) {
+	const heal = 80 * time.Millisecond
+	_, wrapped, raw := lnPair(t, Config{
+		Seed: 7, PartitionDir: Outbound, PartitionFor: heal,
+	})
+	start := time.Now()
+	msg := []byte("delayed by one-way partition")
+	if _, err := wrapped.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if held := time.Since(start); held < heal {
+		t.Errorf("write returned after %v, want >= %v (partition window)", held, heal)
+	}
+	got := make([]byte, len(msg))
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(raw, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Errorf("payload corrupted across heal: %q", got)
+	}
+}
+
+func TestManualPartitionIsAsymmetric(t *testing.T) {
+	ln, wrapped, raw := lnPair(t, Config{Seed: 11})
+	ln.Partition(Inbound)
+
+	// Outbound (wrapped→raw) still flows while inbound is cut.
+	if _, err := wrapped.Write([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(raw, got); err != nil {
+		t.Fatalf("outbound direction blocked by inbound partition: %v", err)
+	}
+
+	// Inbound (raw→wrapped) stalls until Heal.
+	if _, err := raw.Write([]byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 3)
+		_, err := io.ReadFull(wrapped, buf)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("read completed through an inbound partition (err=%v)", err)
+	case <-time.After(60 * time.Millisecond):
+	}
+	ln.Heal()
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatalf("read after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after Heal")
+	}
+}
+
+func TestPartitionRespectsDeadline(t *testing.T) {
+	ln, wrapped, _ := lnPair(t, Config{Seed: 13})
+	ln.Partition(Outbound)
+	wrapped.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := wrapped.Write([]byte("never delivered"))
+	if err == nil {
+		t.Fatal("write through a partition with an expired deadline succeeded")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("err = %v, want a timeout net.Error", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("deadline-bounded partition wait took too long")
+	}
+}
+
+func TestCloseUnblocksPartitionWait(t *testing.T) {
+	ln, wrapped, _ := lnPair(t, Config{Seed: 17})
+	ln.Partition(Outbound)
+	done := make(chan struct{})
+	go func() {
+		wrapped.Write([]byte("x"))
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	wrapped.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Write still blocked after Close")
+	}
+}

@@ -90,6 +90,16 @@ const (
 	// Query server.
 	MQueryRequests = "netseer_query_requests_total" // label verb
 	MQueryErrors   = "netseer_query_errors_total"
+
+	// Sharded collector fabric: routing, membership, rebalances.
+	MFabricRoutedBatches   = "netseer_fabric_routed_batches_total" // label shard
+	MFabricReroutedBatches = "netseer_fabric_rerouted_batches_total"
+	MFabricRebalances      = "netseer_fabric_rebalances_total"
+	MFabricRebalanceBytes  = "netseer_fabric_rebalance_bytes_total" // label shard
+	MFabricEpoch           = "netseer_fabric_epoch"
+	MFabricPartialQueries  = "netseer_fabric_partial_queries_total"
+	MFabricImportedEvents  = "netseer_fabric_imported_events_total" // label shard
+	MFabricFencedEvents    = "netseer_fabric_fenced_events_total"   // label shard
 )
 
 // catalogEntry describes one canonical family for RegisterCatalog.
@@ -160,6 +170,14 @@ var catalog = []catalogEntry{
 	{MDetectToStore, "Microseconds from event detection to store ingestion (switch clock).", KindHistogram},
 	{MQueryRequests, "Query-protocol requests served, by verb.", KindCounter},
 	{MQueryErrors, "Query-protocol requests answered with an error.", KindCounter},
+	{MFabricRoutedBatches, "Batches routed to a shard by the slot ring.", KindCounter},
+	{MFabricReroutedBatches, "Batches re-routed whole after a ring change removed their shard.", KindCounter},
+	{MFabricRebalances, "Rebalances completed or aborted by the coordinator.", KindCounter},
+	{MFabricRebalanceBytes, "Bytes of event payload moved by rebalance handoffs.", KindCounter},
+	{MFabricEpoch, "Ring config epoch this process last applied.", KindGauge},
+	{MFabricPartialQueries, "Fan-out queries answered with partial=true (a shard was unreachable).", KindCounter},
+	{MFabricImportedEvents, "Events imported from rebalance handoffs.", KindCounter},
+	{MFabricFencedEvents, "Events removed by an epoch fence after handoff.", KindCounter},
 }
 
 // RegisterCatalog registers a zero-valued placeholder for every canonical

@@ -1,0 +1,36 @@
+// Fabric-wide exactly-once audit: the membership-churn extension of the
+// correctness oracle. The single-collector checkers audit one store
+// against the acked prefix of one channel; AuditFabric audits the whole
+// sharded fabric — a merged fan-out query — against everything the
+// exporters delivered, across however many rebalances, crashes and
+// partitions the run survived.
+package oracle
+
+import (
+	"fmt"
+
+	"netseer/internal/collector/fabric"
+	"netseer/internal/fevent"
+)
+
+// AuditFabric asserts the fabric's exactly-once invariant: a full
+// fan-out query over the published ring config must hold exactly the
+// reference multiset — every delivered event present once, nothing
+// invented, nothing double-counted by an unfenced handoff copy. A
+// partial answer (an unreachable shard) is itself a finding: the merge
+// is then a correct view of the answering shards but cannot witness
+// exactly-once fabric-wide, so the audit refuses to pass it silently.
+// Returns one message per violation (at most max; 0 means unlimited),
+// empty when the invariant holds.
+func AuditFabric(reference []fevent.Event, res fabric.MergedResult, max int) []string {
+	var diffs []string
+	if res.Partial {
+		diffs = append(diffs, fmt.Sprintf(
+			"fan-out was partial (%d/%d shards answered): exactly-once not auditable", res.ShardsOK, res.ShardsTotal))
+	}
+	diffs = append(diffs, EventMultisetDiff(reference, res.Events, max)...)
+	if max > 0 && len(diffs) > max {
+		diffs = diffs[:max]
+	}
+	return diffs
+}
