@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
 	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover \
-	fabric fabric-chaos fabric-cover
+	fabric fabric-chaos fabric-cover sim-cover nightly-fuzz
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -121,18 +121,38 @@ obs-cover:
 	$(GO) test -count=1 -coverprofile=cover-obs.out -coverpkg=netseer/internal/obs ./internal/obs/
 	$(GO) run ./scripts/covergate -profile cover-obs.out -min 85 netseer/internal/obs
 
+# sim-cover fails if statement coverage of internal/sim — the event core
+# plus the conservative-lookahead sharded engine — drops below 85%.
+sim-cover:
+	$(GO) test -count=1 -coverprofile=cover-sim.out -coverpkg=netseer/internal/sim ./internal/sim/
+	$(GO) run ./scripts/covergate -profile cover-sim.out -min 85 netseer/internal/sim
+
+# nightly-fuzz: the scheduled deep fuzz — 10 minutes of whole-pipeline
+# coverage-guided fuzzing from the oracle's seed corpus (the nightly
+# workflow runs it; the per-PR smoke stays at 10s).
+nightly-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzPipeline -fuzztime 10m ./internal/oracle/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json regenerates the BENCH_*.json perf artifacts in the repo root.
+# BENCH_SUITE narrows regeneration to one suite (hotpath, parallel,
+# durability) — the CI bench matrix runs one suite per job; BENCH_COUNT is
+# how many rounds each suite runs (the best round per metric is kept and
+# the per-run spread recorded, see benchjson.BestOf).
+BENCH_SUITE ?= all
+BENCH_COUNT ?= 3
 bench-json:
-	$(GO) run ./cmd/repro -bench-json -bench-out . -parallel 4
+	$(GO) run ./cmd/repro -bench-json -bench-out . -parallel 4 \
+		-bench-suite $(BENCH_SUITE) -bench-count $(BENCH_COUNT)
 
 # bench-guard regenerates the artifacts and fails on a regression against
 # the checked-in baseline (any allocs/op increase; >25% events/sec drop;
-# parallel output not bit-identical to sequential).
+# parallel or sharded output not bit-identical to sequential; sharded
+# speedup < 1.5x on runners with >= 4 CPUs).
 bench-guard: bench-json
-	$(GO) run ./scripts/benchdiff -baseline bench/baseline -current .
+	$(GO) run ./scripts/benchdiff -baseline bench/baseline -current . -suite $(BENCH_SUITE)
 
 # fmt-check fails if any file needs gofmt.
 fmt-check:

@@ -5,6 +5,7 @@
 //
 //	repro [-fig all|7|8a|8b|9|10|11|12|13|14a|14b|15] [-window 10ms] [-seed 1]
 //	      [-parallel N] [-bench-json] [-bench-out DIR] [-oracle]
+//	      [-bench-suite all|hotpath|parallel|durability] [-bench-count 3]
 //
 // -oracle skips the figures and instead runs the correctness oracle
 // (internal/oracle): the seeded scenario matrix with all five invariant
@@ -43,6 +44,8 @@ func main() {
 	par := flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool width (1 = fully sequential)")
 	benchJSON := flag.Bool("bench-json", false, "emit BENCH_{hotpath,parallel,durability}.json instead of figures")
 	benchOut := flag.String("bench-out", ".", "directory for -bench-json artifacts")
+	benchSuite := flag.String("bench-suite", "all", "which -bench-json suite to regenerate (all, hotpath, parallel, durability)")
+	benchCount := flag.Int("bench-count", 3, "rounds per -bench-json suite; the best round per metric is kept and the spread recorded")
 	runOracle := flag.Bool("oracle", false, "run the correctness-oracle scenario matrix and print a scorecard")
 	metricsAddr := flag.String("metrics", "", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	flag.Parse()
@@ -71,7 +74,7 @@ func main() {
 		return
 	}
 	if *benchJSON {
-		if err := emitBenchJSON(*benchOut, *seed, *par); err != nil {
+		if err := emitBenchJSON(*benchOut, *seed, *par, *benchSuite, *benchCount); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			os.Exit(1)
 		}
@@ -180,51 +183,78 @@ func main() {
 	}
 }
 
-// emitBenchJSON runs the hot-path microbenchmarks, the parallel-engine
-// harness and the durability suite, writing BENCH_hotpath.json /
-// BENCH_parallel.json / BENCH_durability.json into dir. CI regenerates
-// these on every run and scripts/benchdiff gates merges on them (see
+// emitBenchJSON runs the selected bench suites (hot-path microbenchmarks,
+// the parallel-engine harness, the durability suite), each for count
+// rounds with the best round per metric kept (benchjson.BestOf), writing
+// BENCH_<suite>.json into dir. The CI bench matrix regenerates one suite
+// per job and scripts/benchdiff gates merges on the artifacts (see
 // bench/baseline/).
-func emitBenchJSON(dir string, seed uint64, workers int) error {
+func emitBenchJSON(dir string, seed uint64, workers int, suite string, count int) error {
+	switch suite {
+	case "all", "hotpath", "parallel", "durability":
+	default:
+		return fmt.Errorf("unknown -bench-suite %q (want all, hotpath, parallel or durability)", suite)
+	}
+	if count <= 0 {
+		count = 1
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "bench-json: running hot-path microbenchmarks...")
-	hot := benchjson.Hotpath()
-	hotPath := filepath.Join(dir, "BENCH_hotpath.json")
-	if err := hot.WriteFile(hotPath); err != nil {
+	runSuite := func(name, desc string, gen func() (*benchjson.Report, error)) (*benchjson.Report, error) {
+		if suite != "all" && suite != name {
+			return nil, nil
+		}
+		var rounds []*benchjson.Report
+		for i := 0; i < count; i++ {
+			fmt.Fprintf(os.Stderr, "bench-json: %s round %d/%d (%s)...\n", name, i+1, count, desc)
+			r, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			rounds = append(rounds, r)
+		}
+		best := benchjson.BestOf(rounds...)
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		if err := best.WriteFile(path); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(os.Stderr, "bench-json: wrote", path)
+		return best, nil
+	}
+
+	if _, err := runSuite("hotpath", "per-packet microbenchmarks", func() (*benchjson.Report, error) {
+		return benchjson.Hotpath(), nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "bench-json: wrote", hotPath)
 
-	fmt.Fprintf(os.Stderr, "bench-json: running parallel suite (1 vs %d workers)...\n", workers)
-	par, err := benchjson.Parallel(workers, seed)
+	par, err := runSuite("parallel", fmt.Sprintf("1 vs %d workers + sharded fat-tree", workers),
+		func() (*benchjson.Report, error) { return benchjson.Parallel(workers, seed) })
 	if err != nil {
 		return err
 	}
-	parPath := filepath.Join(dir, "BENCH_parallel.json")
-	if err := par.WriteFile(parPath); err != nil {
-		return err
-	}
-	fmt.Fprintln(os.Stderr, "bench-json: wrote", parPath)
-	if m, ok := par.Metric("parallel/speedup"); ok {
-		fmt.Fprintf(os.Stderr, "bench-json: speedup %.2fx at %d workers over %.0f points\n",
-			m.Extra["speedup"], workers, m.Extra["points"])
+	if par != nil {
+		if m, ok := par.Metric("parallel/speedup"); ok {
+			fmt.Fprintf(os.Stderr, "bench-json: point-fanout speedup %.2fx at %d workers over %.0f points\n",
+				m.Extra["speedup"], workers, m.Extra["points"])
+		}
+		if m, ok := par.Metric("parallel/sharded_speedup"); ok {
+			fmt.Fprintf(os.Stderr, "bench-json: sharded-engine speedup %.2fx (%.0f shards, %.0f workers, digests match)\n",
+				m.Extra["speedup"], m.Extra["shards"], m.Extra["workers"])
+		}
 	}
 
-	fmt.Fprintln(os.Stderr, "bench-json: running durability suite (in-memory vs WAL ingest)...")
-	dur, err := benchjson.Durability()
+	dur, err := runSuite("durability", "in-memory vs WAL ingest",
+		func() (*benchjson.Report, error) { return benchjson.Durability() })
 	if err != nil {
 		return err
 	}
-	durPath := filepath.Join(dir, "BENCH_durability.json")
-	if err := dur.WriteFile(durPath); err != nil {
-		return err
-	}
-	fmt.Fprintln(os.Stderr, "bench-json: wrote", durPath)
-	if m, ok := dur.Metric("durability/overhead"); ok {
-		fmt.Fprintf(os.Stderr, "bench-json: group-commit overhead %.1f%% of in-memory ingest (budget %.0f%%)\n",
-			m.Extra["overhead_frac"]*100, m.Extra["budget_frac"]*100)
+	if dur != nil {
+		if m, ok := dur.Metric("durability/overhead"); ok {
+			fmt.Fprintf(os.Stderr, "bench-json: group-commit overhead %.1f%% of in-memory ingest (budget %.0f%%)\n",
+				m.Extra["overhead_frac"]*100, m.Extra["budget_frac"]*100)
+		}
 	}
 	return nil
 }

@@ -67,8 +67,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// BatchFunc receives flushed batches. The batch's Events slice is owned by
-// the callee.
+// BatchFunc receives flushed batches. The batch and its Events slice are
+// only valid for the duration of the call: the batcher reuses both for
+// the next flush (so the steady-state flush path never allocates), and
+// implementations must copy anything they retain.
 type BatchFunc func(b *fevent.Batch)
 
 // Batcher is the circulating-event-batching engine for one switch.
@@ -79,6 +81,20 @@ type Batcher struct {
 	stack   []fevent.Event
 	cebps   []*cebp
 	stopped bool
+	// parkedN counts parked CEBPs so the Push fast path skips the wake
+	// scan entirely while every CEBP is circulating (the steady state
+	// under load, where Push runs once per extracted event).
+	parkedN int
+	// serTab and wireTab cache the serialization time and on-wire size of
+	// a CEBP by payload length (0..BatchSize). A pass runs per event per
+	// circulating packet, and the float division in the serialization
+	// formula was a measurable slice of hotpath/batcher_pushpop; payload
+	// length is the only variable, so both are table lookups.
+	serTab  []sim.Time
+	wireTab []int
+	// scratch is the reusable out-parameter for flush deliveries (valid
+	// only for the call, per the BatchFunc contract).
+	scratch fevent.Batch
 
 	// Stats. Plain counters: the batcher is single-owner (one simulated
 	// pipeline) and Push/pass are pinned zero-alloc hot paths; scrapes read
@@ -117,7 +133,14 @@ func New(s *sim.Simulator, cfg Config, out BatchFunc) *Batcher {
 	cfg = cfg.withDefaults()
 	b := &Batcher{cfg: cfg, sim: s, out: out,
 		// The stack is pre-sized to its depth bound so Push never grows it.
-		stack: make([]fevent.Event, 0, cfg.StackDepth)}
+		stack:   make([]fevent.Event, 0, cfg.StackDepth),
+		serTab:  make([]sim.Time, cfg.BatchSize+1),
+		wireTab: make([]int, cfg.BatchSize+1),
+	}
+	for n := 0; n <= cfg.BatchSize; n++ {
+		b.wireTab[n] = 14 + fevent.BatchHeaderLen + fevent.RecordLen*n
+		b.serTab[n] = sim.Time(float64(b.wireTab[n]*8) / cfg.InternalPortBps * 1e9)
+	}
 	for i := 0; i < cfg.CEBPs; i++ {
 		c := &cebp{payload: make([]fevent.Event, 0, cfg.BatchSize)}
 		c.passFn = func() { b.pass(c) }
@@ -148,13 +171,43 @@ func (b *Batcher) Push(e *fevent.Event) bool {
 
 // wakeOne restarts a parked CEBP, if any.
 func (b *Batcher) wakeOne() {
+	if b.parkedN == 0 {
+		return
+	}
 	for _, c := range b.cebps {
 		if c.parked {
 			c.parked = false
+			b.parkedN--
 			b.sim.Schedule(b.cfg.RecircLatency, c.passFn)
 			return
 		}
 	}
+}
+
+// PushBurst offers a slice of extracted flow events to the stack in one
+// bulk operation: a single capacity check, one append, one high-water
+// update, and at most one wake per accepted event — the burst-mode
+// counterpart of calling Push per event (same stack order, same overflow
+// accounting). It returns how many events were accepted; the rest were
+// lost to stack overflow.
+func (b *Batcher) PushBurst(evs []fevent.Event) int {
+	n := len(evs)
+	if free := b.cfg.StackDepth - len(b.stack); n > free {
+		b.overflow += uint64(n - free)
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	b.pushed += uint64(n)
+	b.stack = append(b.stack, evs[:n]...)
+	if len(b.stack) > b.stackHW {
+		b.stackHW = len(b.stack)
+	}
+	for i := 0; i < n && b.parkedN > 0; i++ {
+		b.wakeOne()
+	}
+	return n
 }
 
 // Backlog returns the number of events waiting in the stack.
@@ -179,10 +232,10 @@ func (b *Batcher) pass(c *cebp) {
 		b.pops++
 	}
 	next := b.cfg.RecircLatency
-	if ser := b.serialization(c); ser > next {
+	if ser := b.serTab[len(c.payload)]; ser > next {
 		next = ser
 	}
-	b.portBytes += uint64(b.cebpWireLen(c))
+	b.portBytes += uint64(b.wireTab[len(c.payload)])
 	switch {
 	case len(c.payload) >= b.cfg.BatchSize:
 		b.flush(c)
@@ -195,33 +248,22 @@ func (b *Batcher) pass(c *cebp) {
 	if !popped && len(c.payload) == 0 && len(b.stack) == 0 {
 		// Nothing to do and nothing carried: park until work arrives.
 		c.parked = true
+		b.parkedN++
 		return
 	}
 	b.sim.Schedule(next, c.passFn)
 }
 
-// cebpWireLen is the current on-wire size of a CEBP: Ethernet header +
-// batch header + payload records.
-func (b *Batcher) cebpWireLen(c *cebp) int {
-	return 14 + fevent.BatchHeaderLen + fevent.RecordLen*len(c.payload)
-}
-
-func (b *Batcher) serialization(c *cebp) sim.Time {
-	bits := float64(b.cebpWireLen(c) * 8)
-	return sim.Time(bits / b.cfg.InternalPortBps * 1e9)
-}
-
 func (b *Batcher) flush(c *cebp) {
-	batch := &fevent.Batch{
-		SwitchID:  b.cfg.SwitchID,
-		Timestamp: b.sim.Now(),
-		Events:    c.payload,
-	}
+	b.scratch.SwitchID = b.cfg.SwitchID
+	b.scratch.Timestamp = b.sim.Now()
+	b.scratch.Events = c.payload
 	b.flushed++
 	b.delivered += uint64(len(c.payload))
-	b.out(batch)
-	// Clone: fresh payload, same circulating identity.
-	c.payload = make([]fevent.Event, 0, b.cfg.BatchSize)
+	b.out(&b.scratch)
+	b.scratch.Events = nil
+	// Clone: empty payload, same circulating identity and backing array.
+	c.payload = c.payload[:0]
 }
 
 // Flush synchronously drains the stack and all partial CEBP payloads into
@@ -243,12 +285,14 @@ func (b *Batcher) Flush() {
 		if n > b.cfg.BatchSize {
 			n = b.cfg.BatchSize
 		}
-		chunk := make([]fevent.Event, n)
-		copy(chunk, events[:n])
+		b.scratch.SwitchID = b.cfg.SwitchID
+		b.scratch.Timestamp = b.sim.Now()
+		b.scratch.Events = events[:n]
 		events = events[n:]
 		b.flushed++
 		b.delivered += uint64(n)
-		b.out(&fevent.Batch{SwitchID: b.cfg.SwitchID, Timestamp: b.sim.Now(), Events: chunk})
+		b.out(&b.scratch)
+		b.scratch.Events = nil
 	}
 }
 

@@ -1,0 +1,115 @@
+package batcher
+
+import (
+	"reflect"
+	"testing"
+
+	"netseer/internal/fevent"
+	"netseer/internal/sim"
+)
+
+// Burst-boundary properties: PushBurst must be observationally identical
+// to the equivalent sequence of Push calls — same accepted count, same
+// overflow accounting, same delivered event stream — at every boundary
+// (empty burst, single event, a burst that exactly fills the stack, and
+// one that spans the overflow edge).
+
+// twin builds a batcher pair with identical config, each delivering into
+// its own capture slice.
+func twin(t *testing.T, cfg Config) (s1, s2 *sim.Simulator, b1, b2 *Batcher, out1, out2 *[]uint32) {
+	t.Helper()
+	out1, out2 = new([]uint32), new([]uint32)
+	capture := func(dst *[]uint32) BatchFunc {
+		return func(bt *fevent.Batch) {
+			for i := range bt.Events {
+				*dst = append(*dst, bt.Events[i].Flow.SrcIP)
+			}
+		}
+	}
+	s1, s2 = sim.New(), sim.New()
+	return s1, s2, New(s1, cfg, capture(out1)), New(s2, cfg, capture(out2)), out1, out2
+}
+
+func burstOf(n int) []fevent.Event {
+	evs := make([]fevent.Event, n)
+	for i := range evs {
+		evs[i] = *ev(uint32(i + 1))
+	}
+	return evs
+}
+
+func TestPushBurstMatchesSequentialPush(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		burst int
+		depth int
+	}{
+		{"empty burst", 0, 8},
+		{"single event", 1, 8},
+		{"fills stack exactly", 8, 8},
+		{"spans overflow edge", 13, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{StackDepth: tc.depth, BatchSize: 5, CEBPs: 1}
+			s1, s2, b1, b2, out1, out2 := twin(t, cfg)
+			evs := burstOf(tc.burst)
+
+			accepted := b1.PushBurst(evs)
+			seq := 0
+			for i := range evs {
+				if b2.Push(&evs[i]) {
+					seq++
+				}
+			}
+			if accepted != seq {
+				t.Fatalf("PushBurst accepted %d, sequential Push accepted %d", accepted, seq)
+			}
+			if b1.Backlog() != b2.Backlog() {
+				t.Fatalf("backlog %d vs %d", b1.Backlog(), b2.Backlog())
+			}
+			p1, o1, _, _, _ := b1.Stats()
+			p2, o2, _, _, _ := b2.Stats()
+			if p1 != p2 || o1 != o2 {
+				t.Fatalf("stats diverge: pushed %d/%d overflow %d/%d", p1, p2, o1, o2)
+			}
+
+			s1.Run(sim.Millisecond)
+			s2.Run(sim.Millisecond)
+			b1.Flush()
+			b2.Flush()
+			b1.Stop()
+			b2.Stop()
+			if !reflect.DeepEqual(*out1, *out2) {
+				t.Errorf("delivered streams differ:\nburst: %v\n  seq: %v", *out1, *out2)
+			}
+			// LIFO stack: whatever was accepted must all come back out.
+			if len(*out1) != accepted {
+				t.Errorf("delivered %d events, accepted %d", len(*out1), accepted)
+			}
+		})
+	}
+}
+
+// TestPushBurstWakesParkedConsumers: a burst arriving while CEBP pollers
+// are parked must wake enough of them to drain it (one wake per event,
+// like sequential Push).
+func TestPushBurstWakesParkedConsumers(t *testing.T) {
+	s := sim.New()
+	var got []uint32
+	b := New(s, Config{StackDepth: 64, BatchSize: 4, CEBPs: 2}, func(bt *fevent.Batch) {
+		for i := range bt.Events {
+			got = append(got, bt.Events[i].Flow.SrcIP)
+		}
+	})
+	// Let both pollers hit the empty stack and park.
+	s.Run(10 * sim.Millisecond)
+	if b.PushBurst(burstOf(9)) != 9 {
+		t.Fatal("burst rejected")
+	}
+	s.Run(20 * sim.Millisecond)
+	b.Flush()
+	b.Stop()
+	if len(got) != 9 {
+		t.Errorf("parked consumers drained %d of 9 burst events", len(got))
+	}
+}

@@ -1,0 +1,84 @@
+package benchjson
+
+// Best-of-N merging. CI runs every bench suite -count times (default 3)
+// and keeps the best round per metric, so a single noisy-neighbour round
+// on a shared runner cannot fail the 25% events/sec gate. The merged
+// metric carries the per-run spread in Extra ("runs", "spread_min",
+// "spread_max", in the metric's primary dimension) so benchdiff failure
+// messages can show how noisy the series was.
+
+// primary returns a metric's primary dimension: its value and whether a
+// higher value is better. The dimension decides both which round wins
+// and what the recorded spread means.
+func primary(m Metric) (val float64, higherBetter bool) {
+	switch {
+	case m.Extra["speedup"] != 0:
+		return m.Extra["speedup"], true
+	case m.Extra["overhead_frac"] != 0:
+		return m.Extra["overhead_frac"], false
+	case m.EventsPerSec != 0:
+		return m.EventsPerSec, true
+	default:
+		return m.NsPerOp, false
+	}
+}
+
+// BestOf merges same-suite reports from repeated rounds into one report
+// holding, per metric, the best round plus spread annotations. allocs/op
+// and bytes/op are taken as the MAX across rounds — best-of must never
+// mask an allocation regression that only some rounds exhibit. Boolean
+// attestations (digests_match, within_budget) are taken as the MIN: every
+// round must attest, or the merged report does not.
+func BestOf(reports ...*Report) *Report {
+	if len(reports) == 0 {
+		return nil
+	}
+	first := reports[0]
+	out := NewReport(first.Suite)
+	for _, fm := range first.Metrics {
+		var rounds []Metric
+		for _, r := range reports {
+			if m, ok := r.Metric(fm.Name); ok {
+				rounds = append(rounds, m)
+			}
+		}
+		best := rounds[0]
+		bestVal, higherBetter := primary(best)
+		min, max := bestVal, bestVal
+		for _, m := range rounds[1:] {
+			v, _ := primary(m)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			if (higherBetter && v > bestVal) || (!higherBetter && v < bestVal) {
+				best, bestVal = m, v
+			}
+		}
+		merged := best
+		merged.Extra = make(map[string]float64, len(best.Extra)+3)
+		for k, v := range best.Extra {
+			merged.Extra[k] = v
+		}
+		for _, m := range rounds {
+			if m.AllocsPerOp > merged.AllocsPerOp {
+				merged.AllocsPerOp = m.AllocsPerOp
+			}
+			if m.BytesPerOp > merged.BytesPerOp {
+				merged.BytesPerOp = m.BytesPerOp
+			}
+			for _, attest := range []string{"digests_match", "within_budget"} {
+				if _, has := merged.Extra[attest]; has && m.Extra[attest] < merged.Extra[attest] {
+					merged.Extra[attest] = m.Extra[attest]
+				}
+			}
+		}
+		merged.Extra["runs"] = float64(len(rounds))
+		merged.Extra["spread_min"] = min
+		merged.Extra["spread_max"] = max
+		out.Add(merged)
+	}
+	return out
+}

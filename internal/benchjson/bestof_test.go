@@ -1,0 +1,81 @@
+package benchjson
+
+import "testing"
+
+func TestBestOfPicksBestRoundPerDimension(t *testing.T) {
+	mk := func(eps, ns, allocs float64) *Report {
+		r := NewReport("hotpath")
+		r.Add(Metric{Name: "hotpath/x", EventsPerSec: eps, AllocsPerOp: allocs})
+		r.Add(Metric{Name: "lat/y", NsPerOp: ns})
+		return r
+	}
+	best := BestOf(mk(100, 30, 0), mk(150, 20, 1), mk(120, 25, 0))
+
+	x, _ := best.Metric("hotpath/x")
+	if x.EventsPerSec != 150 {
+		t.Errorf("events/sec metric: best = %v, want the highest round (150)", x.EventsPerSec)
+	}
+	if x.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %v; must be the MAX across rounds so best-of never masks an alloc regression", x.AllocsPerOp)
+	}
+	if x.Extra["runs"] != 3 || x.Extra["spread_min"] != 100 || x.Extra["spread_max"] != 150 {
+		t.Errorf("spread annotations = %v, want runs=3 spread 100..150", x.Extra)
+	}
+
+	y, _ := best.Metric("lat/y")
+	if y.NsPerOp != 20 {
+		t.Errorf("ns/op metric: best = %v, want the lowest round (20)", y.NsPerOp)
+	}
+	if y.Extra["spread_min"] != 20 || y.Extra["spread_max"] != 30 {
+		t.Errorf("ns spread = %v, want 20..30", y.Extra)
+	}
+}
+
+func TestBestOfSpeedupAndAttestations(t *testing.T) {
+	mk := func(speedup, digests float64) *Report {
+		r := NewReport("parallel")
+		r.Add(Metric{Name: "parallel/sharded_speedup", Extra: map[string]float64{
+			"speedup": speedup, "digests_match": digests,
+		}})
+		return r
+	}
+	best := BestOf(mk(1.8, 1), mk(2.4, 1), mk(2.0, 0))
+	m, _ := best.Metric("parallel/sharded_speedup")
+	if m.Extra["speedup"] != 2.4 {
+		t.Errorf("speedup = %v, want the highest round (2.4)", m.Extra["speedup"])
+	}
+	if m.Extra["digests_match"] != 0 {
+		t.Errorf("digests_match = %v; one failed attestation must fail the merged report", m.Extra["digests_match"])
+	}
+	if m.Extra["spread_min"] != 1.8 || m.Extra["spread_max"] != 2.4 {
+		t.Errorf("speedup spread = %v, want 1.8..2.4", m.Extra)
+	}
+}
+
+func TestBestOfOverheadPrefersLowest(t *testing.T) {
+	mk := func(frac, within float64) *Report {
+		r := NewReport("durability")
+		r.Add(Metric{Name: "durability/overhead", Extra: map[string]float64{
+			"overhead_frac": frac, "within_budget": within,
+		}})
+		return r
+	}
+	best := BestOf(mk(0.18, 1), mk(0.11, 1))
+	m, _ := best.Metric("durability/overhead")
+	if m.Extra["overhead_frac"] != 0.11 {
+		t.Errorf("overhead_frac = %v, want the lowest round (0.11)", m.Extra["overhead_frac"])
+	}
+	if m.Extra["within_budget"] != 1 {
+		t.Errorf("within_budget lost: %v", m.Extra)
+	}
+}
+
+func TestBestOfSingleRoundAnnotates(t *testing.T) {
+	r := NewReport("hotpath")
+	r.Add(Metric{Name: "hotpath/x", EventsPerSec: 42})
+	best := BestOf(r)
+	m, _ := best.Metric("hotpath/x")
+	if m.Extra["runs"] != 1 || m.Extra["spread_min"] != 42 || m.Extra["spread_max"] != 42 {
+		t.Errorf("single-round annotations = %v", m.Extra)
+	}
+}

@@ -38,8 +38,16 @@ func HotpathBenchmarks() []HotpathBenchmark {
 		{Name: "hotpath/record_encode", EventsPerOp: 1, Fn: benchRecordEncode},
 		{Name: "hotpath/fpelim_offer", EventsPerOp: 1, Fn: benchFPElimOffer},
 		{Name: "hotpath/sim_schedule", EventsPerOp: 1, Fn: benchSimSchedule},
+		{Name: "hotpath/groupcache_burst", EventsPerOp: burstLen, Fn: benchGroupcacheBurst},
+		{Name: "hotpath/batcher_pushburst", EventsPerOp: burstLen, Fn: benchBatcherPushBurst},
+		{Name: "hotpath/fpelim_burst", EventsPerOp: burstLen, Fn: benchFPElimBurst},
 	}
 }
+
+// burstLen is the burst size used by the burst-mode benchmarks: the
+// stage-at-a-time pipeline processes coalesced same-instant arrivals, and
+// 32 is a typical incast front in the fat-tree scenarios.
+const burstLen = 32
 
 // Hotpath runs the suite via testing.Benchmark and collects the results.
 func Hotpath() *Report {
@@ -138,6 +146,58 @@ func benchFPElimOffer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		elim.Offer(&evs[i%len(evs)])
+	}
+}
+
+func benchGroupcacheBurst(b *testing.B) {
+	// The burst counterpart of groupcache_ingest: one OfferBurst over a
+	// 32-event front, aggregate path.
+	evs := hotFlows(256)
+	var reports uint64
+	tbl := groupcache.New(groupcache.DefaultSlots, groupcache.DefaultC, func(e *fevent.Event) { reports++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * burstLen) % (len(evs) - burstLen)
+		tbl.OfferBurst(evs[off : off+burstLen])
+	}
+	_ = reports
+}
+
+func benchBatcherPushBurst(b *testing.B) {
+	// The burst counterpart of batcher_pushpop: one PushBurst of a
+	// 32-record extraction buffer, then the CEBP passes that drain it.
+	s := sim.New()
+	var delivered int
+	bt := batcher.New(s, batcher.Config{CEBPs: 1, StackDepth: 1 << 10},
+		func(batch *fevent.Batch) { delivered += len(batch.Events) })
+	evs := hotFlows(burstLen)
+	s.RunAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.PushBurst(evs)
+		for j := 0; j < burstLen; j++ {
+			s.Step() // one CEBP pass per buffered record
+		}
+	}
+	_ = delivered
+}
+
+func benchFPElimBurst(b *testing.B) {
+	// The burst counterpart of fpelim_offer: one OfferBurst over a flushed
+	// CEBP batch in the steady state (every identity already resident, so
+	// the in-place filter suppresses the whole batch).
+	evs := hotFlows(1024)
+	elim := fpelim.New(fpelim.Config{MaxEntries: 4096}, func() sim.Time { return 0 })
+	for i := range evs {
+		elim.Offer(&evs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * burstLen) % (len(evs) - burstLen)
+		elim.OfferBurst(evs[off : off+burstLen])
 	}
 }
 

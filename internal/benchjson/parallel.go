@@ -32,11 +32,27 @@ func ParallelSuitePoints(seed uint64) []experiments.RunConfig {
 	return cfgs
 }
 
+// ShardedScenario is the single large fat-tree scenario the sharded
+// engine is benchmarked on: a full K=4 fat-tree (20 switches, 16 hosts)
+// under WEB load with silent link loss, 2 ms of simulated time. The same
+// scenario, Shards=1, is the sequential reference the speedup and the
+// digest attestation are measured against.
+func ShardedScenario(seed uint64) experiments.ShardedConfig {
+	return experiments.ShardedConfig{
+		Window:       2 * sim.Millisecond,
+		Seed:         seed,
+		Load:         0.70,
+		LinkLossProb: 0.01,
+	}
+}
+
 // Parallel runs the suite sequentially (one worker) and with the given
 // pool width, verifies the exported event streams are identical, and
-// reports throughput plus speedup. It returns an error if any point's
-// digest differs between the two runs — parallelism must never change
-// results.
+// reports throughput plus speedup — first across independent points
+// (RunPoints fan-out), then inside one run (the per-switch sharded
+// engine vs the same harness collapsed onto a single event loop). It
+// returns an error if any digest differs between sequential and parallel
+// execution — parallelism must never change results.
 func Parallel(workers int, seed uint64) (*Report, error) {
 	if workers <= 0 {
 		workers = 1
@@ -82,6 +98,55 @@ func Parallel(workers int, seed uint64) (*Report, error) {
 			"seq_wall_sec":   seqDur.Seconds(),
 			"par_wall_sec":   parDur.Seconds(),
 			"exported_total": float64(events),
+		},
+	})
+
+	// Intra-run parallelism: the sharded engine on one large fat-tree.
+	runSharded := func(shards, w int) (tb *experiments.ShardedTestbed, wall time.Duration) {
+		cfg := ShardedScenario(seed)
+		cfg.Shards = shards
+		cfg.Workers = w
+		tb = experiments.NewShardedTestbed(cfg)
+		start := time.Now()
+		tb.Run()
+		return tb, time.Since(start)
+	}
+	seqTB, seqWall := runSharded(1, 1)
+	shTB, shWall := runSharded(0, workers) // 0 shards → one per switch
+	if sd, pd := seqTB.Digest(), shTB.Digest(); sd != pd {
+		return nil, fmt.Errorf("fat-tree: sharded digest %016x != sequential %016x", pd, sd)
+	}
+	shards := float64(shTB.Engine.NumShards())
+	r.Add(Metric{
+		Name:         "parallel/fattree_sequential",
+		EventsPerSec: float64(seqTB.Engine.Processed()) / seqWall.Seconds(),
+		Extra: map[string]float64{
+			"shards":   1,
+			"workers":  1,
+			"wall_sec": seqWall.Seconds(),
+			"exported": float64(seqTB.ExportedEvents()),
+		},
+	})
+	r.Add(Metric{
+		Name:         "parallel/fattree_sharded",
+		EventsPerSec: float64(shTB.Engine.Processed()) / shWall.Seconds(),
+		Extra: map[string]float64{
+			"shards":   shards,
+			"workers":  float64(workers),
+			"wall_sec": shWall.Seconds(),
+			"exported": float64(shTB.ExportedEvents()),
+		},
+	})
+	r.Add(Metric{
+		Name: "parallel/sharded_speedup",
+		Extra: map[string]float64{
+			"speedup":        seqWall.Seconds() / shWall.Seconds(),
+			"shards":         shards,
+			"workers":        float64(workers),
+			"digests_match":  1,
+			"seq_wall_sec":   seqWall.Seconds(),
+			"shard_wall_sec": shWall.Seconds(),
+			"exported_total": float64(shTB.ExportedEvents()),
 		},
 	})
 	return r, nil

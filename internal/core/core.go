@@ -203,6 +203,12 @@ type NetSeerSwitch struct {
 
 	// Step 3.
 	batcher *batcher.Batcher
+	// Burst extraction buffering: while the data plane runs a pipeline
+	// burst (between BeginBurst and EndBurst), extracted records collect
+	// in extractBuf and reach the CEBP stack in one PushBurst, instead of
+	// one Push per record.
+	inBurst    bool
+	extractBuf []fevent.Event
 
 	// Step 4.
 	elim   *fpelim.Eliminator
@@ -240,6 +246,7 @@ func Attach(sw *dataplane.Switch, cfg Config, sink EventSink) *NetSeerSwitch {
 		mmuRedirect:    newTokenBucket(cfg.MMURedirectBps, 256<<10),
 		internalPort:   newTokenBucket(cfg.InternalPortBps, 512<<10),
 		latDetectToCPU: obs.NewHistogram(obs.LatencyBuckets()),
+		extractBuf:     make([]fevent.Event, 0, 256),
 	}
 	n.dropTable = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)
 	n.congTable = groupcache.New(cfg.GroupSlots, cfg.GroupC, n.onFlowEvent)

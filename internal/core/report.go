@@ -36,29 +36,54 @@ func (n *NetSeerSwitch) onFlowEvent(e *fevent.Event) {
 		n.stats.DedupBytes += n.stats.EventBytes / n.stats.EventPackets
 	}
 	n.stats.ExtractedBytes += fevent.RecordLen
+	if n.inBurst {
+		// Mid-burst: buffer the record; EndBurst hands the whole burst's
+		// extractions to the CEBP stack at once.
+		n.extractBuf = append(n.extractBuf, *e)
+		return
+	}
 	n.batcher.Push(e)
+}
+
+// BeginBurst implements dataplane.BurstTelemetry: the data plane is about
+// to run its stage sequence over a coalesced burst of ingress arrivals.
+func (n *NetSeerSwitch) BeginBurst(int) { n.inBurst = true }
+
+// EndBurst implements dataplane.BurstTelemetry: every stage has run, so
+// the records extracted during the burst go to the CEBP stack in one bulk
+// push (same stack order and overflow accounting as per-record pushes —
+// no simulated time passes inside a burst).
+func (n *NetSeerSwitch) EndBurst() {
+	n.inBurst = false
+	if len(n.extractBuf) == 0 {
+		return
+	}
+	n.batcher.PushBurst(n.extractBuf)
+	n.extractBuf = n.extractBuf[:0]
 }
 
 // onBatch receives a flushed CEBP at the switch CPU: Step 4.
 func (n *NetSeerSwitch) onBatch(b *fevent.Batch) {
 	now := n.sim.Now()
 	for i := range b.Events {
-		ev := &b.Events[i]
 		// Detection→CPU staleness on the switch clock: the event was
 		// stamped when Step 2 reported it, and has just reached the CPU.
-		if now >= ev.Timestamp {
-			n.latDetectToCPU.Observe(float64(now-ev.Timestamp) / 1e3)
+		if ts := b.Events[i].Timestamp; now >= ts {
+			n.latDetectToCPU.Observe(float64(now-ts) / 1e3)
 		}
-		if !n.elim.Offer(ev) {
-			n.stats.SuppressedFPs++
-			continue
-		}
+	}
+	// Run the whole batch through false-positive elimination in one pass
+	// (in-place filter — the batch slice is the batcher's scratch, reset
+	// right after this callback returns).
+	kept := n.elim.OfferBurst(b.Events)
+	n.stats.SuppressedFPs += uint64(len(b.Events) - len(kept))
+	for i := range kept {
 		if n.outBuf == nil {
 			// One pre-sized allocation per export batch (the batch hands
 			// the slice to the sink) instead of append-doubling toward it.
 			n.outBuf = make([]fevent.Event, 0, fevent.DefaultBatchSize)
 		}
-		n.outBuf = append(n.outBuf, *ev)
+		n.outBuf = append(n.outBuf, kept[i])
 		if len(n.outBuf) >= fevent.DefaultBatchSize {
 			n.exportNow()
 		}

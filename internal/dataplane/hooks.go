@@ -36,6 +36,20 @@ type Telemetry interface {
 	OnCorruptFrame(port int)
 }
 
+// BurstTelemetry is an optional Telemetry extension. The switch coalesces
+// same-instant ingress arrivals into bursts and runs its pipeline stage
+// at a time over them; a Telemetry that also implements BurstTelemetry is
+// told where each burst begins and ends, so it can batch its own
+// downstream work (NetSeer buffers extracted records during the burst and
+// hands them to the CEBP stack in one bulk push at EndBurst).
+type BurstTelemetry interface {
+	// BeginBurst announces a burst of n packets about to enter the
+	// pipeline stages. Bursts do not nest.
+	BeginBurst(n int)
+	// EndBurst announces that every stage has run over the burst.
+	EndBurst()
+}
+
 // Monitor is the passive observation surface shared by the baseline
 // monitoring systems (sampling, EverFlow, NetSight…). All methods must be
 // cheap; they run inline in the pipeline.

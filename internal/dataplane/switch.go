@@ -128,7 +128,15 @@ type Switch struct {
 	acl      ACLTable
 	mmuUsed  int
 	tel      Telemetry
+	telBurst BurstTelemetry // tel's optional burst interface, cached
 	monitors []Monitor
+
+	// Burst ingress: same-instant arrivals coalesce into one pipeline
+	// event processed stage-at-a-time over front (see pkt.Front).
+	front     pkt.Front
+	cur       *inBurst
+	curAt     sim.Time
+	burstFree []*inBurst
 
 	// Fault injection.
 	parityVictims map[uint32]bool // dstIPs whose route entry suffered a bit flip
@@ -179,7 +187,10 @@ func (sw *Switch) AddPort(l *link.Link, fromA bool, bps float64) int {
 }
 
 // SetTelemetry installs the (single) telemetry extension.
-func (sw *Switch) SetTelemetry(t Telemetry) { sw.tel = t }
+func (sw *Switch) SetTelemetry(t Telemetry) {
+	sw.tel = t
+	sw.telBurst, _ = t.(BurstTelemetry)
+}
 
 // AddMonitor attaches a passive monitor.
 func (sw *Switch) AddMonitor(m Monitor) { sw.monitors = append(sw.monitors, m) }
@@ -303,69 +314,205 @@ func (sw *Switch) Receive(p *pkt.Packet, port int) {
 	for _, m := range sw.monitors {
 		m.OnIngress(sw, p, port)
 	}
-	// Pipeline latency then forwarding decision.
-	sw.sim.Schedule(sw.cfg.PipelineLatency, func() { sw.pipeline(p, port) })
+	// Pipeline latency then forwarding decision. Same-instant arrivals
+	// coalesce into one burst: the first packet schedules the pipeline
+	// event, later packets of the instant just append to it. The burst is
+	// then processed stage-at-a-time (pkt.Front), which preserves
+	// per-packet arrival order through every stage while spending one
+	// simulator event (and one pass over each stage's tables) per burst
+	// instead of per packet.
+	now := sw.sim.Now()
+	if sw.cur == nil || sw.curAt != now {
+		sw.cur = sw.grabBurst()
+		sw.curAt = now
+		sw.sim.Schedule(sw.cfg.PipelineLatency, sw.cur.fn)
+	}
+	sw.cur.slots = append(sw.cur.slots, pkt.Slot{P: p, Port: int32(port)})
 }
 
-// pipeline is the ingress match-action stage sequence.
-func (sw *Switch) pipeline(p *pkt.Packet, inPort int) {
-	p.IngressAt = sw.sim.Now()
-	p.IngressPort = inPort
+// inBurst accumulates the same-instant ingress arrivals behind one
+// scheduled pipeline event. Instances recycle through Switch.burstFree,
+// each keeping its pre-bound closure, so burst ingress does not allocate
+// in steady state.
+type inBurst struct {
+	slots []pkt.Slot
+	fn    func()
+}
 
+func (sw *Switch) grabBurst() *inBurst {
+	if n := len(sw.burstFree); n > 0 {
+		b := sw.burstFree[n-1]
+		sw.burstFree = sw.burstFree[:n-1]
+		return b
+	}
+	b := &inBurst{}
+	b.fn = func() { sw.pipelineBurst(b) }
+	return b
+}
+
+func (sw *Switch) releaseBurst(b *inBurst) {
+	b.slots = b.slots[:0]
+	sw.burstFree = append(sw.burstFree, b)
+}
+
+// pipelineBurst runs the ingress match-action stage sequence over one
+// coalesced burst, stage at a time: parse/stamp → ACL → route/TTL/ECMP →
+// port checks → forward telemetry → MMU admission, with drops finalized
+// in a dedicated stage. Within each stage packets run in arrival order,
+// so per-flow processing order is identical to packet-at-a-time.
+func (sw *Switch) pipelineBurst(b *inBurst) {
+	if sw.cur == b {
+		sw.cur = nil
+	}
+	now := sw.sim.Now()
 	// A failed ASIC destroys packets before any match-action logic runs:
 	// even NetSeer's own detection is gone (§3.7 precondition). Ground
 	// truth still records the loss; only syslog can tell the operator.
 	if sw.asicFailed {
-		sw.dropsByCode[fevent.DropASICFailure]++
-		sw.gt.recordDrop(sw.sim.Now(), sw.ID, p, fevent.DropASICFailure, 0)
+		for _, s := range b.slots {
+			sw.dropsByCode[fevent.DropASICFailure]++
+			sw.gt.recordDrop(now, sw.ID, s.P, fevent.DropASICFailure, 0)
+		}
+		sw.releaseBurst(b)
 		return
 	}
+	f := &sw.front
+	f.Reset()
+	f.In = append(f.In, b.slots...)
+	sw.releaseBurst(b)
+	// Canonical burst order: stable insertion sort by ingress port. The
+	// append order of same-instant arrivals is the event scheduler's
+	// tie-break order, which differs between the sequential and sharded
+	// engines; a port is one link direction whose FIFO delivery order both
+	// engines preserve, so (port, per-port arrival order) is the same
+	// everywhere and the pipeline outcome becomes engine-independent.
+	in := f.In
+	for i := 1; i < len(in); i++ {
+		s := in[i]
+		j := i
+		for j > 0 && in[j-1].Port > s.Port {
+			in[j] = in[j-1]
+			j--
+		}
+		in[j] = s
+	}
+	if sw.telBurst != nil {
+		sw.telBurst.BeginBurst(len(f.In))
+	}
+	// Parse/stamp.
+	for i := range f.In {
+		f.In[i].P.IngressAt = now
+		f.In[i].P.IngressPort = int(f.In[i].Port)
+	}
+	sw.stageACL(f)
+	sw.stageRoute(f)
+	sw.stagePortCheck(f)
+	sw.stageForward(f, now)
+	for i := range f.In {
+		s := f.In[i]
+		sw.enqueue(s.P, int(s.Port), int(s.A), int(s.B))
+	}
+	sw.stageDrops(f)
+	if sw.telBurst != nil {
+		sw.telBurst.EndBurst()
+	}
+}
 
-	// ACL.
-	if rule := sw.acl.Lookup(p.Flow); rule != nil && rule.Action == ACLDeny {
-		sw.drop(p, inPort, -1, fevent.DropACLDeny, rule.ID, true)
-		return
+// stageACL filters the burst through the ACL table.
+func (sw *Switch) stageACL(f *pkt.Front) {
+	for i := range f.In {
+		s := f.In[i]
+		if rule := sw.acl.Lookup(s.P.Flow); rule != nil && rule.Action == ACLDeny {
+			s.A, s.B = int32(fevent.DropACLDeny), int32(rule.ID)
+			f.Drop = append(f.Drop, s)
+			continue
+		}
+		f.Out = append(f.Out, s)
 	}
-	// Routing lookup. A parity bit flip makes the entry unmatchable: the
-	// lookup misses and the drop is silent.
-	if sw.parityVictims[p.Flow.DstIP] {
-		sw.drop(p, inPort, -1, fevent.DropParityError, 0, false)
-		return
+	f.Advance()
+}
+
+// stageRoute is the routing lookup, TTL check and ECMP selection; the
+// chosen egress port rides in slot field A. A parity bit flip makes the
+// entry unmatchable: the lookup misses and the drop is silent.
+func (sw *Switch) stageRoute(f *pkt.Front) {
+	for i := range f.In {
+		s := f.In[i]
+		p := s.P
+		if sw.parityVictims[p.Flow.DstIP] {
+			s.A = int32(fevent.DropParityError)
+			f.Drop = append(f.Drop, s)
+			continue
+		}
+		hops, overridden := sw.routeOverride[p.Flow.DstIP]
+		if !overridden {
+			hops = sw.routes(p.Flow.DstIP)
+		}
+		if len(hops) == 0 {
+			s.A = int32(fevent.DropNoRoute)
+			f.Drop = append(f.Drop, s)
+			continue
+		}
+		if p.TTL <= 1 {
+			s.A = int32(fevent.DropTTLExpired)
+			f.Drop = append(f.Drop, s)
+			continue
+		}
+		p.TTL--
+		egress, _ := ecmpSelect(hops, p.Flow, sw.salt)
+		s.A = int32(egress)
+		f.Out = append(f.Out, s)
 	}
-	hops, overridden := sw.routeOverride[p.Flow.DstIP]
-	if !overridden {
-		hops = sw.routes(p.Flow.DstIP)
+	f.Advance()
+}
+
+// stagePortCheck verifies the chosen egress port is usable and assigns
+// the egress queue into slot field B.
+func (sw *Switch) stagePortCheck(f *pkt.Front) {
+	for i := range f.In {
+		s := f.In[i]
+		pt := sw.ports[s.A]
+		if pt.down || pt.lnk.Down() {
+			s.A = int32(fevent.DropPortDown)
+			f.Drop = append(f.Drop, s)
+			continue
+		}
+		if s.P.WireLen > pt.mtu {
+			s.A = int32(fevent.DropMTUExceeded)
+			f.Drop = append(f.Drop, s)
+			continue
+		}
+		s.B = int32(int(s.P.Priority) % sw.cfg.Queues)
+		f.Out = append(f.Out, s)
 	}
-	if len(hops) == 0 {
-		sw.drop(p, inPort, -1, fevent.DropNoRoute, 0, true)
-		return
+	f.Advance()
+}
+
+// stageForward runs forward telemetry and ground-truth recording for
+// every surviving packet of the burst.
+func (sw *Switch) stageForward(f *pkt.Front, now sim.Time) {
+	for i := range f.In {
+		s := f.In[i]
+		egress, queue := int(s.A), int(s.B)
+		paused := sw.ports[egress].paused[queue]
+		if sw.tel != nil {
+			sw.tel.PipelineForward(s.P, int(s.Port), egress, queue, paused)
+		}
+		sw.gt.recordForward(now, sw.ID, s.P, int(s.Port), egress)
+		if paused {
+			sw.gt.recordPause(now, sw.ID, s.P, egress, queue)
+		}
 	}
-	// TTL.
-	if p.TTL <= 1 {
-		sw.drop(p, inPort, -1, fevent.DropTTLExpired, 0, true)
-		return
+}
+
+// stageDrops finalizes every packet the earlier stages dropped (slot A
+// holds the drop code, B the ACL rule for ACL denies).
+func (sw *Switch) stageDrops(f *pkt.Front) {
+	for i := range f.Drop {
+		s := f.Drop[i]
+		code := fevent.DropCode(s.A)
+		sw.drop(s.P, int(s.Port), -1, code, uint8(s.B), code != fevent.DropParityError)
 	}
-	p.TTL--
-	egress, _ := ecmpSelect(hops, p.Flow, sw.salt)
-	pt := sw.ports[egress]
-	if pt.down || pt.lnk.Down() {
-		sw.drop(p, inPort, egress, fevent.DropPortDown, 0, true)
-		return
-	}
-	if p.WireLen > pt.mtu {
-		sw.drop(p, inPort, egress, fevent.DropMTUExceeded, 0, true)
-		return
-	}
-	queue := int(p.Priority) % sw.cfg.Queues
-	paused := pt.paused[queue]
-	if sw.tel != nil {
-		sw.tel.PipelineForward(p, inPort, egress, queue, paused)
-	}
-	sw.gt.recordForward(sw.sim.Now(), sw.ID, p, inPort, egress)
-	if paused {
-		sw.gt.recordPause(sw.sim.Now(), sw.ID, p, egress, queue)
-	}
-	sw.enqueue(p, inPort, egress, queue)
 }
 
 // enqueue admits the packet to the MMU or drops it on congestion.

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"netseer/internal/collector"
+	"netseer/internal/core"
+	"netseer/internal/dataplane"
+	"netseer/internal/host"
+	"netseer/internal/link"
+	"netseer/internal/nic"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+	"netseer/internal/topo"
+	"netseer/internal/workload"
+)
+
+// The per-switch parallel harness. Where RunPoints parallelizes across
+// independent runs, ShardedTestbed parallelizes inside one run: every
+// switch owns a shard of a conservative-lookahead engine (sim.Sharded*),
+// hosts and the generator live on shard 0, and links bridge shards with
+// their propagation delay as the synchronization bound. With Shards=1 the
+// same harness degenerates to a plain sequential simulation, which is the
+// reference the digest equality tests compare against.
+
+// ShardedConfig parameterizes one sharded fat-tree run.
+type ShardedConfig struct {
+	// FatTree shapes the topology (defaults: full K=4 — 20 switches,
+	// 16 hosts).
+	FatTree topo.FatTreeConfig
+	// Shards is the total shard count including the host shard 0.
+	// Default: one shard per switch plus the host shard. 1 collapses the
+	// run onto a single event loop (the sequential reference).
+	Shards int
+	// Workers bounds per-window concurrency (default 1).
+	Workers int
+
+	// Dist and Load drive the generator (defaults WEB at 0.70).
+	Dist *workload.Distribution
+	Load float64
+	// Window is the measurement duration (default 2 ms).
+	Window sim.Time
+	// Seed fixes all randomness.
+	Seed uint64
+	// Clients is how many hosts generate (the rest serve; default 1/4).
+	Clients int
+	FanIn   int
+
+	SwCfg dataplane.Config
+	NSCfg core.Config
+
+	// LinkLossProb, when positive, configures static silent loss on the
+	// first agg↔core link in both directions — inter-switch detection and
+	// the per-direction fault streams get exercised.
+	LinkLossProb float64
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.FatTree.K == 0 {
+		c.FatTree.K = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Dist == nil {
+		c.Dist = workload.WEB
+	}
+	if c.Load <= 0 {
+		c.Load = 0.70
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * sim.Millisecond
+	}
+	if c.FanIn <= 0 {
+		c.FanIn = 4
+	}
+	if c.SwCfg.CongestionThreshold <= 0 {
+		c.SwCfg.CongestionThreshold = 10 * sim.Microsecond
+	}
+	if c.NSCfg.CongestionThreshold <= 0 {
+		c.NSCfg.CongestionThreshold = c.SwCfg.CongestionThreshold
+	}
+	return c
+}
+
+// ShardedTestbed is an assembled sharded fat-tree with NetSeer on every
+// switch and a per-switch collector store (stores are shard-owned, so
+// export never crosses shards; digests canonicalize over all of them).
+type ShardedTestbed struct {
+	Cfg    ShardedConfig
+	Engine *sim.ShardedEngine
+	Topo   *topo.Topology
+	Routes *topo.Routes
+	Fab    *dataplane.ShardedFabric
+	Hosts  []*host.Host
+	Gen    *workload.Generator
+
+	NetSeers []*core.NetSeerSwitch
+	Stores   []*collector.Store
+
+	pktID uint64
+}
+
+// NewShardedTestbed builds the engine, fabric, hosts and workload.
+func NewShardedTestbed(cfg ShardedConfig) *ShardedTestbed {
+	cfg = cfg.withDefaults()
+	tp := topo.FatTree(cfg.FatTree)
+	routes := topo.BuildRoutes(tp)
+	nSwitches := len(tp.Switches())
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = nSwitches + 1
+	}
+	cfg.Shards = shards
+	// The conservative bound: no cross-shard interaction is faster than
+	// the fastest link.
+	lookahead := sim.MaxTime
+	for _, tl := range tp.Links() {
+		if tl.PropDelay < lookahead {
+			lookahead = tl.PropDelay
+		}
+	}
+	eng := sim.NewSharded(shards, lookahead, cfg.Workers)
+	fab := dataplane.BuildFabricSharded(eng, tp, routes, cfg.SwCfg, cfg.Seed)
+	tb := &ShardedTestbed{
+		Cfg: cfg, Engine: eng, Topo: tp, Routes: routes, Fab: fab,
+	}
+	for _, hn := range tp.Hosts() {
+		h := host.Attach(fab.Sim, fab.Fabric, hn, nic.Config{}, &tb.pktID)
+		h.Handle(workload.DataPort, func(*pkt.Packet) {})
+		tb.Hosts = append(tb.Hosts, h)
+	}
+	fab.EachSwitch(func(sw *dataplane.Switch) {
+		st := collector.NewStore()
+		tb.Stores = append(tb.Stores, st)
+		tb.NetSeers = append(tb.NetSeers, core.Attach(sw, cfg.NSCfg, st))
+	})
+	if cfg.LinkLossProb > 0 {
+		l := fab.LinkBetween("agg0-0", "core0")
+		if l == nil {
+			panic("experiments: sharded fat-tree has no agg0-0/core0 link")
+		}
+		// Static faults configured before the engine runs: direction state
+		// is only read by the transmitting shard afterwards.
+		l.SetFault(true, link.Fault{SilentLossProb: cfg.LinkLossProb})
+		l.SetFault(false, link.Fault{SilentLossProb: cfg.LinkLossProb})
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = len(tb.Hosts) / 4
+		if clients == 0 {
+			clients = 1
+		}
+	}
+	tb.Gen = workload.NewGenerator(fab.Sim, tb.Hosts[:clients], tb.Hosts[clients:], workload.GenConfig{
+		Dist: cfg.Dist, Load: cfg.Load, FanIn: cfg.FanIn, Seed: cfg.Seed,
+	})
+	return tb
+}
+
+// Run drives the workload for the configured window, then flushes and
+// drains — the sharded counterpart of Testbed.Run/StopAndDrain. Flushes
+// happen from the driving goroutine between engine phases (the engine is
+// quiescent, so touching shard-owned state is safe), in wire-ID order,
+// with every shard clock synchronized — exactly the state a sequential
+// run is in at the same point.
+func (tb *ShardedTestbed) Run() {
+	tb.Gen.Start()
+	tb.Engine.Run(tb.Cfg.Window)
+	tb.Gen.Stop()
+	for _, ns := range tb.NetSeers {
+		ns.Flush()
+	}
+	for _, ns := range tb.NetSeers {
+		ns.Stop()
+	}
+	tb.Engine.Drain()
+	for _, ns := range tb.NetSeers {
+		ns.Flush()
+	}
+}
+
+// ExportedEvents sums events across the per-switch stores.
+func (tb *ShardedTestbed) ExportedEvents() int {
+	n := 0
+	for _, st := range tb.Stores {
+		n += len(st.Query(collector.Filter{}))
+	}
+	return n
+}
+
+// Stats aggregates per-switch NetSeer stats.
+func (tb *ShardedTestbed) Stats() core.Stats {
+	var agg core.Stats
+	for _, ns := range tb.NetSeers {
+		s := ns.Stats()
+		agg.RawPackets += s.RawPackets
+		agg.ExportedEvents += s.ExportedEvents
+		agg.SeqGapsDetected += s.SeqGapsDetected
+		agg.InterSwitchFound += s.InterSwitchFound
+	}
+	return agg
+}
+
+// Digest canonicalizes the full exported event stream: every event is
+// rendered with its timestamp, the lines are sorted, and the result is
+// FNV-64a hashed. Sorting makes the digest a pure function of the event
+// multiset — ingestion order differs between per-switch stores and the
+// sequential single store, but the events themselves must not.
+func (tb *ShardedTestbed) Digest() uint64 {
+	return CanonicalDigest(tb.Stores...)
+}
+
+// CanonicalDigest is the sorted-line event-stream digest over any set of
+// stores. Two runs exported the same events iff their digests are equal.
+func CanonicalDigest(stores ...*collector.Store) uint64 {
+	var lines []string
+	for _, st := range stores {
+		for _, e := range st.Query(collector.Filter{}) {
+			lines = append(lines, fmt.Sprintf("%s@%d", e.String(), e.Timestamp))
+		}
+	}
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, ln := range lines {
+		h.Write([]byte(ln))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}

@@ -53,20 +53,38 @@ func (c Config) withDefaults() Config {
 // Eliminator deduplicates flow-event reports. It is not safe for
 // concurrent use; the switch CPU path is single-threaded per core, and
 // multi-core deployments shard by hash (see Shard).
+//
+// The dedup table is open-addressed (linear probing, power-of-two
+// capacity) and indexed by the ASIC-attached record hash, so the CPU
+// never hashes the 20-byte identity itself — the paper's §3.6 offload,
+// taken to its conclusion: a Go map would re-hash the full Key on every
+// lookup, where the probe index here is a couple of integer ops on the
+// hash the record already carries.
 type Eliminator struct {
-	cfg     Config
-	entries map[fevent.Key]*state
-	clock   func() sim.Time
+	cfg   Config
+	slots []slot
+	mask  uint32
+	count int
+	clock func() sim.Time
 
 	seen       uint64
 	duplicates uint64
 	forwarded  uint64
 }
 
-type state struct {
+// slot is one open-addressing entry. hash caches the slot index source so
+// growth and expiry can rehash without the originating record.
+type slot struct {
+	key       fevent.Key
+	hash      uint32
 	lastCount uint16
+	used      bool
 	lastSeen  sim.Time
 }
+
+// initialSlots is the starting table capacity; the table doubles at 3/4
+// load until MaxEntries caps the entry count.
+const initialSlots = 512
 
 // New creates an eliminator. clock supplies the current time (virtual in
 // simulations, wall-derived in live deployments); it must not be nil.
@@ -75,10 +93,31 @@ func New(cfg Config, clock func() sim.Time) *Eliminator {
 		panic("fpelim: clock must not be nil")
 	}
 	return &Eliminator{
-		cfg:     cfg.withDefaults(),
-		entries: make(map[fevent.Key]*state),
-		clock:   clock,
+		cfg:   cfg.withDefaults(),
+		slots: make([]slot, initialSlots),
+		mask:  initialSlots - 1,
+		clock: clock,
 	}
+}
+
+// keyHash derives the probe index for ev's dedup identity. The base is
+// the pre-computed flow hash the data plane attached (zero where Key()
+// zeroes the flow, i.e. ACL drops aggregate at rule granularity); the
+// non-flow identity fields are mixed in with one multiply-xorshift
+// round. It is a pure function of ev.Key() as long as ev.Hash is the
+// flow hash, which is the PreHashed-mode contract.
+func keyHash(ev *fevent.Event) uint32 {
+	h := ev.Hash
+	if ev.Type == fevent.TypeDrop && ev.DropCode == fevent.DropACLDeny {
+		h = 0
+	}
+	h ^= uint32(ev.Type)<<5 ^ uint32(ev.DropCode)<<11 ^ uint32(ev.ACLRule)<<17
+	if ev.Type == fevent.TypePathChange {
+		h ^= uint32(ev.IngressPort)<<23 | uint32(ev.EgressPort)<<27
+	}
+	h *= 0x9e3779b1
+	h ^= h >> 16
+	return h
 }
 
 // Offer processes one reported event and reports whether it should be
@@ -92,61 +131,118 @@ func New(cfg Config, clock func() sim.Time) *Eliminator {
 func (e *Eliminator) Offer(ev *fevent.Event) bool {
 	e.seen++
 	now := e.clock()
-	var key fevent.Key
 	if e.cfg.Mode == HashOnCPU {
 		// Burn the cycles the ASIC offload saves: recompute the record
-		// hash in software and verify it. The data-plane-attached hash is
-		// deliberately ignored in this mode.
-		h := softwareCRC32C(ev)
-		key = ev.Key()
-		_ = h
-	} else {
-		key = ev.Key()
+		// hash in software. The data-plane-attached hash is deliberately
+		// ignored in this mode.
+		_ = softwareCRC32C(ev)
 	}
-	st, ok := e.entries[key]
-	if !ok {
-		if len(e.entries) >= e.cfg.MaxEntries {
-			e.expire(now)
+	key := ev.Key()
+	h := keyHash(ev)
+	i := h & e.mask
+	for {
+		st := &e.slots[i]
+		if !st.used {
+			break
 		}
-		e.entries[key] = &state{lastCount: ev.Count, lastSeen: now}
-		e.forwarded++
-		return true
+		if st.hash == h && st.key == key {
+			if now-st.lastSeen > e.cfg.Window {
+				// Stale entry: treat as a new flow event episode.
+				st.lastCount = ev.Count
+				st.lastSeen = now
+				e.forwarded++
+				return true
+			}
+			st.lastSeen = now
+			if ev.Count > st.lastCount {
+				st.lastCount = ev.Count
+				e.forwarded++
+				return true
+			}
+			e.duplicates++
+			return false
+		}
+		i = (i + 1) & e.mask
 	}
-	if now-st.lastSeen > e.cfg.Window {
-		// Stale entry: treat as a new flow event episode.
-		st.lastCount = ev.Count
-		st.lastSeen = now
-		e.forwarded++
-		return true
+	// New identity.
+	if e.count >= e.cfg.MaxEntries {
+		e.expire(now)
 	}
-	st.lastSeen = now
-	if ev.Count > st.lastCount {
-		st.lastCount = ev.Count
-		e.forwarded++
-		return true
+	if (e.count+1)*4 >= len(e.slots)*3 {
+		e.grow()
 	}
-	e.duplicates++
-	return false
+	e.insert(slot{key: key, hash: h, lastCount: ev.Count, lastSeen: now, used: true})
+	e.forwarded++
+	return true
 }
 
-// expire removes entries older than the window; if that frees nothing it
-// clears the map entirely (a coarse but bounded fallback, matching the
-// limited memory of a switch CPU).
-func (e *Eliminator) expire(now sim.Time) {
-	removed := 0
-	for k, st := range e.entries {
-		if now-st.lastSeen > e.cfg.Window {
-			delete(e.entries, k)
-			removed++
+// OfferBurst offers every event of a flushed CEBP batch and returns the
+// slice filtered in place to the forwarded events, preserving order. The
+// per-event outcome is identical to calling Offer in a loop; the burst
+// form is the switch-CPU counterpart of the data plane's stage-at-a-time
+// processing (one pass over the batch, table stays hot) and lets the
+// caller count suppressions as len(in) - len(out).
+func (e *Eliminator) OfferBurst(evs []fevent.Event) []fevent.Event {
+	kept := evs[:0]
+	for i := range evs {
+		if e.Offer(&evs[i]) {
+			kept = append(kept, evs[i])
 		}
 	}
-	if removed == 0 {
-		e.entries = make(map[fevent.Key]*state)
+	return kept
+}
+
+// insert places s at the first free slot on its probe chain. The load
+// factor is kept under 3/4, so a free slot always exists.
+func (e *Eliminator) insert(s slot) {
+	i := s.hash & e.mask
+	for e.slots[i].used {
+		i = (i + 1) & e.mask
+	}
+	e.slots[i] = s
+	e.count++
+}
+
+// grow doubles the table and reinserts every live entry using its cached
+// hash.
+func (e *Eliminator) grow() {
+	old := e.slots
+	e.slots = make([]slot, 2*len(old))
+	e.mask = uint32(len(e.slots) - 1)
+	e.count = 0
+	for i := range old {
+		if old[i].used {
+			e.insert(old[i])
+		}
+	}
+}
+
+// expire rebuilds the table without entries older than the window; if
+// that frees nothing it clears the table entirely (a coarse but bounded
+// fallback, matching the limited memory of a switch CPU).
+func (e *Eliminator) expire(now sim.Time) {
+	old := e.slots
+	e.slots = make([]slot, len(old))
+	e.count = 0
+	removed := 0
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		if now-old[i].lastSeen > e.cfg.Window {
+			removed++
+			continue
+		}
+		e.insert(old[i])
+	}
+	if removed == 0 && e.count > 0 {
+		e.slots = make([]slot, len(old))
+		e.count = 0
 	}
 }
 
 // Len returns the number of remembered identities.
-func (e *Eliminator) Len() int { return len(e.entries) }
+func (e *Eliminator) Len() int { return e.count }
 
 // Stats reports offered, suppressed and forwarded event counts.
 func (e *Eliminator) Stats() (seen, duplicates, forwarded uint64) {

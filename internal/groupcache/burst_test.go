@@ -1,0 +1,72 @@
+package groupcache
+
+import (
+	"reflect"
+	"testing"
+
+	"netseer/internal/fevent"
+)
+
+// Burst-boundary properties: OfferBurst must be observationally identical
+// to the equivalent sequence of Offer calls — same reported event stream
+// in the same order, same stats — including when the burst spans slot
+// evictions (the Algorithm 1 collision path fires mid-burst).
+
+func burstFlows(n int) []fevent.Event {
+	evs := make([]fevent.Event, n)
+	for i := range evs {
+		evs[i] = *congestionPacket(flowN(uint32(i)), uint16(10+i))
+	}
+	return evs
+}
+
+func offerBurstCase(t *testing.T, slots int, c uint16, evs []fevent.Event) {
+	t.Helper()
+	var gotBurst, gotSeq []fevent.Event
+	tb := New(slots, c, func(e *fevent.Event) { gotBurst = append(gotBurst, *e) })
+	ts := New(slots, c, func(e *fevent.Event) { gotSeq = append(gotSeq, *e) })
+
+	tb.OfferBurst(evs)
+	for i := range evs {
+		ts.Offer(&evs[i])
+	}
+
+	if !reflect.DeepEqual(gotBurst, gotSeq) {
+		t.Fatalf("reported streams differ: burst %d events, sequential %d", len(gotBurst), len(gotSeq))
+	}
+	bi, br, bm, be := tb.Stats()
+	si, sr, sm, se := ts.Stats()
+	if bi != si || br != sr || bm != sm || be != se {
+		t.Fatalf("stats diverge: burst (%d,%d,%d,%d) vs sequential (%d,%d,%d,%d)",
+			bi, br, bm, be, si, sr, sm, se)
+	}
+	tb.Flush()
+	ts.Flush()
+	if !reflect.DeepEqual(gotBurst, gotSeq) {
+		t.Errorf("flushed streams differ")
+	}
+}
+
+func TestOfferBurstMatchesSequentialOffer(t *testing.T) {
+	t.Run("empty burst", func(t *testing.T) {
+		offerBurstCase(t, 8, 4, nil)
+	})
+	t.Run("single event", func(t *testing.T) {
+		offerBurstCase(t, 8, 4, burstFlows(1))
+	})
+	t.Run("spans eviction", func(t *testing.T) {
+		// 4 slots, 32 distinct flows: most offers collide with a live
+		// entry and evict it mid-burst.
+		evs := burstFlows(32)
+		offerBurstCase(t, 4, 4, evs)
+		tb := New(4, 4, func(*fevent.Event) {})
+		tb.OfferBurst(evs)
+		if _, _, _, evictions := tb.Stats(); evictions == 0 {
+			t.Fatal("burst did not span an eviction — case is vacuous")
+		}
+	})
+	t.Run("repeats within burst aggregate", func(t *testing.T) {
+		evs := append(burstFlows(6), burstFlows(6)...)
+		offerBurstCase(t, 8, 4, evs)
+	})
+}

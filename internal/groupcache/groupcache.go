@@ -38,7 +38,11 @@ type ReportFunc func(e *fevent.Event)
 // concurrent use; in the simulated switch every table belongs to a single
 // pipeline.
 type Table struct {
-	slots  []entry
+	slots []entry
+	// mask is len(slots)-1 when the size is a power of two (the common
+	// case: DefaultSlots and the paper's SRAM sizings), letting Offer
+	// replace the 32-bit modulo with an AND; -1 otherwise.
+	mask   int
 	c      uint16
 	report ReportFunc
 	// scratch is the reusable out-parameter for emit: report receives a
@@ -78,7 +82,11 @@ func New(slots int, c uint16, report ReportFunc) *Table {
 	if report == nil {
 		panic("groupcache: report must not be nil")
 	}
-	return &Table{slots: make([]entry, slots), c: c, report: report}
+	mask := -1
+	if slots&(slots-1) == 0 {
+		mask = slots - 1
+	}
+	return &Table{slots: make([]entry, slots), mask: mask, c: c, report: report}
 }
 
 // Offer processes one event packet (Algorithm 1). ev's Count field is
@@ -86,7 +94,12 @@ func New(slots int, c uint16, report ReportFunc) *Table {
 func (t *Table) Offer(ev *fevent.Event) {
 	t.ingested++
 	key := ev.Key()
-	idx := int(ev.Hash % uint32(len(t.slots)))
+	var idx int
+	if t.mask >= 0 {
+		idx = int(ev.Hash) & t.mask
+	} else {
+		idx = int(ev.Hash % uint32(len(t.slots)))
+	}
 	s := &t.slots[idx]
 	if s.used && s.key == key {
 		// Same flow event: aggregate (lines 3–7).
@@ -112,6 +125,17 @@ func (t *Table) Offer(ev *fevent.Event) {
 	s.counter = 1
 	s.target = t.c
 	t.emit(s)
+}
+
+// OfferBurst processes a burst of event packets in arrival order. The
+// outcome is identical to calling Offer per event; running the burst
+// through the table in one call keeps the slot array hot in cache and
+// amortizes the call overhead — the stage-at-a-time shape of the
+// simulated match-action stage.
+func (t *Table) OfferBurst(evs []fevent.Event) {
+	for i := range evs {
+		t.Offer(&evs[i])
+	}
 }
 
 func (t *Table) emit(s *entry) {

@@ -36,6 +36,12 @@ type Endpoint struct {
 	Port int
 }
 
+// DeliverFunc schedules fn to run after delay d on whatever event loop
+// owns the receiving endpoint. The default delivers on the simulator the
+// link was built with; sharded fabrics install per-direction functions so
+// a frame's propagation lands on the receiver's shard.
+type DeliverFunc func(d sim.Time, fn func())
+
 // Link is a full-duplex medium between endpoints A and B.
 type Link struct {
 	sim  *sim.Simulator
@@ -44,7 +50,16 @@ type Link struct {
 
 	faultAB Fault // applies to frames A→B
 	faultBA Fault
-	rng     *sim.Stream
+	// Per-direction fault RNG. Two independent streams rather than one
+	// shared: each direction's draw sequence then depends only on that
+	// direction's own frame order, not on how the two directions
+	// interleave — which is what lets a per-switch-sharded run reproduce
+	// the sequential engine's fault pattern exactly.
+	rngAB *sim.Stream
+	rngBA *sim.Stream
+
+	deliverAB DeliverFunc // schedules deliveries toward B
+	deliverBA DeliverFunc // schedules deliveries toward A
 
 	// Per-direction delivery stats.
 	sentAB, deliveredAB, lostAB, corruptAB uint64
@@ -60,16 +75,40 @@ type Link struct {
 }
 
 // New creates a link with the given propagation delay. rng drives the
-// fault processes and must not be nil if faults are ever configured; pass
-// any stream for fault-free links too (it is cheap).
+// fault processes of both directions and must not be nil; pass any stream
+// for fault-free links too (it is cheap). Fabrics that need per-direction
+// draw independence use NewSplit instead.
 func New(s *sim.Simulator, a, b Endpoint, prop sim.Time, rng *sim.Stream) *Link {
+	return NewSplit(s, a, b, prop, rng, rng)
+}
+
+// NewSplit creates a link whose two directions draw from independent
+// fault streams (rngAB drives frames A→B). Deliveries default to s for
+// both directions; SetDeliver overrides them per direction.
+func NewSplit(s *sim.Simulator, a, b Endpoint, prop sim.Time, rngAB, rngBA *sim.Stream) *Link {
 	if a.Dev == nil || b.Dev == nil {
 		panic("link: endpoints must have devices")
 	}
-	if rng == nil {
+	if rngAB == nil || rngBA == nil {
 		panic("link: rng must not be nil")
 	}
-	return &Link{sim: s, a: a, b: b, prop: prop, rng: rng}
+	l := &Link{sim: s, a: a, b: b, prop: prop, rngAB: rngAB, rngBA: rngBA}
+	l.deliverAB = func(d sim.Time, fn func()) { l.sim.Schedule(d, fn) }
+	l.deliverBA = l.deliverAB
+	return l
+}
+
+// SetDeliver installs the delivery scheduler for the direction from the
+// given side ("from A" schedules deliveries toward endpoint B).
+func (l *Link) SetDeliver(fromA bool, fn DeliverFunc) {
+	if fn == nil {
+		panic("link: deliver func must not be nil")
+	}
+	if fromA {
+		l.deliverAB = fn
+	} else {
+		l.deliverBA = fn
+	}
 }
 
 // SetEndpoint rewires one side of the link. Fabric builders construct
@@ -125,11 +164,13 @@ func (l *Link) PropDelay() sim.Time { return l.prop }
 func (l *Link) Send(fromA bool, p *pkt.Packet) {
 	var fault *Fault
 	var to Endpoint
+	var rng *sim.Stream
+	var deliver DeliverFunc
 	if fromA {
-		fault, to = &l.faultAB, l.b
+		fault, to, rng, deliver = &l.faultAB, l.b, l.rngAB, l.deliverAB
 		l.sentAB++
 	} else {
-		fault, to = &l.faultBA, l.a
+		fault, to, rng, deliver = &l.faultBA, l.a, l.rngBA, l.deliverBA
 		l.sentBA++
 	}
 	if l.down {
@@ -143,12 +184,12 @@ func (l *Link) Send(fromA bool, p *pkt.Packet) {
 		l.lost(fromA, p, false)
 		return
 	}
-	if fault.SilentLossProb > 0 && l.rng.Bool(fault.SilentLossProb) {
+	if fault.SilentLossProb > 0 && rng.Bool(fault.SilentLossProb) {
 		l.count(fromA, &l.lostAB, &l.lostBA)
 		l.lost(fromA, p, false)
 		return
 	}
-	if fault.CorruptProb > 0 && l.rng.Bool(fault.CorruptProb) {
+	if fault.CorruptProb > 0 && rng.Bool(fault.CorruptProb) {
 		p.Corrupt = true
 		l.count(fromA, &l.corruptAB, &l.corruptBA)
 		l.lost(fromA, p, true)
@@ -156,7 +197,7 @@ func (l *Link) Send(fromA bool, p *pkt.Packet) {
 	l.count(fromA, &l.deliveredAB, &l.deliveredBA)
 	port := to.Port
 	dev := to.Dev
-	l.sim.Schedule(l.prop, func() { dev.Receive(p, port) })
+	deliver(l.prop, func() { dev.Receive(p, port) })
 }
 
 func (l *Link) lost(fromA bool, p *pkt.Packet, corrupted bool) {

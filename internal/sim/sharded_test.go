@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// traceEntry is one executed event in a shard's log: (shard, instant, tag).
+type traceEntry struct {
+	shard int
+	at    Time
+	tag   int
+}
+
+// buildPingPong wires a deterministic cross-shard workload onto a fresh
+// engine: every shard seeds a few local events, and each event forwards a
+// tagged message to the next shard with a delay drawn from a named stream
+// (always >= lookahead), bouncing until its hop budget runs out. Returns
+// the engine and per-shard logs (appended by the shard's own events, so
+// log order == that shard's execution order).
+func buildPingPong(shards, workers int, lookahead Time, seed uint64) (*ShardedEngine, []*[]traceEntry) {
+	e := NewSharded(shards, lookahead, workers)
+	logs := make([]*[]traceEntry, shards)
+	for i := range logs {
+		logs[i] = new([]traceEntry)
+	}
+	rng := NewStream(seed, "pingpong")
+	var bounce func(sh *Shard, tag, hops int)
+	bounce = func(sh *Shard, tag, hops int) {
+		*logs[sh.ID()] = append(*logs[sh.ID()], traceEntry{sh.ID(), sh.Sim().Now(), tag})
+		if hops == 0 {
+			return
+		}
+		dst := e.Shard((sh.ID() + 1) % e.NumShards())
+		// Delay derived from the tag, not the rng: the rng draw order would
+		// depend on execution interleaving across shards.
+		d := lookahead + Time(tag%7)*lookahead
+		sh.Defer(dst, d, func() { bounce(dst, tag, hops-1) })
+	}
+	for i := 0; i < shards; i++ {
+		sh := e.Shard(i)
+		for j := 0; j < 4; j++ {
+			tag := i*100 + j
+			at := Time(rng.Intn(5)) * lookahead
+			sh.Sim().At(at, func() { bounce(sh, tag, 5) })
+		}
+	}
+	return e, logs
+}
+
+func collectLogs(logs []*[]traceEntry) [][]traceEntry {
+	out := make([][]traceEntry, len(logs))
+	for i, l := range logs {
+		out[i] = append([]traceEntry(nil), (*l)...)
+	}
+	return out
+}
+
+// TestShardedDeterministicAcrossWorkers: per-shard execution order must be
+// identical at every worker count, including the inline workers=1 path.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	const shards = 5
+	la := Microsecond
+	var want [][]traceEntry
+	for _, workers := range []int{1, 2, 4, 8} {
+		e, logs := buildPingPong(shards, workers, la, 42)
+		e.Drain()
+		got := collectLogs(logs)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: execution trace differs from workers=1", workers)
+		}
+	}
+}
+
+// TestShardedRunMatchesSequential: a 1-shard engine must behave exactly
+// like a plain Simulator — same events, same final clock, events at the
+// until instant included.
+func TestShardedRunMatchesSequential(t *testing.T) {
+	e := NewSharded(1, Microsecond, 1)
+	sh := e.Shard(0)
+	plain := New()
+	var a, b []Time
+	for _, at := range []Time{0, 5, 10, 10, 20, 35} {
+		at := at
+		sh.Sim().At(at, func() { a = append(a, sh.Sim().Now()) })
+		plain.At(at, func() { b = append(b, plain.Now()) })
+	}
+	e.Run(10)
+	plain.Run(10)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("executed instants differ: engine %v, plain %v", a, b)
+	}
+	if sh.Sim().Now() != plain.Now() {
+		t.Errorf("clocks differ after Run(10): engine %v, plain %v", sh.Sim().Now(), plain.Now())
+	}
+	// The rest drains identically; Drain leaves the clock at the last
+	// event like RunAll.
+	e.Drain()
+	plain.RunAll()
+	if !reflect.DeepEqual(a, b) || sh.Sim().Now() != plain.Now() {
+		t.Errorf("after drain: engine %v@%v, plain %v@%v", a, sh.Sim().Now(), b, plain.Now())
+	}
+}
+
+// TestShardedRunAdvancesAllClocks: Run(until) must advance every shard
+// clock to until — including shards that had nothing to execute — so
+// time-stamped flushes after the run agree across shards.
+func TestShardedRunAdvancesAllClocks(t *testing.T) {
+	e := NewSharded(3, Microsecond, 1)
+	e.Shard(0).Sim().At(3*Microsecond, func() {})
+	if got := e.Run(9 * Microsecond); got != 9*Microsecond {
+		t.Fatalf("Run returned %v, want 9us", got)
+	}
+	for i := 0; i < e.NumShards(); i++ {
+		if now := e.Shard(i).Sim().Now(); now != 9*Microsecond {
+			t.Errorf("shard %d clock %v after Run, want 9us", i, now)
+		}
+	}
+}
+
+// TestShardedDrainSyncsClocks: Drain must leave every shard clock at the
+// globally latest executed instant and no events pending.
+func TestShardedDrainSyncsClocks(t *testing.T) {
+	e, _ := buildPingPong(4, 2, Microsecond, 9)
+	last := e.Drain()
+	if last == 0 {
+		t.Fatal("Drain returned 0 — nothing executed")
+	}
+	for i := 0; i < e.NumShards(); i++ {
+		sh := e.Shard(i)
+		if sh.Sim().Pending() != 0 {
+			t.Errorf("shard %d still has %d pending events after Drain", i, sh.Sim().Pending())
+		}
+		if sh.Sim().Now() != last {
+			t.Errorf("shard %d clock %v after Drain, want %v", i, sh.Sim().Now(), last)
+		}
+	}
+}
+
+// TestDeferPanicsUnderLookahead: a cross-shard delay below the lookahead
+// would deliver into the destination's past — the engine must refuse it.
+// Same-shard Defer is local scheduling and takes any delay.
+func TestDeferPanicsUnderLookahead(t *testing.T) {
+	e := NewSharded(2, Microsecond, 1)
+	src, dst := e.Shard(0), e.Shard(1)
+	src.Defer(src, 1, func() {}) // same-shard: under-lookahead is fine
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard Defer under lookahead did not panic")
+			}
+		}()
+		src.Defer(dst, Microsecond-1, func() {})
+	}()
+}
+
+// TestDeliverTo: the bound delivery functions route to the right heap —
+// local immediately schedulable, remote visible only after the barrier.
+func TestDeliverTo(t *testing.T) {
+	e := NewSharded(2, Microsecond, 1)
+	a, b := e.Shard(0), e.Shard(1)
+	var gotLocal, gotRemote bool
+	local := a.DeliverTo(a)
+	remote := a.DeliverTo(b)
+	local(0, func() { gotLocal = true })
+	remote(Microsecond, func() { gotRemote = true })
+	if a.Sim().Pending() != 1 {
+		t.Errorf("local delivery not on shard 0's heap (pending=%d)", a.Sim().Pending())
+	}
+	if b.Sim().Pending() != 0 {
+		t.Errorf("remote delivery reached shard 1 before the barrier (pending=%d)", b.Sim().Pending())
+	}
+	e.Drain()
+	if !gotLocal || !gotRemote {
+		t.Errorf("deliveries dropped: local=%v remote=%v", gotLocal, gotRemote)
+	}
+}
+
+// TestNewShardedValidation: the constructor rejects nonsensical
+// configurations; worker counts are clamped to >= 1.
+func TestNewShardedValidation(t *testing.T) {
+	for name, build := range map[string]func(){
+		"zero shards":    func() { NewSharded(0, Microsecond, 1) },
+		"zero lookahead": func() { NewSharded(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+	e := NewSharded(2, Microsecond, 0) // clamps to 1 worker
+	if e.Lookahead() != Microsecond || e.NumShards() != 2 {
+		t.Errorf("accessors: lookahead %v shards %d", e.Lookahead(), e.NumShards())
+	}
+	e.SetWorkers(-3) // also clamps; the engine must still run
+	e.Shard(0).Sim().At(0, func() {})
+	e.Drain()
+}
+
+// TestShardedCounters: windows, exchanged messages and processed events
+// are all observable and non-zero for a workload with cross-shard traffic.
+func TestShardedCounters(t *testing.T) {
+	e, logs := buildPingPong(3, 2, Microsecond, 17)
+	e.Drain()
+	if e.Windows() == 0 {
+		t.Error("Windows() == 0 after a drained run")
+	}
+	if e.Exchanged() == 0 {
+		t.Error("Exchanged() == 0 — ping-pong workload sent no cross-shard messages")
+	}
+	var logged uint64
+	for _, l := range logs {
+		logged += uint64(len(*l))
+	}
+	if e.Processed() < logged {
+		t.Errorf("Processed() = %d < %d logged executions", e.Processed(), logged)
+	}
+}
+
+// TestShardedEmptyDrain: draining an engine with no events is a no-op at
+// time zero.
+func TestShardedEmptyDrain(t *testing.T) {
+	e := NewSharded(3, Microsecond, 4)
+	if last := e.Drain(); last != 0 {
+		t.Errorf("empty Drain returned %v, want 0", last)
+	}
+	if e.Windows() != 0 || e.Exchanged() != 0 || e.Processed() != 0 {
+		t.Errorf("empty Drain touched counters: windows=%d exchanged=%d processed=%d",
+			e.Windows(), e.Exchanged(), e.Processed())
+	}
+}
+
+// TestShardedSameInstantCrossShardOrder: same-instant deliveries into one
+// destination must execute in (source shard, send sequence) order
+// regardless of worker count — the barrier injection's total order.
+func TestShardedSameInstantCrossShardOrder(t *testing.T) {
+	la := Microsecond
+	var want []string
+	for _, workers := range []int{1, 4} {
+		e := NewSharded(4, la, workers)
+		dst := e.Shard(0)
+		var got []string
+		for i := 1; i < 4; i++ {
+			sh := e.Shard(i)
+			for j := 0; j < 3; j++ {
+				src, n := i, j
+				// All land on dst at exactly la.
+				sh.Sim().At(0, func() {
+					sh.Defer(dst, la, func() { got = append(got, fmt.Sprintf("s%d#%d", src, n)) })
+				})
+			}
+		}
+		e.Drain()
+		if len(got) != 9 {
+			t.Fatalf("workers=%d: delivered %d messages, want 9", workers, len(got))
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: same-instant delivery order %v != %v", workers, got, want)
+		}
+	}
+}

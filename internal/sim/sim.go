@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -60,34 +59,122 @@ type event struct {
 	gen   uint32 // incremented on every release to the free list
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
+// eventQueue is a min-heap ordered by (at, seq). The sift operations are
+// hand-rolled rather than going through container/heap: the interface
+// methods cost a dynamic dispatch per comparison and a Swap call per
+// level, which shows up directly in hotpath/sim_schedule. Inlining the
+// compare and moving elements hole-style (shift, then place once) runs
+// the same algorithm in roughly half the time.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (at, seq); seq breaks ties FIFO.
+func (q eventQueue) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// push appends ev and restores the heap by sifting it up. The moved
+// elements shift down one slot each; ev is written exactly once.
+func (q *eventQueue) push(ev *event) {
+	h := *q
+	i := len(h)
+	h = append(h, nil)
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if !q.less(ev, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+	*q = h
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+
+// popMin removes and returns the earliest event.
+func (q *eventQueue) popMin() *event {
+	h := *q
+	top := h[0]
+	top.index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		q.siftDown(last, 0)
+	}
+	return top
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+
+// remove deletes the event at heap index i (Cancel path).
+func (q *eventQueue) remove(i int) {
+	h := *q
+	h[i].index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if i == n {
+		return
+	}
+	// last replaces the hole at i; restore heap order in whichever
+	// direction it violates it.
+	if i > 0 {
+		parent := (i - 1) / 2
+		if q.less(last, h[parent]) {
+			q.siftUp(last, i)
+			return
+		}
+	}
+	q.siftDown(last, i)
+}
+
+// siftUp places ev, currently homeless, at or above hole index i.
+func (q *eventQueue) siftUp(ev *event, i int) {
+	h := *q
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if !q.less(ev, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// siftDown places ev, currently homeless, at or below hole index i.
+func (q *eventQueue) siftDown(ev *event, i int) {
+	h := *q
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.less(h[r], h[child]) {
+			child = r
+		}
+		c := h[child]
+		if !q.less(c, ev) {
+			break
+		}
+		h[i] = c
+		c.index = i
+		i = child
+	}
+	h[i] = ev
+	ev.index = i
 }
 
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
@@ -116,6 +203,16 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events still scheduled.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// NextAt returns the instant of the earliest pending event, or MaxTime if
+// the queue is empty. The sharded engine uses it to find the next global
+// synchronization window without popping anything.
+func (s *Simulator) NextAt() Time {
+	if len(s.queue) == 0 {
+		return MaxTime
+	}
+	return s.queue[0].at
+}
 
 // Handle identifies a scheduled event so it can be canceled. The zero Handle
 // is invalid.
@@ -147,7 +244,7 @@ func (s *Simulator) At(t Time, fn func()) Handle {
 		ev = &event{at: t, seq: s.seq, fn: fn}
 	}
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -166,7 +263,7 @@ func (s *Simulator) Cancel(h Handle) bool {
 	if h.ev == nil || h.ev.gen != h.gen || h.ev.index < 0 {
 		return false
 	}
-	heap.Remove(&s.queue, h.ev.index)
+	s.queue.remove(h.ev.index)
 	s.release(h.ev)
 	return true
 }
@@ -180,7 +277,7 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*event)
+	ev := s.queue.popMin()
 	s.now = ev.at
 	s.processed++
 	fn := ev.fn
@@ -206,6 +303,17 @@ func (s *Simulator) Run(until Time) Time {
 		s.now = until
 	}
 	return s.now
+}
+
+// RunBefore executes events strictly earlier than horizon, leaving the
+// clock at the last executed event (it never advances the clock to the
+// horizon — the caller owns the window semantics). The sharded engine runs
+// each shard through its synchronization window with it.
+func (s *Simulator) RunBefore(horizon Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at < horizon {
+		s.Step()
+	}
 }
 
 // RunAll drains every pending event regardless of time. Unlike Run with a

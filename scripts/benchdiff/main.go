@@ -1,6 +1,7 @@
 // Command benchdiff compares freshly generated BENCH_*.json artifacts
 // against the checked-in baseline (bench/baseline/) and exits non-zero on
-// a hot-path regression. CI runs it after `make bench-json`.
+// a hot-path regression. CI runs it after `make bench-json`; the bench
+// matrix runs one suite per job via -suite.
 //
 // Policy:
 //   - allocs/op is machine-independent: any increase over baseline fails,
@@ -8,10 +9,15 @@
 //     pipeline's per-event paths are pinned alloc-free, so even a
 //     baseline that drifted up would not excuse a non-zero value.
 //   - hot-path events/sec may drift with the runner; only a drop beyond
-//     -speed-tolerance (default 25%) fails.
-//   - the parallel report must attest digest identity (parallelism never
-//     changes results) and, on machines with enough cores, a speedup of
-//     at least -min-speedup over the sequential run.
+//     -speed-tolerance (default 25%) fails. Artifacts are the best of
+//     -bench-count rounds (see benchjson.BestOf); failure messages print
+//     the per-run spread so a flaky runner is distinguishable from a real
+//     regression.
+//   - the parallel report must attest digest identity twice — across the
+//     point fan-out AND for the sharded engine against its sequential
+//     reference (parallelism never changes results) — and, on machines
+//     with enough cores (>=4 workers on >=4 CPUs), a speedup of at least
+//     -min-speedup for both.
 //   - the durability report must attest that group-committed WAL ingest
 //     stays within its overhead budget of the in-memory baseline (the
 //     comparison is machine-relative, so no baseline file is needed).
@@ -19,6 +25,7 @@
 // Usage:
 //
 //	benchdiff [-baseline bench/baseline] [-current .]
+//	          [-suite all|hotpath|parallel|durability]
 //	          [-speed-tolerance 0.25] [-min-speedup 1.5]
 package main
 
@@ -36,8 +43,21 @@ import (
 type options struct {
 	baseline   string  // directory with baseline BENCH_*.json
 	current    string  // directory with freshly generated BENCH_*.json
+	suite      string  // which suite(s) to gate: all, hotpath, parallel, durability
 	speedTol   float64 // max fractional events/sec drop vs baseline
 	minSpeedup float64 // min parallel speedup (>=4 workers on >=4 CPUs)
+}
+
+// spread renders a metric's best-of-N annotation (benchjson.BestOf) for
+// failure messages: how many rounds ran and how far apart they landed in
+// the metric's primary dimension. Empty for single-round artifacts.
+func spread(m benchjson.Metric) string {
+	runs := m.Extra["runs"]
+	if runs < 2 {
+		return ""
+	}
+	return fmt.Sprintf(" [best of %.0f runs; per-run spread %.4g..%.4g]",
+		runs, m.Extra["spread_min"], m.Extra["spread_max"])
 }
 
 // compare applies the gating policy. failures are regressions (any means
@@ -47,73 +67,89 @@ func compare(o options) (failures, info []string, err error) {
 	fail := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
 	}
+	want := func(suite string) bool { return o.suite == "all" || o.suite == suite }
 
-	base, err := benchjson.ReadFile(filepath.Join(o.baseline, "BENCH_hotpath.json"))
-	if err != nil {
-		return nil, nil, err
+	if want("hotpath") {
+		base, err := benchjson.ReadFile(filepath.Join(o.baseline, "BENCH_hotpath.json"))
+		if err != nil {
+			return nil, nil, err
+		}
+		cur, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_hotpath.json"))
+		if err != nil {
+			return nil, nil, err
+		}
+		// The zero-alloc pin covers every current hotpath/ metric, including
+		// ones the baseline predates.
+		for _, cm := range cur.Metrics {
+			if strings.HasPrefix(cm.Name, "hotpath/") && cm.AllocsPerOp != 0 {
+				fail("%s: allocs/op = %v; hotpath/ metrics must be exactly 0%s",
+					cm.Name, cm.AllocsPerOp, spread(cm))
+			}
+		}
+		for _, bm := range base.Metrics {
+			cm, ok := cur.Metric(bm.Name)
+			if !ok {
+				fail("%s: present in baseline but missing from current run", bm.Name)
+				continue
+			}
+			if cm.AllocsPerOp > bm.AllocsPerOp {
+				fail("%s: allocs/op grew %v -> %v (any increase fails)", bm.Name, bm.AllocsPerOp, cm.AllocsPerOp)
+			}
+			if bm.EventsPerSec > 0 && cm.EventsPerSec < bm.EventsPerSec*(1-o.speedTol) {
+				fail("%s: events/sec dropped %.3g -> %.3g (tolerance %.0f%%)%s",
+					bm.Name, bm.EventsPerSec, cm.EventsPerSec, o.speedTol*100, spread(cm))
+			}
+		}
+		if len(failures) == 0 {
+			info = append(info, fmt.Sprintf("hotpath: %d baseline metrics within budget (allocs/op: no increase, hotpath/ pinned 0; events/sec tolerance %.0f%%)",
+				len(base.Metrics), o.speedTol*100))
+		}
 	}
-	cur, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_hotpath.json"))
-	if err != nil {
-		return nil, nil, err
+
+	if want("parallel") {
+		par, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_parallel.json"))
+		if err != nil {
+			return nil, nil, err
+		}
+		gateSpeedup := func(name, what string) {
+			m, ok := par.Metric(name)
+			if !ok {
+				fail("BENCH_parallel.json: missing %s metric", name)
+				return
+			}
+			if m.Extra["digests_match"] != 1 {
+				fail("%s is not bit-identical to sequential (digests_match=%v)", what, m.Extra["digests_match"])
+			}
+			workers := m.Extra["workers"]
+			if workers >= 4 && par.NumCPU >= 4 && m.Extra["speedup"] < o.minSpeedup {
+				fail("%s speedup %.2fx at %.0f workers on %d CPUs; need >= %.2fx%s",
+					what, m.Extra["speedup"], workers, par.NumCPU, o.minSpeedup, spread(m))
+			} else {
+				info = append(info, fmt.Sprintf("%s: %.2fx speedup at %.0f workers on %d CPUs (digests match)",
+					what, m.Extra["speedup"], workers, par.NumCPU))
+			}
+		}
+		gateSpeedup("parallel/speedup", "point fan-out")
+		gateSpeedup("parallel/sharded_speedup", "sharded engine")
 	}
-	for _, bm := range base.Metrics {
-		cm, ok := cur.Metric(bm.Name)
+
+	if want("durability") {
+		dur, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_durability.json"))
+		if err != nil {
+			return nil, nil, err
+		}
+		ov, ok := dur.Metric("durability/overhead")
 		if !ok {
-			fail("%s: present in baseline but missing from current run", bm.Name)
-			continue
-		}
-		if cm.AllocsPerOp > bm.AllocsPerOp {
-			fail("%s: allocs/op grew %v -> %v (any increase fails)", bm.Name, bm.AllocsPerOp, cm.AllocsPerOp)
-		}
-		if strings.HasPrefix(bm.Name, "hotpath/") && cm.AllocsPerOp != 0 {
-			fail("%s: allocs/op = %v; hotpath/ metrics must be exactly 0", bm.Name, cm.AllocsPerOp)
-		}
-		if bm.EventsPerSec > 0 && cm.EventsPerSec < bm.EventsPerSec*(1-o.speedTol) {
-			fail("%s: events/sec dropped %.3g -> %.3g (tolerance %.0f%%)",
-				bm.Name, bm.EventsPerSec, cm.EventsPerSec, o.speedTol*100)
-		}
-	}
-
-	par, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_parallel.json"))
-	if err != nil {
-		return nil, nil, err
-	}
-	sp, ok := par.Metric("parallel/speedup")
-	if !ok {
-		fail("BENCH_parallel.json: missing parallel/speedup metric")
-	} else {
-		if sp.Extra["digests_match"] != 1 {
-			fail("parallel run is not bit-identical to sequential (digests_match=%v)", sp.Extra["digests_match"])
-		}
-		workers := sp.Extra["workers"]
-		if workers >= 4 && par.NumCPU >= 4 && sp.Extra["speedup"] < o.minSpeedup {
-			fail("parallel speedup %.2fx at %.0f workers on %d CPUs; need >= %.2fx",
-				sp.Extra["speedup"], workers, par.NumCPU, o.minSpeedup)
+			fail("BENCH_durability.json: missing durability/overhead metric")
+		} else if ov.Extra["within_budget"] != 1 {
+			fail("durable ingest overhead %.1f%% of the in-memory baseline; budget %.0f%%%s",
+				ov.Extra["overhead_frac"]*100, ov.Extra["budget_frac"]*100, spread(ov))
 		} else {
-			info = append(info, fmt.Sprintf("parallel: %.2fx speedup at %.0f workers on %d CPUs (digests match)",
-				sp.Extra["speedup"], workers, par.NumCPU))
+			info = append(info, fmt.Sprintf("durability: group-committed WAL ingest within %.1f%% of in-memory (budget %.0f%%)",
+				ov.Extra["overhead_frac"]*100, ov.Extra["budget_frac"]*100))
 		}
 	}
 
-	dur, err := benchjson.ReadFile(filepath.Join(o.current, "BENCH_durability.json"))
-	if err != nil {
-		return nil, nil, err
-	}
-	ov, ok := dur.Metric("durability/overhead")
-	if !ok {
-		fail("BENCH_durability.json: missing durability/overhead metric")
-	} else if ov.Extra["within_budget"] != 1 {
-		fail("durable ingest overhead %.1f%% of the in-memory baseline; budget %.0f%%",
-			ov.Extra["overhead_frac"]*100, ov.Extra["budget_frac"]*100)
-	} else {
-		info = append(info, fmt.Sprintf("durability: group-committed WAL ingest within %.1f%% of in-memory (budget %.0f%%)",
-			ov.Extra["overhead_frac"]*100, ov.Extra["budget_frac"]*100))
-	}
-
-	if len(failures) == 0 {
-		info = append(info, fmt.Sprintf("benchdiff: %d hot-path metrics within budget (allocs/op: no increase; events/sec tolerance %.0f%%)",
-			len(base.Metrics), o.speedTol*100))
-	}
 	return failures, info, nil
 }
 
@@ -121,9 +157,17 @@ func main() {
 	var o options
 	flag.StringVar(&o.baseline, "baseline", "bench/baseline", "directory with baseline BENCH_*.json")
 	flag.StringVar(&o.current, "current", ".", "directory with freshly generated BENCH_*.json")
+	flag.StringVar(&o.suite, "suite", "all", "which suite to gate (all, hotpath, parallel, durability)")
 	flag.Float64Var(&o.speedTol, "speed-tolerance", 0.25, "max fractional events/sec drop vs baseline")
 	flag.Float64Var(&o.minSpeedup, "min-speedup", 1.5, "min parallel speedup (enforced only with >=4 workers on >=4 CPUs)")
 	flag.Parse()
+
+	switch o.suite {
+	case "all", "hotpath", "parallel", "durability":
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -suite %q (want all, hotpath, parallel or durability)\n", o.suite)
+		os.Exit(2)
+	}
 
 	failures, info, err := compare(o)
 	if err != nil {

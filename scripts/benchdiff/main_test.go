@@ -23,7 +23,8 @@ func hotpath(allocs, eps float64) *benchjson.Report {
 	return r
 }
 
-// parallelReport builds a parallel report with the given attestation.
+// parallelReport builds a parallel report carrying both speedup
+// attestations (point fan-out and sharded engine) with the same values.
 func parallelReport(numCPU int, workers, speedup, digestsMatch float64) *benchjson.Report {
 	r := benchjson.NewReport("parallel")
 	r.NumCPU = numCPU
@@ -32,6 +33,25 @@ func parallelReport(numCPU int, workers, speedup, digestsMatch float64) *benchjs
 		"speedup":       speedup,
 		"digests_match": digestsMatch,
 	}})
+	r.Add(benchjson.Metric{Name: "parallel/sharded_speedup", Extra: map[string]float64{
+		"workers":       workers,
+		"shards":        21,
+		"speedup":       speedup,
+		"digests_match": digestsMatch,
+	}})
+	return r
+}
+
+// shardedBroken returns a parallel report whose point fan-out passes but
+// whose sharded attestation carries the given speedup/digest values.
+func shardedBroken(numCPU int, workers, speedup, digestsMatch float64) *benchjson.Report {
+	r := parallelReport(numCPU, workers, 2.0, 1)
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == "parallel/sharded_speedup" {
+			r.Metrics[i].Extra["speedup"] = speedup
+			r.Metrics[i].Extra["digests_match"] = digestsMatch
+		}
+	}
 	return r
 }
 
@@ -68,7 +88,7 @@ func fixture(t *testing.T, base, cur, par *benchjson.Report, dur ...*benchjson.R
 	if d != nil {
 		writeReport(t, curDir, "BENCH_durability.json", d)
 	}
-	return options{baseline: baseDir, current: curDir, speedTol: 0.25, minSpeedup: 1.5}
+	return options{baseline: baseDir, current: curDir, suite: "all", speedTol: 0.25, minSpeedup: 1.5}
 }
 
 func mustCompare(t *testing.T, o options) []string {
@@ -170,9 +190,11 @@ func TestCompareFailsOnMissingSpeedupMetric(t *testing.T) {
 }
 
 func TestCompareEnforcesSpeedupOnlyWithEnoughCPUs(t *testing.T) {
-	// 4 workers on 8 CPUs at 1.1x: below the 1.5x floor -> fail.
+	// 4 workers on 8 CPUs at 1.1x: below the 1.5x floor -> both gates fail.
 	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(8, 4, 1.1, 1))
-	wantFailure(t, mustCompare(t, o), "parallel speedup")
+	failures := mustCompare(t, o)
+	wantFailure(t, failures, "point fan-out speedup")
+	wantFailure(t, failures, "sharded engine speedup")
 
 	// Same speedup on a 2-CPU machine: the gate must not fire.
 	o = fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(2, 4, 1.1, 1))
@@ -224,4 +246,67 @@ func TestCompareFailsOnMissingDurabilityMetric(t *testing.T) {
 	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), parallelReport(8, 4, 2.0, 1),
 		benchjson.NewReport("durability"))
 	wantFailure(t, mustCompare(t, o), "missing durability/overhead")
+}
+
+func TestCompareFailsOnShardedDigestMismatch(t *testing.T) {
+	// Point fan-out attests, sharded engine does not: the sharded gate
+	// must fail independently.
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), shardedBroken(8, 4, 2.0, 0))
+	wantFailure(t, mustCompare(t, o), "sharded engine is not bit-identical")
+}
+
+func TestCompareFailsOnMissingShardedSpeedup(t *testing.T) {
+	par := benchjson.NewReport("parallel")
+	par.NumCPU = 8
+	par.Add(benchjson.Metric{Name: "parallel/speedup", Extra: map[string]float64{
+		"workers": 4, "speedup": 2.0, "digests_match": 1,
+	}})
+	o := fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), par)
+	wantFailure(t, mustCompare(t, o), "missing parallel/sharded_speedup")
+}
+
+func TestCompareShardedSpeedupGateRespectsCPUFloor(t *testing.T) {
+	// 1.1x sharded speedup on a 2-CPU box or with 2 workers: no failure.
+	for _, o := range []options{
+		fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), shardedBroken(2, 4, 1.1, 1)),
+		fixture(t, hotpath(3, 1e8), hotpath(3, 1e8), shardedBroken(8, 2, 1.1, 1)),
+	} {
+		if failures := mustCompare(t, o); len(failures) != 0 {
+			t.Errorf("sharded speedup gate fired below the 4-worker/4-CPU floor: %q", failures)
+		}
+	}
+}
+
+func TestCompareSuiteFiltersArtifacts(t *testing.T) {
+	// -suite hotpath must not read parallel/durability artifacts at all:
+	// the fixture's current dir has neither, yet hotpath-only passes.
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "BENCH_hotpath.json", hotpath(3, 1e8))
+	writeReport(t, curDir, "BENCH_hotpath.json", hotpath(3, 1e8))
+	o := options{baseline: baseDir, current: curDir, suite: "hotpath", speedTol: 0.25, minSpeedup: 1.5}
+	failures, _, err := compare(o)
+	if err != nil || len(failures) != 0 {
+		t.Fatalf("suite=hotpath with only hotpath artifacts: err=%v failures=%q", err, failures)
+	}
+
+	// Conversely -suite parallel never opens the (absent) hotpath files.
+	writeReport(t, curDir, "BENCH_parallel.json", parallelReport(8, 4, 2.0, 1))
+	o = options{baseline: t.TempDir(), current: curDir, suite: "parallel", speedTol: 0.25, minSpeedup: 1.5}
+	failures, _, err = compare(o)
+	if err != nil || len(failures) != 0 {
+		t.Fatalf("suite=parallel with no hotpath baseline: err=%v failures=%q", err, failures)
+	}
+}
+
+func TestCompareFailurePrintsPerRunSpread(t *testing.T) {
+	// A best-of-3 metric that regressed: the failure message must carry
+	// the per-run spread so flake is distinguishable from regression.
+	cur := benchjson.NewReport("hotpath")
+	cur.Add(benchjson.Metric{Name: "core/pipeline", AllocsPerOp: 3, EventsPerSec: 0.5e8,
+		Extra: map[string]float64{"runs": 3, "spread_min": 0.4e8, "spread_max": 0.55e8}})
+	o := fixture(t, hotpath(3, 1e8), cur, parallelReport(8, 4, 2.0, 1))
+	failures := mustCompare(t, o)
+	wantFailure(t, failures, "events/sec dropped")
+	wantFailure(t, failures, "best of 3 runs")
+	wantFailure(t, failures, "per-run spread")
 }
