@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
 	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover \
-	fabric fabric-chaos fabric-cover sim-cover nightly-fuzz
+	fabric fabric-chaos fabric-cover sim-cover sketch-fuzz-smoke sketch-cover nightly-fuzz
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -28,14 +28,29 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 20s ./internal/collector/
 
 # fuzz-smoke is the CI variant: ~10s per fuzz target, starting from the
-# seed corpus under internal/collector/testdata/fuzz/ (regenerate it with
+# seed corpora under */testdata/fuzz/ (regenerate them with
 # `go run ./scripts/genfuzzcorpus`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/collector/
+	$(GO) test -run '^$$' -fuzz FuzzSketch -fuzztime 10s ./internal/sketch/
+
+# sketch-fuzz-smoke: ~10s of differential fuzzing of the sketch stage
+# against its exact map-based oracle, from the seed corpus under
+# internal/sketch/testdata/fuzz/.
+sketch-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSketch -fuzztime 10s ./internal/sketch/
+
+# sketch-cover fails if statement coverage of internal/sketch — the
+# detection family the oracle's sketch claims ride on — drops below 85%.
+sketch-cover:
+	$(GO) test -count=1 -coverprofile=cover-sketch.out \
+		-coverpkg=netseer/internal/sketch ./internal/sketch/
+	$(GO) run ./scripts/covergate -profile cover-sketch.out -min 85 netseer/internal/sketch
 
 # oracle runs the correctness-oracle scenario matrix: every scenario must
-# satisfy all five invariant checkers, including the TCP delivery replay
-# (see internal/oracle and DESIGN.md §8).
+# satisfy all six invariant checkers, including the sketch differential
+# claims and the TCP delivery replay (see internal/oracle and DESIGN.md
+# §8/§13).
 oracle:
 	$(GO) test -count=1 ./internal/oracle/
 
@@ -132,6 +147,7 @@ sim-cover:
 # workflow runs it; the per-PR smoke stays at 10s).
 nightly-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPipeline -fuzztime 10m ./internal/oracle/
+	$(GO) test -run '^$$' -fuzz FuzzSketch -fuzztime 5m ./internal/sketch/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

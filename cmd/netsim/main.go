@@ -28,6 +28,7 @@ import (
 	"netseer/internal/pcap"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
+	"netseer/internal/sketch"
 	"netseer/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	collectorAddr := flag.String("collector", "", "netseerd ingest address, or a comma-separated failover list primary,backup,... (empty: in-process summary)")
 	fault := flag.String("fault", "none", "fault to inject: none, blackhole, corrupt, incast, parity")
+	sketchOn := flag.Bool("sketch", false, "enable the sketch detection stage (heavy hitters, top-K churn, aggregate spikes)")
 	metricsAddr := flag.String("metrics", "", "observability listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	pcapPath := flag.String("pcap", "", "write traffic at the first core switch to this pcap file")
 	traceOut := flag.String("trace-out", "", "record flow arrivals to this trace file")
@@ -52,6 +54,14 @@ func main() {
 		Dist: dist, Load: *load,
 		Window: sim.Time(window.Nanoseconds()),
 		Seed:   *seed, NetSeer: true,
+	}
+	if *sketchOn {
+		// Library defaults (2048×4 count-min, top-32, 64-packet onset,
+		// 64 KiB/250 µs spike bins) sized for the scaled-down testbed:
+		// threshold low enough that the WEB elephants cross it inside a
+		// default window, spike bins that a loaded uplink actually fills.
+		cfg.NSCfg.Sketch = true
+		cfg.NSCfg.SketchCfg = sketch.Config{HHThresholdPkts: 32, SpikeBytes: 32 << 10}
 	}
 	tb := experiments.NewTestbed(cfg)
 
@@ -82,7 +92,11 @@ func main() {
 	// end, which preserves batch framing.
 	var client *collector.Client
 	if *collectorAddr != "" {
-		client = collector.NewClientEndpoints(strings.Split(*collectorAddr, ","), collector.ClientConfig{})
+		// The export path queues the entire run's store before the first
+		// Flush, so the queue must hold every batch: the default 1024-batch
+		// bound silently sheds the tail of a sketch-enabled run (the three
+		// volumetric event types triple the export volume).
+		client = collector.NewClientEndpoints(strings.Split(*collectorAddr, ","), collector.ClientConfig{MaxQueue: 1 << 16})
 		defer client.Close()
 		client.RegisterMetrics(reg)
 	}

@@ -9,6 +9,7 @@ import (
 	"netseer/internal/groupcache"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
+	"netseer/internal/sketch"
 )
 
 // The per-packet hot path, as microbenchmarks: flow-key hashing (Step 1),
@@ -41,6 +42,10 @@ func HotpathBenchmarks() []HotpathBenchmark {
 		{Name: "hotpath/groupcache_burst", EventsPerOp: burstLen, Fn: benchGroupcacheBurst},
 		{Name: "hotpath/batcher_pushburst", EventsPerOp: burstLen, Fn: benchBatcherPushBurst},
 		{Name: "hotpath/fpelim_burst", EventsPerOp: burstLen, Fn: benchFPElimBurst},
+		{Name: "hotpath/sketch_cms_update", EventsPerOp: 1, Fn: benchSketchCMSUpdate},
+		{Name: "hotpath/sketch_topk_offer", EventsPerOp: 1, Fn: benchSketchTopKOffer},
+		{Name: "hotpath/sketch_offer", EventsPerOp: 1, Fn: benchSketchOffer},
+		{Name: "hotpath/sketch_burst", EventsPerOp: burstLen, Fn: benchSketchBurst},
 	}
 }
 
@@ -198,6 +203,80 @@ func benchFPElimBurst(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		off := (i * burstLen) % (len(evs) - burstLen)
 		elim.OfferBurst(evs[off : off+burstLen])
+	}
+}
+
+// sketchPackets builds n distinct packets for the sketch-stage benchmarks.
+func sketchPackets(n int) []pkt.Packet {
+	pkts := make([]pkt.Packet, n)
+	for i := range pkts {
+		pkts[i] = pkt.Packet{
+			Flow:    pkt.FlowKey{SrcIP: uint32(i) + 1, DstIP: 9, SrcPort: uint16(i), DstPort: 80, Proto: pkt.ProtoUDP},
+			WireLen: 724,
+		}
+	}
+	return pkts
+}
+
+func benchSketchCMSUpdate(b *testing.B) {
+	// Conservative-update count-min over a steady working set: the
+	// per-packet estimate path of the heavy-hitter detector.
+	c := sketch.NewCMS(2048, 4, true)
+	hashes := make([]uint32, 256)
+	for i, p := range sketchPackets(256) {
+		hashes[i] = p.Flow.Hash()
+	}
+	var sink uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += c.Update(hashes[i%len(hashes)])
+	}
+	_ = sink
+}
+
+func benchSketchTopKOffer(b *testing.B) {
+	// Space-saving table churn: more flows than counters, so every miss
+	// walks the table and evicts the minimum — the worst-case Offer.
+	tk := sketch.NewTopK(32)
+	pkts := sketchPackets(256)
+	hashes := make([]uint32, len(pkts))
+	for i := range pkts {
+		hashes[i] = pkts[i].Flow.Hash()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Offer(pkts[i%len(pkts)].Flow, hashes[i%len(hashes)])
+	}
+}
+
+func benchSketchOffer(b *testing.B) {
+	// The whole per-packet sketch stage: window accounting, count-min
+	// update, seen-filter probe and top-K offer, with events landing in a
+	// no-op reporter.
+	st := sketch.NewStage(sketch.Config{}, 8, func(*fevent.Event) {})
+	pkts := sketchPackets(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Offer(&pkts[i%len(pkts)], 0, int32(i&7), sim.Time(i))
+	}
+}
+
+func benchSketchBurst(b *testing.B) {
+	// The burst counterpart of sketch_offer: one OfferBurst over a 32-slot
+	// pipeline front, the form the burst-vectorized pipeline actually calls.
+	st := sketch.NewStage(sketch.Config{}, 8, func(*fevent.Event) {})
+	pkts := sketchPackets(burstLen)
+	slots := make([]pkt.Slot, burstLen)
+	for i := range pkts {
+		slots[i] = pkt.Slot{P: &pkts[i], Port: 0, A: int32(i & 7)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.OfferBurst(slots, sim.Time(i))
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"netseer/internal/ringbuf"
 	"netseer/internal/seqtrack"
 	"netseer/internal/sim"
+	"netseer/internal/sketch"
 )
 
 // EventSink receives the batches that survive false-positive elimination.
@@ -73,6 +74,14 @@ type Config struct {
 	FPElim fpelim.Config
 	// ExportBps paces CPU→backend delivery (default 10 Gb/s).
 	ExportBps float64
+
+	// Sketch enables the sketch detection stage (count-min heavy-hitter
+	// onset, space-saving top-K churn, per-link aggregate spikes — the
+	// first detection family beyond the paper's fixed event set).
+	Sketch bool
+	// SketchCfg parameterizes the stage when Sketch is set; zero fields
+	// take the sketch package defaults.
+	SketchCfg sketch.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -228,9 +237,12 @@ type NetSeerSwitch struct {
 	// The latency histogram is atomic — it is observed per batch arrival
 	// at the switch CPU, off the pinned paths — so /metrics can read it
 	// live.
-	perType        [5]uint64  // detection events indexed by fevent.Type
+	perType        [8]uint64  // detection events indexed by fevent.Type
 	perCode        [16]uint64 // drop event packets indexed by fevent.DropCode
 	latDetectToCPU *obs.Histogram
+
+	// Optional sketch detection stage (Config.Sketch).
+	sketch *sketch.Stage
 }
 
 // Attach creates a NetSeer instance on sw, delivering surviving events to
@@ -275,8 +287,16 @@ func Attach(sw *dataplane.Switch, cfg Config, sink EventSink) *NetSeerSwitch {
 	n.elim = fpelim.New(cfg.FPElim, sw.Sim().Now)
 	n.pacer = fpelim.NewPacer(cfg.ExportBps, 1<<20)
 	sw.SetTelemetry(n)
+	if cfg.Sketch {
+		n.sketch = sketch.NewStage(cfg.SketchCfg, sw.NumPorts(), n.onSketchEvent)
+		sw.AttachSketch(n.sketch)
+	}
 	return n
 }
+
+// Sketch returns the sketch detection stage, nil unless Config.Sketch was
+// set.
+func (n *NetSeerSwitch) Sketch() *sketch.Stage { return n.sketch }
 
 // Switch returns the underlying dataplane switch.
 func (n *NetSeerSwitch) Switch() *dataplane.Switch { return n.sw }
@@ -308,7 +328,7 @@ func (n *NetSeerSwitch) TableStats() (ingested, reported, merged, evictions uint
 // EventCounts returns detection-event counts indexed by fevent.Type and
 // drop event packets indexed by fevent.DropCode. Owner-read only: call
 // from the goroutine driving the simulation (see internal/obs).
-func (n *NetSeerSwitch) EventCounts() (perType [5]uint64, perCode [16]uint64) {
+func (n *NetSeerSwitch) EventCounts() (perType [8]uint64, perCode [16]uint64) {
 	return n.perType, n.perCode
 }
 
@@ -365,6 +385,9 @@ func (n *NetSeerSwitch) Flush() {
 	n.congTable.Flush()
 	n.pauseTab.Flush()
 	n.aclAgg.Flush()
+	if n.sketch != nil {
+		n.sketch.Flush(n.sim.Now())
+	}
 	n.batcher.Flush()
 	n.exportNow()
 }

@@ -23,6 +23,15 @@ func (n *NetSeerSwitch) offerEventPacket(ev *fevent.Event, wireLen int) {
 	n.dropTable.Offer(ev)
 }
 
+// onSketchEvent receives the sketch stage's detections (heavy-hitter
+// onset, top-K churn, aggregate spikes). They bypass Step-2 group caching
+// — the sketch structures already aggregate — and join the pipeline at
+// Step 3, like path-change events do.
+func (n *NetSeerSwitch) onSketchEvent(e *fevent.Event) {
+	n.perType[e.Type]++
+	n.onFlowEvent(e)
+}
+
 // onFlowEvent receives Step-2 output (deduplicated flow events) and runs
 // Step 3: extraction to the 24-byte record and a push onto the CEBP stack.
 func (n *NetSeerSwitch) onFlowEvent(e *fevent.Event) {

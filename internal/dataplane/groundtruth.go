@@ -14,14 +14,43 @@ type GroundTruth struct {
 	// Enabled gates recording; disable for pure-throughput benchmarks.
 	Enabled bool
 
+	// SketchWindow, when non-zero, additionally maintains the exact
+	// per-flow and per-link aggregates the sketch stage approximates:
+	// FlowPkts and LinkWindowBytes, with window indices computed as
+	// at/SketchWindow (truncated to 16 bits, matching the wire field).
+	// Zero (the default) keeps recordForward allocation- and map-free for
+	// experiments that run without the sketch stage.
+	SketchWindow sim.Time
+
 	Drops       []GTDrop
 	Congestion  []GTCongestion
 	PathChanges []GTPathChange
 	Pauses      []GTPause
 
+	// FlowPkts is the exact number of packets each flow had forwarded
+	// through each switch pipeline (pre-MMU survivors — exactly the stream
+	// the sketch stage observes). Nil until SketchWindow is set.
+	FlowPkts map[GTSwitchFlow]uint64
+	// LinkWindowBytes is the exact byte total forwarded through each
+	// (switch, egress port) within each sketch window.
+	LinkWindowBytes map[GTLinkWindow]uint64
+
 	// pathSeen tracks (switch, flow) → (in, out) for path-change ground
 	// truth.
 	pathSeen map[gtPathKey]gtPorts
+}
+
+// GTSwitchFlow keys the exact per-flow forwarded-packet counts.
+type GTSwitchFlow struct {
+	SwitchID uint16
+	Flow     pkt.FlowKey
+}
+
+// GTLinkWindow keys the exact per-link per-window byte totals.
+type GTLinkWindow struct {
+	SwitchID uint16
+	Port     uint8
+	Window   uint16
 }
 
 // GTDrop is one actually-dropped packet.
@@ -96,6 +125,15 @@ func (g *GroundTruth) recordCongestion(at sim.Time, sw uint16, p *pkt.Packet, po
 func (g *GroundTruth) recordForward(at sim.Time, sw uint16, p *pkt.Packet, in, out int) {
 	if g == nil || !g.Enabled {
 		return
+	}
+	if g.SketchWindow > 0 {
+		if g.FlowPkts == nil {
+			g.FlowPkts = make(map[GTSwitchFlow]uint64)
+			g.LinkWindowBytes = make(map[GTLinkWindow]uint64)
+		}
+		g.FlowPkts[GTSwitchFlow{sw, p.Flow}]++
+		win := uint16(uint64(at) / uint64(g.SketchWindow))
+		g.LinkWindowBytes[GTLinkWindow{sw, uint8(out), win}] += uint64(p.WireLen)
 	}
 	key := gtPathKey{sw, p.Flow}
 	ports := gtPorts{uint8(in), uint8(out)}
@@ -177,4 +215,17 @@ func (g *GroundTruth) PauseFlowEvents() map[FlowEventKey]int {
 		out[k]++
 	}
 	return out
+}
+
+// SwitchPkts returns the exact number of packets the switch's pipeline
+// forwarded (the stream length N the sketch error bounds are stated
+// against). Zero unless SketchWindow recording was enabled.
+func (g *GroundTruth) SwitchPkts(sw uint16) uint64 {
+	var n uint64
+	for k, c := range g.FlowPkts {
+		if k.SwitchID == sw {
+			n += c
+		}
+	}
+	return n
 }

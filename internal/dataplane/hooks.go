@@ -50,6 +50,18 @@ type BurstTelemetry interface {
 	EndBurst()
 }
 
+// SketchStage is an optional per-switch match-action stage that observes
+// every packet surviving the ingress pipeline (post port-check, pre MMU
+// admission — the same stream ground truth's recordForward ledgers). The
+// sketch detection family (internal/sketch) implements it; the interface
+// lives here so the sketch package never needs to import the dataplane.
+type SketchStage interface {
+	// OfferBurst observes one pipeline burst. Slot field A holds the
+	// chosen egress port, Port the ingress port; implementations must not
+	// retain the slice or the packets.
+	OfferBurst(slots []pkt.Slot, now sim.Time)
+}
+
 // Monitor is the passive observation surface shared by the baseline
 // monitoring systems (sampling, EverFlow, NetSight…). All methods must be
 // cheap; they run inline in the pipeline.

@@ -129,6 +129,7 @@ type Switch struct {
 	mmuUsed  int
 	tel      Telemetry
 	telBurst BurstTelemetry // tel's optional burst interface, cached
+	sketch   SketchStage    // optional sketch detection stage
 	monitors []Monitor
 
 	// Burst ingress: same-instant arrivals coalesce into one pipeline
@@ -191,6 +192,10 @@ func (sw *Switch) SetTelemetry(t Telemetry) {
 	sw.tel = t
 	sw.telBurst, _ = t.(BurstTelemetry)
 }
+
+// AttachSketch installs the (single, optional) sketch detection stage; nil
+// detaches it.
+func (sw *Switch) AttachSketch(s SketchStage) { sw.sketch = s }
 
 // AddMonitor attaches a passive monitor.
 func (sw *Switch) AddMonitor(m Monitor) { sw.monitors = append(sw.monitors, m) }
@@ -407,6 +412,9 @@ func (sw *Switch) pipelineBurst(b *inBurst) {
 	sw.stageACL(f)
 	sw.stageRoute(f)
 	sw.stagePortCheck(f)
+	if sw.sketch != nil {
+		sw.sketch.OfferBurst(f.In, now)
+	}
 	sw.stageForward(f, now)
 	for i := range f.In {
 		s := f.In[i]

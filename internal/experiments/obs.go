@@ -12,7 +12,7 @@ import (
 // publishes snapshots into these atomic mirrors and the scraper reads the
 // mirrors without ever touching owner memory (see internal/obs).
 type obsMirrors struct {
-	detectEvents [4]obs.Counter // one per fevent.Types entry
+	detectEvents [7]obs.Counter // one per fevent.Types entry
 	detectDrops  [fevent.DropCorruption + 1]obs.Counter
 	lostMMU      obs.Counter
 	lostInternal obs.Counter
@@ -114,7 +114,7 @@ func (tb *Testbed) RegisterObs(r *obs.Registry) (publish func()) {
 // totals into the atomic mirrors. Must run on the goroutine driving the
 // simulation (the counters' owner).
 func (tb *Testbed) publishObs(m *obsMirrors) {
-	var perType [5]uint64
+	var perType [8]uint64
 	var perCode [16]uint64
 	var gi, gr, gm, ge, grr uint64
 	var occupancy, stackHW int

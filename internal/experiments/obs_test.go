@@ -42,7 +42,7 @@ func TestRegisterObsPublishesPipeline(t *testing.T) {
 	if st.EventPackets == 0 {
 		t.Fatal("run produced no event packets; fixture too quiet")
 	}
-	var perType [5]uint64
+	var perType [8]uint64
 	for _, ns := range tb.NetSeers {
 		pt, _ := ns.EventCounts()
 		for i := range pt {

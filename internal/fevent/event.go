@@ -28,12 +28,26 @@ const (
 	TypePathChange
 	// TypePause is a packet arriving to a PFC-paused queue.
 	TypePause
+	// TypeHeavyHitter is the onset of a heavy-hitter flow: the count-min
+	// estimate for the flow first crossed the configured packet threshold
+	// (sketch stage, beyond the paper's fixed event set).
+	TypeHeavyHitter
+	// TypeTopKChurn is a flow entering the space-saving top-K table by
+	// evicting the current minimum; SketchErr carries the inherited
+	// overestimation bound (the evicted minimum counter).
+	TypeTopKChurn
+	// TypeAggSpike is a per-link aggregate byte spike: the bytes forwarded
+	// through one egress port within one sketch window crossed the spike
+	// threshold. The flow field is zero — the link, not a flow, is the
+	// subject — and Window stamps which window fired.
+	TypeAggSpike
 
-	numTypes = 4
+	numTypes = 7
 )
 
 // Types lists all event types, for iteration in experiments.
-var Types = []Type{TypeDrop, TypeCongestion, TypePathChange, TypePause}
+var Types = []Type{TypeDrop, TypeCongestion, TypePathChange, TypePause,
+	TypeHeavyHitter, TypeTopKChurn, TypeAggSpike}
 
 // String names the type.
 func (t Type) String() string {
@@ -46,13 +60,19 @@ func (t Type) String() string {
 		return "path-change"
 	case TypePause:
 		return "pause"
+	case TypeHeavyHitter:
+		return "heavy-hitter"
+	case TypeTopKChurn:
+		return "topk-churn"
+	case TypeAggSpike:
+		return "agg-spike"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
 }
 
 // Valid reports whether t is one of the defined types.
-func (t Type) Valid() bool { return t >= TypeDrop && t <= TypePause }
+func (t Type) Valid() bool { return t >= TypeDrop && t <= TypeAggSpike }
 
 // DropCode encodes the drop reason taxonomy of Figure 4.
 type DropCode uint8
@@ -127,6 +147,11 @@ type Event struct {
 	// ACLRule is the rule identifier for DropACLDeny events, which NetSeer
 	// aggregates per rule rather than per flow (§3.4).
 	ACLRule uint8
+	// Window is the sketch window index, for aggregate-spike events.
+	Window uint16
+	// SketchErr is the space-saving overestimation bound inherited at table
+	// entry (the evicted minimum), for top-K churn events.
+	SketchErr uint16
 
 	// Count is the number of packets aggregated into this event so far.
 	Count uint16
@@ -145,8 +170,11 @@ type Key struct {
 	ACLRule  uint8
 	// In/Out are part of the identity for path-change events only: the
 	// same flow on a *different* path is a different event, never a
-	// duplicate.
+	// duplicate. Out alone identifies the link for aggregate-spike events.
 	In, Out uint8
+	// Win is part of the identity for aggregate-spike events only: the
+	// same link spiking in a *later* window is a new event.
+	Win uint16
 }
 
 // Key returns the dedup identity of e. For ACL drops the flow field is
@@ -159,6 +187,9 @@ func (e *Event) Key() Key {
 	}
 	if e.Type == TypePathChange {
 		k.In, k.Out = e.IngressPort, e.EgressPort
+	}
+	if e.Type == TypeAggSpike {
+		k.Out, k.Win = e.EgressPort, e.Window
 	}
 	return k
 }
@@ -178,6 +209,15 @@ func (e *Event) String() string {
 	case TypePause:
 		return fmt.Sprintf("pause sw=%d %s port=%d q=%d n=%d",
 			e.SwitchID, e.Flow, e.EgressPort, e.Queue, e.Count)
+	case TypeHeavyHitter:
+		return fmt.Sprintf("heavy-hitter sw=%d %s in=%d out=%d n=%d",
+			e.SwitchID, e.Flow, e.IngressPort, e.EgressPort, e.Count)
+	case TypeTopKChurn:
+		return fmt.Sprintf("topk-churn sw=%d %s out=%d n=%d err=%d",
+			e.SwitchID, e.Flow, e.EgressPort, e.Count, e.SketchErr)
+	case TypeAggSpike:
+		return fmt.Sprintf("agg-spike sw=%d port=%d win=%d kB=%d",
+			e.SwitchID, e.EgressPort, e.Window, e.Count)
 	default:
 		return fmt.Sprintf("event(type=%d)", e.Type)
 	}
@@ -192,10 +232,13 @@ const RecordLen = 24
 // Layout: type(1) | flow(13) | detail(4) | count(2) | hash(4), big-endian.
 // Detail by type:
 //
-//	drop:        ingress(1) egress(1) dropCode(1) aclRule(1)
-//	congestion:  egress(1) queue(1) latencyUs(2)
-//	path-change: ingress(1) egress(1) 0(2)
-//	pause:       egress(1) queue(1) 0(2)
+//	drop:         ingress(1) egress(1) dropCode(1) aclRule(1)
+//	congestion:   egress(1) queue(1) latencyUs(2)
+//	path-change:  ingress(1) egress(1) 0(2)
+//	pause:        egress(1) queue(1) 0(2)
+//	heavy-hitter: ingress(1) egress(1) 0(2)
+//	topk-churn:   egress(1) 0(1) sketchErr(2)
+//	agg-spike:    egress(1) 0(1) window(2)
 func (e *Event) AppendRecord(b []byte) []byte {
 	var r [RecordLen]byte
 	r[0] = byte(e.Type)
@@ -216,6 +259,15 @@ func (e *Event) AppendRecord(b []byte) []byte {
 	case TypePause:
 		r[14] = e.EgressPort
 		r[15] = e.Queue
+	case TypeHeavyHitter:
+		r[14] = e.IngressPort
+		r[15] = e.EgressPort
+	case TypeTopKChurn:
+		r[14] = e.EgressPort
+		binary.BigEndian.PutUint16(r[16:18], e.SketchErr)
+	case TypeAggSpike:
+		r[14] = e.EgressPort
+		binary.BigEndian.PutUint16(r[16:18], e.Window)
 	}
 	binary.BigEndian.PutUint16(r[18:20], e.Count)
 	binary.BigEndian.PutUint32(r[20:24], e.Hash)
@@ -241,6 +293,7 @@ func (e *Event) DecodeRecord(b []byte) error {
 	e.Flow = flow
 	e.IngressPort, e.EgressPort, e.Queue = 0, 0, 0
 	e.QueueLatencyUs, e.DropCode, e.ACLRule = 0, DropNone, 0
+	e.Window, e.SketchErr = 0, 0
 	switch t {
 	case TypeDrop:
 		e.IngressPort = b[14]
@@ -257,6 +310,15 @@ func (e *Event) DecodeRecord(b []byte) error {
 	case TypePause:
 		e.EgressPort = b[14]
 		e.Queue = b[15]
+	case TypeHeavyHitter:
+		e.IngressPort = b[14]
+		e.EgressPort = b[15]
+	case TypeTopKChurn:
+		e.EgressPort = b[14]
+		e.SketchErr = binary.BigEndian.Uint16(b[16:18])
+	case TypeAggSpike:
+		e.EgressPort = b[14]
+		e.Window = binary.BigEndian.Uint16(b[16:18])
 	}
 	e.Count = binary.BigEndian.Uint16(b[18:20])
 	e.Hash = binary.BigEndian.Uint32(b[20:24])

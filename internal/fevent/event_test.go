@@ -137,7 +137,7 @@ func TestTypeString(t *testing.T) {
 	if Type(77).String() != "type(77)" {
 		t.Error("unknown type name")
 	}
-	if Type(0).Valid() || Type(5).Valid() {
+	if Type(0).Valid() || Type(8).Valid() {
 		t.Error("out-of-range types report valid")
 	}
 }

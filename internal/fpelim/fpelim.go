@@ -115,6 +115,11 @@ func keyHash(ev *fevent.Event) uint32 {
 	if ev.Type == fevent.TypePathChange {
 		h ^= uint32(ev.IngressPort)<<23 | uint32(ev.EgressPort)<<27
 	}
+	if ev.Type == fevent.TypeAggSpike {
+		// Spike records all carry the zero-flow hash; the link and window
+		// are the identity, so mix them in to spread the probe chain.
+		h ^= uint32(ev.EgressPort)<<23 ^ uint32(ev.Window)<<7
+	}
 	h *= 0x9e3779b1
 	h ^= h >> 16
 	return h

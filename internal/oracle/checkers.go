@@ -9,6 +9,8 @@ import (
 	"netseer/internal/dataplane"
 	"netseer/internal/faultconn"
 	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sketch"
 )
 
 // CheckResult is one invariant checker's outcome.
@@ -67,6 +69,12 @@ type storedView struct {
 	path  map[dataplane.FlowEventKey]bool
 	acl   map[aclKey]uint16 // max stored count per (switch, rule)
 
+	// Sketch-event indexes, keyed the same way the ground-truth ledgers
+	// are so the sketch checker can reconcile them directly.
+	hh    map[dataplane.GTSwitchFlow]uint16 // max stored heavy-hitter count
+	churn map[dataplane.GTSwitchFlow]bool   // flows with any stored top-K churn
+	spike map[dataplane.GTLinkWindow]uint16 // max stored spike count per link-window
+
 	// maxCount is the highest stored count per key — the exact packet
 	// total when the key's switch had zero evictions, a lower bound
 	// otherwise.
@@ -107,6 +115,9 @@ func newStoredView(store *collector.Store) *storedView {
 		pause:    make(map[dataplane.FlowEventKey]bool),
 		path:     make(map[dataplane.FlowEventKey]bool),
 		acl:      make(map[aclKey]uint16),
+		hh:       make(map[dataplane.GTSwitchFlow]uint16),
+		churn:    make(map[dataplane.GTSwitchFlow]bool),
+		spike:    make(map[dataplane.GTLinkWindow]uint16),
 		maxCount: make(map[dataplane.FlowEventKey]uint16),
 		seqs:     make(map[swKey][]uint16),
 	}
@@ -135,6 +146,18 @@ func newStoredView(store *collector.Store) *storedView {
 			v.pause[k] = true
 		case fevent.TypePathChange:
 			v.path[k] = true
+		case fevent.TypeHeavyHitter:
+			fk := dataplane.GTSwitchFlow{SwitchID: e.SwitchID, Flow: e.Flow}
+			if e.Count > v.hh[fk] {
+				v.hh[fk] = e.Count
+			}
+		case fevent.TypeTopKChurn:
+			v.churn[dataplane.GTSwitchFlow{SwitchID: e.SwitchID, Flow: e.Flow}] = true
+		case fevent.TypeAggSpike:
+			lk := dataplane.GTLinkWindow{SwitchID: e.SwitchID, Port: e.EgressPort, Window: e.Window}
+			if e.Count > v.spike[lk] {
+				v.spike[lk] = e.Count
+			}
 		}
 		if e.Count > v.maxCount[k] {
 			v.maxCount[k] = e.Count
@@ -166,6 +189,7 @@ func Check(res *Result) *Report {
 			checkSoundness(res, v),
 			checkEncoding(res),
 			checkRecovery(res, v),
+			checkSketch(res, v),
 		},
 	}
 }
@@ -351,6 +375,23 @@ func checkSoundness(res *Result, v *storedView) CheckResult {
 			if truthPath[eventKey(e)] == 0 {
 				fail("phantom path change: %v", e)
 			}
+		case fevent.TypeHeavyHitter, fevent.TypeTopKChurn:
+			// Estimate/error bounds live in the sketch checker; soundness
+			// only rejects reports for flows the switch never forwarded.
+			if res.GT.FlowPkts[dataplane.GTSwitchFlow{SwitchID: e.SwitchID, Flow: e.Flow}] == 0 {
+				fail("phantom sketch report: %v", e)
+			}
+		case fevent.TypeAggSpike:
+			// Spikes aggregate per link-window; the flow field is always
+			// zero and the (port, window) bin must have carried traffic.
+			if e.Flow != (pkt.FlowKey{}) {
+				fail("aggregate spike with non-zero flow: %v", e)
+				continue
+			}
+			lk := dataplane.GTLinkWindow{SwitchID: e.SwitchID, Port: e.EgressPort, Window: e.Window}
+			if res.GT.LinkWindowBytes[lk] == 0 {
+				fail("phantom aggregate spike: %v", e)
+			}
 		default:
 			fail("stored event with invalid type %d", e.Type)
 		}
@@ -459,6 +500,134 @@ func checkRecovery(res *Result, v *storedView) CheckResult {
 	return c
 }
 
+// checkSketch verifies claim 6, the sketch detection family, differentially
+// against the exact ground-truth ledgers. Every clause is deterministic —
+// no probabilistic ε·N slack that a fuzzed scenario could legitimately
+// exceed. The trick for the CMS bound: the *plain* sketch's final state is
+// order-free (each cell is exactly the sum of the true counts of the flows
+// hashing to it) and upper-bounds every intermediate conservative-update
+// estimate of the same stream, so rebuilding it from GT.FlowPkts yields an
+// exact per-flow estimate ceiling.
+//
+// Clauses:
+//   - HH completeness: every flow whose true per-switch count reaches the
+//     threshold has a stored heavy-hitter event (est ≥ true, so the
+//     crossing is guaranteed; the first crossing always forwards).
+//   - HH soundness: every stored heavy-hitter count is ≥ the threshold and
+//     ≤ the plain-CMS ceiling rebuilt from ground truth.
+//   - Top-K completeness: every flow with true count > N/K must appear in
+//     stored churn events (space-saving residency guarantee + the Flush
+//     snapshot).
+//   - Churn soundness: count − err never exceeds the flow's true count
+//     (the space-saving error invariant, end-to-end through the wire).
+//   - Spike completeness + count: every (port, window) bin whose true byte
+//     total reaches SpikeBytes has a stored spike whose max count equals
+//     the bin's KiB total exactly.
+//   - Spike soundness: no stored spike for a bin below SpikeBytes.
+func checkSketch(res *Result, v *storedView) CheckResult {
+	c := CheckResult{Claim: "sketch"}
+	fail := func(format string, args ...any) {
+		if len(c.Violations) < maxViolations {
+			c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+		} else if len(c.Violations) == maxViolations {
+			c.Violations = append(c.Violations, "… more violations elided")
+		}
+	}
+	cfg := res.SketchCfg
+	gt := res.GT
+
+	// Rebuild the order-free plain-CMS ceiling and per-switch stream
+	// lengths from the exact ledger.
+	plain := make(map[uint16]*sketch.CMS)
+	totals := make(map[uint16]uint64)
+	for k, n := range gt.FlowPkts {
+		cms := plain[k.SwitchID]
+		if cms == nil {
+			cms = sketch.NewCMS(cfg.CMSWidth, cfg.CMSDepth, false)
+			plain[k.SwitchID] = cms
+		}
+		cms.AddN(k.Flow.Hash(), n)
+		totals[k.SwitchID] += n
+	}
+
+	for k, n := range gt.FlowPkts {
+		c.Checked++
+		if n >= uint64(cfg.HHThresholdPkts) {
+			if _, ok := v.hh[k]; !ok {
+				fail("missed heavy hitter: sw %d %v true=%d threshold=%d",
+					k.SwitchID, k.Flow, n, cfg.HHThresholdPkts)
+			}
+		}
+		if n*uint64(cfg.TopK) > totals[k.SwitchID] && !v.churn[k] {
+			fail("flow above N/K absent from stored top-K churn: sw %d %v true=%d N=%d K=%d",
+				k.SwitchID, k.Flow, n, totals[k.SwitchID], cfg.TopK)
+		}
+	}
+
+	for k, got := range v.hh {
+		c.Checked++
+		if gt.FlowPkts[k] == 0 {
+			// Already failed as a phantom by the soundness checker; skip
+			// the bound clauses for a flow with no ceiling.
+			continue
+		}
+		if uint64(cfg.HHThresholdPkts) <= 0xffff && uint32(got) < cfg.HHThresholdPkts {
+			fail("heavy hitter stored below threshold: sw %d %v count=%d threshold=%d",
+				k.SwitchID, k.Flow, got, cfg.HHThresholdPkts)
+		}
+		if bound := plain[k.SwitchID].Estimate(k.Flow.Hash()); uint64(got) > uint64(bound) {
+			fail("heavy-hitter overcount: sw %d %v stored=%d plain-CMS ceiling=%d true=%d",
+				k.SwitchID, k.Flow, got, bound, gt.FlowPkts[k])
+		}
+	}
+
+	for i := range v.events {
+		e := &v.events[i]
+		if e.Type != fevent.TypeTopKChurn {
+			continue
+		}
+		c.Checked++
+		n := gt.FlowPkts[dataplane.GTSwitchFlow{SwitchID: e.SwitchID, Flow: e.Flow}]
+		if n == 0 {
+			continue // phantom, reported by soundness
+		}
+		// count − err ≤ true is the space-saving invariant; skip events
+		// whose fields saturated the 16-bit wire encoding.
+		if e.Count != 0xffff && e.SketchErr != 0xffff &&
+			uint64(e.Count) > n+uint64(e.SketchErr) {
+			fail("top-K churn overcount: sw %d %v count=%d err=%d true=%d",
+				e.SwitchID, e.Flow, e.Count, e.SketchErr, n)
+		}
+	}
+
+	for k, bytes := range gt.LinkWindowBytes {
+		c.Checked++
+		if bytes < cfg.SpikeBytes {
+			continue
+		}
+		want := (bytes + 1023) >> 10
+		if want > 0xffff {
+			want = 0xffff
+		}
+		got, ok := v.spike[k]
+		if !ok {
+			fail("missed aggregate spike: sw %d port %d window %d bytes=%d threshold=%d",
+				k.SwitchID, k.Port, k.Window, bytes, cfg.SpikeBytes)
+		} else if uint64(got) != want {
+			fail("spike count mismatch: sw %d port %d window %d stored=%d KiB truth=%d KiB (bytes=%d)",
+				k.SwitchID, k.Port, k.Window, got, want, bytes)
+		}
+	}
+	for k := range v.spike {
+		c.Checked++
+		if gt.LinkWindowBytes[k] < cfg.SpikeBytes {
+			fail("spike stored for a bin below threshold: sw %d port %d window %d bytes=%d threshold=%d",
+				k.SwitchID, k.Port, k.Window, gt.LinkWindowBytes[k], cfg.SpikeBytes)
+		}
+	}
+	return c
+}
+
 // CheckDelivery verifies claim 5 (§3.6): replaying the exported batches
 // through the reliable switch-CPU→collector channel over a fault-injected
 // TCP wire is at-least-once, and (switch, seq) dedup makes the final
@@ -475,9 +644,23 @@ func CheckDelivery(res *Result) CheckResult {
 		return c
 	}
 	store := collector.NewStore()
+	// Scale the reset budget with the replay's wire volume so every
+	// scenario suffers a comparable *number* of connection resets: a
+	// fixed byte budget would make reset density grow linearly with the
+	// batch count, and the sketch-heavy scenarios ship several times the
+	// volume of the fault-free ones — enough that retransmit storms
+	// outrun the flush deadline under -race.
+	wireBytes := 0
+	for _, b := range res.Batches {
+		wireBytes += 32 + fevent.RecordLen*len(b.Events)
+	}
+	resetAfter := wireBytes / 6
+	if resetAfter < 4096 {
+		resetAfter = 4096
+	}
 	ln, err := faultconn.Listen("127.0.0.1:0", faultconn.Config{
 		Seed:       int64(res.Sc.Seed),
-		ResetAfter: 4096,
+		ResetAfter: resetAfter,
 		MaxChunk:   16,
 		Latency:    50 * time.Microsecond,
 	})

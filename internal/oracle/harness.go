@@ -12,6 +12,7 @@ import (
 	"netseer/internal/nic"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
+	"netseer/internal/sketch"
 	"netseer/internal/topo"
 	"netseer/internal/workload"
 )
@@ -35,6 +36,10 @@ type Result struct {
 	// that switch's per-key packet counters are exact (one aggregation
 	// run per key, final count emitted at flush).
 	Evictions map[uint16]uint64
+	// SketchCfg is the effective (defaulted) sketch stage configuration
+	// every switch ran with; the sketch checker derives its thresholds
+	// and error slacks from it.
+	SketchCfg sketch.Config
 }
 
 // teeSink is the in-process EventSink: it forwards each batch to the
@@ -103,12 +108,27 @@ func Run(sc Scenario) *Result {
 		MMURedirectBps:      1e15,
 		InternalPortBps:     1e15,
 		ExportBps:           1e15,
+		// The sketch stage runs in every scenario — the sketch checker's
+		// claims must hold on clean and faulted fabrics alike. Thresholds
+		// are sized so modest oracle workloads genuinely cross them.
+		Sketch: true,
+		SketchCfg: sketch.Config{
+			TopK:            16,
+			HHThresholdPkts: 24,
+			ChurnMin:        4,
+			SpikeBytes:      32 << 10,
+		},
 	}
 	sink := &teeSink{store: collector.NewStore()}
 	var netseers []*core.NetSeerSwitch
 	fab.EachSwitch(func(sw *dataplane.Switch) {
 		netseers = append(netseers, core.Attach(sw, nsCfg, sink))
 	})
+	// Ground truth mirrors the sketch stage's exact aggregates: same
+	// window, same stream (pre-MMU pipeline survivors). Set before any
+	// traffic is scheduled so the ledgers cover every packet.
+	effSketch := netseers[0].Sketch().Config()
+	gt.SketchWindow = effSketch.Window
 
 	rng := sim.NewStream(sc.Seed, "oracle")
 	lane := pickLane(tp, fab, hosts, rng)
@@ -122,6 +142,7 @@ func Run(sc Scenario) *Result {
 		Sc: sc, GT: gt, Store: sink.store, Batches: sink.batches,
 		BySwitch:  make(map[uint16]core.Stats),
 		Evictions: make(map[uint16]uint64),
+		SketchCfg: effSketch,
 	}
 	for _, ns := range netseers {
 		st := ns.Stats()
@@ -241,6 +262,69 @@ func scheduleWorkload(s *sim.Simulator, sc Scenario, hosts []*host.Host, ln lane
 		for t := sim.Time(0); t <= Window; t += Window / 64 {
 			t := t
 			s.At(t, func() { ln.src.SendUDP(flow, 1, 724, 0) })
+		}
+	}
+	// Zipf-skewed traffic: one host pair, a pool of flows distinguished by
+	// source port, packets distributed by Zipf rank. Low ranks become
+	// genuine heavy hitters at the pair's ToRs; the tail stays mice. All
+	// flows share a path, so the per-switch sketch sees the full skew.
+	if sc.ZipfSkew > 0 {
+		zsrc := hosts[rng.Intn(len(hosts))]
+		zdst := hosts[rng.Intn(len(hosts))]
+		if zdst == zsrc {
+			zdst = hosts[(rng.Intn(len(hosts))+1)%len(hosts)]
+		}
+		if zdst != zsrc {
+			const zipfFlows, zipfPkts = 24, 600
+			z := workload.NewZipf(zipfFlows, float64(sc.ZipfSkew)/10)
+			for p := 0; p < zipfPkts; p++ {
+				flow := pkt.FlowKey{
+					SrcIP: zsrc.Node.IP, DstIP: zdst.Node.IP,
+					SrcPort: uint16(30000 + z.Rank(rng)), DstPort: workload.DataPort,
+					Proto: pkt.ProtoUDP,
+				}
+				at := sim.Time(rng.Intn(int(3 * Window / 4)))
+				s.At(at, func() { zsrc.SendUDP(flow, 1, 512, 0) })
+			}
+		}
+	}
+	// Elephant/mice mix: each elephant sends enough packets on its own to
+	// cross the heavy-hitter threshold at its ToR, against the mice of the
+	// background set.
+	for i := 0; i < int(sc.Elephants); i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if dst == src {
+			dst = hosts[(rng.Intn(len(hosts))+1)%len(hosts)]
+			if dst == src {
+				continue
+			}
+		}
+		flow := pkt.FlowKey{
+			SrcIP: src.Node.IP, DstIP: dst.Node.IP,
+			SrcPort: uint16(31000 + i), DstPort: workload.DataPort,
+			Proto: pkt.ProtoUDP,
+		}
+		for p := 0; p < 48; p++ {
+			at := sim.Time(rng.Intn(int(3 * Window / 4)))
+			s.At(at, func() { src.SendUDP(flow, 1, 900, 0) })
+		}
+	}
+	// DDoS-shaped aggregate: a fan-in byte burst onto one receiver,
+	// concentrated enough that the receiver-side egress link crosses the
+	// per-window spike threshold. Normalize() disables this on the line
+	// topologies, which lack spare senders.
+	if sc.AggIncast {
+		var senders []*host.Host
+		for _, h := range hosts {
+			if h != ln.src && h != ln.dst && len(senders) < 8 {
+				senders = append(senders, h)
+			}
+		}
+		if len(senders) > 0 {
+			s.Schedule(Window/8, func() {
+				workload.Incast(s, senders, ln.dst, 128<<10, 1000, 0)
+			})
 		}
 	}
 	// Background flows: random pairs, random schedules in [0, 3W/4).

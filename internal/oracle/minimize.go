@@ -39,6 +39,9 @@ func shrinks(sc Scenario) []Scenario {
 	}
 
 	// Whole fault classes off.
+	try(func(c *Scenario) { c.AggIncast = false })
+	try(func(c *Scenario) { c.ZipfSkew = 0 })
+	try(func(c *Scenario) { c.Elephants = 0 })
 	try(func(c *Scenario) { c.Pause = false })
 	try(func(c *Scenario) { c.Incast = false })
 	try(func(c *Scenario) { c.PathFlip = false })
@@ -83,6 +86,8 @@ func shrinks(sc Scenario) []Scenario {
 	try(func(c *Scenario) { c.LossBurst = halve8(c.LossBurst, 0) })
 	try(func(c *Scenario) { c.LossPct = halve8(c.LossPct, 0) })
 	try(func(c *Scenario) { c.CorruptPct = halve8(c.CorruptPct, 0) })
+	try(func(c *Scenario) { c.ZipfSkew = halve8(c.ZipfSkew, 0) })
+	try(func(c *Scenario) { c.Elephants = halve8(c.Elephants, 0) })
 	try(func(c *Scenario) { c.Seed = 0 })
 	return out
 }

@@ -6,7 +6,7 @@ import (
 )
 
 // claimNames is the fixed checker order of CheckAll.
-var claimNames = []string{"completeness", "soundness", "encoding", "recovery", "delivery"}
+var claimNames = []string{"completeness", "soundness", "encoding", "recovery", "sketch", "delivery"}
 
 // Scorecard runs the full seeded scenario matrix with every checker (TCP
 // delivery included), printing one line per scenario and a per-claim

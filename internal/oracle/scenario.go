@@ -81,6 +81,17 @@ type Scenario struct {
 	PathFlip  bool
 	Incast    bool
 	Pause     bool
+
+	// Sketch workload axis (the detection family beyond the paper's event
+	// set). ZipfSkew, in tenths (12 → s=1.2, clamp 30), reshapes the
+	// background flows into a Zipf rank-frequency distribution so a few
+	// flows dominate; Elephants adds that many high-rate flows on top of
+	// the background mice (clamp 8); AggIncast drives a DDoS-shaped fan-in
+	// onto one receiver to force per-link aggregate byte spikes (fan-in
+	// topologies only).
+	ZipfSkew  uint8
+	Elephants uint8
+	AggIncast bool
 }
 
 // Window is the simulated measurement window of every scenario. Phases:
@@ -124,19 +135,28 @@ func (sc Scenario) Normalize() Scenario {
 	if sc.CorruptPct > 20 {
 		sc.CorruptPct = 20
 	}
+	if sc.ZipfSkew > 30 {
+		sc.ZipfSkew = 30
+	}
+	if sc.Elephants > 8 {
+		sc.Elephants = 8
+	}
 	if sc.Topo == TopoLine2 || sc.Topo == TopoLine3 {
 		// Two-host chains have no ECMP to flip and no fan-in to incast.
 		sc.PathFlip = false
 		sc.Incast = false
 		sc.Pause = false
+		sc.AggIncast = false
 	}
 	return sc
 }
 
 // scenarioLen is the canonical encoding length: seed(8) topo(1)
 // groupSlots(2) groupC(1) ringSlots(2) flows(1) pkts(1) lossBurst(1)
-// lossPct(1) corruptPct(1) flags(1).
-const scenarioLen = 20
+// lossPct(1) corruptPct(1) flags(1) zipfSkew(1) elephants(1). Inputs
+// shorter than this zero-pad (DecodeScenario), so pre-sketch corpora and
+// repro files stay valid byte-for-byte.
+const scenarioLen = 22
 
 // Encode returns the canonical byte encoding of sc, the fuzzer's input
 // format and the on-disk repro format.
@@ -153,12 +173,14 @@ func (sc Scenario) Encode() []byte {
 	b[17] = sc.LossPct
 	b[18] = sc.CorruptPct
 	var flags uint8
-	for i, on := range []bool{sc.Blackhole, sc.Parity, sc.ACLDeny, sc.PathFlip, sc.Incast, sc.Pause} {
+	for i, on := range []bool{sc.Blackhole, sc.Parity, sc.ACLDeny, sc.PathFlip, sc.Incast, sc.Pause, sc.AggIncast} {
 		if on {
 			flags |= 1 << i
 		}
 	}
 	b[19] = flags
+	b[20] = sc.ZipfSkew
+	b[21] = sc.Elephants
 	return b
 }
 
@@ -186,6 +208,9 @@ func DecodeScenario(data []byte) Scenario {
 		PathFlip:   flags&8 != 0,
 		Incast:     flags&16 != 0,
 		Pause:      flags&32 != 0,
+		AggIncast:  flags&64 != 0,
+		ZipfSkew:   b[20],
+		Elephants:  b[21],
 	}
 	return sc.Normalize()
 }
@@ -204,12 +229,19 @@ func (sc Scenario) String() string {
 	if sc.CorruptPct > 0 {
 		s += fmt.Sprintf(" corrupt=%d%%", sc.CorruptPct)
 	}
+	if sc.ZipfSkew > 0 {
+		s += fmt.Sprintf(" zipf=%.1f", float64(sc.ZipfSkew)/10)
+	}
+	if sc.Elephants > 0 {
+		s += fmt.Sprintf(" elephants=%d", sc.Elephants)
+	}
 	for _, f := range []struct {
 		on   bool
 		name string
 	}{
 		{sc.Blackhole, "blackhole"}, {sc.Parity, "parity"}, {sc.ACLDeny, "acl"},
 		{sc.PathFlip, "pathflip"}, {sc.Incast, "incast"}, {sc.Pause, "pause"},
+		{sc.AggIncast, "agg-incast"},
 	} {
 		if f.on {
 			s += " +" + f.name
@@ -292,6 +324,27 @@ func Matrix(seed uint64) []Scenario {
 	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Incast = true })
 	add(func(s *Scenario) { s.Topo = TopoTestbed; s.Pause = true; s.Incast = true })
 
+	// Sketch detection family: Zipf-skewed workloads (a few flows
+	// dominate — heavy hitters and stable top-K residents), elephant/mice
+	// mixes (elephants must enter the top-K and cross the heavy-hitter
+	// threshold), and DDoS-shaped incast aggregates (per-link byte
+	// spikes), alone and on faulted fabrics.
+	add(func(s *Scenario) { s.Topo = TopoLine2; s.ZipfSkew = 12; s.Flows = 24; s.Pkts = 40 })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.ZipfSkew = 20; s.Flows = 40; s.Pkts = 50 })
+	add(func(s *Scenario) { s.Topo = TopoLine3; s.Elephants = 4; s.Flows = 24; s.Pkts = 10 })
+	add(func(s *Scenario) { s.Topo = TopoFatTreeK4; s.Elephants = 8; s.ZipfSkew = 15; s.Flows = 32 })
+	add(func(s *Scenario) { s.Topo = TopoTestbed; s.AggIncast = true })
+	add(func(s *Scenario) { s.Topo = TopoFatTreeK4; s.AggIncast = true; s.Elephants = 4; s.Flows = 24 })
+	add(func(s *Scenario) {
+		s.Topo = TopoTestbed
+		s.ZipfSkew = 18
+		s.Elephants = 6
+		s.AggIncast = true
+		s.LossPct = 8
+		s.GroupSlots = 64
+		s.GroupC = 8
+	})
+
 	// Kitchen sink: every fault class at once, stressed caches.
 	add(func(s *Scenario) {
 		s.Topo = TopoTestbed
@@ -309,6 +362,9 @@ func Matrix(seed uint64) []Scenario {
 		s.PathFlip = true
 		s.Incast = true
 		s.Pause = true
+		s.ZipfSkew = 15
+		s.Elephants = 4
+		s.AggIncast = true
 	})
 	return m
 }

@@ -1,0 +1,195 @@
+package sketch
+
+import (
+	"testing"
+
+	"netseer/internal/fevent"
+	"netseer/internal/pkt"
+	"netseer/internal/sim"
+)
+
+// Burst-boundary twins: OfferBurst must be byte-identical to the
+// sequential per-packet Offer path — same events in the same order with
+// the same fields, same stats, same sketch state (the pattern of
+// fpelim's burst twin tests).
+
+// twinOp is one offered packet: a flow index, ports, and a timestamp.
+type twinOp struct {
+	flow    int
+	in, out int32
+	at      sim.Time
+}
+
+// runTwins feeds ops to a burst stage (grouping consecutive same-timestamp
+// ops into bursts, as the pipeline does) and to a sequential stage, then
+// compares everything observable.
+func runTwins(t *testing.T, cfg Config, ports int, ops []twinOp) {
+	t.Helper()
+	var burstEvents, seqEvents []fevent.Event
+	sb := NewStage(cfg, ports, func(e *fevent.Event) { burstEvents = append(burstEvents, *e) })
+	ss := NewStage(cfg, ports, func(e *fevent.Event) { seqEvents = append(seqEvents, *e) })
+
+	pkts := make([]pkt.Packet, len(ops))
+	for i, op := range ops {
+		pkts[i] = pkt.Packet{Flow: randFlow(op.flow), WireLen: 724}
+	}
+
+	for i := 0; i < len(ops); {
+		j := i
+		var slots []pkt.Slot
+		for j < len(ops) && ops[j].at == ops[i].at {
+			slots = append(slots, pkt.Slot{P: &pkts[j], Port: ops[j].in, A: ops[j].out})
+			j++
+		}
+		sb.OfferBurst(slots, ops[i].at)
+		i = j
+	}
+	for i, op := range ops {
+		ss.Offer(&pkts[i], op.in, op.out, op.at)
+	}
+	sb.Flush(ops[len(ops)-1].at)
+	ss.Flush(ops[len(ops)-1].at)
+
+	if len(burstEvents) != len(seqEvents) {
+		t.Fatalf("burst emitted %d events, sequential %d", len(burstEvents), len(seqEvents))
+	}
+	for i := range burstEvents {
+		if burstEvents[i] != seqEvents[i] {
+			t.Fatalf("event %d diverges:\n burst: %+v\n   seq: %+v", i, burstEvents[i], seqEvents[i])
+		}
+	}
+	if sb.Stats() != ss.Stats() {
+		t.Fatalf("stats diverge: burst %+v vs sequential %+v", sb.Stats(), ss.Stats())
+	}
+	for f := 0; f < 64; f++ {
+		h := randFlow(f).Hash()
+		if sb.CMSEstimate(h) != ss.CMSEstimate(h) {
+			t.Fatalf("CMS estimates diverge for flow %d: %d vs %d", f, sb.CMSEstimate(h), ss.CMSEstimate(h))
+		}
+	}
+	tb, ts := sb.TopKTable(), ss.TopKTable()
+	if tb.Len() != ts.Len() || tb.Total() != ts.Total() {
+		t.Fatalf("top-K tables diverge: len %d/%d total %d/%d", tb.Len(), ts.Len(), tb.Total(), ts.Total())
+	}
+	for i := 0; i < tb.Len(); i++ {
+		bf, bc, be := tb.Entry(i)
+		sf, sc, se := ts.Entry(i)
+		if bf != sf || bc != sc || be != se {
+			t.Fatalf("top-K entry %d diverges: (%v,%d,%d) vs (%v,%d,%d)", i, bf, bc, be, sf, sc, se)
+		}
+	}
+}
+
+func TestOfferBurstMatchesSequentialOffer(t *testing.T) {
+	w := 250 * sim.Microsecond
+	cfg := Config{TopK: 4, HHThresholdPkts: 8, ChurnMin: 1, SpikeBytes: 4 << 10, Window: w}
+
+	cases := map[string]func() []twinOp{
+		"empty": func() []twinOp { return []twinOp{{flow: 0, out: 0, at: 1}} },
+		"single heavy flow crosses threshold": func() []twinOp {
+			var ops []twinOp
+			for i := 0; i < 20; i++ {
+				ops = append(ops, twinOp{flow: 1, in: 2, out: 3, at: sim.Time(i * 1000)})
+			}
+			return ops
+		},
+		"burst spans topk eviction": func() []twinOp {
+			// Fill the K=4 table, then a burst of fresh flows forces
+			// evictions mid-burst.
+			var ops []twinOp
+			for f := 0; f < 4; f++ {
+				for i := 0; i < 3; i++ {
+					ops = append(ops, twinOp{flow: f, out: 1, at: 5})
+				}
+			}
+			for f := 10; f < 18; f++ {
+				ops = append(ops, twinOp{flow: f, out: 1, at: 5})
+			}
+			return ops
+		},
+		"burst spans window roll": func() []twinOp {
+			var ops []twinOp
+			for i := 0; i < 30; i++ {
+				ops = append(ops, twinOp{flow: i % 3, out: 2, at: sim.Time(i) * w / 10})
+			}
+			return ops
+		},
+		"seeded mixed traffic": func() []twinOp {
+			rng := sim.NewStream(11, "twin")
+			var ops []twinOp
+			at := sim.Time(0)
+			for i := 0; i < 800; i++ {
+				if rng.Bool(0.3) {
+					at += sim.Time(rng.Intn(int(w / 4)))
+				}
+				ops = append(ops, twinOp{
+					flow: rng.Intn(24),
+					in:   int32(rng.Intn(4)),
+					out:  int32(rng.Intn(4)),
+					at:   at,
+				})
+			}
+			return ops
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) { runTwins(t, cfg, 4, build()) })
+	}
+}
+
+func TestOfferBurstEmptySlice(t *testing.T) {
+	s := NewStage(Config{}, 2, func(*fevent.Event) { t.Fatal("event from empty burst") })
+	s.OfferBurst(nil, 5)
+	s.OfferBurst([]pkt.Slot{}, 5)
+	if s.Stats().Pkts != 0 {
+		t.Fatalf("empty bursts counted packets: %+v", s.Stats())
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	var events []fevent.Event
+	cfg := Config{TopK: 4, HHThresholdPkts: 4, ChurnMin: 1, SpikeBytes: 1 << 10}
+	s := NewStage(cfg, 2, func(e *fevent.Event) { events = append(events, *e) })
+	p := pkt.Packet{Flow: randFlow(1), WireLen: 1400}
+	for i := 0; i < 8; i++ {
+		s.Offer(&p, 0, 1, sim.Time(i*100))
+	}
+	s.Flush(1000)
+	n := len(events)
+	if n == 0 {
+		t.Fatal("first flush emitted nothing")
+	}
+	// A second flush with no traffic re-emits only the (unchanged) top-K
+	// snapshot — identical events the CPU eliminator suppresses — and no
+	// new spikes.
+	spikes := s.Stats().Spikes
+	s.Flush(1000)
+	if s.Stats().Spikes != spikes {
+		t.Fatalf("quiescent flush emitted new spikes: %+v", s.Stats())
+	}
+	for _, e := range events[n:] {
+		if e.Type != fevent.TypeTopKChurn {
+			t.Fatalf("quiescent flush emitted non-snapshot event: %+v", e)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	var events int
+	cfg := Config{TopK: 2, HHThresholdPkts: 2, ChurnMin: 1, SpikeBytes: 1 << 10}
+	s := NewStage(cfg, 2, func(*fevent.Event) { events++ })
+	p := pkt.Packet{Flow: randFlow(1), WireLen: 1400}
+	for i := 0; i < 4; i++ {
+		s.Offer(&p, 0, 1, sim.Time(i))
+	}
+	s.Reset()
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("stats survived reset: %+v", s.Stats())
+	}
+	if s.CMSEstimate(p.Flow.Hash()) != 0 || s.TopKTable().Len() != 0 {
+		t.Fatal("sketch state survived reset")
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+}

@@ -131,3 +131,53 @@ func ByName(name string) (*Distribution, bool) {
 	}
 	return nil, false
 }
+
+// Zipf is a rank-frequency sampler over n ranks with exponent s:
+// P(rank=k) ∝ 1/(k+1)^s. It drives the sketch oracle's skewed workloads —
+// rank 0 is the heaviest flow. s = 0 degenerates to uniform.
+type Zipf struct {
+	cum []float64 // cumulative, normalized to cum[n-1] = 1
+}
+
+// NewZipf builds the sampler. Panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs at least one rank")
+	}
+	if s < 0 {
+		panic("workload: Zipf exponent must be non-negative")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Rank draws one rank in [0, n).
+func (z *Zipf) Rank(rng *sim.Stream) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if u <= z.cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Weight returns P(rank = k).
+func (z *Zipf) Weight(k int) float64 {
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}

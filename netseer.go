@@ -52,10 +52,13 @@ type Event = fevent.Event
 
 // Event types.
 const (
-	EventDrop       = fevent.TypeDrop
-	EventCongestion = fevent.TypeCongestion
-	EventPathChange = fevent.TypePathChange
-	EventPause      = fevent.TypePause
+	EventDrop        = fevent.TypeDrop
+	EventCongestion  = fevent.TypeCongestion
+	EventPathChange  = fevent.TypePathChange
+	EventPause       = fevent.TypePause
+	EventHeavyHitter = fevent.TypeHeavyHitter
+	EventTopKChurn   = fevent.TypeTopKChurn
+	EventAggSpike    = fevent.TypeAggSpike
 )
 
 // Query filters stored events.

@@ -26,6 +26,7 @@ import (
 func main() {
 	writeFrameSeeds()
 	writeWALRecordSeeds()
+	writeSketchSeeds()
 }
 
 func writeFrameSeeds() {
@@ -119,6 +120,68 @@ func writeWALRecordSeeds() {
 		"oversize_length":        {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
 		"length_exceeds_payload": mutate(one, func(b []byte) { binary.BigEndian.PutUint32(b[0:4], 200) }),
 		"zero_noise":             bytes.Repeat([]byte{0}, 64),
+	}
+	writeSeeds(dir, seeds)
+}
+
+// writeSketchSeeds covers the sketch-stage differential fuzzer
+// (internal/sketch FuzzSketch). Each byte pair is one packet: byte 0
+// packs the flow index (low nibble) and egress port (top two bits),
+// byte 1 packs the size nibble and a time-advance flag — so the seeds
+// steer the interesting regimes directly: one flow hammered past the
+// heavy-hitter threshold, more flows than top-K counters (eviction
+// churn), byte bursts dense enough to cross the spike threshold, and
+// time jumps that roll the aggregate window.
+func writeSketchSeeds() {
+	dir := filepath.Join("internal", "sketch", "testdata", "fuzz", "FuzzSketch")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	op := func(flow, port, size byte, advance bool) []byte {
+		b1 := size << 4
+		if advance {
+			b1 |= 1
+		}
+		return []byte{flow&0x0f | port<<6, b1}
+	}
+	stream := func(ops ...[]byte) []byte {
+		var out []byte
+		for _, o := range ops {
+			out = append(out, o...)
+		}
+		return out
+	}
+	repeatOp := func(o []byte, n int) [][]byte {
+		ops := make([][]byte, n)
+		for i := range ops {
+			ops[i] = o
+		}
+		return ops
+	}
+
+	var churn [][]byte // 16 flows round-robin over a 4-counter table
+	for i := 0; i < 64; i++ {
+		churn = append(churn, op(byte(i), byte(i)&3, 2, false))
+	}
+	var spike [][]byte // max-size packets on one port, no time advance
+	for i := 0; i < 24; i++ {
+		spike = append(spike, op(1, 3, 0x0f, false))
+	}
+	var windows [][]byte // every packet jumps time: repeated window rolls
+	for i := 0; i < 32; i++ {
+		windows = append(windows, op(byte(i), 1, 0x0f, true))
+	}
+
+	seeds := map[string][]byte{
+		"single_packet":    op(0, 0, 1, false),
+		"heavy_hitter":     stream(repeatOp(op(3, 2, 1, false), 40)...),
+		"topk_churn":       stream(churn...),
+		"spike_one_window": stream(spike...),
+		"window_rolls":     stream(windows...),
+		"mixed": stream(append(append(churn, spike...),
+			op(9, 0, 7, true), op(9, 0, 7, false))...),
+		"zero_noise": bytes.Repeat([]byte{0}, 64),
 	}
 	writeSeeds(dir, seeds)
 }
