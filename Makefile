@@ -2,7 +2,8 @@ GO ?= go
 
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
 	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover \
-	fabric fabric-chaos fabric-cover sim-cover sketch-fuzz-smoke sketch-cover nightly-fuzz
+	fabric fabric-chaos fabric-cover sim-cover sketch-fuzz-smoke sketch-cover nightly-fuzz \
+	trace trace-cover
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -112,6 +113,26 @@ fabric-cover:
 		-coverpkg=netseer/internal/collector/fabric ./internal/collector/fabric/
 	$(GO) run ./scripts/covergate -profile cover-fabric.out -min 85 \
 		netseer/internal/collector/fabric
+
+# trace runs the distributed-tracing gate under the race detector: the
+# span-ring/recorder/context unit suite (including the wraparound and
+# reader-snapshot property tests), the v3 traced-frame codec and
+# mixed-version WAL replay, the exemplar contract, and the end-to-end
+# 3-shard assembly + fleet health plane (a sampled batch's spans pulled
+# back together across the fabric, /fleet flipping on a dead member).
+trace:
+	$(GO) test -race -count=1 ./internal/obs/trace/
+	$(GO) test -race -count=1 -run 'TestTracedFrame|TestMixedVersionWALReplay|TestHistogramExemplar' \
+		./internal/collector/ ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestTraceAssemblyAcrossFabric|TestFleetStatusHealthyAndDeadShard|TestShardSIGKILLMidRebalance' \
+		./internal/collector/fabric/
+
+# trace-cover fails if statement coverage of internal/obs/trace drops
+# below 85%.
+trace-cover:
+	$(GO) test -count=1 -coverprofile=cover-trace.out \
+		-coverpkg=netseer/internal/obs/trace ./internal/obs/trace/
+	$(GO) run ./scripts/covergate -profile cover-trace.out -min 85 netseer/internal/obs/trace
 
 # wal-fuzz-smoke: ~8s per WAL fuzz target (record reader, whole-segment
 # replay), starting from the seed corpus under

@@ -27,6 +27,13 @@
 // by an unresolved handoff. When a shard does not answer, the output is
 // a correct view of the shards that did and ends with a
 // "# partial=true (k/n shards answered)" marker.
+//
+// -trace <id> assembles one batch trace across the fabric: every shard
+// answers the query protocol's "trace" verb with the spans its recorder
+// holds, and the union — deduplicated by span ID, sorted by start time —
+// prints one hop per line from batcher flush to store index:
+//
+//	fetquery -coordinator host:9760 -trace 53a0c6e1b20f4d77
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"netseer/internal/collector/fabric"
+	"netseer/internal/obs/trace"
 )
 
 func main() {
@@ -47,9 +55,14 @@ func main() {
 	coord := flag.String("coordinator", "", "fabric coordinator address: fetch the ring config and fan out to its shards")
 	interval := flag.Duration("interval", 0, "repeat the query at this interval (0: once)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-shard timeout in fan-out mode")
+	traceID := flag.String("trace", "", "assemble this batch trace ID across every shard and print the hops")
 	flag.Parse()
+	if *traceID != "" {
+		runTrace(*coord, strings.Split(*addr, ","), *traceID, *timeout)
+		return
+	}
 	if flag.NArg() == 0 {
-		log.Fatal("usage: fetquery [-addr host:port[,host:port...]] [-coordinator host:port] [-interval d] <query|count|flows|path|latency|summary|stats> [key=value ...]")
+		log.Fatal("usage: fetquery [-addr host:port[,host:port...]] [-coordinator host:port] [-interval d] [-trace id] <query|count|flows|path|latency|summary|stats|trace> [key=value ...]")
 	}
 	addrs := strings.Split(*addr, ",")
 	if *coord != "" || len(addrs) > 1 {
@@ -168,6 +181,48 @@ func runFanOut(coordAddr string, addrs []string, args []string, interval, timeou
 		}
 		time.Sleep(interval)
 		fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+	}
+}
+
+// runTrace assembles one batch trace across the fabric and prints the
+// hops in start order, one line per span. The trailing partial marker
+// mirrors runFanOut's: missing shards mean missing hops, not an error.
+func runTrace(coordAddr string, addrs []string, idArg string, timeout time.Duration) {
+	id, err := trace.ParseID(idArg)
+	if err != nil {
+		log.Fatalf("-trace: %v", err)
+	}
+	cfg, err := fanOutConfig(coordAddr, addrs, timeout)
+	if err != nil {
+		log.Fatalf("ring config: %v", err)
+	}
+	res := fabric.FanOutTrace(cfg, id, nil, timeout)
+	fmt.Printf("trace %s (%d spans, epoch %d)\n", trace.FormatID(id), len(res.Spans), cfg.Epoch)
+	for _, j := range res.Spans {
+		line := fmt.Sprintf("%-18s start=%d dur=%dns", j.Stage, j.Start, j.End-j.Start)
+		if j.Shard != 0 {
+			line += fmt.Sprintf(" shard=%d", j.Shard)
+		}
+		if j.Switch != 0 {
+			line += fmt.Sprintf(" switch=%d", j.Switch)
+		}
+		if j.Seq != 0 {
+			line += fmt.Sprintf(" seq=%d", j.Seq)
+		}
+		if j.Events != 0 {
+			line += fmt.Sprintf(" events=%d", j.Events)
+		}
+		if j.Detail != 0 {
+			line += fmt.Sprintf(" detail=%d", j.Detail)
+		}
+		line += fmt.Sprintf(" span=%s", j.Span)
+		if j.Parent != "" {
+			line += fmt.Sprintf(" parent=%s", j.Parent)
+		}
+		fmt.Println(line)
+	}
+	if res.Partial {
+		fmt.Printf("# partial=true (%d/%d shards answered)\n", res.ShardsOK, res.ShardsTotal)
 	}
 }
 

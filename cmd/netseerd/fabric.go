@@ -15,6 +15,7 @@ import (
 	"netseer/internal/collector/fabric"
 	"netseer/internal/collector/wal"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 )
 
 // shardFlags carries the flag values the fabric modes consume.
@@ -61,12 +62,13 @@ func runShard(f shardFlags, reg *obs.Registry) {
 		node.ID, node.IngestAddr(), node.QueryAddr(), node.AdminAddr(), node.Epoch())
 
 	if f.metricsAddr != "" {
-		osrv, err := obs.ServeHTTP(reg, f.metricsAddr)
+		osrv, err := obs.ServeHTTP(reg, f.metricsAddr,
+			obs.Page{Pattern: "/traces", Handler: trace.Handler(trace.Default)})
 		if err != nil {
 			log.Fatalf("netseerd: metrics listener: %v", err)
 		}
 		defer osrv.Close()
-		log.Printf("netseerd: metrics on http://%s/metrics", osrv.Addr())
+		log.Printf("netseerd: metrics on http://%s/metrics, traces on /traces", osrv.Addr())
 	}
 
 	if f.coordAddr != "" {
@@ -127,12 +129,14 @@ func runCoordinator(f shardFlags, reg *obs.Registry) {
 	}
 
 	if f.metricsAddr != "" {
-		osrv, err := obs.ServeHTTP(reg, f.metricsAddr)
+		osrv, err := obs.ServeHTTP(reg, f.metricsAddr,
+			obs.Page{Pattern: "/traces", Handler: trace.Handler(trace.Default)},
+			obs.Page{Pattern: "/fleet", Handler: fabric.FleetHandler(coord, 5*time.Second)})
 		if err != nil {
 			log.Fatalf("netseerd: metrics listener: %v", err)
 		}
 		defer osrv.Close()
-		log.Printf("netseerd: metrics on http://%s/metrics", osrv.Addr())
+		log.Printf("netseerd: metrics on http://%s/metrics, fleet health on /fleet", osrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -49,6 +49,7 @@ import (
 	"netseer/internal/collector"
 	"netseer/internal/collector/wal"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 )
 
 func main() {
@@ -70,7 +71,10 @@ func main() {
 	fabricListen := flag.String("fabric-listen", "127.0.0.1:9760", "coordinator listen address (coordinator mode)")
 	fabricState := flag.String("fabric-state", "", "coordinator durable state file (coordinator mode)")
 	joinTimeout := flag.Duration("join-timeout", 2*time.Minute, "bound on the whole join rebalance (shard mode with -coordinator)")
+	traceSample := flag.Uint64("trace-sample", trace.DefaultSampleEvery, "batch-trace head-sampling modulus: 1 traces every batch, n one in n, 0 disables sampling (exemplars stay on)")
 	flag.Parse()
+
+	trace.SetSampleEvery(*traceSample)
 
 	// The catalog placeholders first, so every canonical series is present
 	// even for the pipeline stages this daemon does not run; live stage
@@ -78,6 +82,7 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterCatalog(reg)
 	obs.RegisterRuntime(reg)
+	trace.RegisterMetrics(reg, trace.Default)
 
 	if *mode != "standalone" {
 		f := shardFlags{
@@ -149,12 +154,13 @@ func main() {
 	log.Printf("netseerd: ingesting on %s, queries on %s", ingest.Addr(), query.Addr())
 
 	if *metricsAddr != "" {
-		osrv, err := obs.ServeHTTP(reg, *metricsAddr)
+		osrv, err := obs.ServeHTTP(reg, *metricsAddr,
+			obs.Page{Pattern: "/traces", Handler: trace.Handler(trace.Default)})
 		if err != nil {
 			log.Fatalf("metrics listener: %v", err)
 		}
 		defer osrv.Close()
-		log.Printf("netseerd: metrics on http://%s/metrics", osrv.Addr())
+		log.Printf("netseerd: metrics on http://%s/metrics, traces on /traces", osrv.Addr())
 	}
 	if *logStats > 0 {
 		stop := obs.StartLogger(reg, *logStats, log.Printf)

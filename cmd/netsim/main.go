@@ -25,6 +25,7 @@ import (
 	"netseer/internal/link"
 	"netseer/internal/metrics"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 	"netseer/internal/pcap"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
@@ -73,18 +74,20 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterCatalog(reg)
 	obs.RegisterRuntime(reg)
+	trace.RegisterMetrics(reg, trace.Default)
 	publish := tb.RegisterObs(reg)
 	const publishPoints = 16
 	for i := 1; i <= publishPoints; i++ {
 		tb.Sim.Schedule(cfg.Window*sim.Time(i)/publishPoints, publish)
 	}
 	if *metricsAddr != "" {
-		osrv, err := obs.ServeHTTP(reg, *metricsAddr)
+		osrv, err := obs.ServeHTTP(reg, *metricsAddr,
+			obs.Page{Pattern: "/traces", Handler: trace.Handler(trace.Default)})
 		if err != nil {
 			log.Fatalf("metrics listener: %v", err)
 		}
 		defer osrv.Close()
-		fmt.Printf("metrics on http://%s/metrics\n", osrv.Addr())
+		fmt.Printf("metrics on http://%s/metrics, traces on /traces\n", osrv.Addr())
 	}
 
 	// Optional TCP export: interpose a client sink on every switch by
@@ -172,7 +175,12 @@ func main() {
 	}
 
 	if client != nil {
-		// Ship everything the switches produced, batch-framed.
+		// Ship everything the switches produced, batch-framed. The
+		// re-framing severs the in-sim batch identity, so the export is
+		// the origin of these batches' wire journey: each gets a fresh
+		// deterministic context keyed by its chunk ordinal, and the
+		// sampled ones leave cross-process traces on the collector
+		// (fetquery -trace / the daemon's /traces).
 		events := tb.Store.Query(collector.Filter{})
 		const chunk = 50
 		for i := 0; i < len(events); i += chunk {
@@ -184,6 +192,7 @@ func main() {
 				SwitchID:  events[i].SwitchID,
 				Timestamp: events[i].Timestamp,
 				Events:    events[i:end],
+				Trace:     trace.NewContext(events[i].SwitchID, uint64(i/chunk)),
 			})
 		}
 		// Flush fails fast while the collector is unreachable so callers

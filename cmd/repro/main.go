@@ -31,6 +31,7 @@ import (
 	"netseer/internal/fpelim"
 	"netseer/internal/incidents"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 	"netseer/internal/oracle"
 	"netseer/internal/resources"
 	"netseer/internal/sim"
@@ -57,13 +58,15 @@ func main() {
 		reg := obs.NewRegistry()
 		obs.RegisterCatalog(reg)
 		obs.RegisterRuntime(reg)
-		osrv, err := obs.ServeHTTP(reg, *metricsAddr)
+		trace.RegisterMetrics(reg, trace.Default)
+		osrv, err := obs.ServeHTTP(reg, *metricsAddr,
+			obs.Page{Pattern: "/traces", Handler: trace.Handler(trace.Default)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics listener:", err)
 			os.Exit(1)
 		}
 		defer osrv.Close()
-		fmt.Printf("metrics on http://%s/metrics\n", osrv.Addr())
+		fmt.Printf("metrics on http://%s/metrics, traces on /traces\n", osrv.Addr())
 	}
 
 	experiments.SetParallelism(*par)

@@ -17,6 +17,7 @@ package batcher
 
 import (
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 	"netseer/internal/sim"
 )
 
@@ -258,12 +259,33 @@ func (b *Batcher) flush(c *cebp) {
 	b.scratch.SwitchID = b.cfg.SwitchID
 	b.scratch.Timestamp = b.sim.Now()
 	b.scratch.Events = c.payload
-	b.flushed++
-	b.delivered += uint64(len(c.payload))
-	b.out(&b.scratch)
-	b.scratch.Events = nil
+	b.emit()
 	// Clone: empty payload, same circulating identity and backing array.
 	c.payload = c.payload[:0]
+}
+
+// emit stamps the scratch batch's trace context — derived from the flush
+// ordinal, so it is deterministic across replays — and hands the batch
+// to out, recording the batcher-flush span when the trace is sampled.
+// Recording is a handful of atomic stores into a fixed ring, so the
+// flush path stays allocation-free either way.
+func (b *Batcher) emit() {
+	b.scratch.Trace = trace.NewContext(b.cfg.SwitchID, b.flushed)
+	b.flushed++
+	b.delivered += uint64(len(b.scratch.Events))
+	if !b.scratch.Trace.Sampled() {
+		b.out(&b.scratch)
+		b.scratch.Events = nil
+		return
+	}
+	sp := trace.Begin(b.scratch.Trace, trace.StageBatcher)
+	sp.SwitchID = b.cfg.SwitchID
+	sp.Events = uint32(len(b.scratch.Events))
+	// Downstream hops (fpelim, export) parent onto the flush span.
+	b.scratch.Trace.Parent = sp.SpanID
+	b.out(&b.scratch)
+	b.scratch.Events = nil
+	trace.Finish(&sp)
 }
 
 // Flush synchronously drains the stack and all partial CEBP payloads into
@@ -289,10 +311,7 @@ func (b *Batcher) Flush() {
 		b.scratch.Timestamp = b.sim.Now()
 		b.scratch.Events = events[:n]
 		events = events[n:]
-		b.flushed++
-		b.delivered += uint64(n)
-		b.out(&b.scratch)
-		b.scratch.Events = nil
+		b.emit()
 	}
 }
 

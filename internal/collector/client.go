@@ -14,6 +14,7 @@ import (
 	"netseer/internal/fevent"
 	"netseer/internal/metrics"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 )
 
 // ClientConfig tunes the asynchronous reliable sender. Zero fields take
@@ -197,6 +198,18 @@ func (c *Client) Deliver(b *fevent.Batch) {
 	} else {
 		c.nextSeq++
 		b.Seq = c.nextSeq
+	}
+	if b.Trace.Sampled() {
+		// The enqueue span is the exporter's admission record: Detail is
+		// the queue depth the batch landed behind. Later hops (retransmit,
+		// failover, server ingest) parent onto it.
+		sp := trace.Begin(b.Trace, trace.StageExportEnqueue)
+		sp.SwitchID = b.SwitchID
+		sp.Seq = b.Seq
+		sp.Events = uint32(len(b.Events))
+		sp.Detail = uint32(len(c.queue))
+		b.Trace.Parent = sp.SpanID
+		trace.Finish(&sp)
 	}
 	c.queue = append(c.queue, b)
 	if len(c.queue) > c.cfg.MaxQueue {
@@ -397,6 +410,7 @@ func (c *Client) senderLoop() {
 				c.failovers.Inc()
 			}
 			lastConnected = ep
+			c.recordFailoverSpans(ep)
 		}
 		err = c.runConn(conn, ep != 0)
 		if errors.Is(err, errPromote) {
@@ -405,6 +419,31 @@ func (c *Client) senderLoop() {
 		// Any other failure retries the same endpoint first; its dial
 		// failing is what advances the walk.
 	}
+}
+
+// recordFailoverSpans notes an endpoint switch on every traced batch the
+// client still owes the collector. The in-flight window survives a
+// failover (or a promotion back to the primary), so each sampled batch
+// gains an export-failover span — Detail is the endpoint index now
+// serving it — and its upcoming retransmission parents onto that span.
+func (c *Client) recordFailoverSpans(ep int) {
+	now := trace.Now()
+	c.mu.Lock()
+	for i := range c.inflight {
+		b := c.inflight[i].b
+		if !b.Trace.Sampled() {
+			continue
+		}
+		sp := trace.Begin(b.Trace, trace.StageExportFailover)
+		sp.Start, sp.End = now, now
+		sp.SwitchID = b.SwitchID
+		sp.Seq = b.Seq
+		sp.Events = uint32(len(b.Events))
+		sp.Detail = uint32(ep)
+		b.Trace.Parent = sp.SpanID
+		trace.Record(sp)
+	}
+	c.mu.Unlock()
 }
 
 // jitteredDelay draws one backoff sleep: uniform in
@@ -541,6 +580,20 @@ func (c *Client) writeLoop(conn net.Conn) error {
 				p.writes++
 				if p.writes > 1 {
 					c.retransmits.Inc()
+					if p.b.Trace.Sampled() {
+						// Each rewrite of a traced frame gets its own span
+						// (Detail = total writes so far), and the rewritten
+						// frame carries the new parent, so the server-side
+						// ingest span chains onto the retransmission that
+						// actually delivered it.
+						sp := trace.Begin(p.b.Trace, trace.StageExportRetransmit)
+						sp.SwitchID = p.b.SwitchID
+						sp.Seq = p.b.Seq
+						sp.Events = uint32(len(p.b.Events))
+						sp.Detail = uint32(p.writes)
+						p.b.Trace.Parent = sp.SpanID
+						trace.Finish(&sp)
+					}
 				}
 				p.sentAt = time.Now()
 				batch = p.b

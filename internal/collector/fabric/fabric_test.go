@@ -24,6 +24,7 @@ import (
 	"netseer/internal/collector/wal"
 	"netseer/internal/faultconn"
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 	"netseer/internal/oracle"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
@@ -551,5 +552,65 @@ func TestShardSIGKILLMidRebalance(t *testing.T) {
 	res := audit(t, ls, cfg)
 	if res.Partial || res.ShardsOK != 3 {
 		t.Fatalf("final fan-out partial=%v ok=%d, want full 3/3", res.Partial, res.ShardsOK)
+	}
+
+	// The recovered 3-shard fabric must still trace end to end: one
+	// sampled batch delivered across it assembles — spans pulled from
+	// the in-process shards and the re-executed child alike — with the
+	// full exporter→shard→WAL-fsync→store chain in monotonic order.
+	trace.SetSampleEvery(1)
+	defer trace.SetSampleEvery(trace.DefaultSampleEvery)
+	evs := make([]fevent.Event, 9)
+	for i := range evs {
+		evs[i] = eventN(900000+i, 2, 3000)
+	}
+	tb := tracedBatch(t, 2, 77, 3000, evs)
+	id := tb.Trace.TraceID
+	r.Deliver(tb)
+	if err := r.Flush(); err != nil {
+		t.Fatalf("flush of traced batch: %v", err)
+	}
+	tr := fabric.FanOutTrace(cfg, id, nil, 10*time.Second)
+	if tr.Partial {
+		t.Fatalf("trace assembly partial (%d/%d shards)", tr.ShardsOK, tr.ShardsTotal)
+	}
+	stages := make(map[string]bool)
+	for _, j := range tr.Spans {
+		stages[j.Stage] = true
+	}
+	for _, st := range []trace.Stage{trace.StageBatcher, trace.StageExportEnqueue,
+		trace.StageIngest, trace.StageWALFsync, trace.StageStoreIndex} {
+		if !stages[st.String()] {
+			t.Errorf("post-recovery trace misses the %s hop: %v", st, stages)
+		}
+	}
+	for i := 1; i < len(tr.Spans); i++ {
+		if tr.Spans[i].Start < tr.Spans[i-1].Start {
+			t.Fatalf("span starts not monotonic after recovery: %s at %d after %s at %d",
+				tr.Spans[i].Stage, tr.Spans[i].Start, tr.Spans[i-1].Stage, tr.Spans[i-1].Start)
+		}
+	}
+
+	// The fleet plane over the same fabric: healthy with all three
+	// members up, unhealthy — with the dead member's row kept as the
+	// signal — the moment the child is SIGKILLed again.
+	rep := coord.FleetStatus(5 * time.Second)
+	if !rep.Healthy {
+		t.Fatalf("recovered fabric reported unhealthy: %+v", rep)
+	}
+	child.Process.Kill()
+	child.Wait()
+	rep = coord.FleetStatus(2 * time.Second)
+	if rep.Healthy {
+		t.Fatal("fleet reported healthy with shard 3 SIGKILLed")
+	}
+	var deadRow *fabric.FleetShard
+	for i := range rep.Shards {
+		if rep.Shards[i].ID == 3 {
+			deadRow = &rep.Shards[i]
+		}
+	}
+	if deadRow == nil || deadRow.Alive {
+		t.Fatalf("fleet does not reflect the dead shard: %+v", rep.Shards)
 	}
 }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"bufio"
 	"encoding/base64"
+	"encoding/json"
 	"fmt"
 	"net"
 	"sort"
@@ -11,6 +12,7 @@ import (
 
 	"netseer/internal/collector"
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 )
 
 // MergedResult is one fabric-wide query answer.
@@ -85,6 +87,100 @@ func FanOutQuery(cfg Config, filterArgs string, timeout time.Duration) MergedRes
 		return identityKey(a) < identityKey(b)
 	})
 	return res
+}
+
+// MergedTrace is one fabric-wide trace assembly.
+type MergedTrace struct {
+	Spans []trace.SpanJSON
+	// Partial is set when at least one shard did not answer; the trace is
+	// then a correct view of the hops the answering shards recorded, not
+	// of the whole fabric.
+	Partial bool
+	// ShardsOK / ShardsTotal report fan-out coverage.
+	ShardsOK, ShardsTotal int
+}
+
+// FanOutTrace assembles one trace across every shard in cfg: each shard
+// answers the query protocol's "trace <id>" verb with the spans its own
+// recorder holds, and the union — deduplicated by span ID (a re-routed
+// batch can leave the same exporter-side span observable through two
+// shards' views) — is sorted into the canonical pipeline order. Exporter-
+// and switch-side spans live in the exporting process, not in any shard,
+// so callers that run inside the exporter (fetquery does not) may merge
+// trace.Spans(id) in with extra.
+func FanOutTrace(cfg Config, id uint64, extra []trace.Span, timeout time.Duration) MergedTrace {
+	res := MergedTrace{ShardsTotal: len(cfg.Shards)}
+	seen := make(map[string]bool)
+	var spans []trace.Span
+	for _, sp := range extra {
+		spans = append(spans, sp)
+		seen[trace.FormatID(sp.SpanID)] = true
+	}
+	var remote []trace.SpanJSON
+	for _, s := range cfg.Shards {
+		js, err := queryShardTrace(s.Query, id, timeout)
+		if err != nil {
+			res.Partial = true
+			continue
+		}
+		res.ShardsOK++
+		for _, j := range js {
+			if seen[j.Span] {
+				continue
+			}
+			seen[j.Span] = true
+			remote = append(remote, j)
+		}
+	}
+	for _, sp := range spans {
+		remote = append(remote, sp.JSON())
+	}
+	sort.Slice(remote, func(i, j int) bool {
+		if remote[i].Start != remote[j].Start {
+			return remote[i].Start < remote[j].Start
+		}
+		if remote[i].Stage != remote[j].Stage {
+			return remote[i].Stage < remote[j].Stage
+		}
+		return remote[i].Span < remote[j].Span
+	})
+	res.Spans = remote
+	return res
+}
+
+// queryShardTrace runs one "trace <id>" query against a shard query
+// endpoint and decodes the JSON span lines.
+func queryShardTrace(addr string, id uint64, timeout time.Duration) ([]trace.SpanJSON, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "trace %s\n", trace.FormatID(id)); err != nil {
+		return nil, err
+	}
+	var out []trace.SpanJSON
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "." {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "!") {
+			return nil, fmt.Errorf("fabric: shard %s: %s", addr, strings.TrimSpace(line[1:]))
+		}
+		var j trace.SpanJSON
+		if err := json.Unmarshal([]byte(line), &j); err != nil {
+			return nil, err
+		}
+		out = append(out, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("fabric: shard %s closed mid-response", addr)
 }
 
 // identityKey renders an event's full wire identity as a map key.

@@ -8,6 +8,7 @@ import (
 	"netseer/internal/collector"
 	"netseer/internal/fevent"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 )
 
 // Router is the exporter-side half of the fabric: a core.EventSink that
@@ -126,9 +127,12 @@ func (r *Router) Deliver(b *fevent.Batch) {
 			r.partial.Add(uint64(len(evs)))
 			continue
 		}
+		// Each per-shard piece inherits the parent batch's trace context,
+		// so one sampled CEBP batch that splits across shards assembles
+		// into one trace with parallel shard-side branches.
 		out = append(out, delivery{
 			c: r.clientLocked(s, false),
-			b: &fevent.Batch{SwitchID: b.SwitchID, Timestamp: b.Timestamp, Events: evs},
+			b: &fevent.Batch{SwitchID: b.SwitchID, Timestamp: b.Timestamp, Events: evs, Trace: b.Trace},
 		})
 		if ctr := r.routed[id]; ctr != nil {
 			ctr.Inc()
@@ -168,12 +172,27 @@ func (r *Router) ApplyConfig(cfg Config) {
 			e := &b.Events[0]
 			r.mu.Lock()
 			s, ok := r.cfg.Owner(SlotOf(e.SwitchID, e.Flow))
+			epoch := r.cfg.Epoch
 			var dc *collector.Client
 			if ok {
 				dc = r.clientLocked(s, true)
 			}
 			r.mu.Unlock()
 			if dc != nil {
+				if b.Trace.Sampled() {
+					// The re-route is a real hop of the batch's journey:
+					// record it (Detail = the new owner) and chain the
+					// parent so the destination shard's ingest span hangs
+					// under it.
+					sp := trace.Begin(b.Trace, trace.StageReroute)
+					sp.SwitchID = b.SwitchID
+					sp.Seq = b.Seq
+					sp.Shard = s.ID
+					sp.Events = uint32(len(b.Events))
+					sp.Detail = uint32(epoch)
+					b.Trace.Parent = sp.SpanID
+					trace.Finish(&sp)
+				}
 				dc.Deliver(b)
 				r.rerouted.Inc()
 			}

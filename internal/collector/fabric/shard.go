@@ -17,6 +17,7 @@ import (
 	"netseer/internal/collector/wal"
 	"netseer/internal/fevent"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 )
 
 // rbState tracks one open transfer on this node: the captured (source)
@@ -228,6 +229,8 @@ func StartShard(opts ShardOptions) (*ShardNode, error) {
 	scfg := opts.Server
 	scfg.WAL = w
 	scfg.WALEncode = encodeBatchRecord
+	scfg.TraceShard = opts.ID
+	store.SetTraceShard(opts.ID)
 	var srv *collector.Server
 	if opts.IngestListener != nil {
 		srv = collector.NewServerOn(store, opts.IngestListener, scfg)
@@ -372,6 +375,69 @@ type adminResp struct {
 	RBs    []uint64 `json:"rbs,omitempty"`
 	Events string   `json:"events,omitempty"`
 	Seen   string   `json:"seen,omitempty"`
+	// Health rides on ping/status replies; the coordinator's /fleet plane
+	// is assembled from it.
+	Health *ShardHealth `json:"health,omitempty"`
+}
+
+// ShardHealth is one shard's self-reported health, served on its admin
+// status op and merged into the coordinator's /fleet plane.
+type ShardHealth struct {
+	Admission     string `json:"admission"`
+	WALPending    uint64 `json:"wal_pending"`
+	WALSizeBytes  int64  `json:"wal_size_bytes"`
+	WALSegments   int    `json:"wal_segments"`
+	StoreEvents   uint64 `json:"store_events"`
+	StoreBytes    int64  `json:"store_bytes"`
+	DupBatches    uint64 `json:"dup_batches"`
+	OpenTransfers int    `json:"open_transfers"`
+	TraceSpans    uint64 `json:"trace_spans"`
+	TraceDropped  uint64 `json:"trace_dropped"`
+	// Exemplars are the shard's histogram-bucket exemplars: the last
+	// trace ID each latency bucket saw, pairing /fleet health with the
+	// trace to pull for the slow tail.
+	Exemplars []ExemplarRef `json:"exemplars,omitempty"`
+}
+
+// ExemplarRef names one histogram bucket exemplar in fleet output.
+type ExemplarRef struct {
+	Metric  string  `json:"metric"`
+	ValueUs float64 `json:"value_us"`
+	Trace   string  `json:"trace"`
+}
+
+// healthLocked assembles the shard's health payload. Caller holds n.mu.
+func (n *ShardNode) healthLocked() *ShardHealth {
+	ws := n.wal.Stats()
+	h := &ShardHealth{
+		Admission:     n.srv.AdmitState(),
+		WALPending:    ws.PendingDurable,
+		WALSizeBytes:  ws.SizeBytes,
+		WALSegments:   ws.Segments,
+		StoreEvents:   uint64(n.store.Len()),
+		StoreBytes:    n.store.MemoryBytes(),
+		DupBatches:    n.store.DupBatches(),
+		OpenTransfers: len(n.openRB),
+		TraceSpans:    trace.Default.Recorded(),
+		TraceDropped:  trace.Default.Dropped(),
+	}
+	// The snapshots hold one slot per bucket with zero TraceID meaning
+	// "no traced observation landed here" — only real exemplars travel.
+	for _, ex := range n.srv.TraceExemplars() {
+		if ex.TraceID == 0 {
+			continue
+		}
+		h.Exemplars = append(h.Exemplars, ExemplarRef{
+			Metric: obs.MIngestLag, ValueUs: ex.Value, Trace: trace.FormatID(ex.TraceID)})
+	}
+	for _, ex := range n.store.TraceExemplars() {
+		if ex.TraceID == 0 {
+			continue
+		}
+		h.Exemplars = append(h.Exemplars, ExemplarRef{
+			Metric: obs.MDetectToStore, ValueUs: ex.Value, Trace: trace.FormatID(ex.TraceID)})
+	}
+	return h
 }
 
 // adminScanBuf bounds one admin line; handoff payloads ride base64 on a
@@ -422,7 +488,7 @@ func (n *ShardNode) handleAdmin(req *adminReq) adminResp {
 		for rb := range n.openRB {
 			rbs = append(rbs, rb)
 		}
-		return adminResp{OK: true, Shard: n.ID, Epoch: n.cfg.Epoch, RBs: rbs}
+		return adminResp{OK: true, Shard: n.ID, Epoch: n.cfg.Epoch, RBs: rbs, Health: n.healthLocked()}
 	case "apply":
 		return n.handleApply(req)
 	case "mark":
@@ -468,6 +534,7 @@ func (n *ShardNode) handleMark(req *adminReq) adminResp {
 	defer n.mu.Unlock()
 	st := n.openRB[req.RB]
 	if st == nil {
+		start := trace.Now()
 		var capture []fevent.Event
 		err := n.srv.WithIngestBarrier(func() error {
 			if _, err := n.wal.Append(encodeMark(req.RB, req.Mask), false); err != nil {
@@ -487,6 +554,7 @@ func (n *ShardNode) handleMark(req *adminReq) adminResp {
 		}
 		st = &rbState{mask: req.Mask, events: capture}
 		n.openRB[req.RB] = st
+		n.recordHandoffSpan(req.RB, start, len(capture), handoffSource)
 	}
 	evBlob := encodeEvents(st.events)
 	seenBlob := encodeSeenSet(n.store.ExportSeen())
@@ -542,6 +610,7 @@ func (n *ShardNode) handleImport(req *adminReq) adminResp {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	start := trace.Now()
 	if st := n.openRB[req.RB]; st != nil && st.imported {
 		return adminResp{OK: true} // committed by an earlier push
 	}
@@ -564,7 +633,32 @@ func (n *ShardNode) handleImport(req *adminReq) adminResp {
 	n.openRB[req.RB] = &rbState{events: evs, imported: true}
 	n.importedEvents.Add(uint64(len(evs)))
 	n.rebalanceBytes.Add(uint64(len(evBlob)))
+	n.recordHandoffSpan(req.RB, start, len(evs), handoffImport)
 	return adminResp{OK: true}
+}
+
+// Handoff span roles (Span.Detail).
+const (
+	handoffSource = 0 // mark: capture on the old owner
+	handoffImport = 1 // import: durable apply on the new owner
+)
+
+// recordHandoffSpan records a rebalance-handoff span. Handoffs move event
+// multisets, not batches, so no context rides the wire; instead both
+// sides derive the same trace ID from the transfer number, and a trace
+// query for it shows the capture and the import as siblings.
+func (n *ShardNode) recordHandoffSpan(rb uint64, start int64, events, role int) {
+	trace.Record(trace.Span{
+		TraceID: trace.HandoffTraceID(rb),
+		SpanID:  trace.Default.NewSpanID(),
+		Stage:   trace.StageHandoff,
+		Start:   start,
+		End:     trace.Now(),
+		Seq:     rb,
+		Shard:   n.ID,
+		Events:  uint32(events),
+		Detail:  uint32(role),
+	})
 }
 
 // handleFence removes exactly transfer rb's captured (or imported)

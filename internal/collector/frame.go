@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 )
 
 // Wire framing for CPU→backend delivery (§3.6 "reliable TCP-based
@@ -17,6 +18,7 @@ import (
 // acknowledgements.
 //
 //	data frame (client→server): [4 B length][4 B CRC-32][8 B seq][body]
+//	v3 traced frame:            [4 B length][4 B CRC-32][8 B seq|bit63][17 B trace ctx][body]
 //	ack frame  (server→client): [8 B cumulative seq][4 B CRC-32]
 //
 // length counts seq+body. The data-frame CRC covers seq+body; the ack
@@ -26,6 +28,18 @@ import (
 // fresh connection keeps its identity (and a restarted exporter cannot
 // collide with its previous life) — the Store drops duplicates by
 // (switch ID, sequence).
+//
+// The v3 extension rides on an invariant of v2: the random sequence
+// base is drawn with its top two bits cleared and only counts up, so
+// bit 63 of the sequence word is always zero in old frames. A frame
+// with bit 63 set carries a trace.CtxWireLen trace context (trace ID,
+// parent span, flags) between the sequence and the body; the bit is
+// stripped on decode, so the logical sequence — and with it acks,
+// retransmit windows and (switch, seq) dedup — is unchanged. Old
+// readers never see the bit (a v3 sender is paired with a v3 reader by
+// deployment), old frames parse unchanged here, and because the WAL
+// stores the verified payload verbatim, mixed-version logs replay
+// correctly through the same DecodePayload.
 
 // MaxFrame bounds a frame to keep a malformed peer from forcing huge
 // allocations.
@@ -38,6 +52,10 @@ const (
 	frameSeqLen = 8
 	// ackLen is the fixed size of a server→client ack frame.
 	ackLen = 12
+	// frameTraceBit flags a v3 payload: a trace context follows the
+	// sequence word. Never set by the logical sequence itself (the client
+	// draws its random base with the top two bits cleared).
+	frameTraceBit = uint64(1) << 63
 )
 
 var (
@@ -51,10 +69,20 @@ var (
 )
 
 // WriteFrame writes one length-prefixed, checksummed batch (including
-// its delivery sequence number) to w.
+// its delivery sequence number, and — when the batch carries one — its
+// trace context as the v3 frame extension) to w.
 func WriteFrame(w io.Writer, b *fevent.Batch) error {
-	buf := make([]byte, frameHdrLen+frameSeqLen, frameHdrLen+frameSeqLen+b.EncodedLen())
-	binary.BigEndian.PutUint64(buf[frameHdrLen:], b.Seq)
+	pre := frameHdrLen + frameSeqLen
+	if b.Trace.Valid() {
+		pre += trace.CtxWireLen
+	}
+	buf := make([]byte, pre, pre+b.EncodedLen())
+	seq := b.Seq
+	if b.Trace.Valid() {
+		seq |= frameTraceBit
+		b.Trace.PutWire(buf[frameHdrLen+frameSeqLen:])
+	}
+	binary.BigEndian.PutUint64(buf[frameHdrLen:], seq)
 	buf, err := b.AppendTo(buf)
 	if err != nil {
 		return err
@@ -101,15 +129,32 @@ func readFramePayload(r io.Reader, b *fevent.Batch) ([]byte, error) {
 	return payload, nil
 }
 
-// DecodePayload parses a frame payload (8 B delivery sequence + encoded
-// batch body) into b. WAL recovery replays the logged payloads through
-// this — the same decoder the live wire path uses.
+// DecodePayload parses a frame payload (8 B delivery sequence, an
+// optional v3 trace context flagged by the sequence word's bit 63, then
+// the encoded batch body) into b. WAL recovery replays the logged
+// payloads through this — the same decoder the live wire path uses, so
+// mixed-version logs (pre- and post-trace frames interleaved) replay
+// without misparsing.
 func DecodePayload(payload []byte, b *fevent.Batch) error {
 	if len(payload) < frameSeqLen {
 		return ErrFrameTooShort
 	}
-	b.Seq = binary.BigEndian.Uint64(payload[:frameSeqLen])
-	rest, err := fevent.DecodeBatch(payload[frameSeqLen:], b)
+	seq := binary.BigEndian.Uint64(payload[:frameSeqLen])
+	body := payload[frameSeqLen:]
+	b.Trace = trace.Context{}
+	if seq&frameTraceBit != 0 {
+		if len(body) < trace.CtxWireLen {
+			return fmt.Errorf("collector: traced frame truncated before its %d-byte context", trace.CtxWireLen)
+		}
+		b.Trace = trace.CtxFromWire(body)
+		if !b.Trace.Valid() {
+			return errors.New("collector: traced frame carries a zero trace ID")
+		}
+		body = body[trace.CtxWireLen:]
+		seq &^= frameTraceBit
+	}
+	b.Seq = seq
+	rest, err := fevent.DecodeBatch(body, b)
 	if err != nil {
 		return err
 	}

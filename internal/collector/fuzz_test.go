@@ -5,14 +5,28 @@ import (
 	"testing"
 
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 )
 
 // FuzzReadFrame throws arbitrary bytes at the length-prefixed framing:
 // it must never panic, and any frame it accepts must survive a
-// re-encode/re-decode round trip.
+// re-encode/re-decode round trip. Since the v3 trace extension the
+// corpus mixes frame versions — plain v2 frames (sequence bit 63 clear)
+// and traced v3 frames (bit 63 set, 17-byte context) — and the round
+// trip must preserve the trace context exactly, so a mixed-version
+// stream (or a mixed-version WAL replay, which runs the same decoder)
+// cannot misparse one version as the other.
 func FuzzReadFrame(f *testing.F) {
 	valid := func(seq uint64, events ...fevent.Event) []byte {
 		b := &fevent.Batch{SwitchID: 5, Timestamp: 77, Events: events, Seq: seq}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, b); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	traced := func(seq uint64, tc trace.Context, events ...fevent.Event) []byte {
+		b := &fevent.Batch{SwitchID: 5, Timestamp: 77, Events: events, Seq: seq, Trace: tc}
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, b); err != nil {
 			f.Fatal(err)
@@ -28,12 +42,25 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(append(append([]byte(nil), whole...), 0x01)) // trailing byte
 	f.Add(bytes.Repeat([]byte{0}, 64))                 // zero noise
 
+	// v3 traced frames: sampled, unsampled-but-assigned, and empty body.
+	ctx := trace.Context{TraceID: 0x53a0c6e1b20f4d77, Parent: 0x9e3779b97f4a7c15, Flags: trace.FlagSampled}
+	wholeTraced := traced(9, ctx, fevent.Event{Type: fevent.TypeCongestion, Flow: flowN(3), SwitchID: 5, Timestamp: 77})
+	f.Add(wholeTraced)
+	f.Add(traced(10, trace.Context{TraceID: 1}))
+	// Traced frame torn inside its 17-byte context.
+	f.Add(wholeTraced[:20])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var b fevent.Batch
 		if err := ReadFrame(bytes.NewReader(data), &b); err != nil {
 			return // rejection is fine; panics are not
 		}
-		// Accepted frames must round-trip.
+		// A trace context the decoder accepts must carry a real ID, and
+		// the stripped version bit must never leak into the logical Seq.
+		if b.Seq&frameTraceBit != 0 {
+			t.Fatalf("decoded Seq %#x kept the trace version bit", b.Seq)
+		}
+		// Accepted frames must round-trip, trace context included.
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, &b); err != nil {
 			t.Fatalf("re-encode of accepted frame failed: %v", err)
@@ -45,6 +72,9 @@ func FuzzReadFrame(f *testing.F) {
 		if b2.Seq != b.Seq || b2.SwitchID != b.SwitchID ||
 			b2.Timestamp != b.Timestamp || len(b2.Events) != len(b.Events) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", b, b2)
+		}
+		if b2.Trace != b.Trace {
+			t.Fatalf("trace context round trip mismatch: %+v vs %+v", b.Trace, b2.Trace)
 		}
 	})
 }

@@ -3,6 +3,7 @@ package collector
 import (
 	"bufio"
 	"encoding/base64"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"netseer/internal/fevent"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 	"netseer/internal/pkt"
 	"netseer/internal/sim"
 )
@@ -44,7 +46,7 @@ type QueryServer struct {
 
 // queryVerbs lists the line-protocol verbs, indexed by the per-verb
 // request counters ("unknown" last, counting rejected commands).
-var queryVerbs = [...]string{"query", "count", "flows", "path", "latency", "summary", "stats", "export", "unknown"}
+var queryVerbs = [...]string{"query", "count", "flows", "path", "latency", "summary", "stats", "export", "trace", "unknown"}
 
 func verbIndex(cmd string) int {
 	for i, v := range queryVerbs {
@@ -206,6 +208,30 @@ func (q *QueryServer) handle(line string, w *bufio.Writer) {
 			return
 		}
 		q.reg.WritePrometheus(w)
+		fmt.Fprint(w, ".\n")
+	case "trace":
+		// One compact JSON span per line from this process's recorder,
+		// already in canonical (start, stage, span) order. fetquery's
+		// -trace fan-out merges these lines across every shard into the
+		// assembled cross-fabric trace.
+		if len(fields) != 2 {
+			q.errf(w, "usage: trace <id>")
+			return
+		}
+		id, err := trace.ParseID(fields[1])
+		if err != nil {
+			q.errf(w, "%v", err)
+			return
+		}
+		for _, sp := range trace.Spans(id) {
+			line, err := json.Marshal(sp.JSON())
+			if err != nil {
+				q.errf(w, "%v", err)
+				return
+			}
+			w.Write(line)
+			w.WriteByte('\n')
+		}
 		fmt.Fprint(w, ".\n")
 	default:
 		q.errf(w, "unknown command %q", cmd)

@@ -12,6 +12,7 @@ import (
 	"netseer/internal/fevent"
 	"netseer/internal/metrics"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 )
 
 // ServerConfig tunes the ingest server. Zero fields take defaults.
@@ -55,6 +56,10 @@ type ServerConfig struct {
 	// envelope so handoff marks and batch frames share one log; replay
 	// must then decode the same envelope (see fabric's RecoverShard).
 	WALEncode func(payload []byte) []byte
+
+	// TraceShard labels this server's ingest and WAL-fsync spans with the
+	// owning fabric shard ID (0 for standalone collectors).
+	TraceShard uint32
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -268,6 +273,15 @@ type ackPoint struct {
 	seq, serial uint64
 	arrived     time.Time
 	barrier     chan struct{}
+
+	// Trace plumbing for sampled frames: tr carries the batch's context
+	// (parented onto the ingest span) into the acker, and walStart is
+	// when the WAL append was logged — the acker closes the wal-fsync
+	// span once WaitDurable covers serial.
+	tr       trace.Context
+	walStart int64
+	sw       uint16
+	events   uint32
 }
 
 func (s *Server) serve(conn net.Conn) {
@@ -324,6 +338,21 @@ func (s *Server) serve(conn net.Conn) {
 		arrived := time.Now()
 		state := s.admit.update(s.store.MemoryBytes())
 
+		// The ingest span covers read-complete to store-applied; the WAL
+		// append and the store-index span both parent onto it, so the
+		// assembled trace shows the shard-side fan-out of one frame.
+		var isp trace.Span
+		traced := b.Trace.Sampled()
+		if traced {
+			isp = trace.Begin(b.Trace, trace.StageIngest)
+			isp.Start = arrived.UnixNano()
+			isp.SwitchID = b.SwitchID
+			isp.Seq = b.Seq
+			isp.Shard = s.cfg.TraceShard
+			isp.Events = uint32(len(b.Events))
+			b.Trace.Parent = isp.SpanID
+		}
+
 		// Apply before acking: an ack promises the batch is in the Store
 		// (and, with a WAL, on disk). Replays of already-stored batches
 		// are deduplicated and still acked — the client must stop
@@ -366,11 +395,22 @@ func (s *Server) serve(conn net.Conn) {
 			break
 		}
 		s.frames.Inc()
+		var walStart int64
+		if traced {
+			trace.Finish(&isp)
+			if serial != 0 {
+				// The append is already logged; the fsync wait that gates
+				// the ack continues in the acker, so the wal-fsync span
+				// starts where the ingest span ends.
+				walStart = isp.End
+			}
+		}
 		if b.Seq != 0 {
-			acks <- ackPoint{seq: b.Seq, serial: serial, arrived: arrived}
+			acks <- ackPoint{seq: b.Seq, serial: serial, arrived: arrived,
+				tr: b.Trace, walStart: walStart, sw: b.SwitchID, events: uint32(len(b.Events))}
 			pending++
 		} else {
-			s.ingestLag.Observe(float64(time.Since(arrived).Microseconds()))
+			s.ingestLag.ObserveTrace(float64(time.Since(arrived).Microseconds()), b.Trace.TraceID)
 		}
 	}
 	close(acks)
@@ -404,6 +444,16 @@ func (s *Server) ackLoop(conn net.Conn, acks <-chan ackPoint, done chan<- struct
 				fail()
 				return
 			}
+			if ap.tr.Sampled() && ap.walStart != 0 {
+				sp := trace.Begin(ap.tr, trace.StageWALFsync)
+				sp.Start = ap.walStart
+				sp.SwitchID = ap.sw
+				sp.Shard = s.cfg.TraceShard
+				sp.Seq = ap.seq
+				sp.Events = ap.events
+				sp.Detail = uint32(ap.serial)
+				trace.Finish(&sp)
+			}
 		}
 		if s.admit.current() == admitSlow {
 			s.admit.ackDelays.Inc()
@@ -415,8 +465,15 @@ func (s *Server) ackLoop(conn net.Conn, acks <-chan ackPoint, done chan<- struct
 			fail()
 			return
 		}
-		s.ingestLag.Observe(float64(time.Since(ap.arrived).Microseconds()))
+		s.ingestLag.ObserveTrace(float64(time.Since(ap.arrived).Microseconds()), ap.tr.TraceID)
 	}
+}
+
+// TraceExemplars returns the ingest-lag histogram's per-bucket latency
+// exemplars: the last trace ID to land in each bucket. The fleet plane
+// merges these across shards.
+func (s *Server) TraceExemplars() []obs.Exemplar {
+	return s.ingestLag.Snapshot().Exemplars
 }
 
 // Checkpoint snapshots the store and truncates the WAL behind it. The

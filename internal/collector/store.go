@@ -11,6 +11,7 @@ import (
 
 	"netseer/internal/metrics"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 
 	"netseer/internal/fevent"
 	"netseer/internal/pkt"
@@ -58,6 +59,10 @@ type Store struct {
 	// Over the wire the switch-side leg is covered by the exporter's
 	// detect→CPU histogram and the collector-side leg by ingest lag.
 	detectToStore *obs.Histogram
+
+	// traceShard labels store-index spans with the owning fabric shard
+	// (see SetTraceShard). Written once at setup, so unguarded.
+	traceShard uint32
 }
 
 // typeSwitchKey keys the per-(type, switch) event counts.
@@ -93,6 +98,18 @@ func (s *Store) Deliver(b *fevent.Batch) {
 		}
 		s.seen[k] = struct{}{}
 	}
+	// Every batch with an assigned trace ID opens a store-index span, but
+	// only sampled batches — or batches whose indexing pass crossed the
+	// slow threshold — record it: the slow path is captured regardless of
+	// the sampling modulus.
+	var sp trace.Span
+	if b.Trace.Valid() {
+		sp = trace.Begin(b.Trace, trace.StageStoreIndex)
+		sp.SwitchID = b.SwitchID
+		sp.Seq = b.Seq
+		sp.Shard = s.traceShard
+		sp.Events = uint32(len(b.Events))
+	}
 	for i := range b.Events {
 		e := &b.Events[i]
 		idx := len(s.events)
@@ -102,9 +119,28 @@ func (s *Store) Deliver(b *fevent.Batch) {
 		s.byType[e.Type] = append(s.byType[e.Type], idx)
 		s.byTypeSwitch[typeSwitchKey{t: e.Type, sw: e.SwitchID}]++
 		if b.Timestamp >= e.Timestamp {
-			s.detectToStore.Observe(float64(b.Timestamp-e.Timestamp) / 1e3)
+			// The exemplar pairs the bucket with the batch's trace ID, so
+			// a tail-latency bucket on /metrics links straight to the
+			// trace that landed in it.
+			s.detectToStore.ObserveTrace(float64(b.Timestamp-e.Timestamp)/1e3, b.Trace.TraceID)
 		}
 	}
+	if b.Trace.Valid() {
+		sp.End = trace.Now()
+		if slow := trace.SlowThreshold(); b.Trace.Sampled() || (slow > 0 && sp.End-sp.Start >= slow) {
+			trace.Record(sp)
+		}
+	}
+}
+
+// SetTraceShard labels the store's spans with the owning fabric shard ID
+// (0 for standalone collectors). Call before ingestion starts.
+func (s *Store) SetTraceShard(id uint32) { s.traceShard = id }
+
+// TraceExemplars returns the detect→store histogram's per-bucket latency
+// exemplars: the last trace ID to land in each bucket.
+func (s *Store) TraceExemplars() []obs.Exemplar {
+	return s.detectToStore.Snapshot().Exemplars
 }
 
 // RegisterMetrics exposes the store's instruments on r: per-(type, switch)

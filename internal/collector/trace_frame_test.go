@@ -1,0 +1,130 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"netseer/internal/collector/wal"
+	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
+)
+
+// tracedFrame encodes one well-formed v3 frame carrying tc.
+func tracedFrame(t *testing.T, seq uint64, tc trace.Context) []byte {
+	t.Helper()
+	b := batchOf(7, 42, fevent.Event{Type: fevent.TypeDrop, Flow: flowN(1),
+		DropCode: fevent.DropNoRoute, SwitchID: 7, Timestamp: 42})
+	b.Seq = seq
+	b.Trace = tc
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTracedFrameRoundTrip(t *testing.T) {
+	tc := trace.Context{TraceID: 0x53a0c6e1b20f4d77, Parent: 0x9e3779b97f4a7c15, Flags: trace.FlagSampled}
+	raw := tracedFrame(t, 21, tc)
+	var b fevent.Batch
+	if err := ReadFrame(bytes.NewReader(raw), &b); err != nil {
+		t.Fatalf("traced frame rejected: %v", err)
+	}
+	if b.Trace != tc {
+		t.Errorf("trace context = %+v, want %+v", b.Trace, tc)
+	}
+	// The version bit must be stripped: acks, dedup, and retransmit
+	// windows all key on the logical sequence.
+	if b.Seq != 21 {
+		t.Errorf("Seq = %#x, want 21 (version bit must not leak)", b.Seq)
+	}
+	if len(b.Events) != 1 || b.SwitchID != 7 {
+		t.Errorf("batch body misparsed: %+v", &b)
+	}
+}
+
+func TestTracedFrameRejections(t *testing.T) {
+	tc := trace.Context{TraceID: 5, Parent: 6, Flags: trace.FlagSampled}
+	raw := tracedFrame(t, 3, tc)
+
+	// Torn inside the 17-byte context (length+CRC recomputed so the
+	// framing layer passes and the payload decoder sees the tear).
+	torn := rewriteFrame(raw[:frameHdrLen+frameSeqLen+4])
+	var b fevent.Batch
+	if err := ReadFrame(bytes.NewReader(torn), &b); err == nil {
+		t.Error("frame torn inside its trace context accepted")
+	}
+
+	// Version bit set, zero trace ID: the context is a lie.
+	zeroed := append([]byte(nil), raw...)
+	for i := frameHdrLen + frameSeqLen; i < frameHdrLen+frameSeqLen+8; i++ {
+		zeroed[i] = 0
+	}
+	if err := ReadFrame(bytes.NewReader(rewriteFrame(zeroed)), &b); err == nil ||
+		!strings.Contains(err.Error(), "zero trace ID") {
+		t.Errorf("zero-trace-ID frame err = %v, want zero-trace-ID rejection", err)
+	}
+}
+
+// TestMixedVersionWALReplay logs a v2 payload and a v3 traced payload
+// into one WAL and replays them through DecodePayload — the deployment
+// case of an exporter fleet upgraded mid-log. Neither version may
+// misparse as the other.
+func TestMixedVersionWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := trace.Context{TraceID: 0xabcdef01, Parent: 0x22, Flags: trace.FlagSampled}
+	old := tracedFrame(t, 40, trace.Context{})[frameHdrLen:] // payload = what the server logs
+	traced := tracedFrame(t, 41, tc)[frameHdrLen:]
+	if err := w.AppendDurable(old, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDurable(traced, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var got []fevent.Batch
+	if _, err := w2.Replay(func(p []byte) error {
+		var b fevent.Batch
+		if err := DecodePayload(p, &b); err != nil {
+			return err
+		}
+		got = append(got, b)
+		return nil
+	}); err != nil {
+		t.Fatalf("mixed-version replay: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d batches, want 2", len(got))
+	}
+	if got[0].Seq != 40 || got[0].Trace.Valid() {
+		t.Errorf("v2 payload replayed as %+v trace %+v, want seq 40 and no trace", got[0].Seq, got[0].Trace)
+	}
+	if got[1].Seq != 41 || got[1].Trace != tc {
+		t.Errorf("v3 payload replayed as seq %d trace %+v, want 41 %+v", got[1].Seq, got[1].Trace, tc)
+	}
+}
+
+// rewriteFrame recomputes a mutated frame's length and CRC so the lie
+// survives the framing layer and reaches DecodePayload.
+func rewriteFrame(f []byte) []byte {
+	out := append([]byte(nil), f...)
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(out)-frameHdrLen))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(out[frameHdrLen:]))
+	return out
+}

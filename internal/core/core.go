@@ -24,6 +24,7 @@ import (
 	"netseer/internal/fpelim"
 	"netseer/internal/groupcache"
 	"netseer/internal/obs"
+	"netseer/internal/obs/trace"
 	"netseer/internal/pkt"
 	"netseer/internal/ringbuf"
 	"netseer/internal/seqtrack"
@@ -224,6 +225,12 @@ type NetSeerSwitch struct {
 	pacer  *fpelim.Pacer
 	sink   EventSink
 	outBuf []fevent.Event
+	// outTrace is the trace context the next export batch will carry:
+	// the context of the last CEBP batch that contributed events to
+	// outBuf (last contributor wins — an export batch can straddle CEBP
+	// flushes, and a trace that follows *a* real path end-to-end is worth
+	// more than none).
+	outTrace trace.Context
 
 	// Capacity models.
 	mmuRedirect  *tokenBucket

@@ -2,6 +2,7 @@ package core
 
 import (
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 )
 
 // This file implements Steps 2→4 plumbing: group-cache report handling,
@@ -83,9 +84,15 @@ func (n *NetSeerSwitch) onBatch(b *fevent.Batch) {
 	}
 	// Run the whole batch through false-positive elimination in one pass
 	// (in-place filter — the batch slice is the batcher's scratch, reset
-	// right after this callback returns).
-	kept := n.elim.OfferBurst(b.Events)
+	// right after this callback returns). The traced form records the
+	// fpelim span and chains the context's parent when sampled.
+	kept := n.elim.OfferBurstTraced(&b.Trace, b.Events)
 	n.stats.SuppressedFPs += uint64(len(b.Events) - len(kept))
+	if len(kept) > 0 && b.Trace.Valid() {
+		// The export batch inherits the context of the last CEBP batch
+		// that fed it (see outTrace).
+		n.outTrace = b.Trace
+	}
 	for i := range kept {
 		if n.outBuf == nil {
 			// One pre-sized allocation per export batch (the batch hands
@@ -110,7 +117,9 @@ func (n *NetSeerSwitch) exportNow() {
 		SwitchID:  n.sw.ID,
 		Timestamp: n.sim.Now(),
 		Events:    events,
+		Trace:     n.outTrace,
 	}
+	n.outTrace = trace.Context{}
 	size := batch.EncodedLen()
 	n.stats.ExportedEvents += uint64(len(events))
 	n.stats.ExportedBytes += uint64(size)

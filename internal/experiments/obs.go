@@ -39,6 +39,16 @@ type obsMirrors struct {
 	elimForwarded  obs.Counter
 	pacerSent      obs.Counter
 	pacerDelayed   obs.Counter
+
+	sketchPkts      obs.Counter
+	sketchHHOnsets  obs.Counter
+	sketchChurn     obs.Counter
+	sketchSnapshots obs.Counter
+	sketchSpikes    obs.Counter
+	sketchRolls     obs.Counter
+	sketchSeenEvict obs.Counter
+	sketchCMSOcc    obs.Gauge
+	sketchTopKOcc   obs.Gauge
 }
 
 // RegisterObs exposes the testbed's switch-side pipeline telemetry on r
@@ -81,6 +91,20 @@ func (tb *Testbed) RegisterObs(r *obs.Registry) (publish func()) {
 	r.RegisterCounter(obs.MPacerSent, "", &m.pacerSent)
 	r.RegisterCounter(obs.MPacerDelayed, "", &m.pacerDelayed)
 
+	// The sketch detection family keeps the same single-owner discipline
+	// as the exact-match stages: plain counters inside the per-switch
+	// Stage, summed into these mirrors at publish points. The occupancy
+	// gauges show how full the fixed CMS/space-saving structures run.
+	r.RegisterCounter(obs.MSketchPkts, "", &m.sketchPkts)
+	r.RegisterCounter(obs.MSketchHHOnsets, "", &m.sketchHHOnsets)
+	r.RegisterCounter(obs.MSketchChurn, "", &m.sketchChurn)
+	r.RegisterCounter(obs.MSketchSnapshots, "", &m.sketchSnapshots)
+	r.RegisterCounter(obs.MSketchSpikes, "", &m.sketchSpikes)
+	r.RegisterCounter(obs.MSketchWindowRolls, "", &m.sketchRolls)
+	r.RegisterCounter(obs.MSketchSeenEvict, "", &m.sketchSeenEvict)
+	r.RegisterGauge(obs.MSketchCMSOccupancy, "", &m.sketchCMSOcc)
+	r.RegisterGauge(obs.MSketchTopKOccupancy, "", &m.sketchTopKOcc)
+
 	// The testbed's local store receives batches in-process, so its events
 	// keep their per-event detection stamps and the detection→store
 	// histogram carries real intra-batch staleness here — unlike a remote
@@ -121,6 +145,8 @@ func (tb *Testbed) publishObs(m *obsMirrors) {
 	var bp, bo, bf, bd, passes, pops uint64
 	var es, esup, ef, ps, pd uint64
 	var lostMMU, lostInternal, lostRing, lostStack uint64
+	var skPkts, skHH, skChurn, skSnaps, skSpikes, skRolls, skEvict uint64
+	var skCMS, skTopK int
 	for _, ns := range tb.NetSeers {
 		t, c := ns.EventCounts()
 		for i := range t {
@@ -144,6 +170,19 @@ func (tb *Testbed) publishObs(m *obsMirrors) {
 		es, esup, ef = es+seen, esup+dup, ef+fwd
 		sent, delayed := ns.PacerStats()
 		ps, pd = ps+sent, pd+delayed
+		if sk := ns.Sketch(); sk != nil {
+			sst := sk.Stats()
+			skPkts += sst.Pkts
+			skHH += sst.HHEvents
+			skChurn += sst.Churn
+			skSnaps += sst.Snapshots
+			skSpikes += sst.Spikes
+			skRolls += sst.WindowRolls
+			skEvict += sst.SeenEvict
+			cells, entries := sk.Occupancy()
+			skCMS += cells
+			skTopK += entries
+		}
 		st := ns.Stats()
 		lostMMU += st.LostMMURedirect
 		lostInternal += st.LostInternalPort
@@ -178,4 +217,13 @@ func (tb *Testbed) publishObs(m *obsMirrors) {
 	m.elimForwarded.Store(ef)
 	m.pacerSent.Store(ps)
 	m.pacerDelayed.Store(pd)
+	m.sketchPkts.Store(skPkts)
+	m.sketchHHOnsets.Store(skHH)
+	m.sketchChurn.Store(skChurn)
+	m.sketchSnapshots.Store(skSnaps)
+	m.sketchSpikes.Store(skSpikes)
+	m.sketchRolls.Store(skRolls)
+	m.sketchSeenEvict.Store(skEvict)
+	m.sketchCMSOcc.Set(int64(skCMS))
+	m.sketchTopKOcc.Set(int64(skTopK))
 }

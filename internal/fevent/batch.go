@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"netseer/internal/obs/trace"
 	"netseer/internal/sim"
 )
 
@@ -31,6 +32,13 @@ type Batch struct {
 	// of the CPU→collector channel, not in the batch body, so the CEBP
 	// encoding below (AppendTo/DecodeBatch) deliberately ignores it.
 	Seq uint64
+
+	// Trace is the distributed-tracing context assigned at the CEBP
+	// batcher and carried across every hop the batch takes. Like Seq it
+	// travels in the frame header (the v3 trace-context extension), not
+	// in the batch body, so AppendTo/DecodeBatch ignore it too; the zero
+	// Context marks an untraced batch (all pre-PR 9 frames decode to it).
+	Trace trace.Context
 }
 
 // EncodedLen returns the on-wire size of the batch.

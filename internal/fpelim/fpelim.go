@@ -12,6 +12,7 @@ package fpelim
 
 import (
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 	"netseer/internal/sim"
 )
 
@@ -194,6 +195,23 @@ func (e *Eliminator) OfferBurst(evs []fevent.Event) []fevent.Event {
 			kept = append(kept, evs[i])
 		}
 	}
+	return kept
+}
+
+// OfferBurstTraced is OfferBurst under the batch's trace context: when
+// tc is sampled it wraps the elimination pass in a fpelim span (Events =
+// offered, Detail = suppressed) and advances tc's parent so the export
+// hop chains onto it. Unsampled batches pay one flag test.
+func (e *Eliminator) OfferBurstTraced(tc *trace.Context, evs []fevent.Event) []fevent.Event {
+	if !tc.Sampled() {
+		return e.OfferBurst(evs)
+	}
+	sp := trace.Begin(*tc, trace.StageFPElim)
+	sp.Events = uint32(len(evs))
+	kept := e.OfferBurst(evs)
+	sp.Detail = uint32(len(evs) - len(kept))
+	tc.Parent = sp.SpanID
+	trace.Finish(&sp)
 	return kept
 }
 

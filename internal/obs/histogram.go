@@ -18,10 +18,29 @@ import (
 type Histogram struct {
 	bounds  []float64 // ascending upper bounds; the implicit last bucket is +Inf
 	buckets []atomic.Uint64
+	ex      []exemplarSlot // one per bucket: last traced observation
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	minBits atomic.Uint64 // float64 bits; +Inf until the first Observe
 	maxBits atomic.Uint64 // float64 bits; -Inf until the first Observe
+}
+
+// exemplarSlot holds one bucket's exemplar as two independent atomics.
+// The pair is deliberately not read-consistent: a torn read mixes two
+// observations that landed in the *same bucket*, so the value still lies
+// within the bucket's bounds and the trace ID still points at a trace
+// that visited it — good enough for a diagnostic link, and it keeps
+// ObserveTrace at two plain stores (last-write-wins).
+type exemplarSlot struct {
+	valBits atomic.Uint64 // float64 bits of the observed value
+	trace   atomic.Uint64 // trace ID; 0 = no exemplar yet
+}
+
+// Exemplar links a histogram bucket to the last traced observation that
+// landed in it. A zero TraceID means the bucket has no exemplar.
+type Exemplar struct {
+	TraceID uint64
+	Value   float64
 }
 
 // LatencyBuckets returns the canonical latency bounds in microseconds:
@@ -53,20 +72,40 @@ func NewHistogram(bounds []float64) *Histogram {
 	h := &Histogram{
 		bounds:  append([]float64(nil), bounds...),
 		buckets: make([]atomic.Uint64, len(bounds)+1),
+		ex:      make([]exemplarSlot, len(bounds)+1),
 	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 	return h
 }
 
-// Observe records one value. It is allocation-free and safe for
-// concurrent use.
-func (h *Histogram) Observe(v float64) {
+// bucketIdx returns the bucket index v lands in (le semantics; the last
+// index is the +Inf overflow bucket).
+func (h *Histogram) bucketIdx(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one value. It is allocation-free and safe for
+// concurrent use.
+func (h *Histogram) Observe(v float64) { h.observe(v, 0) }
+
+// ObserveTrace records one value and, when traceID is non-zero, stamps
+// it as the bucket's exemplar (last-write-wins). This is how the p99
+// bucket of a latency histogram stays linked to a reconstructable trace
+// even for batches head-sampling skipped. Allocation-free.
+func (h *Histogram) ObserveTrace(v float64, traceID uint64) { h.observe(v, traceID) }
+
+func (h *Histogram) observe(v float64, traceID uint64) {
+	i := h.bucketIdx(v)
 	h.buckets[i].Add(1)
+	if traceID != 0 {
+		h.ex[i].valBits.Store(math.Float64bits(v))
+		h.ex[i].trace.Store(traceID)
+	}
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -106,6 +145,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()
 	}
+	for i := range h.ex {
+		if id := h.ex[i].trace.Load(); id != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]Exemplar, len(h.buckets))
+			}
+			s.Exemplars[i] = Exemplar{
+				TraceID: id,
+				Value:   math.Float64frombits(h.ex[i].valBits.Load()),
+			}
+		}
+	}
 	return s
 }
 
@@ -122,10 +172,14 @@ type HistogramSnapshot struct {
 	// entries, the last being the overflow (+Inf) bucket.
 	Bounds []float64
 	Counts []uint64
-	Count  uint64
-	Sum    float64
-	Min    float64 // +Inf when empty
-	Max    float64 // -Inf when empty
+	// Exemplars, when non-nil, has one entry per bucket: the last traced
+	// observation that landed there (zero TraceID = none). Nil when no
+	// bucket has an exemplar.
+	Exemplars []Exemplar
+	Count     uint64
+	Sum       float64
+	Min       float64 // +Inf when empty
+	Max       float64 // -Inf when empty
 }
 
 // Merge adds other's observations into s. Both snapshots must share
@@ -140,6 +194,19 @@ func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
 	}
 	for i, n := range other.Counts {
 		s.Counts[i] += n
+	}
+	// Exemplar merge follows last-write-wins: other's exemplars are newer
+	// from the merging scraper's point of view, so any bucket other has
+	// an exemplar for adopts it.
+	if other.Exemplars != nil {
+		if s.Exemplars == nil {
+			s.Exemplars = make([]Exemplar, len(s.Counts))
+		}
+		for i, e := range other.Exemplars {
+			if e.TraceID != 0 {
+				s.Exemplars[i] = e
+			}
+		}
 	}
 	s.Count += other.Count
 	s.Sum += other.Sum

@@ -113,6 +113,92 @@ func TestHistogramQuantileContract(t *testing.T) {
 	}
 }
 
+// TestHistogramExemplarContract extends the shared quantile-contract
+// suite with the exemplar contract: an empty bucket has no exemplar, an
+// exemplar's value always lies within its bucket's bounds, and
+// concurrent/successive traced observations resolve last-write-wins.
+func TestHistogramExemplarContract(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8, 16}
+	t.Run("empty bucket has no exemplar", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		if s := h.Snapshot(); s.Exemplars != nil {
+			t.Fatalf("empty histogram carries exemplars: %+v", s.Exemplars)
+		}
+		// An untraced observation must not create an exemplar either.
+		h.Observe(3)
+		h.ObserveTrace(5, 0)
+		if s := h.Snapshot(); s.Exemplars != nil {
+			t.Fatalf("untraced observations created exemplars: %+v", s.Exemplars)
+		}
+	})
+	t.Run("exemplar within bucket bounds", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		for i, v := range []float64{0.5, 1.5, 3, 6, 12, 100} {
+			h.ObserveTrace(v, uint64(i+1))
+		}
+		s := h.Snapshot()
+		if s.Exemplars == nil {
+			t.Fatal("no exemplars recorded")
+		}
+		for i, e := range s.Exemplars {
+			if e.TraceID == 0 {
+				if s.Counts[i] != 0 {
+					t.Fatalf("bucket %d observed but has no exemplar", i)
+				}
+				continue
+			}
+			lo := math.Inf(-1)
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := math.Inf(1)
+			if i < len(bounds) {
+				hi = bounds[i]
+			}
+			if e.Value <= lo || e.Value > hi {
+				t.Fatalf("bucket %d exemplar %v outside (%v, %v]", i, e.Value, lo, hi)
+			}
+		}
+	})
+	t.Run("last write wins", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		h.ObserveTrace(3, 101)
+		h.ObserveTrace(3.5, 202)
+		s := h.Snapshot()
+		i := 2 // (2, 4] bucket
+		if e := s.Exemplars[i]; e.TraceID != 202 || e.Value != 3.5 {
+			t.Fatalf("bucket %d exemplar = %+v, want trace 202 value 3.5", i, e)
+		}
+	})
+	t.Run("merge adopts other's exemplars", func(t *testing.T) {
+		a, b := NewHistogram(bounds), NewHistogram(bounds)
+		a.ObserveTrace(3, 1)
+		a.ObserveTrace(10, 2)
+		b.ObserveTrace(3, 9) // newer from the merger's point of view
+		s := a.Snapshot()
+		s.Merge(b.Snapshot())
+		if s.Exemplars[2].TraceID != 9 {
+			t.Fatalf("merge kept stale exemplar: %+v", s.Exemplars[2])
+		}
+		if s.Exemplars[4].TraceID != 2 {
+			t.Fatalf("merge lost untouched exemplar: %+v", s.Exemplars[4])
+		}
+		// Merging exemplars into an exemplar-free snapshot allocates them.
+		plain := NewHistogram(bounds).Snapshot()
+		plain.Count = 1 // force the merge path
+		plain.Merge(s)
+		if plain.Exemplars == nil || plain.Exemplars[2].TraceID != 9 {
+			t.Fatalf("merge into exemplar-free snapshot: %+v", plain.Exemplars)
+		}
+	})
+	t.Run("observe trace is allocation free", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		if n := testing.AllocsPerRun(1000, func() { h.ObserveTrace(3, 7) }); n != 0 {
+			t.Fatalf("ObserveTrace allocates %v", n)
+		}
+	})
+}
+
 func TestHistogramSnapshotMerge(t *testing.T) {
 	a := NewHistogram([]float64{1, 10})
 	b := NewHistogram([]float64{1, 10})

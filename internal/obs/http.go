@@ -23,16 +23,27 @@ type Server struct {
 	wg  sync.WaitGroup
 }
 
+// Page is an extra handler mounted on the observability mux beside
+// /metrics — the hook daemons use for /traces and the coordinator for
+// /fleet.
+type Page struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeHTTP starts an observability server on addr (e.g.
 // "127.0.0.1:9752"). Pass an ":0" port to let the kernel choose; read it
-// back with Addr.
-func ServeHTTP(reg *Registry, addr string) (*Server, error) {
+// back with Addr. Extra pages are mounted on the same private mux.
+func ServeHTTP(reg *Registry, addr string, pages ...Page) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
+	for _, p := range pages {
+		mux.Handle(p.Pattern, p.Handler)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

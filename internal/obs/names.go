@@ -35,6 +35,21 @@ const (
 	MPacerSent      = "netseer_pacer_sent_total"
 	MPacerDelayed   = "netseer_pacer_delayed_total"
 
+	// Sketch detection family (count-min + space-saving + windows).
+	MSketchPkts          = "netseer_sketch_pkts_total"
+	MSketchHHOnsets      = "netseer_sketch_hh_onsets_total"
+	MSketchChurn         = "netseer_sketch_topk_churn_total"
+	MSketchSnapshots     = "netseer_sketch_topk_snapshots_total"
+	MSketchSpikes        = "netseer_sketch_link_spikes_total"
+	MSketchWindowRolls   = "netseer_sketch_window_rolls_total"
+	MSketchSeenEvict     = "netseer_sketch_seen_evictions_total"
+	MSketchCMSOccupancy  = "netseer_sketch_cms_occupancy"
+	MSketchTopKOccupancy = "netseer_sketch_topk_occupancy"
+
+	// Distributed tracing (internal/obs/trace).
+	MTraceSpans        = "netseer_trace_spans_total"
+	MTraceSpansDropped = "netseer_trace_spans_dropped_total"
+
 	// Reliable switch-CPU→collector channel, client side.
 	MChanConnects       = "netseer_channel_connects_total"
 	MChanReconnects     = "netseer_channel_reconnects_total"
@@ -130,6 +145,17 @@ var catalog = []catalogEntry{
 	{MElimForwarded, "Reports forwarded to the backend after elimination.", KindCounter},
 	{MPacerSent, "Export batches admitted by the CPU pacer.", KindCounter},
 	{MPacerDelayed, "Export batches the pacer had to delay.", KindCounter},
+	{MSketchPkts, "Packets observed by the sketch detection stage.", KindCounter},
+	{MSketchHHOnsets, "Heavy-hitter onset events emitted by the count-min sketch.", KindCounter},
+	{MSketchChurn, "Top-K churn events emitted by the space-saving table.", KindCounter},
+	{MSketchSnapshots, "Top-K resident snapshot events emitted at flush.", KindCounter},
+	{MSketchSpikes, "Per-link aggregate spike events emitted.", KindCounter},
+	{MSketchWindowRolls, "Aggregate-spike accounting windows closed and reset.", KindCounter},
+	{MSketchSeenEvict, "Heavy-hitter seen-filter collision evictions.", KindCounter},
+	{MSketchCMSOccupancy, "Non-zero count-min sketch cells.", KindGauge},
+	{MSketchTopKOccupancy, "Resident space-saving table entries.", KindGauge},
+	{MTraceSpans, "Trace spans recorded across all stage rings.", KindCounter},
+	{MTraceSpansDropped, "Trace spans dropped by lapped span-ring writers.", KindCounter},
 	{MChanConnects, "Successful dials of the reliable delivery channel.", KindCounter},
 	{MChanReconnects, "Reconnects after the first successful dial.", KindCounter},
 	{MChanDialFailures, "Failed dial attempts of the delivery channel.", KindCounter},

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// SpanJSON is the wire shape of a span on /traces and the query
+// protocol's trace verb. IDs are hex strings (they are opaque 64-bit
+// tokens, and JSON numbers cannot carry them losslessly).
+type SpanJSON struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	Stage  string `json:"stage"`
+	Start  int64  `json:"start_unix_ns"`
+	End    int64  `json:"end_unix_ns"`
+	Switch uint16 `json:"switch,omitempty"`
+	Shard  uint32 `json:"shard,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Events uint32 `json:"events,omitempty"`
+	Detail uint32 `json:"detail,omitempty"`
+}
+
+// JSON converts sp to its wire shape.
+func (sp Span) JSON() SpanJSON {
+	j := SpanJSON{
+		Trace:  FormatID(sp.TraceID),
+		Span:   FormatID(sp.SpanID),
+		Stage:  sp.Stage.String(),
+		Start:  sp.Start,
+		End:    sp.End,
+		Switch: sp.SwitchID,
+		Shard:  sp.Shard,
+		Seq:    sp.Seq,
+		Events: sp.Events,
+		Detail: sp.Detail,
+	}
+	if sp.Parent != 0 {
+		j.Parent = FormatID(sp.Parent)
+	}
+	return j
+}
+
+// Decode converts the wire shape back to a Span. Unknown stage names
+// keep NumStages so a newer emitter's spans survive an older assembler.
+func (j SpanJSON) Decode() Span {
+	sp := Span{
+		TraceID:  mustID(j.Trace),
+		SpanID:   mustID(j.Span),
+		Parent:   mustID(j.Parent),
+		Stage:    NumStages,
+		Start:    j.Start,
+		End:      j.End,
+		SwitchID: j.Switch,
+		Shard:    j.Shard,
+		Seq:      j.Seq,
+		Events:   j.Events,
+		Detail:   j.Detail,
+	}
+	for i := Stage(0); i < NumStages; i++ {
+		if stageNames[i] == j.Stage {
+			sp.Stage = i
+			break
+		}
+	}
+	return sp
+}
+
+// FormatID renders a trace or span ID the way every surface prints it.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses an ID in the FormatID form (a leading "0x" and
+// shorter strings are tolerated).
+func ParseID(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad ID %q: %w", s, err)
+	}
+	return id, nil
+}
+
+func mustID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	id, _ := ParseID(s)
+	return id
+}
+
+// tracesResponse is the /traces JSON document.
+type tracesResponse struct {
+	SampleEvery uint64     `json:"sample_every"`
+	Dropped     uint64     `json:"dropped_spans"`
+	Spans       []SpanJSON `json:"spans"`
+}
+
+// Handler serves the recorder's spans as JSON: all recent spans by
+// default, one assembled trace with ?trace=<hex id>. Mounted as /traces
+// beside /metrics on every daemon.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var traceID uint64
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := ParseID(q)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			traceID = id
+		}
+		spans := r.Spans(traceID)
+		resp := tracesResponse{
+			SampleEvery: SampleEvery(),
+			Dropped:     r.Dropped(),
+			Spans:       make([]SpanJSON, len(spans)),
+		}
+		for i, sp := range spans {
+			resp.Spans[i] = sp.JSON()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

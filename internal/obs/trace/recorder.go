@@ -1,0 +1,145 @@
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultRingCap is the per-stage ring capacity of the Default recorder:
+// enough to hold the last few hundred traced hops per stage (~70 KiB per
+// stage), small enough to sit in every daemon unconditionally.
+const DefaultRingCap = 512
+
+// Recorder holds one span ring per pipeline stage. All methods are safe
+// for concurrent use and allocation-free on the record path.
+type Recorder struct {
+	rings [NumStages]*SpanRing
+	salt  uint64
+	ctr   atomic.Uint64
+}
+
+// NewRecorder creates a recorder with the given per-stage ring capacity.
+func NewRecorder(perStageCap int) *Recorder {
+	r := &Recorder{salt: randomSalt()}
+	for i := range r.rings {
+		r.rings[i] = NewSpanRing(perStageCap)
+	}
+	return r
+}
+
+// randomSalt draws the span-ID salt that keeps span IDs from colliding
+// across processes (trace IDs are deterministic by design; span IDs only
+// need uniqueness).
+func randomSalt() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Default is the process-wide recorder every stage records into and
+// /traces serves from.
+var Default = NewRecorder(DefaultRingCap)
+
+// NewSpanID returns a process-unique span ID (never zero).
+func (r *Recorder) NewSpanID() uint64 {
+	id := splitmix64(r.salt + r.ctr.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Record stores sp into its stage's ring. Safe to call from any
+// goroutine; allocation-free.
+func (r *Recorder) Record(sp Span) {
+	if sp.Stage >= NumStages {
+		return
+	}
+	r.rings[sp.Stage].Push(sp)
+}
+
+// Dropped sums the lapped-writer drops across all stage rings.
+func (r *Recorder) Dropped() uint64 {
+	var n uint64
+	for _, ring := range r.rings {
+		n += ring.Dropped()
+	}
+	return n
+}
+
+// Recorded sums the spans recorded across all stage rings (including
+// spans since overwritten).
+func (r *Recorder) Recorded() uint64 {
+	var n uint64
+	for _, ring := range r.rings {
+		n += ring.Recorded()
+	}
+	return n
+}
+
+// Spans returns the recorder's current spans, filtered to traceID when
+// non-zero, sorted by start time (ties by stage order, then span ID) so
+// an assembled trace reads in pipeline order.
+func (r *Recorder) Spans(traceID uint64) []Span {
+	var out []Span
+	for _, ring := range r.rings {
+		before := len(out)
+		out = ring.Snapshot(out)
+		if traceID != 0 {
+			kept := out[:before]
+			for _, sp := range out[before:] {
+				if sp.TraceID == traceID {
+					kept = append(kept, sp)
+				}
+			}
+			out = kept
+		}
+	}
+	SortSpans(out)
+	return out
+}
+
+// SortSpans orders spans by start time, breaking ties by pipeline stage
+// and then span ID — the canonical order /traces, the trace query verb
+// and the fan-out assembly all present.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Stage != spans[j].Stage {
+			return spans[i].Stage < spans[j].Stage
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// Begin opens a span for a traced hop on the Default recorder: the span
+// inherits ctx's trace ID and parents onto ctx's last hop. The caller
+// fills the stage-specific fields, sets End (or calls Finish) and
+// Records it.
+func Begin(ctx Context, stage Stage) Span {
+	return Span{
+		TraceID: ctx.TraceID,
+		SpanID:  Default.NewSpanID(),
+		Parent:  ctx.Parent,
+		Stage:   stage,
+		Start:   Now(),
+	}
+}
+
+// Finish stamps sp's end time and records it on the Default recorder.
+func Finish(sp *Span) {
+	sp.End = Now()
+	Default.Record(*sp)
+}
+
+// Record stores sp on the Default recorder.
+func Record(sp Span) { Default.Record(sp) }
+
+// Spans returns the Default recorder's spans (see Recorder.Spans).
+func Spans(traceID uint64) []Span { return Default.Spans(traceID) }

@@ -1,0 +1,139 @@
+package trace
+
+import "sync/atomic"
+
+// spanWords is the fixed encoded size of a Span in ring words.
+const spanWords = 8
+
+// ringSlot is one ring entry: a seqlock word plus the encoded span.
+// Every word is atomic, so even the (rare, detected-and-discarded)
+// lapped-writer overlap is a data race only in the benign sense the
+// race detector accepts.
+type ringSlot struct {
+	seq atomic.Uint64
+	w   [spanWords]atomic.Uint64
+}
+
+// SpanRing is a lock-free fixed-capacity multi-writer ring of spans.
+//
+// Writers claim a monotonically increasing 64-bit virtual index with one
+// fetch-add; the slot is virtual index mod capacity, and the slot's
+// seqlock is keyed to the *virtual* index (claim stores 2v+1, publish
+// stores 2v+2), not the slot index. That is the PR 5 ringbuf lesson
+// applied up front: a cursor that wraps (there, at 2³²) aliases distinct
+// writes onto the same slot generation and a reader cannot tell a stale
+// entry from a current one. With the virtual key, a reader asking for
+// index v accepts a slot only when its seqlock reads exactly 2v+2 both
+// before and after copying the words, so a concurrent lap is detected
+// and the entry skipped rather than misattributed.
+//
+// Slot exclusivity: the claim is a CAS from the slot's last observed
+// publish value, accepted only when that value is an *older* lap's
+// completed publish (or the never-written zero state). A slot owned by
+// a concurrent writer (odd seqlock) or already claimed by a newer lap
+// makes the claim fail and the span count as dropped instead of two
+// writers interleaving their words.
+type SpanRing struct {
+	slots   []ringSlot
+	mask    uint64
+	cursor  atomic.Uint64
+	start   uint64 // initial cursor value (tests start near wrap points)
+	dropped atomic.Uint64
+}
+
+// NewSpanRing creates a ring holding the most recent capacity spans.
+// Capacity is rounded up to a power of two (minimum 2).
+func NewSpanRing(capacity int) *SpanRing { return newSpanRingAt(capacity, 0) }
+
+// newSpanRingAt starts the virtual cursor at start — the property tests
+// use it to begin just below 2³² and 2⁶⁴ wrap points.
+func newSpanRingAt(capacity int, start uint64) *SpanRing {
+	c := 2
+	for c < capacity {
+		c *= 2
+	}
+	r := &SpanRing{slots: make([]ringSlot, c), mask: uint64(c) - 1, start: start}
+	r.cursor.Store(start)
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *SpanRing) Cap() int { return len(r.slots) }
+
+// Dropped returns how many spans were discarded because their slot was
+// still owned by a lapped writer.
+func (r *SpanRing) Dropped() uint64 { return r.dropped.Load() }
+
+// Recorded returns how many Push calls the ring has accepted claims for
+// (including spans since overwritten, excluding nothing — drops are
+// claims too; subtract Dropped for published spans).
+func (r *SpanRing) Recorded() uint64 { return r.cursor.Load() - r.start }
+
+// Push records sp, overwriting the oldest entry once the ring is full.
+// It is allocation-free and safe for any number of concurrent writers.
+func (r *SpanRing) Push(sp Span) {
+	v := r.cursor.Add(1) - 1
+	s := &r.slots[v&r.mask]
+	// Claim the slot. Acceptable starting states: the never-written zero,
+	// or an older lap's completed publish (even, and before this lap's
+	// publish value in wrapping order). An odd value is a concurrent
+	// writer mid-write; a newer value means this writer was lapped while
+	// stalled. Either way the span is dropped, never torn — and because a
+	// completed publish is always a valid claim base, one dropped lap
+	// cannot wedge the slot for later laps.
+	cur := s.seq.Load()
+	if cur&1 != 0 || (cur != 0 && int64(2*v+2-cur) <= 0) || !s.seq.CompareAndSwap(cur, 2*v+1) {
+		r.dropped.Add(1)
+		return
+	}
+	s.w[0].Store(sp.TraceID)
+	s.w[1].Store(sp.SpanID)
+	s.w[2].Store(sp.Parent)
+	s.w[3].Store(uint64(sp.Start))
+	s.w[4].Store(uint64(sp.End))
+	s.w[5].Store(uint64(sp.Stage) | uint64(sp.SwitchID)<<8 | uint64(sp.Shard)<<24)
+	s.w[6].Store(sp.Seq)
+	s.w[7].Store(uint64(sp.Events) | uint64(sp.Detail)<<32)
+	s.seq.Store(2*v + 2)
+}
+
+// Snapshot appends a consistent copy of the ring's current contents to
+// buf, oldest first, and returns it. Entries being overwritten while the
+// snapshot runs are skipped, never returned torn: a slot is accepted
+// only when its seqlock reads the expected publish value for that exact
+// virtual index both before and after the copy.
+func (r *SpanRing) Snapshot(buf []Span) []Span {
+	cur := r.cursor.Load()
+	n := cur - r.start
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	for v := cur - n; v != cur; v++ {
+		s := &r.slots[v&r.mask]
+		want := 2*v + 2
+		if s.seq.Load() != want {
+			continue
+		}
+		var w [spanWords]uint64
+		for i := range w {
+			w[i] = s.w[i].Load()
+		}
+		if s.seq.Load() != want {
+			continue
+		}
+		buf = append(buf, Span{
+			TraceID:  w[0],
+			SpanID:   w[1],
+			Parent:   w[2],
+			Start:    int64(w[3]),
+			End:      int64(w[4]),
+			Stage:    Stage(w[5] & 0xff),
+			SwitchID: uint16(w[5] >> 8),
+			Shard:    uint32(w[5] >> 24),
+			Seq:      w[6],
+			Events:   uint32(w[7]),
+			Detail:   uint32(w[7] >> 32),
+		})
+	}
+	return buf
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestContextDeterministicAndWire(t *testing.T) {
+	a := NewContext(3, 17)
+	b := NewContext(3, 17)
+	if a != b {
+		t.Fatalf("NewContext not deterministic: %+v vs %+v", a, b)
+	}
+	if !a.Valid() {
+		t.Fatal("assigned context reports invalid")
+	}
+	if c := NewContext(4, 17); c.TraceID == a.TraceID {
+		t.Fatal("different switches produced the same trace ID")
+	}
+	if c := NewContext(3, 18); c.TraceID == a.TraceID {
+		t.Fatal("different flush ordinals produced the same trace ID")
+	}
+
+	a.Parent = 0xdeadbeef
+	var buf [CtxWireLen]byte
+	a.PutWire(buf[:])
+	if got := CtxFromWire(buf[:]); got != a {
+		t.Fatalf("wire round-trip: got %+v, want %+v", got, a)
+	}
+	if (Context{}).Valid() {
+		t.Fatal("zero context reports valid")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	defer SetSampleEvery(DefaultSampleEvery)
+
+	SetSampleEvery(1)
+	if c := NewContext(1, 1); !c.Sampled() {
+		t.Fatal("sampleEvery=1 did not sample")
+	}
+	SetSampleEvery(0)
+	if c := NewContext(1, 1); c.Sampled() {
+		t.Fatal("sampleEvery=0 sampled")
+	}
+	if c := NewContext(1, 1); !c.Valid() {
+		t.Fatal("sampleEvery=0 should still assign IDs (exemplars need them)")
+	}
+
+	// Deterministic rate: over many ordinals, roughly 1/n are sampled and
+	// re-deriving gives the identical decision.
+	SetSampleEvery(8)
+	sampled := 0
+	for n := uint64(0); n < 4096; n++ {
+		c := NewContext(7, n)
+		if c != NewContext(7, n) {
+			t.Fatalf("ordinal %d: decision not deterministic", n)
+		}
+		if c.Sampled() {
+			sampled++
+		}
+	}
+	if sampled < 4096/8/2 || sampled > 4096/8*2 {
+		t.Fatalf("sampleEvery=8 sampled %d of 4096", sampled)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("stage %d: bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if NumStages.String() != "unknown" {
+		t.Fatalf("out-of-range stage: %q", NumStages.String())
+	}
+}
+
+func TestRecorderSpansAndChain(t *testing.T) {
+	r := NewRecorder(16)
+	ctx := Context{TraceID: 42, Flags: FlagSampled}
+
+	sp1 := Span{TraceID: ctx.TraceID, SpanID: r.NewSpanID(), Stage: StageBatcher, Start: 100, End: 110, SwitchID: 3}
+	r.Record(sp1)
+	ctx.Parent = sp1.SpanID
+	sp2 := Span{TraceID: ctx.TraceID, SpanID: r.NewSpanID(), Parent: ctx.Parent, Stage: StageIngest, Start: 120, End: 130, Shard: 2}
+	r.Record(sp2)
+	r.Record(Span{TraceID: 99, SpanID: r.NewSpanID(), Stage: StageIngest, Start: 50, End: 60})
+
+	got := r.Spans(42)
+	if len(got) != 2 {
+		t.Fatalf("Spans(42) returned %d spans: %+v", len(got), got)
+	}
+	if got[0].Stage != StageBatcher || got[1].Stage != StageIngest {
+		t.Fatalf("spans out of order: %+v", got)
+	}
+	if got[1].Parent != got[0].SpanID {
+		t.Fatalf("ingest span not parented on batcher span: %+v", got)
+	}
+	if all := r.Spans(0); len(all) != 3 {
+		t.Fatalf("Spans(0) returned %d spans", len(all))
+	}
+	if r.NewSpanID() == r.NewSpanID() {
+		t.Fatal("span IDs repeat")
+	}
+}
+
+func TestBeginFinishDefault(t *testing.T) {
+	ctx := Context{TraceID: 777, Flags: FlagSampled}
+	sp := Begin(ctx, StageStoreIndex)
+	if sp.TraceID != 777 || sp.SpanID == 0 || sp.Start == 0 {
+		t.Fatalf("Begin: %+v", sp)
+	}
+	sp.Events = 5
+	Finish(&sp)
+	if sp.End < sp.Start {
+		t.Fatalf("Finish went backwards: %+v", sp)
+	}
+	found := false
+	for _, got := range Spans(777) {
+		if got.SpanID == sp.SpanID && got.Events == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("finished span not in Default recorder")
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	sp := Span{
+		TraceID: 0xabc, SpanID: 0xdef, Parent: 0x123,
+		Stage: StageWALFsync, Start: 1000, End: 2000,
+		SwitchID: 9, Shard: 4, Seq: 12345, Events: 50, Detail: 7,
+	}
+	j := sp.JSON()
+	if j.Stage != "wal-fsync" || j.Trace != "0000000000000abc" {
+		t.Fatalf("JSON: %+v", j)
+	}
+	if got := j.Decode(); got != sp {
+		t.Fatalf("round-trip: got %+v, want %+v", got, sp)
+	}
+	// Unknown stages survive (forward compatibility), parsing never panics.
+	j.Stage = "future-stage"
+	if got := j.Decode(); got.Stage != NumStages {
+		t.Fatalf("unknown stage mapped to %v", got.Stage)
+	}
+	if _, err := ParseID("zzz"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+	if id, err := ParseID("0xAB"); err != nil || id != 0xab {
+		t.Fatalf("ParseID(0xAB) = %v, %v", id, err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Span{TraceID: 5, SpanID: 1, Stage: StageBatcher, Start: 10, End: 20})
+	r.Record(Span{TraceID: 6, SpanID: 2, Stage: StageIngest, Start: 30, End: 40})
+	h := Handler(r)
+
+	req := httptest.NewRequest("GET", "/traces", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var resp tracesResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body.String())
+	}
+	if len(resp.Spans) != 2 || resp.SampleEvery == 0 {
+		t.Fatalf("response: %+v", resp)
+	}
+
+	req = httptest.NewRequest("GET", "/traces?trace=0000000000000005", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp = tracesResponse{}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spans) != 1 || resp.Spans[0].Stage != "batcher-flush" {
+		t.Fatalf("filtered response: %+v", resp)
+	}
+
+	req = httptest.NewRequest("GET", "/traces?trace=nope", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 400 {
+		t.Fatalf("bad ID: status %d", w.Code)
+	}
+}
+
+func TestRecordAllocationFree(t *testing.T) {
+	r := NewRecorder(64)
+	ctx := Context{TraceID: 1, Flags: FlagSampled}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := Begin(ctx, StageBatcher)
+		sp.Events = 50
+		sp.End = sp.Start + 1
+		r.Record(sp)
+	}); n != 0 {
+		t.Fatalf("record path allocates %v per span", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = NewContext(3, 99)
+	}); n != 0 {
+		t.Fatalf("NewContext allocates %v", n)
+	}
+}

@@ -153,6 +153,19 @@ func (c *CMS) Width() int { return int(c.width) }
 // Depth reports the number of rows.
 func (c *CMS) Depth() int { return c.depth }
 
+// Occupancy counts non-zero cells — the obs gauge that shows how close
+// the sketch is to saturating its error bound (a full sketch means
+// every new flow collides somewhere).
+func (c *CMS) Occupancy() int {
+	n := 0
+	for _, v := range c.rows {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Reset zeroes every counter and the stream length.
 func (c *CMS) Reset() {
 	for i := range c.rows {

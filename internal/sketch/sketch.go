@@ -72,12 +72,13 @@ func (c Config) withDefaults() Config {
 // Stats counts the stage's work. Plain counters, single-owner like every
 // pipeline stage; scrapes read owner-published mirrors.
 type Stats struct {
-	Pkts      uint64 // packets observed
-	HHEvents  uint64 // heavy-hitter onset events emitted
-	Churn     uint64 // top-K churn events emitted per-packet
-	Snapshots uint64 // top-K resident events emitted by Flush
-	Spikes    uint64 // aggregate-spike events emitted
-	SeenEvict uint64 // heavy-hitter seen-filter collisions
+	Pkts        uint64 // packets observed
+	HHEvents    uint64 // heavy-hitter onset events emitted
+	Churn       uint64 // top-K churn events emitted per-packet
+	Snapshots   uint64 // top-K resident events emitted by Flush
+	Spikes      uint64 // aggregate-spike events emitted
+	SeenEvict   uint64 // heavy-hitter seen-filter collisions
+	WindowRolls uint64 // aggregate windows closed and reset
 }
 
 // hhSeen is one slot of the heavy-hitter seen-filter: a direct-indexed
@@ -153,6 +154,14 @@ func (s *Stage) Config() Config { return s.cfg }
 // Stats returns a copy of the stage counters.
 func (s *Stage) Stats() Stats { return s.stats }
 
+// Occupancy reports how full the fixed structures are: non-zero
+// count-min cells and resident space-saving entries. Read by the
+// owner-published obs mirrors (O(width·depth), so per publish point,
+// never per packet).
+func (s *Stage) Occupancy() (cmsCells, topkEntries int) {
+	return s.cms.Occupancy(), s.topk.Len()
+}
+
 // CMSEstimate exposes the current count-min estimate for a flow hash
 // (tests and the oracle read it; the pipeline never does).
 func (s *Stage) CMSEstimate(h uint32) uint32 { return s.cms.Estimate(h) }
@@ -190,6 +199,7 @@ func (s *Stage) rollWindow(now sim.Time) {
 		s.emitted[i] = 0
 	}
 	s.curWin = w
+	s.stats.WindowRolls++
 }
 
 // emitSpikes reports every egress port whose current-window byte total

@@ -20,6 +20,7 @@ import (
 	"netseer/internal/collector"
 	"netseer/internal/collector/wal"
 	"netseer/internal/fevent"
+	"netseer/internal/obs/trace"
 	"netseer/internal/pkt"
 )
 
@@ -37,6 +38,14 @@ func writeFrameSeeds() {
 
 	frame := func(seq uint64, events ...fevent.Event) []byte {
 		b := &fevent.Batch{SwitchID: 5, Timestamp: 77, Events: events, Seq: seq}
+		var buf bytes.Buffer
+		if err := collector.WriteFrame(&buf, b); err != nil {
+			fatal(err)
+		}
+		return buf.Bytes()
+	}
+	tracedFrame := func(seq uint64, tc trace.Context, events ...fevent.Event) []byte {
+		b := &fevent.Batch{SwitchID: 5, Timestamp: 77, Events: events, Seq: seq, Trace: tc}
 		var buf bytes.Buffer
 		if err := collector.WriteFrame(&buf, b); err != nil {
 			fatal(err)
@@ -81,6 +90,25 @@ func writeFrameSeeds() {
 		"zero_noise": bytes.Repeat([]byte{0}, 64),
 	}
 
+	// v3 traced frames: the old seeds above keep sequence bit 63 clear
+	// (the v2 shape); these set it and carry the 17-byte trace context,
+	// so the corpus spans both frame versions the decoder must keep
+	// apart — on the wire and in mixed-version WAL replays.
+	ctx := trace.Context{TraceID: 0x53a0c6e1b20f4d77, Parent: 0x9e3779b97f4a7c15, Flags: trace.FlagSampled}
+	traced := tracedFrame(12, ctx, ev)
+	seeds["valid_traced"] = traced
+	seeds["valid_traced_unsampled"] = tracedFrame(13, trace.Context{TraceID: 21}, ev, drop)
+	// Context torn mid-way: length says traced, payload too short for it.
+	seeds["traced_torn_ctx"] = traced[:20]
+	// Version bit set but the context's trace ID field is zero; the CRC
+	// is recomputed so the lie reaches DecodePayload.
+	seeds["traced_zero_id"] = mutate(traced, func(b []byte) {
+		for i := 16; i < 24; i++ {
+			b[i] = 0
+		}
+		binary.BigEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[8:]))
+	})
+
 	writeSeeds(dir, seeds)
 }
 
@@ -98,6 +126,21 @@ func writeWALRecordSeeds() {
 	for i := 0; i < 3; i++ {
 		three = wal.AppendRecord(three, []byte(fmt.Sprintf("wal-record-%d", i)))
 	}
+
+	// Frame payloads as the durable server actually logs them, one per
+	// frame version plus a mixed-version log — what recovery replays
+	// after a deployment that upgraded exporters mid-log.
+	framePayload := func(seq uint64, tc trace.Context) []byte {
+		var buf bytes.Buffer
+		b := &fevent.Batch{SwitchID: 3, Timestamp: 55, Seq: seq, Trace: tc}
+		if err := collector.WriteFrame(&buf, b); err != nil {
+			fatal(err)
+		}
+		return buf.Bytes()[8:] // strip length+CRC: the WAL stores the payload
+	}
+	mixedLog := wal.AppendRecord(nil, framePayload(41, trace.Context{}))
+	mixedLog = wal.AppendRecord(mixedLog,
+		framePayload(42, trace.Context{TraceID: 0x53a0c6e1b20f4d77, Flags: trace.FlagSampled}))
 
 	mutate := func(src []byte, f func([]byte)) []byte {
 		out := append([]byte(nil), src...)
@@ -120,6 +163,10 @@ func writeWALRecordSeeds() {
 		"oversize_length":        {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
 		"length_exceeds_payload": mutate(one, func(b []byte) { binary.BigEndian.PutUint32(b[0:4], 200) }),
 		"zero_noise":             bytes.Repeat([]byte{0}, 64),
+		"frame_payload_v2":       wal.AppendRecord(nil, framePayload(9, trace.Context{})),
+		"frame_payload_traced": wal.AppendRecord(nil,
+			framePayload(10, trace.Context{TraceID: 7, Parent: 9, Flags: trace.FlagSampled})),
+		"frame_payload_mixed_versions": mixedLog,
 	}
 	writeSeeds(dir, seeds)
 }
