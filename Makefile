@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: all check vet build test race fuzz fuzz-smoke bench bench-json bench-guard fmt-check clean \
 	oracle oracle-fuzz-smoke oracle-cover obs obs-cover durability wal-fuzz-smoke wal-cover \
 	fabric fabric-chaos fabric-cover sim-cover sketch-fuzz-smoke sketch-cover nightly-fuzz \
-	trace trace-cover
+	trace trace-cover storagefault storagefault-cover
 
 # check is the CI gate: vet, build everything, and run the full suite
 # under the race detector (the concurrent collector sender must be
@@ -34,6 +34,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/collector/
 	$(GO) test -run '^$$' -fuzz FuzzSketch -fuzztime 10s ./internal/sketch/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/collector/wal/
 
 # sketch-fuzz-smoke: ~10s of differential fuzzing of the sketch stage
 # against its exact map-based oracle, from the seed corpus under
@@ -142,6 +143,29 @@ wal-fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime 8s ./internal/collector/wal/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 8s ./internal/collector/wal/
 
+# storagefault runs the disk-fault gate under the race detector: the
+# deterministic fault-filesystem unit suite, the WAL fail-stop and
+# scrub/quarantine suite, and the end-to-end disk-fault chaos matrix
+# (ENOSPC mid-ingest, fsync EIO then power cut, torn write under
+# rotation, bare power cut, bit rot then scrub, and the fabric's
+# dying-destination handoff + /fleet visibility scenarios).
+storagefault:
+	$(GO) test -race -count=1 ./internal/faultfs/
+	$(GO) test -race -count=1 -run 'TestRotateFsyncFailure|TestSyncFsyncFailure|TestWaitDurableWaiters|TestENOSPC|TestPowerCut|TestReplaySkips|TestScrub|TestTornWrite' \
+		./internal/collector/wal/
+	$(GO) test -race -count=1 -run 'TestStorageFault' \
+		./internal/collector/ ./internal/collector/fabric/
+
+# storagefault-cover fails if statement coverage of internal/faultfs or
+# internal/collector/wal drops below 85% (the collector chaos matrix
+# feeds the profile alongside both unit suites).
+storagefault-cover:
+	$(GO) test -count=1 -coverprofile=cover-storagefault.out \
+		-coverpkg=netseer/internal/faultfs,netseer/internal/collector/wal \
+		./internal/faultfs/ ./internal/collector/wal/ ./internal/collector/
+	$(GO) run ./scripts/covergate -profile cover-storagefault.out -min 85 \
+		netseer/internal/faultfs netseer/internal/collector/wal
+
 # wal-cover fails if statement coverage of internal/collector/wal drops
 # below 85% (the collector suite exercises the log end-to-end, so both
 # packages' tests feed the profile).
@@ -169,6 +193,7 @@ sim-cover:
 nightly-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPipeline -fuzztime 10m ./internal/oracle/
 	$(GO) test -run '^$$' -fuzz FuzzSketch -fuzztime 5m ./internal/sketch/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 5m ./internal/collector/wal/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

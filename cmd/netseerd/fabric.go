@@ -30,6 +30,7 @@ type shardFlags struct {
 	memBudget                          int64
 	segmentBytes                       int64
 	snapshotEvery                      time.Duration
+	scrubEvery                         time.Duration
 	joinTimeout                        time.Duration
 }
 
@@ -68,6 +69,10 @@ func runShard(f shardFlags, reg *obs.Registry) {
 			log.Fatalf("netseerd: metrics listener: %v", err)
 		}
 		defer osrv.Close()
+		// A poisoned WAL flips this shard's /healthz to 503; the
+		// coordinator's /fleet plane picks the same state up from the
+		// admin status health payload.
+		osrv.SetHealth(node.Healthz)
 		log.Printf("netseerd: metrics on http://%s/metrics, traces on /traces", osrv.Addr())
 	}
 
@@ -93,6 +98,27 @@ func runShard(f shardFlags, reg *obs.Registry) {
 				case <-t.C:
 					if err := node.Checkpoint(); err != nil {
 						log.Printf("netseerd: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	if f.scrubEvery > 0 {
+		go func() {
+			t := time.NewTicker(f.scrubEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					rep, err := node.ScrubWAL()
+					if err != nil {
+						log.Printf("netseerd: scrub: %v", err)
+						continue
+					}
+					for _, q := range rep.Quarantined {
+						log.Printf("netseerd: WARNING: scrub quarantined %s (CRC failure; bit rot?)", q)
 					}
 				}
 			}

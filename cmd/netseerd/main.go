@@ -62,6 +62,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "write-ahead log directory; empty runs in-memory (a crash loses the store)")
 	memBudget := flag.Int64("mem-budget", 0, "store memory budget in bytes for admission control (0 disables)")
 	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "checkpoint (snapshot + log truncate) interval with -data-dir")
+	scrubEvery := flag.Duration("scrub-interval", 10*time.Minute, "WAL bit-rot scrub interval with -data-dir (0 disables); corrupt sealed segments are quarantined")
 	segmentBytes := flag.Int64("wal-segment-bytes", 8<<20, "write-ahead log segment rotation size")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	mode := flag.String("mode", "standalone", "standalone | shard | coordinator")
@@ -92,7 +93,8 @@ func main() {
 			dataDir: *dataDir, shardID: *shardID,
 			maxConns: *maxConns, readTimeout: *readTimeout,
 			memBudget: *memBudget, segmentBytes: *segmentBytes,
-			snapshotEvery: *snapshotEvery, joinTimeout: *joinTimeout,
+			snapshotEvery: *snapshotEvery, scrubEvery: *scrubEvery,
+			joinTimeout: *joinTimeout,
 		}
 		switch *mode {
 		case "shard":
@@ -127,6 +129,9 @@ func main() {
 		if rst.Truncated {
 			log.Printf("netseerd: log tail truncated at %s (unacked suffix discarded; exporters retransmit)", rst.TruncatedAt)
 		}
+		for _, gap := range rst.Gaps {
+			log.Printf("netseerd: WARNING: replay gap: %s (acked events in the gap are lost; see DESIGN.md §15)", gap)
+		}
 	} else {
 		store = collector.NewStore()
 		if *memBudget > 0 {
@@ -160,6 +165,9 @@ func main() {
 			log.Fatalf("metrics listener: %v", err)
 		}
 		defer osrv.Close()
+		// /healthz answers 503 once the WAL poisons itself — orchestrators
+		// see a durability-failed collector without parsing /metrics.
+		osrv.SetHealth(ingest.Healthz)
 		log.Printf("netseerd: metrics on http://%s/metrics, traces on /traces", osrv.Addr())
 	}
 	if *logStats > 0 {
@@ -180,6 +188,30 @@ func main() {
 				case <-t.C:
 					if err := ingest.Checkpoint(); err != nil {
 						log.Printf("netseerd: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	// Background scrubs catch bit rot in sealed segments and snapshots
+	// before a restart trips over it; corrupt files are quarantined so
+	// the next replay reports an explicit gap instead of failing.
+	if w != nil && *scrubEvery > 0 {
+		go func() {
+			t := time.NewTicker(*scrubEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-checkpointDone:
+					return
+				case <-t.C:
+					rep, err := ingest.ScrubWAL()
+					if err != nil {
+						log.Printf("netseerd: scrub: %v", err)
+						continue
+					}
+					for _, q := range rep.Quarantined {
+						log.Printf("netseerd: WARNING: scrub quarantined %s (CRC failure; bit rot?)", q)
 					}
 				}
 			}

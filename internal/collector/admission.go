@@ -39,6 +39,13 @@ func (s admitState) String() string {
 	return "?"
 }
 
+// admitFailedState is the ladder's terminal rung, above shed: the WAL
+// has poisoned itself, no ack promise can be kept, and the server stops
+// accepting ingest. It is server-level state (see Server.failDurability)
+// rather than an admission watermark — memory pressure recovers,
+// a poisoned log does not.
+const admitFailedState = "durability-failed"
+
 // admitHysteresis is the release factor: a rung entered at threshold T
 // is left at T*admitHysteresis.
 const admitHysteresis = 0.9

@@ -110,6 +110,11 @@ func (c *Coordinator) FleetStatus(timeout time.Duration) FleetReport {
 			if h.Admission != "ok" {
 				rep.Healthy = false
 			}
+			// A poisoned WAL is the loudest unhealth: the shard refuses
+			// ingest until the disk is fixed and the log reopened.
+			if h.Durability != "" && h.Durability != "ok" {
+				rep.Healthy = false
+			}
 			for _, ex := range h.Exemplars {
 				rep.Exemplars = append(rep.Exemplars, FleetExemplar{
 					Shard: row.ID, Metric: ex.Metric, ValueUs: ex.ValueUs, Trace: ex.Trace})

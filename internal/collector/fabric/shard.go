@@ -301,6 +301,15 @@ func (n *ShardNode) Info() ShardInfo {
 // Store exposes the underlying store (tests and in-process queries).
 func (n *ShardNode) Store() *collector.Store { return n.store }
 
+// Healthz reports nil while the shard can honor its durability promise,
+// and the poisoning I/O error after the WAL fail-stops — the hook for
+// obs.Server.SetHealth so /healthz flips to 503 on a dying disk.
+func (n *ShardNode) Healthz() error { return n.srv.Healthz() }
+
+// ScrubWAL runs one scrub pass over the shard's sealed WAL segments and
+// snapshots, quarantining any that fail their CRCs.
+func (n *ShardNode) ScrubWAL() (wal.ScrubReport, error) { return n.srv.ScrubWAL() }
+
 // Epoch returns the last applied config epoch.
 func (n *ShardNode) Epoch() uint64 {
 	n.mu.Lock()
@@ -383,7 +392,13 @@ type adminResp struct {
 // ShardHealth is one shard's self-reported health, served on its admin
 // status op and merged into the coordinator's /fleet plane.
 type ShardHealth struct {
-	Admission     string `json:"admission"`
+	Admission string `json:"admission"`
+	// Durability is "ok" until the shard's WAL poisons itself, after
+	// which it carries the first fsync/write error. A non-ok shard has
+	// stopped accepting ingest and needs operator attention (likely a
+	// dying disk) — its data remains queryable and fan-out routes around
+	// it for writes.
+	Durability    string `json:"durability"`
 	WALPending    uint64 `json:"wal_pending"`
 	WALSizeBytes  int64  `json:"wal_size_bytes"`
 	WALSegments   int    `json:"wal_segments"`
@@ -409,8 +424,13 @@ type ExemplarRef struct {
 // healthLocked assembles the shard's health payload. Caller holds n.mu.
 func (n *ShardNode) healthLocked() *ShardHealth {
 	ws := n.wal.Stats()
+	durability := "ok"
+	if err := n.srv.DurabilityErr(); err != nil {
+		durability = err.Error()
+	}
 	h := &ShardHealth{
 		Admission:     n.srv.AdmitState(),
+		Durability:    durability,
 		WALPending:    ws.PendingDurable,
 		WALSizeBytes:  ws.SizeBytes,
 		WALSegments:   ws.Segments,

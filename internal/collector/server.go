@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netseer/internal/collector/wal"
@@ -112,6 +113,18 @@ type Server struct {
 	draining bool
 	wg       sync.WaitGroup
 
+	// durFailed flips (once, permanently) when the WAL poisons itself:
+	// an fsync or write failed, so no further ack promise can be kept.
+	// The failed rung sits above shed on the degradation ladder — the
+	// server stops accepting ingest entirely (existing connections are
+	// closed, new ones refused at accept) so multi-endpoint clients
+	// fail over instead of retrying into a zombie, and the state
+	// surfaces through AdmitState, Healthz, the durability-failed
+	// gauge, and the shard's fleet-status row. durErr (under mu) holds
+	// the poison error.
+	durFailed atomic.Bool
+	durErr    error
+
 	// Ingest-side counters. The server is concurrent (accept loop plus one
 	// goroutine per connection), so these are atomic obs instruments: a
 	// /metrics scrape reads them without taking mu.
@@ -180,8 +193,78 @@ func (s *Server) ShedBatches() uint64 {
 }
 
 // AdmitState returns the current admission-ladder rung as a string
-// ("ok", "slow", "shed").
-func (s *Server) AdmitState() string { return s.admit.current().String() }
+// ("ok", "slow", "shed", or "durability-failed" once the WAL has
+// poisoned itself).
+func (s *Server) AdmitState() string {
+	if s.durFailed.Load() {
+		return admitFailedState
+	}
+	return s.admit.current().String()
+}
+
+// failDurability moves the server to the durability-failed rung: the
+// sticky end state entered when the WAL reports a poison error. The
+// first caller records the error and closes every live ingest
+// connection; the accept loop then refuses new ones, so clients fail
+// over to a healthy endpoint instead of retransmitting into a log that
+// can no longer keep an ack's promise.
+func (s *Server) failDurability(err error) {
+	s.mu.Lock()
+	if s.durErr == nil {
+		s.durErr = err
+	}
+	already := s.durFailed.Swap(true)
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// DurabilityErr returns the WAL poison error that moved the server to
+// the durability-failed rung, or nil while the log is healthy.
+func (s *Server) DurabilityErr() error {
+	if !s.durFailed.Load() {
+		// The WAL may have been poisoned through a path that bypasses
+		// ingest — the fabric's handoff appends, a background checkpoint.
+		// Any health probe promotes the poison to the full ladder rung, so
+		// the accept loop starts refusing even before a frame trips it.
+		if s.wal == nil {
+			return nil
+		}
+		err := s.wal.Err()
+		if err == nil {
+			return nil
+		}
+		s.failDurability(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durErr
+}
+
+// Healthz is the /healthz hook: nil while the server can keep its ack
+// promises, the poison error once it cannot. Wire it into
+// obs.Server.SetHealth so the endpoint flips to 503 when the disk dies.
+func (s *Server) Healthz() error { return s.DurabilityErr() }
+
+// ScrubWAL runs one scrub pass over the WAL's sealed segments and
+// installed snapshots, quarantining any that fail their CRCs — the
+// background bit-rot check. Drive it from a ticker (netseerd's
+// -scrub-interval); passes are cheap on a healthy log and serialize
+// against each other.
+func (s *Server) ScrubWAL() (wal.ScrubReport, error) {
+	if s.wal == nil {
+		return wal.ScrubReport{}, errors.New("collector: no WAL attached")
+	}
+	return s.wal.Scrub()
+}
 
 // RegisterMetrics exposes the ingest instruments on r, including the
 // WAL and admission series when configured.
@@ -221,6 +304,18 @@ func (s *Server) RegisterMetrics(r *obs.Registry, labels ...obs.Label) {
 		r.GaugeFunc(obs.MWALPending, "Appended records not yet covered by an fsync.", func() float64 {
 			return float64(w.Stats().PendingDurable)
 		}, labels...)
+		r.CounterFunc(obs.MWALScrubs, "Completed WAL scrub passes (background bit-rot checks).", func() float64 {
+			return float64(w.Stats().Scrubs)
+		}, labels...)
+		r.CounterFunc(obs.MWALQuarantined, "Segments or snapshots quarantined by scrub CRC failures.", func() float64 {
+			return float64(w.Stats().SegmentsQuarantined)
+		}, labels...)
+		r.GaugeFunc(obs.MDurabilityFailed, "1 once the WAL has poisoned itself and the server refuses ingest.", func() float64 {
+			if s.durFailed.Load() {
+				return 1
+			}
+			return 0
+		}, labels...)
 	}
 }
 
@@ -248,6 +343,15 @@ func (s *Server) acceptLoop() {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.durFailed.Load() {
+			// Durability-failed: refuse ingest outright. The immediate
+			// close reads as a dead endpoint to the client, which fails
+			// over instead of waiting on acks that can never come.
+			s.mu.Unlock()
+			s.connsRejected.Inc()
+			conn.Close()
+			continue
 		}
 		if len(s.conns) >= s.cfg.MaxConns {
 			s.mu.Unlock()
@@ -389,9 +493,14 @@ func (s *Server) serve(conn net.Conn) {
 		s.ingestMu.RUnlock()
 		if werr != nil {
 			// The log is the reliability boundary: a frame that cannot be
-			// made durable must not be acked. Drop the connection; the
-			// client retransmits once the operator fixes the disk.
+			// made durable must not be acked. Drop the connection; and if
+			// the log is poisoned (not just an oversized payload), flip
+			// the whole server to durability-failed so the client fails
+			// over instead of retrying into a dead disk.
 			s.walAppendErrors.Inc()
+			if perr := s.wal.Err(); perr != nil {
+				s.failDurability(perr)
+			}
 			break
 		}
 		s.frames.Inc()
@@ -441,6 +550,12 @@ func (s *Server) ackLoop(conn net.Conn, acks <-chan ackPoint, done chan<- struct
 		}
 		if ap.serial != 0 {
 			if err := s.wal.WaitDurable(ap.serial); err != nil {
+				// ErrClosed is a normal shutdown; anything else is the
+				// poison error and every waiter just learned the disk
+				// broke its promise — declare durability failure.
+				if !errors.Is(err, wal.ErrClosed) {
+					s.failDurability(err)
+				}
 				fail()
 				return
 			}

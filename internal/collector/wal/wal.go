@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"netseer/internal/faultfs"
 )
 
 // Options tunes a WAL. Zero fields take defaults.
@@ -26,6 +28,10 @@ type Options struct {
 	// isolate the fsync cost and by tests that don't need power-loss
 	// semantics.
 	NoSync bool
+	// FS is the filesystem the log runs on (default faultfs.OS). Tests
+	// swap in a faultfs.Fault to script disk failures; the hot append
+	// path never touches it, so the indirection costs nothing there.
+	FS faultfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -37,6 +43,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GroupWindow < 0 {
 		o.GroupWindow = 0
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 	return o
 }
@@ -63,6 +72,11 @@ type Stats struct {
 	// Retained reports whether shed batches have pinned old segments
 	// against truncation (cleared only by reopening the log).
 	Retained bool
+	// Scrubs counts completed Scrub passes; SegmentsQuarantined counts
+	// files (segments or snapshots) a scrub renamed aside after a CRC
+	// failure.
+	Scrubs              uint64
+	SegmentsQuarantined uint64
 }
 
 // ReplayStats summarizes one recovery replay.
@@ -71,12 +85,20 @@ type ReplayStats struct {
 	Segments int
 	// Records / Bytes count successfully replayed records.
 	Records, Bytes uint64
-	// Truncated reports that replay stopped at a torn or corrupt record;
-	// TruncatedAt names the file and the reason. Everything before the
-	// bad record was replayed, everything after is discarded — those
-	// records were never acked durable, so the exporter retransmits them.
+	// Truncated reports that replay stopped at a torn or corrupt record
+	// in the FINAL segment — the classic crash tail; TruncatedAt names
+	// the file and the reason. Everything before the bad record was
+	// replayed, everything after is discarded — those records were
+	// never acked durable, so the exporter retransmits them.
 	Truncated   bool
 	TruncatedAt string
+	// Gaps lists sealed segments (and quarantined files) whose records
+	// could not all be replayed: latent bit rot detected mid-log, or a
+	// segment the scrubber quarantined. Unlike the crash tail, records
+	// in a gap MAY have been acked — the gap is the explicit report of
+	// that loss, instead of a silent truncation of everything after it.
+	// Replay continues past a gap: later segments' records all land.
+	Gaps []string
 }
 
 // WAL is an append-only, group-committed, segmented log with snapshot
@@ -84,12 +106,13 @@ type ReplayStats struct {
 type WAL struct {
 	dir string
 	opt Options
+	fs  faultfs.FS
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast when syncedSerial advances, or on error/close
 
-	f        *os.File // active segment
-	segIdx   uint64   // active segment index
+	f        faultfs.File // active segment
+	segIdx   uint64       // active segment index
 	segSize  int64
 	segSizes map[uint64]int64 // live segments (closed + active) → size
 
@@ -109,10 +132,15 @@ type WAL struct {
 	// Recovery artifacts from Open, consumed by Snapshot/Replay.
 	snapPayload []byte
 	replaySegs  []uint64
+	quarSegs    []uint64 // quarantined segment indexes found at Open
+
+	// scrubMu serializes Scrub passes (never held with mu).
+	scrubMu sync.Mutex
 
 	appends, appendedBytes       uint64
 	fsyncs, rotations            uint64
 	snapshots, segmentsDropped   uint64
+	scrubs, quarantined          uint64
 	syncReq, syncerDone, closeCh chan struct{}
 	// waiters counts goroutines blocked in WaitDurable. While any exist
 	// the syncer flushes back-to-back instead of waiting out the group
@@ -126,6 +154,11 @@ type WAL struct {
 
 const noRetain = ^uint64(0)
 
+// quarSuffix marks a file the scrubber moved aside after a CRC failure.
+// Quarantined files are invisible to normal recovery except as explicit
+// Gaps entries, and their indexes are never reused.
+const quarSuffix = ".quarantined"
+
 func segName(idx uint64) string  { return fmt.Sprintf("wal-%08d.seg", idx) }
 func snapName(idx uint64) string { return fmt.Sprintf("snap-%08d.snap", idx) }
 
@@ -136,14 +169,15 @@ func snapName(idx uint64) string { return fmt.Sprintf("snap-%08d.snap", idx) }
 // a possibly-torn crash tail is never appended to.
 func Open(dir string, opt Options) (*WAL, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opt.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var segs, snaps []uint64
+	var segs, snaps, quar []uint64
 	segSizes := make(map[uint64]int64)
 	for _, e := range entries {
 		var idx uint64
@@ -156,15 +190,21 @@ func Open(dir string, opt Options) (*WAL, error) {
 		if n, _ := fmt.Sscanf(e.Name(), "snap-%d.snap", &idx); n == 1 && e.Name() == snapName(idx) {
 			snaps = append(snaps, idx)
 		}
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%d.seg"+quarSuffix, &idx); n == 1 && e.Name() == segName(idx)+quarSuffix {
+			quar = append(quar, idx)
+		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	sort.Slice(quar, func(i, j int) bool { return quar[i] < quar[j] })
 
 	w := &WAL{
 		dir:         dir,
 		opt:         opt,
+		fs:          fs,
 		segSizes:    segSizes,
 		replaySegs:  segs,
+		quarSegs:    quar,
 		retainFloor: noRetain,
 		syncReq:     make(chan struct{}, 1),
 		syncNow:     make(chan struct{}, 1),
@@ -178,7 +218,7 @@ func Open(dir string, opt Options) (*WAL, error) {
 	// snapshot is never half-loaded thanks to the record CRC).
 	next := uint64(1)
 	for _, idx := range snaps {
-		payload, err := readSnapshotFile(filepath.Join(dir, snapName(idx)))
+		payload, err := readSnapshotFile(fs, filepath.Join(dir, snapName(idx)))
 		if err == nil {
 			w.snapPayload = payload
 			break
@@ -190,6 +230,12 @@ func Open(dir string, opt Options) (*WAL, error) {
 	if len(snaps) > 0 && snaps[0] >= next {
 		next = snaps[0] + 1
 	}
+	// Never reuse an index a quarantined twin still occupies: a fresh
+	// wal-N.seg beside wal-N.seg.quarantined would make the next
+	// recovery's ordering ambiguous.
+	if len(quar) > 0 && quar[len(quar)-1] >= next {
+		next = quar[len(quar)-1] + 1
+	}
 	if err := w.openSegment(next); err != nil {
 		return nil, err
 	}
@@ -199,8 +245,8 @@ func Open(dir string, opt Options) (*WAL, error) {
 
 // readSnapshotFile loads and CRC-verifies one snapshot file (a single
 // framed record) and requires a clean EOF after it.
-func readSnapshotFile(path string) ([]byte, error) {
-	f, err := os.Open(path)
+func readSnapshotFile(fs faultfs.FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -220,11 +266,11 @@ func readSnapshotFile(path string) ([]byte, error) {
 // Caller must not hold mu (Open) or must hold it (rotate) — the method
 // itself takes no locks.
 func (w *WAL) openSegment(idx uint64) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(idx)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.Create(filepath.Join(w.dir, segName(idx)))
 	if err != nil {
 		return err
 	}
-	if err := w.syncDir(); err != nil {
+	if err := w.fs.SyncDir(w.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -235,35 +281,57 @@ func (w *WAL) openSegment(idx uint64) error {
 	return nil
 }
 
-// syncDir fsyncs the log directory so file creations and renames survive
-// a power cut.
-func (w *WAL) syncDir() error {
-	d, err := os.Open(w.dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
 // Snapshot returns the payload of the newest valid snapshot found by
 // Open, or nil if the log had none.
 func (w *WAL) Snapshot() []byte { return w.snapPayload }
 
 // Replay streams every surviving record of the tail segments to fn in
-// append order. It stops cleanly — no error, Truncated set — at the
-// first torn or corrupt record; records past that point were never
-// acknowledged as durable, so upper layers lose nothing an ack promised.
-// A non-nil error from fn aborts the replay and is returned.
+// append order. A torn or corrupt record in the final segment — the
+// classic crash tail — stops replay cleanly (no error, Truncated set):
+// records past it were never acknowledged as durable, so upper layers
+// lose nothing an ack promised. Corruption in a SEALED segment is latent
+// bit rot, and may cover acked records: replay skips the rest of that
+// segment with an explicit entry in Gaps and keeps going — the store's
+// (switch, seq) dedup makes records idempotent facts, so the loss is
+// bounded to the rotted segment and loudly reported instead of silently
+// truncating every later segment. Segments the scrubber quarantined are
+// skipped the same way. A non-nil error from fn aborts the replay and
+// is returned.
 func (w *WAL) Replay(fn func(payload []byte) error) (ReplayStats, error) {
 	var st ReplayStats
+	type segItem struct {
+		idx  uint64
+		quar bool
+	}
+	items := make([]segItem, 0, len(w.replaySegs)+len(w.quarSegs))
 	for _, idx := range w.replaySegs {
+		items = append(items, segItem{idx: idx})
+	}
+	for _, idx := range w.quarSegs {
+		items = append(items, segItem{idx: idx, quar: true})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].idx < items[j].idx })
+	var lastLive uint64
+	if n := len(w.replaySegs); n > 0 {
+		lastLive = w.replaySegs[n-1]
+	}
+	for _, it := range items {
+		if it.quar {
+			st.Gaps = append(st.Gaps, segName(it.idx)+quarSuffix+": skipped (quarantined by scrub)")
+			continue
+		}
+		idx := it.idx
 		path := filepath.Join(w.dir, segName(idx))
-		f, err := os.Open(path)
+		f, err := w.fs.Open(path)
 		if err != nil {
 			// A truncated-away segment (concurrent checkpoint) is not a
-			// replay failure; anything else is.
+			// replay failure — unless a quarantined twin appeared since
+			// the Open scan, which is a gap; anything else is an error.
 			if os.IsNotExist(err) {
+				if qf, qerr := w.fs.Open(path + quarSuffix); qerr == nil {
+					qf.Close()
+					st.Gaps = append(st.Gaps, segName(idx)+quarSuffix+": skipped (quarantined by scrub)")
+				}
 				continue
 			}
 			return st, err
@@ -275,13 +343,17 @@ func (w *WAL) Replay(fn func(payload []byte) error) (ReplayStats, error) {
 				break
 			}
 			if err != nil {
-				// First torn/corrupt record: keep the prefix, drop the rest
-				// of the log (later segments included — a mid-log hole
-				// means the tail's ordering guarantees are gone).
-				st.Truncated = true
-				st.TruncatedAt = fmt.Sprintf("%s: %v", segName(idx), err)
 				f.Close()
-				return st, nil
+				if idx == lastLive {
+					// Crash tail: keep the prefix, drop the rest.
+					st.Truncated = true
+					st.TruncatedAt = fmt.Sprintf("%s: %v", segName(idx), err)
+					return st, nil
+				}
+				// Bit rot in a sealed segment: explicit gap, keep going.
+				st.Gaps = append(st.Gaps, fmt.Sprintf("%s: %v", segName(idx), err))
+				f = nil
+				break
 			}
 			if err := fn(payload); err != nil {
 				f.Close()
@@ -290,7 +362,9 @@ func (w *WAL) Replay(fn func(payload []byte) error) (ReplayStats, error) {
 			st.Records++
 			st.Bytes += uint64(len(payload))
 		}
-		f.Close()
+		if f != nil {
+			f.Close()
+		}
 	}
 	return st, nil
 }
@@ -318,9 +392,7 @@ func (w *WAL) Append(payload []byte, retain bool) (uint64, error) {
 	}
 	if w.segSize >= w.opt.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
-			w.ioErr = err
 			w.mu.Unlock()
-			w.cond.Broadcast()
 			return 0, err
 		}
 	}
@@ -393,6 +465,31 @@ func (w *WAL) WaitDurable(serial uint64) error {
 	return ErrClosed
 }
 
+// poisonLocked records err as the log's sticky I/O error — first error
+// wins — and wakes every WaitDurable waiter so none keeps blocking on a
+// durability promise the disk can no longer make. Caller holds mu.
+//
+// Poison is permanent for the life of the handle (fail-stop): after a
+// failed fsync the kernel may have dropped the dirty pages, so even an
+// fsync that later "succeeds" proves nothing about the bytes buffered
+// before the failure. Nothing is ever re-reported durable.
+func (w *WAL) poisonLocked(err error) {
+	if w.ioErr == nil {
+		w.ioErr = err
+	}
+	w.cond.Broadcast()
+}
+
+// Err returns the log's sticky I/O error, or nil while the log is
+// healthy. A non-nil Err means the log is poisoned: every later Append,
+// Sync, and WaitDurable fails with it, and the owning shard should
+// declare itself durability-failed.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ioErr
+}
+
 // flushPendingLocked writes the buffered records to the active segment.
 // Caller holds mu. A write failure poisons the log: a partial write
 // leaves a torn record at the tail, and nothing may land after it.
@@ -404,9 +501,8 @@ func (w *WAL) flushPendingLocked() error {
 		return w.ioErr
 	}
 	if _, err := w.f.Write(w.pending); err != nil {
-		w.ioErr = err
 		w.pending = nil
-		w.cond.Broadcast()
+		w.poisonLocked(err)
 		return err
 	}
 	w.pending = w.pending[:0]
@@ -415,12 +511,17 @@ func (w *WAL) flushPendingLocked() error {
 
 // rotateLocked seals the active segment (flushing buffered records and
 // fsyncing, so every serial so far is durable) and opens the next one.
-// Caller holds mu.
+// Caller holds mu. Every failure path poisons the log here, not at the
+// call sites: a rotation that could not flush, fsync, or open the next
+// segment leaves the tail in an unknown state, and no caller may be
+// trusted to remember the poisoning step.
 func (w *WAL) rotateLocked() error {
 	if err := w.flushPendingLocked(); err != nil {
-		return err
+		return err // flushPendingLocked poisoned
 	}
 	if err := w.f.Sync(); err != nil {
+		w.fsyncs++
+		w.poisonLocked(err)
 		return err
 	}
 	w.fsyncs++
@@ -428,10 +529,15 @@ func (w *WAL) rotateLocked() error {
 		w.syncedSerial = w.appendSerial
 	}
 	if err := w.f.Close(); err != nil {
+		w.poisonLocked(err)
 		return err
 	}
 	w.rotations++
-	return w.openSegment(w.segIdx + 1)
+	if err := w.openSegment(w.segIdx + 1); err != nil {
+		w.poisonLocked(err)
+		return err
+	}
+	return nil
 }
 
 // syncLoop is the group-commit engine: it wakes on the first pending
@@ -486,9 +592,7 @@ func (w *WAL) syncLoop() {
 		w.mu.Lock()
 		w.fsyncs++
 		if err != nil {
-			if w.ioErr == nil {
-				w.ioErr = err
-			}
+			w.poisonLocked(err)
 		} else if target > w.syncedSerial && f == w.f {
 			w.syncedSerial = target
 		}
@@ -521,9 +625,7 @@ func (w *WAL) Sync() error {
 	w.mu.Lock()
 	w.fsyncs++
 	if err != nil {
-		if w.ioErr == nil {
-			w.ioErr = err
-		}
+		w.poisonLocked(err)
 	} else if target > w.syncedSerial && f == w.f {
 		w.syncedSerial = target
 	}
@@ -550,8 +652,6 @@ func (w *WAL) CutSegment() (uint64, error) {
 		return 0, w.ioErr
 	}
 	if err := w.rotateLocked(); err != nil {
-		w.ioErr = err
-		w.cond.Broadcast()
 		return 0, err
 	}
 	return w.segIdx, nil
@@ -571,30 +671,30 @@ func (w *WAL) InstallSnapshot(cut uint64, snapshot []byte) error {
 
 	tmp := filepath.Join(w.dir, snapName(cut)+".tmp")
 	final := filepath.Join(w.dir, snapName(cut))
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := w.fs.CreateTrunc(tmp)
 	if err != nil {
 		return err
 	}
 	framed := AppendRecord(make([]byte, 0, recordHdrLen+len(snapshot)), snapshot)
 	if _, err := f.Write(framed); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := w.fs.Rename(tmp, final); err != nil {
+		w.fs.Remove(tmp)
 		return err
 	}
-	if err := w.syncDir(); err != nil {
+	if err := w.fs.SyncDir(w.dir); err != nil {
 		return err
 	}
 
@@ -613,23 +713,23 @@ func (w *WAL) InstallSnapshot(cut uint64, snapshot []byte) error {
 	w.mu.Unlock()
 
 	for _, idx := range drop {
-		if err := os.Remove(filepath.Join(w.dir, segName(idx))); err == nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, segName(idx))); err == nil {
 			w.mu.Lock()
 			w.segmentsDropped++
 			w.mu.Unlock()
 		}
 	}
 	// Older snapshot files are superseded by the one just installed.
-	entries, err := os.ReadDir(w.dir)
+	entries, err := w.fs.ReadDir(w.dir)
 	if err == nil {
 		for _, e := range entries {
 			var idx uint64
 			if n, _ := fmt.Sscanf(e.Name(), "snap-%d.snap", &idx); n == 1 && e.Name() == snapName(idx) && idx < cut {
-				os.Remove(filepath.Join(w.dir, e.Name()))
+				w.fs.Remove(filepath.Join(w.dir, e.Name()))
 			}
 		}
 	}
-	return w.syncDir()
+	return w.fs.SyncDir(w.dir)
 }
 
 // Stats snapshots the log's counters.
@@ -641,16 +741,18 @@ func (w *WAL) Stats() Stats {
 		size += s
 	}
 	return Stats{
-		Appends:         w.appends,
-		AppendedBytes:   w.appendedBytes,
-		Fsyncs:          w.fsyncs,
-		Rotations:       w.rotations,
-		Snapshots:       w.snapshots,
-		SegmentsDropped: w.segmentsDropped,
-		Segments:        len(w.segSizes),
-		SizeBytes:       size,
-		PendingDurable:  w.appendSerial - w.syncedSerial,
-		Retained:        w.retainFloor != noRetain,
+		Appends:             w.appends,
+		AppendedBytes:       w.appendedBytes,
+		Fsyncs:              w.fsyncs,
+		Rotations:           w.rotations,
+		Snapshots:           w.snapshots,
+		SegmentsDropped:     w.segmentsDropped,
+		Segments:            len(w.segSizes),
+		SizeBytes:           size,
+		PendingDurable:      w.appendSerial - w.syncedSerial,
+		Retained:            w.retainFloor != noRetain,
+		Scrubs:              w.scrubs,
+		SegmentsQuarantined: w.quarantined,
 	}
 }
 
@@ -680,8 +782,8 @@ func (w *WAL) Close() error {
 		w.fsyncs++
 		if err == nil {
 			w.syncedSerial = w.appendSerial
-		} else if w.ioErr == nil {
-			w.ioErr = err
+		} else {
+			w.poisonLocked(err)
 		}
 		w.mu.Unlock()
 	}

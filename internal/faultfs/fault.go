@@ -1,0 +1,461 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrPowerCut is the error every operation returns after PowerCut: the
+// machine is off, the filesystem is gone. It is wrapped in *os.PathError
+// like every other injected fault.
+var ErrPowerCut = errors.New("faultfs: power cut")
+
+// Plan scripts a deterministic fault schedule. Zero fields inject
+// nothing; all counters are global across the filesystem (not per file)
+// and 1-based, so FailSyncAt: 3 fails the third fsync issued anywhere.
+type Plan struct {
+	// Seed drives every random draw (torn-write lengths, power-cut tear
+	// points). Equal seeds and equal operation sequences replay the
+	// exact same fault schedule.
+	Seed int64
+	// WriteBudget is the total number of bytes the disk will accept
+	// before ENOSPC (0 = unlimited). The write that crosses the budget
+	// persists only the prefix that fit — the classic short write a
+	// full disk produces — and returns ENOSPC.
+	WriteBudget int64
+	// FailSyncAt fails the k-th file fsync with EIO (0 = never). Later
+	// fsyncs succeed again: a log that retries instead of failing stop
+	// would re-report lost bytes durable, which is exactly the
+	// fsyncgate trap the WAL must not fall into.
+	FailSyncAt uint64
+	// DropOnSyncFail models the kernel discarding dirty pages on the
+	// failed fsync: the file's un-synced suffix is truncated away at
+	// the moment FailSyncAt fires.
+	DropOnSyncFail bool
+	// TornWriteAt makes the k-th write a torn write (0 = never): a
+	// seeded strict prefix of the buffer persists and the write
+	// returns EIO.
+	TornWriteAt uint64
+	// TearOnPowerCut keeps a seeded prefix of each file's un-fsynced
+	// suffix at PowerCut instead of dropping it entirely — the torn
+	// tail a real power cut leaves mid-sector.
+	TearOnPowerCut bool
+}
+
+// Stats counts what the fault filesystem has seen.
+type Stats struct {
+	Writes       uint64
+	Syncs        uint64
+	BytesWritten int64
+	Halted       bool
+}
+
+// trashMark tags limbo names for files removed before their directory
+// fsync; ReadDir hides them and PowerCut restores them.
+const trashMark = ".trash-"
+
+type opKind int
+
+const (
+	opCreate opKind = iota
+	opRename
+	opRemove
+)
+
+// dirOp is one directory operation not yet made durable by SyncDir.
+// PowerCut undoes pending ops newest-first.
+type dirOp struct {
+	kind     opKind
+	dir      string
+	path     string // opCreate: path at creation; opRemove: removed path
+	from, to string // opRename
+	trash    string // opRemove: limbo name holding the bytes
+}
+
+// fileState tracks written-vs-durable lengths for files opened through
+// the fault filesystem. Files that predate the Fault (or were opened
+// read-only) are untracked and treated as fully durable.
+type fileState struct {
+	written int64
+	durable int64
+}
+
+// Fault wraps an FS (normally OS) and injects the scripted Plan. It
+// tracks, per file, how many bytes the last successful fsync covered,
+// and journals directory operations until the owning directory is
+// fsynced — so PowerCut can roll the filesystem back to exactly what a
+// real power cut would have preserved.
+//
+// Intended for tests: operations serialize on one mutex, and helpers
+// like PowerCut reach through to the underlying os paths, so the inner
+// FS should be OS (or something path-compatible with it).
+type Fault struct {
+	inner FS
+	plan  Plan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	writes   uint64
+	syncs    uint64
+	bytes    int64
+	halted   bool
+	trashSeq int
+	files    map[string]*fileState
+	journal  []dirOp
+}
+
+// NewFault wraps inner with the scripted plan.
+func NewFault(inner FS, plan Plan) *Fault {
+	return &Fault{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		files: make(map[string]*fileState),
+	}
+}
+
+func pathErr(op, path string, err error) error {
+	return &os.PathError{Op: op, Path: path, Err: err}
+}
+
+// Stats snapshots the fault filesystem's counters.
+func (fs *Fault) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return Stats{Writes: fs.writes, Syncs: fs.syncs, BytesWritten: fs.bytes, Halted: fs.halted}
+}
+
+func (fs *Fault) MkdirAll(dir string, perm os.FileMode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return pathErr("mkdir", dir, ErrPowerCut)
+	}
+	return fs.inner.MkdirAll(dir, perm)
+}
+
+func (fs *Fault) ReadDir(dir string) ([]os.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return nil, pathErr("readdir", dir, ErrPowerCut)
+	}
+	entries, err := fs.inner.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	kept := entries[:0]
+	for _, e := range entries {
+		if strings.Contains(e.Name(), trashMark) {
+			continue // removed, pending the directory fsync
+		}
+		kept = append(kept, e)
+	}
+	return kept, nil
+}
+
+func (fs *Fault) Create(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return nil, pathErr("create", path, ErrPowerCut)
+	}
+	f, err := fs.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.files[path] = &fileState{}
+	fs.journal = append(fs.journal, dirOp{kind: opCreate, dir: filepath.Dir(path), path: path})
+	return &faultFile{fs: fs, path: path, inner: f}, nil
+}
+
+func (fs *Fault) CreateTrunc(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return nil, pathErr("create", path, ErrPowerCut)
+	}
+	f, err := fs.inner.CreateTrunc(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, known := fs.files[path]; !known {
+		fs.journal = append(fs.journal, dirOp{kind: opCreate, dir: filepath.Dir(path), path: path})
+	}
+	fs.files[path] = &fileState{}
+	return &faultFile{fs: fs, path: path, inner: f}, nil
+}
+
+func (fs *Fault) Open(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return nil, pathErr("open", path, ErrPowerCut)
+	}
+	return fs.inner.Open(path)
+}
+
+func (fs *Fault) Rename(from, to string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return pathErr("rename", from, ErrPowerCut)
+	}
+	if err := fs.inner.Rename(from, to); err != nil {
+		return err
+	}
+	if st, ok := fs.files[from]; ok {
+		delete(fs.files, from)
+		fs.files[to] = st
+	}
+	fs.journal = append(fs.journal, dirOp{kind: opRename, dir: filepath.Dir(to), from: from, to: to})
+	return nil
+}
+
+func (fs *Fault) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return pathErr("remove", path, ErrPowerCut)
+	}
+	// Park the bytes under a limbo name instead of unlinking: until the
+	// directory fsync the removal is not durable, and PowerCut must be
+	// able to bring the file back.
+	fs.trashSeq++
+	trash := fmt.Sprintf("%s%s%d", path, trashMark, fs.trashSeq)
+	if err := fs.inner.Rename(path, trash); err != nil {
+		return err
+	}
+	if st, ok := fs.files[path]; ok {
+		delete(fs.files, path)
+		fs.files[trash] = st
+	}
+	fs.journal = append(fs.journal, dirOp{kind: opRemove, dir: filepath.Dir(path), path: path, trash: trash})
+	return nil
+}
+
+func (fs *Fault) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return pathErr("truncate", path, ErrPowerCut)
+	}
+	if err := fs.inner.Truncate(path, size); err != nil {
+		return err
+	}
+	if st, ok := fs.files[path]; ok {
+		if st.written > size {
+			st.written = size
+		}
+		if st.durable > size {
+			st.durable = size
+		}
+	}
+	return nil
+}
+
+func (fs *Fault) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return pathErr("syncdir", dir, ErrPowerCut)
+	}
+	if err := fs.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	// Directory ops in dir are now durable: retire their journal
+	// entries and let parked removals actually unlink.
+	kept := fs.journal[:0]
+	for _, op := range fs.journal {
+		if op.dir != dir {
+			kept = append(kept, op)
+			continue
+		}
+		if op.kind == opRemove {
+			fs.inner.Remove(op.trash)
+			delete(fs.files, op.trash)
+		}
+	}
+	fs.journal = kept
+	return nil
+}
+
+// PowerCut halts the filesystem — every later operation fails with
+// ErrPowerCut — and rolls stored state back to what stable storage
+// held: pending directory ops are undone newest-first (creations
+// vanish, renames revert, removals reappear) and each surviving tracked
+// file is truncated to its last-fsynced length (plus a seeded partial
+// tail when Plan.TearOnPowerCut is set). Reopen the directory with a
+// fresh FS to model the machine booting back up.
+func (fs *Fault) PowerCut() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return
+	}
+	fs.halted = true
+	for i := len(fs.journal) - 1; i >= 0; i-- {
+		op := fs.journal[i]
+		switch op.kind {
+		case opRename:
+			fs.inner.Rename(op.to, op.from)
+			if st, ok := fs.files[op.to]; ok {
+				delete(fs.files, op.to)
+				fs.files[op.from] = st
+			}
+		case opRemove:
+			fs.inner.Rename(op.trash, op.path)
+			if st, ok := fs.files[op.trash]; ok {
+				delete(fs.files, op.trash)
+				fs.files[op.path] = st
+			}
+		case opCreate:
+			fs.inner.Remove(op.path)
+			delete(fs.files, op.path)
+		}
+	}
+	fs.journal = nil
+	paths := make([]string, 0, len(fs.files))
+	for path := range fs.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths) // deterministic tear draws
+	for _, path := range paths {
+		st := fs.files[path]
+		keep := st.durable
+		if fs.plan.TearOnPowerCut && st.written > st.durable {
+			keep += fs.rng.Int63n(st.written - st.durable + 1)
+		}
+		if keep < st.written {
+			fs.inner.Truncate(path, keep)
+			st.written = keep
+		}
+	}
+}
+
+// faultFile is a tracked writable file.
+type faultFile struct {
+	fs    *Fault
+	path  string
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return 0, pathErr("write", f.path, ErrPowerCut)
+	}
+	fs.writes++
+	allowed := len(p)
+	var werr error
+	if fs.plan.TornWriteAt != 0 && fs.writes == fs.plan.TornWriteAt {
+		// Torn write: a strict prefix lands, then the device errors.
+		allowed = 0
+		if len(p) > 0 {
+			allowed = fs.rng.Intn(len(p))
+		}
+		werr = pathErr("write", f.path, syscall.EIO)
+	} else if fs.plan.WriteBudget > 0 {
+		remaining := fs.plan.WriteBudget - fs.bytes
+		if remaining < 0 {
+			remaining = 0
+		}
+		if remaining < int64(len(p)) {
+			allowed = int(remaining)
+			werr = pathErr("write", f.path, syscall.ENOSPC)
+		}
+	}
+	n := 0
+	if allowed > 0 {
+		var ierr error
+		n, ierr = f.inner.Write(p[:allowed])
+		if werr == nil {
+			werr = ierr
+		}
+	}
+	fs.bytes += int64(n)
+	if st, ok := fs.files[f.path]; ok {
+		st.written += int64(n)
+	}
+	if werr == nil && n < len(p) {
+		werr = pathErr("write", f.path, syscall.EIO)
+	}
+	return n, werr
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.halted {
+		return pathErr("sync", f.path, ErrPowerCut)
+	}
+	fs.syncs++
+	st := fs.files[f.path]
+	if fs.plan.FailSyncAt != 0 && fs.syncs == fs.plan.FailSyncAt {
+		if fs.plan.DropOnSyncFail && st != nil && st.written > st.durable {
+			// The kernel dropped the dirty pages: the un-synced suffix
+			// is gone, and a later fsync succeeding must not bring it
+			// back. Fail-stop callers never find out the hard way.
+			fs.inner.Truncate(f.path, st.durable)
+			st.written = st.durable
+		}
+		return pathErr("sync", f.path, syscall.EIO)
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	if st != nil {
+		st.durable = st.written
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	fs := f.fs
+	fs.mu.Lock()
+	halted := fs.halted
+	fs.mu.Unlock()
+	if halted {
+		return pathErr("close", f.path, ErrPowerCut)
+	}
+	return f.inner.Close()
+}
+
+// FlipByte simulates bit rot: it XORs the byte at offset off in path
+// with 0xFF, in place, bypassing any fault plan. A negative off counts
+// back from the end of the file (-1 is the last byte).
+func FlipByte(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if off < 0 {
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		off += info.Size()
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return nil
+}

@@ -21,6 +21,9 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 	wg  sync.WaitGroup
+
+	healthMu sync.Mutex
+	health   func() error
 }
 
 // Page is an extra handler mounted on the observability mux beside
@@ -44,8 +47,14 @@ func ServeHTTP(reg *Registry, addr string, pages ...Page) (*Server, error) {
 	for _, p := range pages {
 		mux.Handle(p.Pattern, p.Handler)
 	}
+	s := &Server{reg: reg, ln: ln}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.healthErr(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %v\n", err)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -53,7 +62,7 @@ func ServeHTTP(reg *Registry, addr string, pages ...Page) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -62,6 +71,27 @@ func ServeHTTP(reg *Registry, addr string, pages ...Page) (*Server, error) {
 		}
 	}()
 	return s, nil
+}
+
+// SetHealth installs a liveness check behind /healthz. When check
+// returns a non-nil error the endpoint answers 503 with the error text —
+// the hook a durability-failed collector uses to flag itself to
+// orchestrators. A nil check restores the unconditional "ok".
+func (s *Server) SetHealth(check func() error) {
+	s.healthMu.Lock()
+	s.health = check
+	s.healthMu.Unlock()
+}
+
+// healthErr runs the installed health check, if any.
+func (s *Server) healthErr() error {
+	s.healthMu.Lock()
+	check := s.health
+	s.healthMu.Unlock()
+	if check == nil {
+		return nil
+	}
+	return check()
 }
 
 // Addr returns the bound listen address.

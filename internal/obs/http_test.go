@@ -67,6 +67,31 @@ func TestServeHTTP(t *testing.T) {
 	}
 }
 
+func TestSetHealth(t *testing.T) {
+	s, err := ServeHTTP(NewRegistry(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("default /healthz = %d %q", code, body)
+	}
+	s.SetHealth(func() error { return fmt.Errorf("wal poisoned: disk on fire") })
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failed /healthz status = %d, want 503", code)
+	}
+	if !strings.Contains(body, "disk on fire") {
+		t.Fatalf("failed /healthz body %q should carry the error", body)
+	}
+	s.SetHealth(nil)
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("cleared /healthz = %d %q", code, body)
+	}
+}
+
 func TestServeHTTPBadAddr(t *testing.T) {
 	if _, err := ServeHTTP(NewRegistry(), "256.0.0.1:bad"); err == nil {
 		t.Fatal("expected listen error")

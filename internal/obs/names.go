@@ -85,6 +85,11 @@ const (
 	MWALSizeBytes       = "netseer_wal_size_bytes"
 	MWALPending         = "netseer_wal_pending_records"
 
+	// Durable collector: storage-fault posture (scrub + fail-stop).
+	MWALScrubs        = "netseer_wal_scrubs_total"
+	MWALQuarantined   = "netseer_wal_quarantined_total"
+	MDurabilityFailed = "netseer_durability_failed"
+
 	// Durable collector: admission control (overload shedding).
 	MAdmitState       = "netseer_admit_state"
 	MAdmitTransitions = "netseer_admit_transitions_total"
@@ -183,6 +188,9 @@ var catalog = []catalogEntry{
 	{MWALSegments, "Live WAL segment files.", KindGauge},
 	{MWALSizeBytes, "Bytes across live WAL segments.", KindGauge},
 	{MWALPending, "Appended WAL records not yet covered by an fsync.", KindGauge},
+	{MWALScrubs, "Completed WAL scrub passes (background bit-rot checks).", KindCounter},
+	{MWALQuarantined, "WAL segments or snapshots quarantined by scrub CRC failures.", KindCounter},
+	{MDurabilityFailed, "1 once the WAL has poisoned itself and the server refuses ingest.", KindGauge},
 	{MAdmitState, "Admission ladder rung: 0 ok, 1 slow (acks delayed), 2 shed (WAL-only).", KindGauge},
 	{MAdmitTransitions, "Admission ladder rung changes.", KindCounter},
 	{MAdmitAckDelays, "Acks delayed by the slow watermark.", KindCounter},

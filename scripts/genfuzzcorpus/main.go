@@ -1,6 +1,7 @@
 // Command genfuzzcorpus regenerates the checked-in seed corpora for
-// FuzzReadFrame (internal/collector/testdata/fuzz/FuzzReadFrame/) and
-// FuzzWALRecord (internal/collector/wal/testdata/fuzz/FuzzWALRecord/).
+// FuzzReadFrame (internal/collector/testdata/fuzz/FuzzReadFrame/),
+// FuzzWALRecord and FuzzWALReplay
+// (internal/collector/wal/testdata/fuzz/...).
 // The seeds cover every framing-layer rejection branch — truncations,
 // CRC corruption, length lies, record-count lies — plus valid inputs, so
 // `make fuzz-smoke` and `make wal-fuzz-smoke` start from interesting
@@ -27,6 +28,7 @@ import (
 func main() {
 	writeFrameSeeds()
 	writeWALRecordSeeds()
+	writeWALReplaySeeds()
 	writeSketchSeeds()
 }
 
@@ -167,6 +169,40 @@ func writeWALRecordSeeds() {
 		"frame_payload_traced": wal.AppendRecord(nil,
 			framePayload(10, trace.Context{TraceID: 7, Parent: 9, Flags: trace.FlagSampled})),
 		"frame_payload_mixed_versions": mixedLog,
+	}
+	writeSeeds(dir, seeds)
+}
+
+// writeWALReplaySeeds covers the whole-segment replay fuzzer
+// (FuzzWALReplay), which plants each seed as a crash-tail segment, as a
+// sealed mid-log segment followed by a valid one, and as a quarantined
+// file. The shapes mirror what a dying disk actually leaves behind: a
+// clean segment, a torn tail, bit rot in the middle of a sealed file,
+// and an empty rotation stub.
+func writeWALReplaySeeds() {
+	dir := filepath.Join("internal", "collector", "wal", "testdata", "fuzz", "FuzzWALReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var clean []byte
+	for i := 0; i < 5; i++ {
+		clean = wal.AppendRecord(clean, []byte(fmt.Sprintf("segment-record-%d", i)))
+	}
+	rotted := append([]byte(nil), clean...)
+	rotted[len(rotted)/2] ^= 0xFF // one flipped bit's worth of rot, mid-file
+	headerRot := append([]byte(nil), clean...)
+	headerRot[0] ^= 0x80 // rot in a length word: framing desyncs immediately
+
+	seeds := map[string][]byte{
+		"valid_segment":      clean,
+		"torn_tail":          clean[:len(clean)-3],
+		"mid_segment_rot":    rotted,
+		"length_word_rot":    headerRot,
+		"empty_segment":      {},
+		"zero_noise":         bytes.Repeat([]byte{0}, 64),
+		"single_record":      wal.AppendRecord(nil, []byte("lone-record")),
+		"oversize_then_gone": {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
 	}
 	writeSeeds(dir, seeds)
 }
